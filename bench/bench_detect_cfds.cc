@@ -1,0 +1,94 @@
+// EXP-D2 — detection cost vs. constraint-set size ([3]-style): fixed data
+// (8k customer tuples, 5% noise), sweeping (a) the number of embedded FDs
+// and (b) the pattern-tableau size of a single embedded FD. Claim: cost
+// grows with the number of embedded FDs (one hash pass each) and mildly
+// with tableau width (per-tuple pattern checks).
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench_util.h"
+#include "detect/native_detector.h"
+
+namespace semandaq {
+namespace {
+
+constexpr size_t kTuples = 8000;
+
+const char* kSigmaByFdCount[] = {
+    // 1 embedded FD
+    "customer: [CNT, ZIP] -> [CITY]\n",
+    // 2
+    "customer: [CNT, ZIP] -> [CITY]\n"
+    "customer: [CNT=UK, ZIP=_] -> [STR=_]\n",
+    // 3
+    "customer: [CNT, ZIP] -> [CITY]\n"
+    "customer: [CNT=UK, ZIP=_] -> [STR=_]\n"
+    "customer: [CC] -> [CNT] { (44 | UK), (31 | NL), (1 | US) }\n",
+    // 4
+    "customer: [CNT, ZIP] -> [CITY]\n"
+    "customer: [CNT=UK, ZIP=_] -> [STR=_]\n"
+    "customer: [CC] -> [CNT] { (44 | UK), (31 | NL), (1 | US) }\n"
+    "customer: [CNT, CITY] -> [AC]\n",
+};
+
+void BM_DetectByNumFds(benchmark::State& state) {
+  const auto& wl = bench::CachedCustomer(kTuples, 0.05);
+  const auto cfds =
+      bench::MustParseCfds(kSigmaByFdCount[state.range(0) - 1]);
+  for (auto _ : state) {
+    detect::NativeDetector detector(&wl.dirty, cfds);
+    auto table = detector.Detect();
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["embedded_fds"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DetectByNumFds)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+/// Builds a constant tableau for [CNT, ZIP] -> [CITY] with `rows` pattern
+/// rows sampled from the clean data's distinct (CNT, ZIP, CITY) triples.
+std::vector<cfd::Cfd> TableauOfWidth(const relational::Relation& clean, size_t rows) {
+  using workload::CustomerGenerator;
+  std::set<std::vector<std::string>> triples;
+  clean.ForEach([&](relational::TupleId, const relational::Row& r) {
+    triples.insert({r[CustomerGenerator::kCnt].AsString(),
+                    r[CustomerGenerator::kZip].AsString(),
+                    r[CustomerGenerator::kCity].AsString()});
+  });
+  std::vector<cfd::PatternTuple> tableau;
+  for (const auto& t : triples) {
+    if (tableau.size() >= rows) break;
+    cfd::PatternTuple pt;
+    pt.lhs = {cfd::PatternValue::Constant(relational::Value::String(t[0])),
+              cfd::PatternValue::Constant(relational::Value::String(t[1]))};
+    pt.rhs = cfd::PatternValue::Constant(relational::Value::String(t[2]));
+    tableau.push_back(std::move(pt));
+  }
+  // Pad with wildcard rows if the data has fewer distinct triples.
+  while (tableau.size() < rows) {
+    cfd::PatternTuple pt;
+    pt.lhs = {cfd::PatternValue::Wildcard(), cfd::PatternValue::Wildcard()};
+    pt.rhs = cfd::PatternValue::Wildcard();
+    tableau.push_back(std::move(pt));
+  }
+  return {cfd::Cfd("customer", {"CNT", "ZIP"}, "CITY", std::move(tableau))};
+}
+
+void BM_DetectByTableauSize(benchmark::State& state) {
+  const auto& wl = bench::CachedCustomer(kTuples, 0.05);
+  const auto cfds = TableauOfWidth(wl.clean, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    detect::NativeDetector detector(&wl.dirty, cfds);
+    auto table = detector.Detect();
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["tableau_rows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DetectByTableauSize)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semandaq
+
+BENCHMARK_MAIN();

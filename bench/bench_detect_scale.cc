@@ -1,0 +1,83 @@
+// EXP-D1 — detection scalability in |D| ([3] Fan et al., TODS'08 style):
+// wall time of a full detection pass over the customer relation as the
+// number of tuples grows, for both code paths (native hash detection and
+// generated-SQL detection through the sql:: engine). The paper's claim:
+// detection is a small number of scans, scaling near-linearly; the SQL path
+// pays a constant interpreter factor but keeps the same asymptotics.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "detect/native_detector.h"
+#include "detect/sql_detector.h"
+#include "relational/database.h"
+
+namespace semandaq {
+namespace {
+
+constexpr double kNoise = 0.05;
+
+void BM_NativeDetect(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  const auto& wl = bench::CachedCustomer(tuples, kNoise);
+  const auto cfds = bench::MustParseCfds(workload::CustomerGenerator::PaperCfds());
+  int64_t total_vio = 0;
+  for (auto _ : state) {
+    detect::NativeDetector detector(&wl.dirty, cfds);
+    auto table = detector.Detect();
+    benchmark::DoNotOptimize(table);
+    total_vio = table.ok() ? table->TotalVio() : -1;
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["total_vio"] = static_cast<double>(total_vio);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_NativeDetect)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SqlDetect(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  const auto& wl = bench::CachedCustomer(tuples, kNoise);
+  const auto cfds = bench::MustParseCfds(workload::CustomerGenerator::PaperCfds());
+  int64_t total_vio = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    relational::Database db;
+    (void)db.AddRelation(wl.dirty.Clone());
+    state.ResumeTiming();
+    detect::SqlDetector detector(&db, "customer", cfds);
+    auto table = detector.Detect();
+    benchmark::DoNotOptimize(table);
+    total_vio = table.ok() ? table->TotalVio() : -1;
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["total_vio"] = static_cast<double>(total_vio);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SqlDetect)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000)
+    ->Unit(benchmark::kMillisecond);
+
+// Noise sensitivity at fixed size: more dirt means more violation records
+// but the scan cost dominates.
+void BM_NativeDetectNoise(benchmark::State& state) {
+  const double noise = static_cast<double>(state.range(0)) / 100.0;
+  const auto& wl = bench::CachedCustomer(16000, noise);
+  const auto cfds = bench::MustParseCfds(workload::CustomerGenerator::PaperCfds());
+  int64_t total_vio = 0;
+  for (auto _ : state) {
+    detect::NativeDetector detector(&wl.dirty, cfds);
+    auto table = detector.Detect();
+    total_vio = table.ok() ? table->TotalVio() : -1;
+  }
+  state.counters["noise_pct"] = static_cast<double>(state.range(0));
+  state.counters["total_vio"] = static_cast<double>(total_vio);
+}
+BENCHMARK(BM_NativeDetectNoise)->Arg(1)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semandaq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// EXP-M1 — CFD discovery from reference data (paper §2, Constraint Engine):
+// wall time of the CTANE-style miner over clean customer and hospital data
+// as rows grow, plus the number of CFDs found. Claim: near-linear in rows
+// (partition construction dominates) and combinatorial in max LHS size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "discovery/cfd_miner.h"
+#include "discovery/fd_miner.h"
+#include "workload/hospital_gen.h"
+
+namespace semandaq {
+namespace {
+
+void BM_CfdDiscoveryCustomer(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  const auto& wl = bench::CachedCustomer(tuples, 0.0, /*seed=*/21);
+  discovery::CfdMinerOptions opts;
+  opts.max_lhs = 2;
+  opts.min_support = 3;
+  size_t found = 0;
+  for (auto _ : state) {
+    discovery::CfdMiner miner(&wl.clean, opts);
+    auto mined = miner.Mine();
+    benchmark::DoNotOptimize(mined);
+    if (mined.ok()) found = mined->size();
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["cfds_found"] = static_cast<double>(found);
+}
+BENCHMARK(BM_CfdDiscoveryCustomer)->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CfdDiscoveryHospital(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  workload::HospitalWorkloadOptions wopts;
+  wopts.num_tuples = tuples;
+  wopts.noise_rate = 0.0;
+  wopts.seed = 22;
+  static std::map<size_t, workload::HospitalWorkload> cache;
+  auto it = cache.find(tuples);
+  if (it == cache.end()) {
+    it = cache.emplace(tuples, workload::HospitalGenerator::Generate(wopts)).first;
+  }
+  discovery::CfdMinerOptions opts;
+  opts.max_lhs = 2;
+  opts.min_support = 3;
+  size_t found = 0;
+  for (auto _ : state) {
+    discovery::CfdMiner miner(&it->second.clean, opts);
+    auto mined = miner.Mine();
+    benchmark::DoNotOptimize(mined);
+    if (mined.ok()) found = mined->size();
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["cfds_found"] = static_cast<double>(found);
+}
+BENCHMARK(BM_CfdDiscoveryHospital)->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FdDiscoveryByLhsDepth(benchmark::State& state) {
+  const auto& wl = bench::CachedCustomer(4000, 0.0, /*seed=*/23);
+  discovery::FdMinerOptions opts;
+  opts.max_lhs = static_cast<size_t>(state.range(0));
+  size_t found = 0;
+  for (auto _ : state) {
+    discovery::FdMiner miner(&wl.clean, opts);
+    auto fds = miner.Mine();
+    benchmark::DoNotOptimize(fds);
+    found = fds.size();
+  }
+  state.counters["max_lhs"] = static_cast<double>(state.range(0));
+  state.counters["fds_found"] = static_cast<double>(found);
+}
+BENCHMARK(BM_FdDiscoveryByLhsDepth)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semandaq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// EXP-D3 — incremental vs. batch detection ([3] §incremental): a 32k-tuple
+// customer base; apply an update batch of growing size and compare (a) the
+// incremental detector's per-batch cost against (b) a full re-detection
+// from scratch. Claim: incremental wins by orders of magnitude for small Δ
+// and loses its edge as |Δ| approaches |D|.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "detect/incremental_detector.h"
+#include "detect/native_detector.h"
+
+namespace semandaq {
+namespace {
+
+constexpr size_t kBase = 32000;
+
+relational::UpdateBatch MakeBatch(const relational::Relation& rel, size_t size,
+                                  common::Rng* rng) {
+  using workload::CustomerGenerator;
+  relational::UpdateBatch batch;
+  std::vector<relational::TupleId> live = rel.LiveIds();
+  for (size_t i = 0; i < size; ++i) {
+    const relational::TupleId victim = live[rng->NextIndex(live.size())];
+    // Mostly modifications (the monitor's common case), some inserts.
+    if (rng->NextBool(0.25)) {
+      relational::Row row = rel.row(victim);
+      row[CustomerGenerator::kName] =
+          relational::Value::String("New_" + std::to_string(i));
+      batch.push_back(relational::Update::Insert(std::move(row)));
+    } else {
+      const size_t col = 1 + rng->NextIndex(6);
+      batch.push_back(relational::Update::Modify(
+          victim, col, relational::Value::String(rng->NextString(5))));
+    }
+  }
+  return batch;
+}
+
+void BM_IncrementalDetect(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  const auto& wl = bench::CachedCustomer(kBase, 0.05);
+  const auto cfds = bench::MustParseCfds(workload::CustomerGenerator::PaperCfds());
+  common::Rng rng(1234);
+
+  // State construction is part of setup, not of the per-batch cost.
+  relational::Relation working = wl.dirty.Clone();
+  detect::IncrementalDetector detector(&working, cfds);
+  if (!detector.Initialize().ok()) state.SkipWithError("init failed");
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    relational::UpdateBatch batch = MakeBatch(working, batch_size, &rng);
+    state.ResumeTiming();
+    auto status = detector.ApplyAndDetect(batch);
+    benchmark::DoNotOptimize(status);
+  }
+  state.counters["batch_size"] = static_cast<double>(batch_size);
+  state.counters["updates_per_sec"] = benchmark::Counter(
+      static_cast<double>(batch_size),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_IncrementalDetect)
+    ->Arg(1)->Arg(16)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullRedetectAfterBatch(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  const auto& wl = bench::CachedCustomer(kBase, 0.05);
+  const auto cfds = bench::MustParseCfds(workload::CustomerGenerator::PaperCfds());
+  common::Rng rng(1234);
+  relational::Relation working = wl.dirty.Clone();
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    relational::UpdateBatch batch = MakeBatch(working, batch_size, &rng);
+    (void)relational::ApplyUpdates(batch, &working);
+    state.ResumeTiming();
+    detect::NativeDetector detector(&working, cfds);
+    auto table = detector.Detect();
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["batch_size"] = static_cast<double>(batch_size);
+}
+BENCHMARK(BM_FullRedetectAfterBatch)
+    ->Arg(1)->Arg(16)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semandaq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// EXP-R2 — repair scalability ([8]-style): BatchRepair wall time over the
+// customer workload at fixed 5% noise as the relation grows 1k -> 16k.
+// Claim: near-linear growth (each round is detection + local fixes; the
+// number of rounds is small and size-independent).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "repair/batch_repair.h"
+
+namespace semandaq {
+namespace {
+
+void BM_BatchRepairScale(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  const auto& wl = bench::CachedCustomer(tuples, 0.05, /*seed=*/9);
+  const auto cfds = bench::MustParseCfds(workload::CustomerGenerator::PaperCfds());
+  repair::CostModel cm(wl.dirty.schema());
+
+  size_t changes = 0;
+  int iterations = 0;
+  for (auto _ : state) {
+    repair::BatchRepair repair(&wl.dirty, cfds, cm);
+    auto result = repair.Run();
+    benchmark::DoNotOptimize(result);
+    if (result.ok()) {
+      changes = result->changes.size();
+      iterations = result->iterations;
+    }
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["changed_cells"] = static_cast<double>(changes);
+  state.counters["rounds"] = static_cast<double>(iterations);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BatchRepairScale)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+    ->Arg(16000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semandaq
+
+BENCHMARK_MAIN();

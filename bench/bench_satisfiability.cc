@@ -1,0 +1,119 @@
+// EXP-S1 — consistency (satisfiability) analysis cost ([3] §static
+// analysis): synthetic CFD sets of growing size over an 8-attribute schema.
+// Three regimes: satisfiable sets over infinite domains (fast: the witness
+// search succeeds early), unsatisfiable sets (the search proves exhaustion),
+// and finite-domain attributes (the NP-hard regime the paper highlights).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "cfd/satisfiability.h"
+#include "relational/schema.h"
+
+namespace semandaq {
+namespace {
+
+using relational::Schema;
+using relational::Value;
+
+Schema OpenSchema() {
+  return Schema::AllStrings({"A0", "A1", "A2", "A3", "A4", "A5", "A6", "A7"});
+}
+
+/// K chained constant CFDs [A_i = c] -> [A_{i+1} = c'], all satisfiable.
+std::string SatisfiableSigma(size_t k) {
+  std::string text;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t a = i % 7;
+    text += "t: [A" + std::to_string(a) + "=c" + std::to_string(i) + "] -> [A" +
+            std::to_string(a + 1) + "=v" + std::to_string(i % 3) + "]\n";
+  }
+  return text;
+}
+
+/// Like SatisfiableSigma but with a forced contradiction on top.
+std::string UnsatisfiableSigma(size_t k) {
+  std::string text = SatisfiableSigma(k > 2 ? k - 2 : 0);
+  text += "t: [A0=_] -> [A7=x]\n";
+  text += "t: [A1=_] -> [A7=y]\n";
+  return text;
+}
+
+void BM_SatisfiableOpenDomain(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Schema schema = OpenSchema();
+  const auto cfds = bench::MustParseCfds(SatisfiableSigma(k));
+  cfd::SatisfiabilityChecker checker(schema);
+  size_t nodes = 0;
+  bool sat = false;
+  for (auto _ : state) {
+    auto report = checker.Check(cfds);
+    benchmark::DoNotOptimize(report);
+    if (report.ok()) {
+      nodes = report->nodes_explored;
+      sat = report->satisfiable;
+    }
+  }
+  state.counters["cfds"] = static_cast<double>(k);
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["satisfiable"] = sat ? 1 : 0;
+}
+BENCHMARK(BM_SatisfiableOpenDomain)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_UnsatisfiableOpenDomain(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Schema schema = OpenSchema();
+  const auto cfds = bench::MustParseCfds(UnsatisfiableSigma(k));
+  cfd::SatisfiabilityChecker checker(schema);
+  bool sat = true;
+  for (auto _ : state) {
+    auto report = checker.Check(cfds);
+    benchmark::DoNotOptimize(report);
+    if (report.ok()) sat = report->satisfiable;
+  }
+  state.counters["cfds"] = static_cast<double>(k);
+  state.counters["satisfiable"] = sat ? 1 : 0;
+}
+BENCHMARK(BM_UnsatisfiableOpenDomain)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FiniteDomainRegime(benchmark::State& state) {
+  // Finite {Y,N} flags make the search enumerate domain combinations — the
+  // regime where the problem turns NP-complete ([3], Theorem 3.2).
+  const size_t k = static_cast<size_t>(state.range(0));
+  Schema schema;
+  for (int i = 0; i < 4; ++i) {
+    (void)schema.AddAttribute({"F" + std::to_string(i),
+                               relational::DataType::kString,
+                               {Value::String("Y"), Value::String("N")}});
+  }
+  for (int i = 0; i < 4; ++i) {
+    (void)schema.AddAttribute(
+        {"A" + std::to_string(i), relational::DataType::kString, {}});
+  }
+  std::string text;
+  for (size_t i = 0; i < k; ++i) {
+    text += "t: [F" + std::to_string(i % 4) + "=" + (i % 2 ? "Y" : "N") +
+            "] -> [A" + std::to_string(i % 4) + "=v" + std::to_string(i % 5) + "]\n";
+  }
+  const auto cfds = bench::MustParseCfds(text);
+  cfd::SatisfiabilityChecker checker(schema);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto report = checker.Check(cfds);
+    benchmark::DoNotOptimize(report);
+    if (report.ok()) nodes = report->nodes_explored;
+  }
+  state.counters["cfds"] = static_cast<double>(k);
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_FiniteDomainRegime)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace semandaq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+#ifndef SEMANDAQ_BENCH_BENCH_UTIL_H_
+#define SEMANDAQ_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+
+#include "cfd/cfd_parser.h"
+#include "workload/customer_gen.h"
+
+namespace semandaq::bench {
+
+/// Parses a CFD document, aborting on error (bench inputs are static).
+inline std::vector<cfd::Cfd> MustParseCfds(const std::string& text) {
+  auto r = cfd::ParseCfdSet(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bad CFD text: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*r);
+}
+
+/// Cache of generated customer workloads keyed by (tuples, noise%, seed) so
+/// repeated benchmark runs do not regenerate.
+inline const workload::CustomerWorkload& CachedCustomer(size_t tuples,
+                                                        double noise,
+                                                        uint64_t seed = 42) {
+  static std::map<std::tuple<size_t, int, uint64_t>, workload::CustomerWorkload>
+      cache;
+  const auto key = std::make_tuple(tuples, static_cast<int>(noise * 1000), seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    workload::CustomerWorkloadOptions opts;
+    opts.num_tuples = tuples;
+    opts.noise_rate = noise;
+    opts.seed = seed;
+    it = cache.emplace(key, workload::CustomerGenerator::Generate(opts)).first;
+  }
+  return it->second;
+}
+
+}  // namespace semandaq::bench
+
+#endif  // SEMANDAQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,49 @@
+// FIG-3 — "Error Detection and Data Quality Map": regenerates the paper's
+// tuple-level quality map ("the darker the color of a tuple is, the greater
+// vio(t) is") over a 60-tuple customer sample with 8% injected noise, using
+// the SQL-based detection path the demo showcases.
+
+#include <cstdio>
+
+#include "audit/render.h"
+#include "cfd/cfd_parser.h"
+#include "detect/sql_detector.h"
+#include "relational/database.h"
+#include "workload/customer_gen.h"
+
+int main() {
+  using semandaq::workload::CustomerGenerator;
+
+  std::printf("=== Figure 3: Error Detection and Data Quality Map ===\n\n");
+
+  semandaq::workload::CustomerWorkloadOptions opts;
+  opts.num_tuples = 60;
+  opts.noise_rate = 0.08;
+  opts.seed = 2008;
+  auto wl = CustomerGenerator::Generate(opts);
+
+  auto cfds_or = semandaq::cfd::ParseCfdSet(CustomerGenerator::PaperCfds());
+  if (!cfds_or.ok()) return 1;
+
+  semandaq::relational::Database db;
+  auto dirty_copy = wl.dirty.Clone();
+  if (!db.AddRelation(std::move(dirty_copy)).ok()) return 1;
+
+  semandaq::detect::SqlDetector detector(&db, "customer", std::move(*cfds_or));
+  auto table = detector.Detect();
+  if (!table.ok()) {
+    std::printf("detect failed: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+
+  // Show one generated detection query pair, the technique of [3].
+  if (!detector.queries().empty()) {
+    const auto& q = detector.queries().front();
+    std::printf("generated Q_C: %s\n", q.qc.c_str());
+    std::printf("generated Q_V: %s\n\n", q.qv_keys.c_str());
+  }
+
+  std::printf("%s\n",
+              semandaq::audit::AsciiRender::QualityMap(wl.dirty, *table, 60).c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// FIG-4 — "Data Quality Report": regenerates the paper's bar chart
+// (percentage of verified / probably / arguably clean values per attribute),
+// the violation pie chart, and the statistics block, on a 2000-tuple
+// customer instance with 5% injected noise.
+
+#include <cstdio>
+
+#include "audit/metrics.h"
+#include "audit/render.h"
+#include "audit/report.h"
+#include "cfd/cfd_parser.h"
+#include "detect/native_detector.h"
+#include "workload/customer_gen.h"
+
+int main() {
+  using semandaq::workload::CustomerGenerator;
+
+  std::printf("=== Figure 4: Data Quality Report ===\n\n");
+
+  semandaq::workload::CustomerWorkloadOptions opts;
+  opts.num_tuples = 2000;
+  opts.noise_rate = 0.05;
+  opts.seed = 2008;
+  auto wl = CustomerGenerator::Generate(opts);
+
+  auto cfds_or = semandaq::cfd::ParseCfdSet(CustomerGenerator::PaperCfds());
+  if (!cfds_or.ok()) return 1;
+  auto cfds = std::move(*cfds_or);
+
+  semandaq::detect::NativeDetector detector(&wl.dirty, cfds);
+  auto table = detector.Detect();
+  if (!table.ok()) return 1;
+
+  semandaq::audit::DataAuditor auditor(&wl.dirty, cfds);
+  auto outcome = auditor.Audit(*table);
+  if (!outcome.ok()) {
+    std::printf("audit failed: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  auto report = semandaq::audit::BuildQualityReport(*outcome, wl.dirty.schema());
+
+  std::printf("%s\n", semandaq::audit::AsciiRender::BarChart(report).c_str());
+  std::printf("%s\n", semandaq::audit::AsciiRender::PieChart(report).c_str());
+  std::printf("%s\n", semandaq::audit::AsciiRender::Statistics(report).c_str());
+  std::printf("bar chart data (CSV):\n%s", report.BarsToCsv().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The data monitor in both of the paper's modes (§2): a stream of update
+// batches hits a customer table. Before cleansing, the monitor only flags
+// new inconsistencies (incremental detection); after MarkCleansed, every
+// batch is incrementally repaired so the database never degrades.
+//
+// Build & run:  ./build/examples/incremental_monitoring
+
+#include <cstdio>
+
+#include "core/semandaq.h"
+#include "workload/customer_gen.h"
+
+namespace {
+
+semandaq::relational::Row DirtyInsert(int i) {
+  using semandaq::relational::Value;
+  // A UK tuple whose street disagrees with the established one for EH1.
+  return {Value::String("Walkin_" + std::to_string(i)), Value::String("UK"),
+          Value::String("Edinburgh"), Value::String("EH1 0XY"),
+          Value::String("Backalley " + std::to_string(i)), Value::String("44"),
+          Value::String("131")};
+}
+
+}  // namespace
+
+int main() {
+  using semandaq::relational::Update;
+  using semandaq::workload::CustomerGenerator;
+
+  semandaq::workload::CustomerWorkloadOptions opts;
+  opts.num_tuples = 300;
+  opts.noise_rate = 0.0;  // start clean
+  opts.seed = 7;
+  auto wl = CustomerGenerator::Generate(opts);
+
+  semandaq::core::Semandaq sys;
+  if (!sys.Connect(std::move(wl.clean)).ok()) return 1;
+  // The generator names the gold relation "customer_gold".
+  auto* rel = sys.database().FindMutableRelation("customer_gold");
+  rel->set_name("customer_gold");
+  if (!sys.constraints()
+           .AddCfdsFromText(
+               "customer_gold: [CNT=UK, ZIP=_] -> [STR=_]\n"
+               "customer_gold: [CC] -> [CNT] { (44 | UK), (31 | NL), (1 | US) }\n")
+           .ok()) {
+    return 1;
+  }
+
+  // ---- phase 1: not yet cleansed -> incremental detection --------------
+  auto monitor = sys.StartMonitor("customer_gold", /*cleansed=*/false);
+  if (!monitor.ok()) {
+    std::printf("monitor failed: %s\n", monitor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("phase 1 (mode 1, incremental detection):\n");
+  for (int i = 0; i < 3; ++i) {
+    auto report = (*monitor)->OnUpdate({Update::Insert(DirtyInsert(i))});
+    if (!report.ok()) return 1;
+    std::printf("  batch %d: %zu violating tuple(s), total vio %lld, repairs %zu\n",
+                i, report->violating_tuples,
+                static_cast<long long>(report->total_vio),
+                report->repairs_applied.size());
+  }
+
+  // The flagged dirt is still in the table; clean it once, then switch the
+  // monitor to repair mode.
+  auto repair = sys.Clean("customer_gold");
+  if (!repair.ok()) return 1;
+  if (!sys.ApplyRepair("customer_gold", *repair).ok()) return 1;
+  std::printf("\none-off cleansing applied: %zu cell(s) fixed\n\n",
+              repair->changes.size());
+
+  // ---- phase 2: cleansed -> incremental repair --------------------------
+  auto monitor2 = sys.StartMonitor("customer_gold", /*cleansed=*/true);
+  if (!monitor2.ok()) return 1;
+  std::printf("phase 2 (mode 2, incremental repair):\n");
+  for (int i = 10; i < 13; ++i) {
+    auto report = (*monitor2)->OnUpdate({Update::Insert(DirtyInsert(i))});
+    if (!report.ok()) return 1;
+    std::printf("  batch %d: total vio after repair %lld, repairs applied:\n", i,
+                static_cast<long long>(report->total_vio));
+    for (const auto& ch : report->repairs_applied) {
+      std::printf("    tuple #%lld col %zu: %s -> %s\n",
+                  static_cast<long long>(ch.tid), ch.col,
+                  ch.original.ToDisplayString().c_str(),
+                  ch.repaired.ToDisplayString().c_str());
+    }
+  }
+  std::printf("\nthe database stayed consistent under dirty updates.\n");
+  return 0;
+}

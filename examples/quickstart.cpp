@@ -1,0 +1,77 @@
+// Quickstart: the five-minute tour of Semandaq's public API.
+//
+//   1. build a relation and connect it,
+//   2. specify CFDs in the paper's textual notation,
+//   3. check the constraints "make sense" (satisfiability),
+//   4. detect violations and print vio(t),
+//   5. clean the data and show what changed.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/semandaq.h"
+
+int main() {
+  using semandaq::relational::Relation;
+  using semandaq::relational::Schema;
+  using semandaq::relational::Value;
+
+  // 1. A tiny customer table. The last tuple is inconsistent: country code
+  //    44 (UK) with country US.
+  Relation customer{"customer", Schema::AllStrings({"NAME", "CNT", "ZIP", "CC"})};
+  auto add = [&](const char* n, const char* c, const char* z, const char* cc) {
+    customer.MustInsert({Value::String(n), Value::String(c), Value::String(z),
+                         Value::String(cc)});
+  };
+  add("Mike", "UK", "EH2 4SD", "44");
+  add("Rick", "UK", "EH2 4SD", "44");
+  add("Eve", "US", "10011", "44");
+
+  semandaq::core::Semandaq sys;
+  if (auto st = sys.Connect(std::move(customer)); !st.ok()) {
+    std::printf("connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 2. One constant CFD: country code 44 binds the country to UK.
+  if (auto st = sys.constraints().AddCfdsFromText("customer: [CC=44] -> [CNT=UK]");
+      !st.ok()) {
+    std::printf("bad CFD: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Do the constraints make sense together?
+  auto sat = sys.constraints().Validate("customer");
+  if (!sat.ok() || !sat->satisfiable) {
+    std::printf("constraint set is unsatisfiable\n");
+    return 1;
+  }
+  std::printf("constraints validated: %s\n", sat->explanation.c_str());
+
+  // 4. Detect.
+  auto violations = sys.DetectErrors("customer");
+  if (!violations.ok()) return 1;
+  std::printf("detection: %s\n", violations->Summary().c_str());
+  for (auto tid : violations->ViolatingTuples()) {
+    std::printf("  tuple #%lld has vio=%lld\n", static_cast<long long>(tid),
+                static_cast<long long>(violations->vio(tid)));
+  }
+
+  // 5. Clean and inspect the candidate repair.
+  auto repair = sys.Clean("customer");
+  if (!repair.ok()) return 1;
+  std::printf("repair: %zu cell(s) changed, cost %.3f\n", repair->changes.size(),
+              repair->total_cost);
+  for (const auto& ch : repair->changes) {
+    std::printf("  tuple #%lld %s: %s -> %s\n", static_cast<long long>(ch.tid),
+                sys.database().FindRelation("customer")->schema().attr(ch.col).name.c_str(),
+                ch.original.ToDisplayString().c_str(),
+                ch.repaired.ToDisplayString().c_str());
+  }
+  if (auto st = sys.ApplyRepair("customer", *repair); !st.ok()) return 1;
+
+  auto after = sys.DetectErrors("customer");
+  std::printf("after repair: %s\n", after.ok() ? after->Summary().c_str() : "error");
+  return 0;
+}

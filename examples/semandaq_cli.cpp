@@ -1,0 +1,73 @@
+// Interactive command shell over the Semandaq session layer — the
+// command-line stand-in for the paper's web-based data explorer.
+//
+//   ./build/examples/semandaq_cli                 # run the built-in demo
+//   ./build/examples/semandaq_cli -               # read commands from stdin
+//   ./build/examples/semandaq_cli "gen customer 100 5" "detect customer" ...
+//
+// Type `help` for the command reference.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/session.h"
+
+namespace {
+
+int RunCommand(semandaq::core::Session* session, const std::string& line) {
+  auto out = session->Execute(line);
+  if (!out.ok()) {
+    std::printf("error: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  if (!out->empty()) std::printf("%s", out->c_str());
+  return 0;
+}
+
+constexpr const char* kDemoScript[] = {
+    "gen customer 200 6",
+    "cfd customer: [CNT, ZIP] -> [CITY]",
+    "cfd customer: [CNT=UK, ZIP=_] -> [STR=_]",
+    "cfd customer: [CC] -> [CNT] { (44 | UK), (31 | NL), (1 | US) }",
+    "validate customer",
+    "detect customer",
+    "detect customer sql",
+    "map customer 8",
+    "report customer",
+    "sql SELECT CNT, COUNT(*) AS n FROM customer GROUP BY CNT ORDER BY n DESC",
+    "clean customer",
+    "diff",
+    "apply",
+    "detect customer",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  semandaq::core::Session session;
+
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line == "quit" || line == "exit") break;
+      RunCommand(&session, line);
+    }
+    return 0;
+  }
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::printf(">> %s\n", argv[i]);
+      if (RunCommand(&session, argv[i]) != 0) return 1;
+    }
+    return 0;
+  }
+  std::printf("(no arguments: running the built-in demo script; "
+              "use '-' for stdin mode)\n\n");
+  for (const char* line : kDemoScript) {
+    std::printf(">> %s\n", line);
+    RunCommand(&session, line);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,212 @@
+#include "audit/metrics.h"
+
+#include <algorithm>
+
+namespace semandaq::audit {
+
+using cfd::Cfd;
+using cfd::PatternTuple;
+using detect::ViolationGroup;
+using detect::ViolationTable;
+using relational::Row;
+using relational::TupleId;
+using relational::Value;
+
+const char* CleanGradeToString(CleanGrade g) {
+  switch (g) {
+    case CleanGrade::kDirty:
+      return "dirty";
+    case CleanGrade::kArguablyClean:
+      return "arguably clean";
+    case CleanGrade::kProbablyClean:
+      return "probably clean";
+    case CleanGrade::kVerifiedClean:
+      return "verified clean";
+  }
+  return "?";
+}
+
+double AttributeStats::pct_verified() const {
+  const int64_t t = total();
+  return t == 0 ? 0 : 100.0 * static_cast<double>(counts[3]) / static_cast<double>(t);
+}
+
+double AttributeStats::pct_probably() const {
+  const int64_t t = total();
+  return t == 0 ? 0
+               : 100.0 * static_cast<double>(counts[3] + counts[2]) /
+                     static_cast<double>(t);
+}
+
+double AttributeStats::pct_arguably() const {
+  const int64_t t = total();
+  return t == 0 ? 0
+               : 100.0 * static_cast<double>(counts[3] + counts[2] + counts[1]) /
+                     static_cast<double>(t);
+}
+
+CleanGrade AuditOutcome::GradeOf(TupleId tid) const {
+  auto it = tuple_grades.find(tid);
+  return it == tuple_grades.end() ? CleanGrade::kProbablyClean : it->second;
+}
+
+common::Result<AuditOutcome> DataAuditor::Audit(const ViolationTable& table) {
+  SEMANDAQ_RETURN_IF_ERROR(cfd::ResolveAll(&cfds_, rel_->schema()));
+  AuditOutcome out;
+  const size_t ncols = rel_->schema().size();
+  out.attr_stats.resize(ncols);
+
+  // Precompute, per group in the table, each member's agreement status:
+  // does the strict majority of the group share its RHS value?
+  // Also collect cell-level implication: which (tid, col) cells are dirty or
+  // only arguably clean.
+  struct CellFlag {
+    bool dirty = false;
+    bool arguable_only = false;  // dirty but majority agrees
+  };
+  std::unordered_map<uint64_t, CellFlag> cell_flags;
+  auto cell_key = [](TupleId tid, size_t col) {
+    return (static_cast<uint64_t>(tid) << 16) | static_cast<uint64_t>(col);
+  };
+
+  // tid -> has single / has multi / all groups bulk-agree.
+  std::unordered_map<TupleId, bool> has_single;
+  std::unordered_map<TupleId, bool> has_multi;
+  std::unordered_map<TupleId, bool> bulk_agrees_everywhere;
+
+  for (const auto& sv : table.singles()) {
+    has_single[sv.tid] = true;
+    const Cfd& c = cfds_[static_cast<size_t>(sv.cfd_index)];
+    // Implicate the RHS cell and every constant LHS position: one of them
+    // carries the error.
+    cell_flags[cell_key(sv.tid, c.rhs_col())].dirty = true;
+    const PatternTuple& pt = c.tableau()[static_cast<size_t>(sv.pattern_index)];
+    for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+      if (pt.lhs[i].is_constant()) {
+        cell_flags[cell_key(sv.tid, c.lhs_cols()[i])].dirty = true;
+      }
+    }
+  }
+
+  for (const ViolationGroup& g : table.groups()) {
+    out.num_groups += 1;
+    out.max_group_size = std::max(out.max_group_size, g.members.size());
+    out.min_group_size = out.min_group_size == 0
+                             ? g.members.size()
+                             : std::min(out.min_group_size, g.members.size());
+    out.avg_group_size += static_cast<double>(g.members.size());
+
+    const Cfd& c = cfds_[static_cast<size_t>(
+        g.cfd_index >= 0 ? g.cfd_index : 0)];
+    std::unordered_map<Value, int64_t, relational::ValueHash> freq;
+    for (const Value& v : g.member_rhs) ++freq[v];
+    const int64_t n = static_cast<int64_t>(g.members.size());
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      const TupleId tid = g.members[i];
+      has_multi[tid] = true;
+      const bool majority = 2 * freq[g.member_rhs[i]] > n;
+      auto it = bulk_agrees_everywhere.find(tid);
+      if (it == bulk_agrees_everywhere.end()) {
+        bulk_agrees_everywhere[tid] = majority;
+      } else {
+        it->second = it->second && majority;
+      }
+      CellFlag& flag = cell_flags[cell_key(tid, c.rhs_col())];
+      flag.dirty = true;
+      if (majority) flag.arguable_only = true;
+    }
+  }
+  if (out.num_groups > 0) {
+    out.avg_group_size /= static_cast<double>(out.num_groups);
+  }
+
+  // Cells (and tuples) confirmed by a satisfied constant-RHS pattern.
+  std::unordered_map<uint64_t, bool> cell_verified;
+  std::unordered_map<TupleId, bool> tuple_has_verifier;
+
+  rel_->ForEach([&](TupleId tid, const Row& row) {
+    for (const Cfd& c : cfds_) {
+      for (const PatternTuple& pt : c.tableau()) {
+        if (!pt.is_constant_rhs()) continue;
+        bool lhs_match = true;
+        for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+          if (!pt.lhs[i].Matches(row[c.lhs_cols()[i]])) {
+            lhs_match = false;
+            break;
+          }
+        }
+        if (!lhs_match) continue;
+        const Value& a = row[c.rhs_col()];
+        if (a.is_null() || !(a == pt.rhs.constant())) continue;
+        // Confirmed: the RHS cell and every constant LHS cell.
+        tuple_has_verifier[tid] = true;
+        cell_verified[cell_key(tid, c.rhs_col())] = true;
+        for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+          if (pt.lhs[i].is_constant()) {
+            cell_verified[cell_key(tid, c.lhs_cols()[i])] = true;
+          }
+        }
+      }
+    }
+  });
+
+  // Tuple grades + composition; attribute-value grades.
+  int64_t sum_vio = 0;
+  rel_->ForEach([&](TupleId tid, const Row&) {
+    ++out.num_tuples;
+    const int64_t vio = table.vio(tid);
+    const bool single = has_single.count(tid) > 0;
+    const bool multi = has_multi.count(tid) > 0;
+
+    CleanGrade grade;
+    if (vio == 0) {
+      grade = tuple_has_verifier.count(tid) > 0 ? CleanGrade::kVerifiedClean
+                                                : CleanGrade::kProbablyClean;
+    } else if (!single && multi && bulk_agrees_everywhere[tid]) {
+      grade = CleanGrade::kArguablyClean;
+    } else {
+      grade = CleanGrade::kDirty;
+    }
+    out.tuple_grades[tid] = grade;
+    ++out.tuple_counts[static_cast<size_t>(grade)];
+
+    if (vio == 0) {
+      ++out.tuples_clean;
+    } else if (single && multi) {
+      ++out.tuples_both;
+    } else if (single) {
+      ++out.tuples_single_only;
+    } else {
+      ++out.tuples_multi_only;
+    }
+
+    if (vio > 0) {
+      sum_vio += vio;
+      out.max_vio = std::max(out.max_vio, vio);
+      out.min_vio_nonzero =
+          out.min_vio_nonzero == 0 ? vio : std::min(out.min_vio_nonzero, vio);
+    }
+
+    for (size_t c = 0; c < ncols; ++c) {
+      auto fit = cell_flags.find(cell_key(tid, c));
+      CleanGrade cell_grade;
+      if (fit != cell_flags.end() && fit->second.dirty) {
+        cell_grade = fit->second.arguable_only ? CleanGrade::kArguablyClean
+                                               : CleanGrade::kDirty;
+      } else if (cell_verified.count(cell_key(tid, c)) > 0) {
+        cell_grade = CleanGrade::kVerifiedClean;
+      } else {
+        cell_grade = CleanGrade::kProbablyClean;
+      }
+      ++out.attr_stats[c].counts[static_cast<size_t>(cell_grade)];
+    }
+  });
+
+  out.total_vio = table.TotalVio();
+  const size_t violating = table.NumViolatingTuples();
+  out.avg_vio_violating =
+      violating == 0 ? 0 : static_cast<double>(sum_vio) / static_cast<double>(violating);
+  return out;
+}
+
+}  // namespace semandaq::audit

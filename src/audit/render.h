@@ -1,0 +1,36 @@
+#ifndef SEMANDAQ_AUDIT_RENDER_H_
+#define SEMANDAQ_AUDIT_RENDER_H_
+
+#include <string>
+
+#include "audit/report.h"
+#include "detect/violation.h"
+#include "relational/relation.h"
+
+namespace semandaq::audit {
+
+/// Text renderers for the data explorer's visualizations. The web UI of the
+/// paper shows these as colored tables and charts; the library renders the
+/// same content as ASCII so the fig_* binaries can regenerate the figures.
+class AsciiRender {
+ public:
+  /// The tuple-level data quality map of Fig. 3: one line per tuple, shaded
+  /// by vio(t) ("the darker the color of a tuple is, the greater vio(t)
+  /// is"). Shade ramp: ' ' 0, '.' 1, ':' 2, '*' 3-4, '#' 5-8, '@' 9+.
+  static std::string QualityMap(const relational::Relation& rel,
+                                const detect::ViolationTable& table,
+                                size_t max_rows = 40);
+
+  /// The per-attribute cumulative bar chart of Fig. 4.
+  static std::string BarChart(const QualityReport& report, size_t width = 50);
+
+  /// The violation-composition pie of Fig. 4, as a percentage table.
+  static std::string PieChart(const QualityReport& report);
+
+  /// The statistics block (max/min/avg vio, multi-tuple group stats).
+  static std::string Statistics(const QualityReport& report);
+};
+
+}  // namespace semandaq::audit
+
+#endif  // SEMANDAQ_AUDIT_RENDER_H_

@@ -1,0 +1,57 @@
+#include "audit/report.h"
+
+#include "common/string_util.h"
+
+namespace semandaq::audit {
+
+QualityReport BuildQualityReport(const AuditOutcome& outcome,
+                                 const relational::Schema& schema) {
+  QualityReport report;
+  report.num_tuples = outcome.num_tuples;
+  report.total_vio = outcome.total_vio;
+  report.max_vio = outcome.max_vio;
+  report.min_vio_nonzero = outcome.min_vio_nonzero;
+  report.avg_vio_violating = outcome.avg_vio_violating;
+  report.num_groups = outcome.num_groups;
+  report.max_group_size = outcome.max_group_size;
+  report.min_group_size = outcome.min_group_size;
+  report.avg_group_size = outcome.avg_group_size;
+  report.tuple_counts = outcome.tuple_counts;
+
+  for (size_t c = 0; c < outcome.attr_stats.size() && c < schema.size(); ++c) {
+    QualityReport::AttributeBar bar;
+    bar.attribute = schema.attr(c).name;
+    bar.pct_verified = outcome.attr_stats[c].pct_verified();
+    bar.pct_probably = outcome.attr_stats[c].pct_probably();
+    bar.pct_arguably = outcome.attr_stats[c].pct_arguably();
+    report.bars.push_back(std::move(bar));
+  }
+
+  auto add_slice = [&](const char* label, size_t count) {
+    QualityReport::PieSlice slice;
+    slice.label = label;
+    slice.count = count;
+    slice.pct = outcome.num_tuples == 0
+                    ? 0
+                    : 100.0 * static_cast<double>(count) /
+                          static_cast<double>(outcome.num_tuples);
+    report.pie.push_back(std::move(slice));
+  };
+  add_slice("no violation", outcome.tuples_clean);
+  add_slice("single-tuple only", outcome.tuples_single_only);
+  add_slice("multi-tuple only", outcome.tuples_multi_only);
+  add_slice("single + multi", outcome.tuples_both);
+  return report;
+}
+
+std::string QualityReport::BarsToCsv() const {
+  std::string out = "attribute,pct_verified,pct_probably,pct_arguably\n";
+  for (const AttributeBar& b : bars) {
+    out += b.attribute + "," + common::FormatDouble(b.pct_verified) + "," +
+           common::FormatDouble(b.pct_probably) + "," +
+           common::FormatDouble(b.pct_arguably) + "\n";
+  }
+  return out;
+}
+
+}  // namespace semandaq::audit

@@ -1,0 +1,55 @@
+#ifndef SEMANDAQ_AUDIT_REPORT_H_
+#define SEMANDAQ_AUDIT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "audit/metrics.h"
+#include "relational/schema.h"
+
+namespace semandaq::audit {
+
+/// The data quality report of the paper's Fig. 4: a bar chart of cumulative
+/// clean percentages per attribute, a pie chart of violation composition,
+/// and summary statistics. This is a plain data object; rendering lives in
+/// audit/render.h.
+struct QualityReport {
+  struct AttributeBar {
+    std::string attribute;
+    double pct_verified = 0;
+    double pct_probably = 0;
+    double pct_arguably = 0;
+  };
+  std::vector<AttributeBar> bars;
+
+  struct PieSlice {
+    std::string label;
+    size_t count = 0;
+    double pct = 0;
+  };
+  std::vector<PieSlice> pie;
+
+  size_t num_tuples = 0;
+  int64_t total_vio = 0;
+  int64_t max_vio = 0;
+  int64_t min_vio_nonzero = 0;
+  double avg_vio_violating = 0;
+  size_t num_groups = 0;
+  size_t max_group_size = 0;
+  size_t min_group_size = 0;
+  double avg_group_size = 0;
+
+  /// Tuple-level grade tallies, index = CleanGrade.
+  std::array<int64_t, 4> tuple_counts = {0, 0, 0, 0};
+
+  /// CSV with one row per attribute bar (for plotting outside the system).
+  std::string BarsToCsv() const;
+};
+
+/// Assembles the report from an audit outcome.
+QualityReport BuildQualityReport(const AuditOutcome& outcome,
+                                 const relational::Schema& schema);
+
+}  // namespace semandaq::audit
+
+#endif  // SEMANDAQ_AUDIT_REPORT_H_

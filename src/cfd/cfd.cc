@@ -1,0 +1,167 @@
+#include "cfd/cfd.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace semandaq::cfd {
+
+using common::Status;
+using relational::DataType;
+using relational::Value;
+
+bool PatternTuple::is_pure_fd_row() const {
+  if (!rhs.is_wildcard()) return false;
+  return std::all_of(lhs.begin(), lhs.end(),
+                     [](const PatternValue& p) { return p.is_wildcard(); });
+}
+
+std::string PatternTuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += lhs[i].ToString();
+  }
+  out += " || ";
+  out += rhs.ToString();
+  out += ")";
+  return out;
+}
+
+void Cfd::AddPattern(PatternTuple pt) {
+  assert(pt.lhs.size() == lhs_attrs_.size());
+  tableau_.push_back(std::move(pt));
+}
+
+namespace {
+
+/// Coerces a string-typed pattern constant to the declared attribute type.
+common::Result<PatternValue> CoerceConstant(const PatternValue& p, DataType type,
+                                            const std::string& attr) {
+  if (p.is_wildcard()) return p;
+  const Value& v = p.constant();
+  if (v.type() == type || v.is_null()) return p;
+  if (v.type() == DataType::kString) {
+    const std::string& text = v.AsString();
+    if (type == DataType::kInt) {
+      int64_t parsed = 0;
+      if (!common::ParseInt64(text, &parsed)) {
+        return Status::InvalidArgument("pattern constant '" + text + "' for INT attribute " +
+                                       attr + " is not an integer");
+      }
+      return PatternValue::Constant(Value::Int(parsed));
+    }
+    if (type == DataType::kDouble) {
+      double parsed = 0;
+      if (!common::ParseDouble(text, &parsed)) {
+        return Status::InvalidArgument("pattern constant '" + text +
+                                       "' for DOUBLE attribute " + attr +
+                                       " is not a number");
+      }
+      return PatternValue::Constant(Value::Double(parsed));
+    }
+  }
+  return Status::InvalidArgument("pattern constant " + v.ToDisplayString() +
+                                 " has the wrong type for attribute " + attr);
+}
+
+}  // namespace
+
+Status Cfd::Resolve(const relational::Schema& schema) {
+  lhs_cols_.clear();
+  lhs_cols_.reserve(lhs_attrs_.size());
+  if (lhs_attrs_.empty()) {
+    return Status::InvalidArgument("CFD must have at least one LHS attribute: " +
+                                   ToString());
+  }
+  for (const std::string& a : lhs_attrs_) {
+    auto idx = schema.RequireIndexOf(a);
+    if (!idx.ok()) return idx.status();
+    lhs_cols_.push_back(*idx);
+  }
+  auto ridx = schema.RequireIndexOf(rhs_attr_);
+  if (!ridx.ok()) return ridx.status();
+  rhs_col_ = *ridx;
+  if (std::find(lhs_cols_.begin(), lhs_cols_.end(), rhs_col_) != lhs_cols_.end()) {
+    return Status::InvalidArgument("RHS attribute " + rhs_attr_ +
+                                   " also appears on the LHS: " + ToString());
+  }
+  for (PatternTuple& pt : tableau_) {
+    if (pt.lhs.size() != lhs_attrs_.size()) {
+      return Status::InvalidArgument("pattern arity mismatch in " + ToString());
+    }
+    for (size_t i = 0; i < pt.lhs.size(); ++i) {
+      auto coerced =
+          CoerceConstant(pt.lhs[i], schema.attr(lhs_cols_[i]).type, lhs_attrs_[i]);
+      if (!coerced.ok()) return coerced.status();
+      pt.lhs[i] = std::move(*coerced);
+    }
+    auto coerced = CoerceConstant(pt.rhs, schema.attr(rhs_col_).type, rhs_attr_);
+    if (!coerced.ok()) return coerced.status();
+    pt.rhs = std::move(*coerced);
+  }
+  return Status::OK();
+}
+
+bool Cfd::IsStandardFd() const {
+  return std::all_of(tableau_.begin(), tableau_.end(),
+                     [](const PatternTuple& pt) { return pt.is_pure_fd_row(); });
+}
+
+std::string Cfd::ToString() const {
+  std::string out = relation_ + ": [";
+  for (size_t i = 0; i < lhs_attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += lhs_attrs_[i];
+  }
+  out += "] -> [" + rhs_attr_ + "] { ";
+  for (size_t i = 0; i < tableau_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tableau_[i].ToString();
+  }
+  out += " }";
+  return out;
+}
+
+std::vector<EmbeddedFdGroup> GroupByEmbeddedFd(const std::vector<Cfd>& cfds) {
+  std::vector<EmbeddedFdGroup> groups;
+  // Key by the exact LHS order so member pattern tuples stay positionally
+  // aligned with the group's attribute list.
+  auto key_of = [](const Cfd& c) {
+    std::vector<std::string> lhs;
+    lhs.reserve(c.lhs_attrs().size());
+    for (const auto& a : c.lhs_attrs()) lhs.push_back(common::ToLower(a));
+    return common::ToLower(c.relation()) + "|" + common::Join(lhs, ",") + "|" +
+           common::ToLower(c.rhs_attr());
+  };
+  std::vector<std::string> keys;
+  for (size_t ci = 0; ci < cfds.size(); ++ci) {
+    const std::string key = key_of(cfds[ci]);
+    size_t gi = 0;
+    for (; gi < keys.size(); ++gi) {
+      if (keys[gi] == key) break;
+    }
+    if (gi == keys.size()) {
+      keys.push_back(key);
+      EmbeddedFdGroup g;
+      g.relation = cfds[ci].relation();
+      g.lhs_attrs = cfds[ci].lhs_attrs();
+      g.rhs_attr = cfds[ci].rhs_attr();
+      groups.push_back(std::move(g));
+    }
+    for (size_t pi = 0; pi < cfds[ci].tableau().size(); ++pi) {
+      groups[gi].members.emplace_back(ci, pi);
+    }
+  }
+  return groups;
+}
+
+common::Status ResolveAll(std::vector<Cfd>* cfds, const relational::Schema& schema) {
+  for (Cfd& c : *cfds) {
+    SEMANDAQ_RETURN_IF_ERROR(c.Resolve(schema));
+  }
+  return Status::OK();
+}
+
+}  // namespace semandaq::cfd

@@ -1,0 +1,219 @@
+#include "cfd/cfd_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace semandaq::cfd {
+
+namespace {
+
+using common::Result;
+using common::Status;
+using relational::Value;
+
+/// Character-level cursor over a single CFD definition.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char PeekChar() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(std::string("expected '") + c + "' at position " +
+                                     std::to_string(pos_) + " in CFD: " +
+                                     std::string(text_));
+    }
+    return Status::OK();
+  }
+
+  /// Bare token: letters/digits/_/-/./space-free run, stopping at , ] ) | = {.
+  Result<std::string> ReadToken() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ',' || c == ']' || c == ')' || c == '|' || c == '=' || c == '{' ||
+          c == '}' || c == '(' || c == '[' || c == ':' ||
+          std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected a token at position " +
+                                     std::to_string(pos_) + " in CFD: " +
+                                     std::string(text_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// A pattern value: '_' wildcard, 'quoted string', or bare token.
+  Result<PatternValue> ReadPatternValue() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '\'') {
+      ++pos_;
+      std::string payload;
+      bool closed = false;
+      while (pos_ < text_.size()) {
+        if (text_[pos_] == '\'') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+            payload.push_back('\'');
+            pos_ += 2;
+            continue;
+          }
+          ++pos_;
+          closed = true;
+          break;
+        }
+        payload.push_back(text_[pos_]);
+        ++pos_;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated quoted constant in CFD: " +
+                                       std::string(text_));
+      }
+      return PatternValue::Constant(Value::String(std::move(payload)));
+    }
+    SEMANDAQ_ASSIGN_OR_RETURN(std::string tok, ReadToken());
+    if (tok == "_") return PatternValue::Wildcard();
+    return PatternValue::Constant(Value::String(std::move(tok)));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// One "[A=v, B, C=_]" attribute list; `values` entries are wildcards for
+/// attributes written without '='.
+Status ParseAttrList(Cursor* cur, std::vector<std::string>* attrs,
+                     std::vector<PatternValue>* values) {
+  SEMANDAQ_RETURN_IF_ERROR(cur->Expect('['));
+  while (true) {
+    auto name = cur->ReadToken();
+    if (!name.ok()) return name.status();
+    attrs->push_back(std::move(*name));
+    if (cur->Consume('=')) {
+      auto pv = cur->ReadPatternValue();
+      if (!pv.ok()) return pv.status();
+      values->push_back(std::move(*pv));
+    } else {
+      values->push_back(PatternValue::Wildcard());
+    }
+    if (cur->Consume(',')) continue;
+    break;
+  }
+  return cur->Expect(']');
+}
+
+}  // namespace
+
+common::Result<Cfd> ParseCfd(std::string_view text) {
+  Cursor cur(text);
+
+  SEMANDAQ_ASSIGN_OR_RETURN(std::string relation, cur.ReadToken());
+  SEMANDAQ_RETURN_IF_ERROR(cur.Expect(':'));
+
+  std::vector<std::string> lhs_attrs;
+  std::vector<PatternValue> lhs_values;
+  SEMANDAQ_RETURN_IF_ERROR(ParseAttrList(&cur, &lhs_attrs, &lhs_values));
+
+  SEMANDAQ_RETURN_IF_ERROR(cur.Expect('-'));
+  SEMANDAQ_RETURN_IF_ERROR(cur.Expect('>'));
+
+  std::vector<std::string> rhs_attrs;
+  std::vector<PatternValue> rhs_values;
+  SEMANDAQ_RETURN_IF_ERROR(ParseAttrList(&cur, &rhs_attrs, &rhs_values));
+  if (rhs_attrs.size() != 1) {
+    return Status::InvalidArgument(
+        "CFD RHS must name exactly one attribute (normal form): " + std::string(text));
+  }
+
+  std::vector<PatternTuple> tableau;
+  if (cur.PeekChar() == '{') {
+    // Explicit tableau: the inline '=' patterns are not allowed with it.
+    for (const PatternValue& pv : lhs_values) {
+      if (!pv.is_wildcard()) {
+        return Status::InvalidArgument(
+            "inline '=' patterns cannot be combined with a tableau block: " +
+            std::string(text));
+      }
+    }
+    if (!rhs_values[0].is_wildcard()) {
+      return Status::InvalidArgument(
+          "inline RHS '=' pattern cannot be combined with a tableau block: " +
+          std::string(text));
+    }
+    (void)cur.Consume('{');
+    while (true) {
+      SEMANDAQ_RETURN_IF_ERROR(cur.Expect('('));
+      PatternTuple pt;
+      for (size_t i = 0; i < lhs_attrs.size(); ++i) {
+        SEMANDAQ_ASSIGN_OR_RETURN(PatternValue pv, cur.ReadPatternValue());
+        pt.lhs.push_back(std::move(pv));
+        if (i + 1 < lhs_attrs.size()) {
+          SEMANDAQ_RETURN_IF_ERROR(cur.Expect(','));
+        }
+      }
+      SEMANDAQ_RETURN_IF_ERROR(cur.Expect('|'));
+      (void)cur.Consume('|');  // accept the paper's "||" separator too
+      SEMANDAQ_ASSIGN_OR_RETURN(PatternValue rv, cur.ReadPatternValue());
+      pt.rhs = std::move(rv);
+      SEMANDAQ_RETURN_IF_ERROR(cur.Expect(')'));
+      tableau.push_back(std::move(pt));
+      if (cur.Consume(',')) continue;
+      break;
+    }
+    SEMANDAQ_RETURN_IF_ERROR(cur.Expect('}'));
+  } else {
+    PatternTuple pt;
+    pt.lhs = std::move(lhs_values);
+    pt.rhs = std::move(rhs_values[0]);
+    tableau.push_back(std::move(pt));
+  }
+
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing input after CFD definition: " +
+                                   std::string(text));
+  }
+  return Cfd(std::move(relation), std::move(lhs_attrs), std::move(rhs_attrs[0]),
+             std::move(tableau));
+}
+
+common::Result<std::vector<Cfd>> ParseCfdSet(std::string_view text) {
+  std::vector<Cfd> out;
+  for (const std::string& raw : common::Split(text, '\n')) {
+    std::string_view line = common::Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    SEMANDAQ_ASSIGN_OR_RETURN(Cfd cfd, ParseCfd(line));
+    out.push_back(std::move(cfd));
+  }
+  return out;
+}
+
+}  // namespace semandaq::cfd

@@ -1,0 +1,30 @@
+#ifndef SEMANDAQ_CFD_CFD_PARSER_H_
+#define SEMANDAQ_CFD_CFD_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "common/status.h"
+
+namespace semandaq::cfd {
+
+/// Parses the textual CFD notation used throughout the paper:
+///
+///   customer: [CC=44] -> [CNT=UK]                      -- constant CFD
+///   customer: [CNT=UK, ZIP=_] -> [STR=_]               -- variable CFD
+///   customer: [CNT, ZIP] -> [CITY]                     -- plain FD (all '_')
+///   customer: [CC, CNT] -> [CITY] { (44, UK | _), (1, _ | _) }   -- tableau
+///
+/// Constants may be bare tokens (no commas/brackets) or 'single quoted'
+/// strings (with '' escaping); '_' is the wildcard. Constants are kept as
+/// strings here and coerced to attribute types by Cfd::Resolve.
+common::Result<Cfd> ParseCfd(std::string_view text);
+
+/// Parses a whole document: one CFD per line, '#' comments, blank lines
+/// ignored.
+common::Result<std::vector<Cfd>> ParseCfdSet(std::string_view text);
+
+}  // namespace semandaq::cfd
+
+#endif  // SEMANDAQ_CFD_CFD_PARSER_H_

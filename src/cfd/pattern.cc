@@ -1,0 +1,27 @@
+#include "cfd/pattern.h"
+
+namespace semandaq::cfd {
+
+PatternValue PatternValue::Constant(relational::Value v) {
+  PatternValue p;
+  p.wildcard_ = false;
+  p.constant_ = std::move(v);
+  return p;
+}
+
+bool PatternValue::Matches(const relational::Value& v) const {
+  if (wildcard_) return true;
+  if (v.is_null()) return false;
+  return v == constant_;
+}
+
+bool PatternValue::CompatibleWith(const PatternValue& other) const {
+  if (wildcard_ || other.wildcard_) return true;
+  return constant_ == other.constant_;
+}
+
+std::string PatternValue::ToString() const {
+  return wildcard_ ? "_" : constant_.ToDisplayString();
+}
+
+}  // namespace semandaq::cfd

@@ -1,0 +1,240 @@
+#include "cfd/satisfiability.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace semandaq::cfd {
+
+namespace {
+
+using common::Result;
+using common::Status;
+using relational::DataType;
+using relational::Row;
+using relational::Value;
+
+/// A fresh value outside the given set of used constants, representing the
+/// infinitely many domain values no pattern mentions.
+Value MakeFreshValue(DataType type, const std::vector<Value>& used) {
+  switch (type) {
+    case DataType::kInt: {
+      int64_t max = 0;
+      for (const Value& v : used) {
+        if (v.type() == DataType::kInt) max = std::max(max, v.AsInt());
+      }
+      return Value::Int(max + 1);
+    }
+    case DataType::kDouble: {
+      double max = 0;
+      for (const Value& v : used) {
+        if (v.type() == DataType::kDouble) max = std::max(max, v.AsDouble());
+      }
+      return Value::Double(max + 1.0);
+    }
+    default: {
+      std::string fresh = "__other__";
+      auto clashes = [&](const std::string& s) {
+        for (const Value& v : used) {
+          if (v.type() == DataType::kString && v.AsString() == s) return true;
+        }
+        return false;
+      };
+      while (clashes(fresh)) fresh += "_";
+      return Value::String(fresh);
+    }
+  }
+}
+
+/// The single-tuple satisfiability engine: assigns values attribute by
+/// attribute, failing fast when a fully-assigned CFD is violated.
+class WitnessSearch {
+ public:
+  WitnessSearch(const std::vector<Cfd>& cfds, const relational::Schema& schema,
+                const std::vector<size_t>& attrs)
+      : cfds_(cfds), schema_(schema), attrs_(attrs) {
+    // Candidate values per search position.
+    candidates_.resize(attrs_.size());
+    col_to_pos_.assign(schema.size(), -1);
+    for (size_t p = 0; p < attrs_.size(); ++p) {
+      col_to_pos_[attrs_[p]] = static_cast<int>(p);
+      std::vector<Value> constants;
+      auto add_constant = [&](const PatternValue& pv) {
+        if (!pv.is_constant()) return;
+        if (std::find(constants.begin(), constants.end(), pv.constant()) ==
+            constants.end()) {
+          constants.push_back(pv.constant());
+        }
+      };
+      for (const Cfd& c : cfds_) {
+        for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+          if (c.lhs_cols()[i] != attrs_[p]) continue;
+          for (const PatternTuple& pt : c.tableau()) add_constant(pt.lhs[i]);
+        }
+        if (c.rhs_col() == attrs_[p]) {
+          for (const PatternTuple& pt : c.tableau()) add_constant(pt.rhs);
+        }
+      }
+      const auto& def = schema.attr(attrs_[p]);
+      if (def.has_finite_domain()) {
+        // Finite domain: candidates are exactly the domain values.
+        candidates_[p] = def.finite_domain;
+      } else {
+        candidates_[p] = constants;
+        candidates_[p].push_back(MakeFreshValue(def.type, constants));
+      }
+    }
+    // Index CFDs by the latest search position they touch, so each is
+    // checked as soon as it is fully assigned.
+    check_at_.resize(attrs_.size());
+    for (size_t ci = 0; ci < cfds_.size(); ++ci) {
+      int last = -1;
+      for (size_t col : cfds_[ci].lhs_cols()) {
+        last = std::max(last, col_to_pos_[col]);
+      }
+      last = std::max(last, col_to_pos_[cfds_[ci].rhs_col()]);
+      if (last >= 0) check_at_[static_cast<size_t>(last)].push_back(ci);
+    }
+  }
+
+  bool Run(Row* witness, size_t* nodes) {
+    assignment_.assign(attrs_.size(), Value::Null());
+    nodes_ = 0;
+    const bool found = Assign(0);
+    *nodes = nodes_;
+    if (found) *witness = assignment_;
+    return found;
+  }
+
+ private:
+  bool Assign(size_t pos) {
+    if (pos == attrs_.size()) return true;
+    for (const Value& cand : candidates_[pos]) {
+      ++nodes_;
+      assignment_[pos] = cand;
+      bool ok = true;
+      for (size_t ci : check_at_[pos]) {
+        if (!SatisfiedByAssignment(cfds_[ci])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && Assign(pos + 1)) return true;
+    }
+    assignment_[pos] = Value::Null();
+    return false;
+  }
+
+  bool SatisfiedByAssignment(const Cfd& c) const {
+    for (const PatternTuple& pt : c.tableau()) {
+      bool lhs_match = true;
+      for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+        const Value& v = ValueAt(c.lhs_cols()[i]);
+        if (!pt.lhs[i].Matches(v)) {
+          lhs_match = false;
+          break;
+        }
+      }
+      if (!lhs_match) continue;
+      // Single tuple: the variable-RHS case is vacuous; constant RHS must
+      // match.
+      if (pt.rhs.is_constant() && !pt.rhs.Matches(ValueAt(c.rhs_col()))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Value& ValueAt(size_t col) const {
+    return assignment_[static_cast<size_t>(col_to_pos_[col])];
+  }
+
+  const std::vector<Cfd>& cfds_;
+  [[maybe_unused]] const relational::Schema& schema_;
+  const std::vector<size_t>& attrs_;
+  std::vector<std::vector<Value>> candidates_;
+  std::vector<int> col_to_pos_;
+  std::vector<std::vector<size_t>> check_at_;
+  Row assignment_;
+  size_t nodes_ = 0;
+};
+
+}  // namespace
+
+common::Result<SatisfiabilityReport> SatisfiabilityChecker::Check(
+    const std::vector<Cfd>& cfds) const {
+  SatisfiabilityReport report;
+  if (cfds.empty()) {
+    report.satisfiable = true;
+    report.explanation = "empty constraint set is trivially satisfiable";
+    return report;
+  }
+  // Resolve copies against the schema and require a single target relation.
+  std::vector<Cfd> resolved = cfds;
+  const std::string rel = common::ToLower(resolved.front().relation());
+  for (Cfd& c : resolved) {
+    if (common::ToLower(c.relation()) != rel) {
+      return Status::InvalidArgument(
+          "satisfiability analysis requires all CFDs over one relation; got " +
+          c.relation() + " vs " + resolved.front().relation());
+    }
+    SEMANDAQ_RETURN_IF_ERROR(c.Resolve(schema_));
+  }
+
+  // Attributes that actually occur in the CFD set.
+  std::vector<size_t> attrs;
+  {
+    std::unordered_set<size_t> seen;
+    for (const Cfd& c : resolved) {
+      for (size_t col : c.lhs_cols()) {
+        if (seen.insert(col).second) attrs.push_back(col);
+      }
+      if (seen.insert(c.rhs_col()).second) attrs.push_back(c.rhs_col());
+    }
+    std::sort(attrs.begin(), attrs.end());
+  }
+
+  WitnessSearch search(resolved, schema_, attrs);
+  Row witness;
+  report.satisfiable = search.Run(&witness, &report.nodes_explored);
+  if (report.satisfiable) {
+    report.witness = std::move(witness);
+    for (size_t col : attrs) report.witness_attrs.push_back(schema_.attr(col).name);
+    report.explanation = "satisfiable; witness tuple found";
+    return report;
+  }
+
+  // Unsatisfiable: look for a minimal pairwise explanation.
+  for (size_t i = 0; i < resolved.size() && report.conflicting_pairs.size() < 8; ++i) {
+    for (size_t j = i + 1; j < resolved.size(); ++j) {
+      std::vector<Cfd> pair = {resolved[i], resolved[j]};
+      std::vector<size_t> pair_attrs;
+      std::unordered_set<size_t> seen;
+      for (const Cfd& c : pair) {
+        for (size_t col : c.lhs_cols()) {
+          if (seen.insert(col).second) pair_attrs.push_back(col);
+        }
+        if (seen.insert(c.rhs_col()).second) pair_attrs.push_back(c.rhs_col());
+      }
+      std::sort(pair_attrs.begin(), pair_attrs.end());
+      WitnessSearch pair_search(pair, schema_, pair_attrs);
+      Row unused;
+      size_t unused_nodes = 0;
+      if (!pair_search.Run(&unused, &unused_nodes)) {
+        report.conflicting_pairs.emplace_back(i, j);
+      }
+    }
+  }
+  report.explanation = "unsatisfiable: no single-tuple witness exists";
+  if (!report.conflicting_pairs.empty()) {
+    report.explanation += "; e.g. CFDs #" +
+                          std::to_string(report.conflicting_pairs.front().first) +
+                          " and #" +
+                          std::to_string(report.conflicting_pairs.front().second) +
+                          " conflict on their own";
+  }
+  return report;
+}
+
+}  // namespace semandaq::cfd

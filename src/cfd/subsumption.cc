@@ -1,0 +1,147 @@
+#include "cfd/subsumption.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace semandaq::cfd {
+
+namespace {
+
+/// Case-insensitive attribute-name equality.
+bool SameAttr(const std::string& a, const std::string& b) {
+  return common::EqualsIgnoreCase(a, b);
+}
+
+bool SameFd(const Cfd& a, const Cfd& b) {
+  if (!common::EqualsIgnoreCase(a.relation(), b.relation())) return false;
+  if (!SameAttr(a.rhs_attr(), b.rhs_attr())) return false;
+  if (a.lhs_attrs().size() != b.lhs_attrs().size()) return false;
+  for (size_t i = 0; i < a.lhs_attrs().size(); ++i) {
+    if (!SameAttr(a.lhs_attrs()[i], b.lhs_attrs()[i])) return false;
+  }
+  return true;
+}
+
+/// Is `sub`'s LHS attribute set a subset of `super`'s (names, order-free)?
+bool LhsSubset(const Cfd& sub, const Cfd& super) {
+  for (const auto& a : sub.lhs_attrs()) {
+    bool found = false;
+    for (const auto& b : super.lhs_attrs()) {
+      if (SameAttr(a, b)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool IsPureFd(const Cfd& c) { return c.IsStandardFd(); }
+
+}  // namespace
+
+bool PatternSubsumes(const PatternTuple& general, const PatternTuple& specific) {
+  if (general.lhs.size() != specific.lhs.size()) return false;
+  // LHS: general must match everything specific matches.
+  for (size_t i = 0; i < general.lhs.size(); ++i) {
+    if (general.lhs[i].is_wildcard()) continue;
+    if (specific.lhs[i].is_wildcard()) return false;  // specific is broader here
+    if (!(general.lhs[i] == specific.lhs[i])) return false;
+  }
+  // RHS: general's demand must be at least as strong.
+  if (general.rhs.is_wildcard()) {
+    // Variable semantics implies variable semantics only.
+    return specific.rhs.is_wildcard();
+  }
+  if (specific.rhs.is_wildcard()) {
+    // A constant demand does NOT imply the pairwise variable semantics for
+    // tuples outside the pattern scope... but within the same LHS scope a
+    // forced constant makes all matching tuples agree, which is exactly the
+    // variable demand. Since general's scope covers specific's, this holds.
+    return true;
+  }
+  return general.rhs == specific.rhs;
+}
+
+bool CfdSubsumes(const Cfd& general, const Cfd& specific) {
+  if (!SameFd(general, specific)) return false;
+  for (const PatternTuple& sp : specific.tableau()) {
+    bool covered = false;
+    for (const PatternTuple& gp : general.tableau()) {
+      if (PatternSubsumes(gp, sp)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::vector<Cfd> RemoveSubsumed(const std::vector<Cfd>& cfds) {
+  // Pass 1: drop tableau rows subsumed by another row anywhere in the set
+  // (same embedded FD).
+  std::vector<Cfd> rows_pruned;
+  rows_pruned.reserve(cfds.size());
+  for (size_t ci = 0; ci < cfds.size(); ++ci) {
+    const Cfd& c = cfds[ci];
+    std::vector<PatternTuple> kept;
+    for (size_t pi = 0; pi < c.tableau().size(); ++pi) {
+      const PatternTuple& row = c.tableau()[pi];
+      bool subsumed = false;
+      for (size_t cj = 0; cj < cfds.size() && !subsumed; ++cj) {
+        if (!SameFd(c, cfds[cj])) continue;
+        for (size_t pj = 0; pj < cfds[cj].tableau().size(); ++pj) {
+          if (ci == cj && pi == pj) continue;
+          const PatternTuple& other = cfds[cj].tableau()[pj];
+          if (!PatternSubsumes(other, row)) continue;
+          // Symmetric pairs (identical rows) must keep one copy: break the
+          // tie by position.
+          if (PatternSubsumes(row, other) &&
+              (cj > ci || (cj == ci && pj > pi))) {
+            continue;
+          }
+          subsumed = true;
+          break;
+        }
+      }
+      if (!subsumed) kept.push_back(row);
+    }
+    if (!kept.empty()) {
+      rows_pruned.emplace_back(c.relation(), c.lhs_attrs(), c.rhs_attr(),
+                               std::move(kept));
+    }
+  }
+
+  // Pass 2: classical augmentation — a pure FD X -> A kills any CFD
+  // Y -> A with X ⊆ Y (every pattern of the latter is implied: within any
+  // Y-scope, agreeing on Y means agreeing on X, hence on A; and a constant
+  // demand on A is NOT implied, so only variable-only CFDs are dropped).
+  std::vector<Cfd> out;
+  for (size_t i = 0; i < rows_pruned.size(); ++i) {
+    const Cfd& c = rows_pruned[i];
+    bool redundant = false;
+    const bool variable_only =
+        std::all_of(c.tableau().begin(), c.tableau().end(),
+                    [](const PatternTuple& pt) { return pt.rhs.is_wildcard(); });
+    if (variable_only) {
+      for (size_t j = 0; j < rows_pruned.size() && !redundant; ++j) {
+        if (i == j) continue;
+        const Cfd& other = rows_pruned[j];
+        if (!IsPureFd(other)) continue;
+        if (!common::EqualsIgnoreCase(other.relation(), c.relation())) continue;
+        if (!SameAttr(other.rhs_attr(), c.rhs_attr())) continue;
+        if (!LhsSubset(other, c)) continue;
+        // Avoid dropping both of two identical pure FDs.
+        if (IsPureFd(c) && SameFd(c, other) && j > i) continue;
+        redundant = true;
+      }
+    }
+    if (!redundant) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace semandaq::cfd

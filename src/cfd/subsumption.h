@@ -1,0 +1,42 @@
+#ifndef SEMANDAQ_CFD_SUBSUMPTION_H_
+#define SEMANDAQ_CFD_SUBSUMPTION_H_
+
+#include <vector>
+
+#include "cfd/cfd.h"
+
+namespace semandaq::cfd {
+
+/// Syntactic implication between two pattern rows of the same embedded FD:
+/// row `general` implies row `specific` when every LHS position of
+/// `general` is at least as permissive (wildcard, or the same constant) and
+/// the RHS demand is at least as strong (same constant, or `specific` only
+/// asks for the variable semantics the wildcard already enforces).
+///
+/// If general implies specific, any instance satisfying the former satisfies
+/// the latter, so `specific` is redundant. This is the sound, syntactic
+/// fragment of CFD implication — full implication is coNP-complete in the
+/// presence of finite domains (Fan et al. [TODS'08], Thm. 4.3), so the
+/// constraint engine only uses this fragment to prune mined sets.
+bool PatternSubsumes(const PatternTuple& general, const PatternTuple& specific);
+
+/// True when some tableau row of `general` subsumes every tableau row of
+/// `specific` (both must share relation, LHS attribute list and RHS
+/// attribute; otherwise false). Additionally, a CFD whose LHS attribute set
+/// is a SUBSET of another's subsumes it at the FD level when its rows are
+/// positionally compatible; this helper handles the equal-attribute case
+/// only — set-level reasoning stays in RemoveSubsumed.
+bool CfdSubsumes(const Cfd& general, const Cfd& specific);
+
+/// Removes every CFD (and every individual tableau row) that is implied by
+/// another member of the set:
+///  * tableau rows subsumed by another row of the same embedded-FD group
+///    are dropped;
+///  * a pure-FD CFD X -> A makes any CFD Y -> A with X ⊆ Y redundant
+///    (classical augmentation), so those are dropped too.
+/// Returns the pruned set; relative order of survivors is preserved.
+std::vector<Cfd> RemoveSubsumed(const std::vector<Cfd>& cfds);
+
+}  // namespace semandaq::cfd
+
+#endif  // SEMANDAQ_CFD_SUBSUMPTION_H_

@@ -1,0 +1,116 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace semandaq::common {
+
+Result<std::vector<std::string>> CsvParser::ParseLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cur.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+      ++i;
+      continue;
+    }
+    cur.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field: " + std::string(line));
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> CsvParser::ParseDocument(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  size_t start = 0;
+  while (start <= text.size()) {
+    if (start == text.size()) break;
+    // A quoted field may contain newlines; scan for the record end while
+    // tracking quote state.
+    bool in_quotes = false;
+    size_t end = start;
+    while (end < text.size()) {
+      const char c = text[end];
+      if (c == '"') in_quotes = !in_quotes;
+      if (c == '\n' && !in_quotes) break;
+      ++end;
+    }
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) {
+      SEMANDAQ_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseLine(line));
+      rows.push_back(std::move(fields));
+    }
+    start = end + 1;
+  }
+  return rows;
+}
+
+std::string CsvFormatLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& f = fields[i];
+    const bool needs_quotes =
+        f.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+      out += f;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure: " + path);
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IoError("write failure: " + path);
+  return Status::OK();
+}
+
+}  // namespace semandaq::common

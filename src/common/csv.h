@@ -1,0 +1,36 @@
+#ifndef SEMANDAQ_COMMON_CSV_H_
+#define SEMANDAQ_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace semandaq::common {
+
+/// RFC-4180-ish CSV: comma separated, '"' quoting with '""' escapes,
+/// newline-terminated records. Used for importing/exporting relations.
+class CsvParser {
+ public:
+  /// Parses one CSV line (no trailing newline) into fields.
+  /// Fails on an unterminated quoted field.
+  static Result<std::vector<std::string>> ParseLine(std::string_view line);
+
+  /// Parses a whole document into rows of fields. Blank lines are skipped.
+  static Result<std::vector<std::vector<std::string>>> ParseDocument(
+      std::string_view text);
+};
+
+/// Serializes one record; quotes fields containing comma/quote/newline.
+std::string CsvFormatLine(const std::vector<std::string>& fields);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, truncating it.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace semandaq::common
+
+#endif  // SEMANDAQ_COMMON_CSV_H_

@@ -1,0 +1,23 @@
+#ifndef SEMANDAQ_COMMON_HASH_H_
+#define SEMANDAQ_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace semandaq::common {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit constant).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hashes any std::hash-able value into an accumulator.
+template <typename T>
+size_t HashMix(size_t seed, const T& v) {
+  return HashCombine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace semandaq::common
+
+#endif  // SEMANDAQ_COMMON_HASH_H_

@@ -1,0 +1,46 @@
+#ifndef SEMANDAQ_COMMON_LOGGING_H_
+#define SEMANDAQ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace semandaq::common {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style message accumulator; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace semandaq::common
+
+#define SEMANDAQ_LOG(level)                                             \
+  ::semandaq::common::internal_logging::LogMessage(                     \
+      ::semandaq::common::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // SEMANDAQ_COMMON_LOGGING_H_

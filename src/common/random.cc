@@ -1,0 +1,84 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semandaq::common {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Debiased modulo via rejection on the tail.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return NextDouble() < p;
+}
+
+std::string Rng::NextString(size_t length) {
+  std::string out(length, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + NextBelow(26));
+  return out;
+}
+
+ZipfGenerator::ZipfGenerator(size_t n, double theta) {
+  cdf_.resize(n == 0 ? 1 : n);
+  double sum = 0.0;
+  for (size_t i = 0; i < cdf_.size(); ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+size_t ZipfGenerator::Next(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace semandaq::common

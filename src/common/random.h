@@ -1,0 +1,67 @@
+#ifndef SEMANDAQ_COMMON_RANDOM_H_
+#define SEMANDAQ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace semandaq::common {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All workload generators take
+/// a Rng so experiments are reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Uniformly chosen element index for a container of size n (n > 0).
+  size_t NextIndex(size_t n) { return static_cast<size_t>(NextBelow(n)); }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[NextIndex(i)]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(n, theta) sampler over ranks {0, .., n-1}; rank 0 is most popular.
+/// Used by workload generators to skew value frequencies the way real
+/// customer data is skewed (a few big cities, many small ones).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  size_t Next(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace semandaq::common
+
+#endif  // SEMANDAQ_COMMON_RANDOM_H_

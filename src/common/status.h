@@ -1,0 +1,153 @@
+#ifndef SEMANDAQ_COMMON_STATUS_H_
+#define SEMANDAQ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace semandaq::common {
+
+/// Machine-readable failure categories used across the library.
+///
+/// Semandaq never throws exceptions across API boundaries (RocksDB/Arrow
+/// idiom); fallible operations return a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed (bad SQL, bad CFD text, ...).
+  kNotFound,          ///< A named relation/attribute/CFD does not exist.
+  kAlreadyExists,     ///< A name collision on insertion into a catalog.
+  kOutOfRange,        ///< An index (tuple id, column ordinal) is out of bounds.
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kUnsatisfiable,     ///< A CFD set has no non-empty satisfying instance.
+  kIoError,           ///< File/CSV read or write failure.
+  kInternal,          ///< A bug: an invariant the library maintains was broken.
+};
+
+/// Returns a short human-readable name such as "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of a fallible operation that produces no value.
+///
+/// A Status is cheap to copy when OK (no allocation) and carries a message
+/// describing the failure otherwise. Typical use:
+///
+/// \code
+///   Status s = db.AddRelation(std::move(rel));
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// The result of a fallible operation that produces a T on success.
+///
+/// Exactly one of value/status is set. Accessing value() on an error is a
+/// programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return t;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from an error Status makes `return status;` work.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+    if (status_.ok()) status_ = Status::Internal("Result built from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set.
+};
+
+}  // namespace semandaq::common
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define SEMANDAQ_RETURN_IF_ERROR(expr)                      \
+  do {                                                      \
+    ::semandaq::common::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                              \
+  } while (0)
+
+#define SEMANDAQ_CONCAT_INNER_(a, b) a##b
+#define SEMANDAQ_CONCAT_(a, b) SEMANDAQ_CONCAT_INNER_(a, b)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// otherwise returns the error Status from the enclosing function.
+#define SEMANDAQ_ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto SEMANDAQ_CONCAT_(_res_, __LINE__) = (expr);                        \
+  if (!SEMANDAQ_CONCAT_(_res_, __LINE__).ok())                            \
+    return SEMANDAQ_CONCAT_(_res_, __LINE__).status();                    \
+  lhs = std::move(SEMANDAQ_CONCAT_(_res_, __LINE__)).value()
+
+#endif  // SEMANDAQ_COMMON_STATUS_H_

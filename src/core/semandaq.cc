@@ -1,0 +1,104 @@
+#include "core/semandaq.h"
+
+#include "audit/render.h"
+#include "detect/native_detector.h"
+#include "detect/sql_detector.h"
+
+namespace semandaq::core {
+
+using common::Status;
+
+common::Result<detect::ViolationTable> Semandaq::DetectErrors(
+    const std::string& relation, DetectorKind kind) {
+  SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                            db_.GetRelation(relation));
+  std::vector<cfd::Cfd> cfds = engine_.CfdsFor(relation);
+  if (kind == DetectorKind::kNative) {
+    detect::NativeDetector detector(rel, std::move(cfds));
+    return detector.Detect();
+  }
+  detect::SqlDetector detector(&db_, relation, std::move(cfds));
+  return detector.Detect();
+}
+
+common::Result<audit::AuditOutcome> Semandaq::Audit(const std::string& relation) {
+  SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                            db_.GetRelation(relation));
+  SEMANDAQ_ASSIGN_OR_RETURN(detect::ViolationTable table, DetectErrors(relation));
+  audit::DataAuditor auditor(rel, engine_.CfdsFor(relation));
+  return auditor.Audit(table);
+}
+
+common::Result<audit::QualityReport> Semandaq::Report(const std::string& relation) {
+  SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                            db_.GetRelation(relation));
+  SEMANDAQ_ASSIGN_OR_RETURN(audit::AuditOutcome outcome, Audit(relation));
+  return audit::BuildQualityReport(outcome, rel->schema());
+}
+
+common::Result<std::string> Semandaq::QualityMap(const std::string& relation,
+                                                 size_t max_rows) {
+  SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                            db_.GetRelation(relation));
+  SEMANDAQ_ASSIGN_OR_RETURN(detect::ViolationTable table, DetectErrors(relation));
+  return audit::AsciiRender::QualityMap(*rel, table, max_rows);
+}
+
+common::Result<repair::RepairResult> Semandaq::Clean(const std::string& relation,
+                                                     repair::RepairOptions options,
+                                                     repair::CostModelOptions cost) {
+  SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                            db_.GetRelation(relation));
+  repair::CostModel model(rel->schema(), std::move(cost));
+  repair::BatchRepair cleaner(rel, engine_.CfdsFor(relation), std::move(model),
+                              std::move(options));
+  return cleaner.Run();
+}
+
+common::Result<std::unique_ptr<repair::RepairReview>> Semandaq::Review(
+    const std::string& relation, repair::RepairResult result) {
+  SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                            db_.GetRelation(relation));
+  auto review = std::make_unique<repair::RepairReview>(rel, std::move(result),
+                                                       engine_.CfdsFor(relation));
+  SEMANDAQ_RETURN_IF_ERROR(review->Start());
+  return review;
+}
+
+common::Status Semandaq::ApplyRepair(const std::string& relation,
+                                     const repair::RepairResult& result) {
+  relational::Relation* rel = db_.FindMutableRelation(relation);
+  if (rel == nullptr) return Status::NotFound("no relation named " + relation);
+  for (const repair::CellChange& ch : result.changes) {
+    SEMANDAQ_RETURN_IF_ERROR(rel->SetCell(ch.tid, ch.col, ch.repaired));
+  }
+  return Status::OK();
+}
+
+common::Result<std::unique_ptr<monitor::DataMonitor>> Semandaq::StartMonitor(
+    const std::string& relation, bool cleansed, repair::RepairOptions options,
+    repair::CostModelOptions cost) {
+  relational::Relation* rel = db_.FindMutableRelation(relation);
+  if (rel == nullptr) return Status::NotFound("no relation named " + relation);
+  repair::CostModel model(rel->schema(), std::move(cost));
+  auto mon = std::make_unique<monitor::DataMonitor>(
+      rel, engine_.CfdsFor(relation), std::move(model), std::move(options));
+  SEMANDAQ_RETURN_IF_ERROR(mon->Start());
+  if (cleansed) mon->MarkCleansed();
+  return mon;
+}
+
+common::Result<std::unique_ptr<DataExplorer>> Semandaq::Explore(
+    const std::string& relation) {
+  SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                            db_.GetRelation(relation));
+  SEMANDAQ_ASSIGN_OR_RETURN(detect::ViolationTable table, DetectErrors(relation));
+  explorer_cfds_.push_back(
+      std::make_unique<std::vector<cfd::Cfd>>(engine_.CfdsFor(relation)));
+  explorer_tables_.push_back(
+      std::make_unique<detect::ViolationTable>(std::move(table)));
+  return std::make_unique<DataExplorer>(rel, explorer_cfds_.back().get(),
+                                        explorer_tables_.back().get());
+}
+
+}  // namespace semandaq::core

@@ -1,0 +1,116 @@
+#ifndef SEMANDAQ_CORE_SEMANDAQ_H_
+#define SEMANDAQ_CORE_SEMANDAQ_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/metrics.h"
+#include "audit/report.h"
+#include "common/status.h"
+#include "core/constraint_engine.h"
+#include "core/explorer.h"
+#include "detect/violation.h"
+#include "monitor/data_monitor.h"
+#include "relational/database.h"
+#include "repair/batch_repair.h"
+#include "repair/cost_model.h"
+#include "repair/repair_review.h"
+
+namespace semandaq::core {
+
+/// The system facade, wiring the six components of the paper's architecture
+/// (Fig. 1): constraint engine, error detector, data auditor, data cleanser,
+/// data monitor, and the (programmatic) data explorer, over the relational
+/// substrate standing in for the database servers.
+///
+/// Typical session, mirroring the demonstration flow of §3:
+///
+/// \code
+///   Semandaq sys;
+///   sys.Connect(std::move(customer_relation));
+///   sys.constraints().AddCfdsFromText("customer: [CC=44] -> [CNT=UK]");
+///   auto sat = sys.constraints().Validate("customer");     // "makes sense"?
+///   auto vio = sys.DetectErrors("customer");               // error detector
+///   auto report = sys.Report("customer");                  // data auditor
+///   auto repair = sys.Clean("customer");                   // data cleanser
+///   sys.ApplyRepair("customer", repair.value());
+///   auto monitor = sys.StartMonitor("customer");           // data monitor
+/// \endcode
+class Semandaq {
+ public:
+  Semandaq() : engine_(&db_) {}
+
+  // Not copyable/movable: components hold pointers into db_.
+  Semandaq(const Semandaq&) = delete;
+  Semandaq& operator=(const Semandaq&) = delete;
+
+  /// Which detection code path to use.
+  enum class DetectorKind {
+    kNative,  ///< in-process hash detection
+    kSql,     ///< generated Q_C/Q_V SQL through the sql:: engine
+  };
+
+  relational::Database& database() { return db_; }
+  const relational::Database& database() const { return db_; }
+  ConstraintEngine& constraints() { return engine_; }
+  const ConstraintEngine& constraints() const { return engine_; }
+
+  /// Registers a relation to clean ("connect the system to a database").
+  common::Status Connect(relational::Relation data) {
+    return db_.AddRelation(std::move(data));
+  }
+
+  /// Runs the error detector over one relation with the CFDs registered for
+  /// it.
+  common::Result<detect::ViolationTable> DetectErrors(
+      const std::string& relation, DetectorKind kind = DetectorKind::kNative);
+
+  /// Error detector + data auditor.
+  common::Result<audit::AuditOutcome> Audit(const std::string& relation);
+
+  /// Full data quality report (Fig. 4 content).
+  common::Result<audit::QualityReport> Report(const std::string& relation);
+
+  /// The tuple-level data quality map (Fig. 3 content).
+  common::Result<std::string> QualityMap(const std::string& relation,
+                                         size_t max_rows = 40);
+
+  /// Runs the data cleanser; the database is not modified (review first,
+  /// then ApplyRepair).
+  common::Result<repair::RepairResult> Clean(const std::string& relation,
+                                             repair::RepairOptions options = {},
+                                             repair::CostModelOptions cost = {});
+
+  /// Builds an interactive review for a Clean() result (Fig. 5 content).
+  common::Result<std::unique_ptr<repair::RepairReview>> Review(
+      const std::string& relation, repair::RepairResult result);
+
+  /// Writes a candidate repair back into the connected database.
+  common::Status ApplyRepair(const std::string& relation,
+                             const repair::RepairResult& result);
+
+  /// Arms the data monitor over the live relation. `cleansed` selects the
+  /// paper's mode (2), incremental repair, instead of mode (1), incremental
+  /// detection.
+  common::Result<std::unique_ptr<monitor::DataMonitor>> StartMonitor(
+      const std::string& relation, bool cleansed = false,
+      repair::RepairOptions options = {}, repair::CostModelOptions cost = {});
+
+  /// Drill-down explorer over the latest detection of `relation`; the
+  /// returned explorer borrows the relation, CFD set, and violation table,
+  /// which all must stay alive (they live in this object).
+  common::Result<std::unique_ptr<DataExplorer>> Explore(const std::string& relation);
+
+ private:
+  relational::Database db_;
+  ConstraintEngine engine_;
+
+  // Kept alive for explorers handed out by Explore().
+  std::vector<std::unique_ptr<std::vector<cfd::Cfd>>> explorer_cfds_;
+  std::vector<std::unique_ptr<detect::ViolationTable>> explorer_tables_;
+};
+
+}  // namespace semandaq::core
+
+#endif  // SEMANDAQ_CORE_SEMANDAQ_H_

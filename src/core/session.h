@@ -1,0 +1,71 @@
+#ifndef SEMANDAQ_CORE_SESSION_H_
+#define SEMANDAQ_CORE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/semandaq.h"
+
+namespace semandaq::core {
+
+/// A text-command front end over the Semandaq facade — the library-level
+/// analog of the paper's web-based data explorer. Each command returns the
+/// text a UI would render, so the CLI example, tests, and scripting all
+/// share one surface.
+///
+/// Commands (see Help() for the full syntax):
+///   help                          this text
+///   ls                            list relations
+///   load NAME PATH                import a CSV file as relation NAME
+///   gen customer|hospital N NOISE generate a synthetic workload
+///   show REL [N]                  print up to N tuples
+///   cfd DEFINITION                add one CFD (parser notation)
+///   cfds                          list registered CFDs
+///   validate REL                  satisfiability analysis
+///   detect REL [sql]              run the error detector
+///   map REL [N]                   tuple-level quality map (Fig 3)
+///   report REL                    quality report (Fig 4)
+///   explore REL CFD# PAT#         drill-down tables (Fig 2)
+///   clean REL                     compute a candidate repair (kept pending)
+///   diff                          show the pending repair (Fig 5)
+///   apply                         write the pending repair back
+///   sql QUERY                     run a SELECT through the SQL engine
+class Session {
+ public:
+  Session() = default;
+
+  /// Executes one command line; returns the rendered output or an error.
+  common::Result<std::string> Execute(std::string_view command_line);
+
+  /// The command reference text.
+  static std::string Help();
+
+  Semandaq& system() { return sys_; }
+
+ private:
+  common::Result<std::string> CmdLoad(const std::vector<std::string>& args);
+  common::Result<std::string> CmdGen(const std::vector<std::string>& args);
+  common::Result<std::string> CmdShow(const std::vector<std::string>& args);
+  common::Result<std::string> CmdCfd(std::string_view rest);
+  common::Result<std::string> CmdValidate(const std::vector<std::string>& args);
+  common::Result<std::string> CmdDetect(const std::vector<std::string>& args);
+  common::Result<std::string> CmdMap(const std::vector<std::string>& args);
+  common::Result<std::string> CmdReport(const std::vector<std::string>& args);
+  common::Result<std::string> CmdExplore(const std::vector<std::string>& args);
+  common::Result<std::string> CmdClean(const std::vector<std::string>& args);
+  common::Result<std::string> CmdDiff();
+  common::Result<std::string> CmdApply();
+  common::Result<std::string> CmdSql(std::string_view query);
+
+  Semandaq sys_;
+  /// Pending candidate repair from the last `clean`, awaiting review/apply.
+  std::optional<repair::RepairResult> pending_repair_;
+  std::string pending_relation_;
+};
+
+}  // namespace semandaq::core
+
+#endif  // SEMANDAQ_CORE_SESSION_H_

@@ -1,0 +1,303 @@
+#include "detect/incremental_detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace semandaq::detect {
+
+using cfd::Cfd;
+using cfd::PatternTuple;
+using common::Status;
+using relational::Row;
+using relational::TupleId;
+using relational::Update;
+using relational::UpdateBatch;
+using relational::Value;
+
+void IncrementalDetector::Bucket::AddRhs(const Value& v) {
+  if (v.is_null()) return;
+  if (++rhs_counts[v] == 1) ++distinct_nonnull;
+}
+
+void IncrementalDetector::Bucket::RemoveRhs(const Value& v) {
+  if (v.is_null()) return;
+  auto it = rhs_counts.find(v);
+  if (it == rhs_counts.end()) return;
+  if (--it->second == 0) {
+    rhs_counts.erase(it);
+    --distinct_nonnull;
+  }
+}
+
+common::Status IncrementalDetector::Initialize() {
+  SEMANDAQ_RETURN_IF_ERROR(cfd::ResolveAll(&cfds_, rel_->schema()));
+  groups_.clear();
+  singles_.clear();
+
+  const auto fd_groups = cfd::GroupByEmbeddedFd(cfds_);
+  groups_.reserve(fd_groups.size());
+  for (const auto& g : fd_groups) {
+    GroupState gs;
+    const Cfd& first = cfds_[g.members.front().first];
+    gs.lhs_cols = first.lhs_cols();
+    gs.rhs_col = first.rhs_col();
+    for (const auto& member : g.members) {
+      if (cfds_[member.first].tableau()[member.second].is_constant_rhs()) {
+        gs.const_rows.push_back(member);
+      } else {
+        gs.var_rows.push_back(member);
+      }
+    }
+    groups_.push_back(std::move(gs));
+  }
+
+  rel_->ForEach([&](TupleId tid, const Row&) { EnterTuple(tid); });
+  initialized_ = true;
+  return Status::OK();
+}
+
+void IncrementalDetector::EnterTuple(TupleId tid) {
+  const Row& row = rel_->row(tid);
+  for (GroupState& gs : groups_) {
+    // Single-tuple violations against constant-RHS rows.
+    for (const auto& [ci, pi] : gs.const_rows) {
+      const PatternTuple& pt = cfds_[ci].tableau()[pi];
+      bool lhs_match = true;
+      for (size_t i = 0; i < gs.lhs_cols.size(); ++i) {
+        if (!pt.lhs[i].Matches(row[gs.lhs_cols[i]])) {
+          lhs_match = false;
+          break;
+        }
+      }
+      if (!lhs_match) continue;
+      const Value& a = row[gs.rhs_col];
+      if (!a.is_null() && !(a == pt.rhs.constant())) {
+        singles_[tid].emplace_back(ci, pi);
+      }
+    }
+    // Variable-RHS scope membership.
+    bool in_scope = false;
+    for (const auto& [ci, pi] : gs.var_rows) {
+      const PatternTuple& pt = cfds_[ci].tableau()[pi];
+      bool lhs_match = true;
+      for (size_t i = 0; i < gs.lhs_cols.size(); ++i) {
+        if (!pt.lhs[i].Matches(row[gs.lhs_cols[i]])) {
+          lhs_match = false;
+          break;
+        }
+      }
+      if (lhs_match) {
+        in_scope = true;
+        break;
+      }
+    }
+    if (!in_scope) continue;
+    Row key;
+    key.reserve(gs.lhs_cols.size());
+    bool null_key = false;
+    for (size_t c : gs.lhs_cols) {
+      if (row[c].is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(row[c]);
+    }
+    if (null_key) continue;
+    Bucket& b = gs.buckets[std::move(key)];
+    b.members.push_back(tid);
+    b.AddRhs(row[gs.rhs_col]);
+    ++buckets_touched_;
+  }
+}
+
+void IncrementalDetector::LeaveTuple(TupleId tid) {
+  assert(rel_->IsLive(tid));
+  const Row& row = rel_->row(tid);
+  singles_.erase(tid);
+  for (GroupState& gs : groups_) {
+    Row key;
+    key.reserve(gs.lhs_cols.size());
+    bool null_key = false;
+    for (size_t c : gs.lhs_cols) {
+      if (row[c].is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(row[c]);
+    }
+    if (null_key) continue;
+    auto it = gs.buckets.find(key);
+    if (it == gs.buckets.end()) continue;
+    auto& members = it->second.members;
+    auto pos = std::find(members.begin(), members.end(), tid);
+    if (pos == members.end()) continue;  // was not in scope for this group
+    members.erase(pos);
+    it->second.RemoveRhs(row[gs.rhs_col]);
+    ++buckets_touched_;
+    if (members.empty()) gs.buckets.erase(it);
+  }
+}
+
+common::Status IncrementalDetector::ApplyAndDetect(const UpdateBatch& batch,
+                                                   std::vector<TupleId>* inserted) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("IncrementalDetector::Initialize was not called");
+  }
+  for (const Update& u : batch) {
+    switch (u.kind) {
+      case Update::Kind::kInsert: {
+        auto r = rel_->Insert(u.row);
+        if (!r.ok()) return r.status();
+        if (inserted != nullptr) inserted->push_back(*r);
+        EnterTuple(*r);
+        break;
+      }
+      case Update::Kind::kDelete:
+        if (!rel_->IsLive(u.tid)) {
+          return Status::OutOfRange("delete of dead tuple " + std::to_string(u.tid));
+        }
+        LeaveTuple(u.tid);
+        SEMANDAQ_RETURN_IF_ERROR(rel_->Delete(u.tid));
+        break;
+      case Update::Kind::kModify:
+        if (!rel_->IsLive(u.tid)) {
+          return Status::OutOfRange("modify of dead tuple " + std::to_string(u.tid));
+        }
+        LeaveTuple(u.tid);
+        SEMANDAQ_RETURN_IF_ERROR(rel_->SetCell(u.tid, u.col, u.new_value));
+        EnterTuple(u.tid);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+ViolationTable IncrementalDetector::Snapshot() const {
+  ViolationTable table;
+  // Deterministic order: singles sorted by tid.
+  std::vector<TupleId> tids;
+  tids.reserve(singles_.size());
+  for (const auto& [tid, list] : singles_) tids.push_back(tid);
+  std::sort(tids.begin(), tids.end());
+  for (TupleId tid : tids) {
+    for (const auto& [ci, pi] : singles_.at(tid)) {
+      table.AddSingle(SingleViolation{tid, static_cast<int>(ci), static_cast<int>(pi)});
+    }
+  }
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    const GroupState& gs = groups_[gi];
+    for (const auto& [key, bucket] : gs.buckets) {
+      if (!bucket.violating()) continue;
+      ViolationGroup vg;
+      vg.fd_group = static_cast<int>(gi);
+      vg.cfd_index =
+          gs.var_rows.empty() ? -1 : static_cast<int>(gs.var_rows.front().first);
+      vg.lhs_key = key;
+      vg.members = bucket.members;
+      vg.member_rhs.reserve(bucket.members.size());
+      for (TupleId tid : bucket.members) {
+        vg.member_rhs.push_back(rel_->cell(tid, gs.rhs_col));
+      }
+      table.AddGroup(std::move(vg));
+    }
+  }
+  return table;
+}
+
+int64_t IncrementalDetector::Vio(TupleId tid) const {
+  int64_t vio = 0;
+  // Singles: one per distinct CFD.
+  auto it = singles_.find(tid);
+  if (it != singles_.end()) {
+    std::vector<size_t> cfd_ids;
+    for (const auto& [ci, pi] : it->second) cfd_ids.push_back(ci);
+    std::sort(cfd_ids.begin(), cfd_ids.end());
+    cfd_ids.erase(std::unique(cfd_ids.begin(), cfd_ids.end()), cfd_ids.end());
+    vio += static_cast<int64_t>(cfd_ids.size());
+  }
+  if (!rel_->IsLive(tid)) return vio;
+  const Row& row = rel_->row(tid);
+  for (const GroupState& gs : groups_) {
+    Row key;
+    bool null_key = false;
+    for (size_t c : gs.lhs_cols) {
+      if (row[c].is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(row[c]);
+    }
+    if (null_key) continue;
+    auto bit = gs.buckets.find(key);
+    if (bit == gs.buckets.end() || !bit->second.violating()) continue;
+    const Bucket& b = bit->second;
+    if (std::find(b.members.begin(), b.members.end(), tid) == b.members.end()) {
+      continue;
+    }
+    const Value& mine = row[gs.rhs_col];
+    int64_t same = 0;
+    if (!mine.is_null()) {
+      auto cit = b.rhs_counts.find(mine);
+      if (cit != b.rhs_counts.end()) same = cit->second;
+    } else {
+      for (TupleId other : b.members) {
+        if (rel_->cell(other, gs.rhs_col).is_null()) ++same;
+      }
+    }
+    vio += static_cast<int64_t>(b.members.size()) - same;
+  }
+  return vio;
+}
+
+std::vector<std::pair<size_t, size_t>> IncrementalDetector::SinglesOf(
+    TupleId tid) const {
+  auto it = singles_.find(tid);
+  return it == singles_.end() ? std::vector<std::pair<size_t, size_t>>{}
+                              : it->second;
+}
+
+std::vector<IncrementalDetector::GroupView> IncrementalDetector::ViolatingGroupsOf(
+    TupleId tid) const {
+  std::vector<GroupView> out;
+  if (!rel_->IsLive(tid)) return out;
+  const Row& row = rel_->row(tid);
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    const GroupState& gs = groups_[gi];
+    Row key;
+    bool null_key = false;
+    for (size_t c : gs.lhs_cols) {
+      if (row[c].is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(row[c]);
+    }
+    if (null_key) continue;
+    auto bit = gs.buckets.find(key);
+    if (bit == gs.buckets.end() || !bit->second.violating()) continue;
+    const Bucket& b = bit->second;
+    if (std::find(b.members.begin(), b.members.end(), tid) == b.members.end()) {
+      continue;
+    }
+    GroupView view;
+    view.fd_group = gi;
+    view.rhs_col = gs.rhs_col;
+    view.escape_lhs_col = gs.lhs_cols.back();
+    view.members = &b.members;
+    view.rhs_counts = &b.rhs_counts;
+    out.push_back(view);
+  }
+  return out;
+}
+
+bool IncrementalDetector::Clean() const {
+  if (!singles_.empty()) return false;
+  for (const GroupState& gs : groups_) {
+    for (const auto& [key, bucket] : gs.buckets) {
+      if (bucket.violating()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace semandaq::detect

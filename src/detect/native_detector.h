@@ -1,0 +1,44 @@
+#ifndef SEMANDAQ_DETECT_NATIVE_DETECTOR_H_
+#define SEMANDAQ_DETECT_NATIVE_DETECTOR_H_
+
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "common/status.h"
+#include "detect/violation.h"
+#include "relational/relation.h"
+
+namespace semandaq::detect {
+
+/// In-process CFD violation detector: one scan per embedded-FD group with
+/// hash partitioning on the LHS attributes.
+///
+/// Semantics are value-for-value identical to the SQL-based detector (the
+/// cross-check is a test invariant):
+///  * single-tuple: t matches a constant-RHS pattern's LHS and t[A] is
+///    non-NULL and != the RHS constant (NULL cells are "unknown, not
+///    wrong", mirroring SQL's three-valued `t.A <> c`);
+///  * multi-tuple: tuples matching ANY variable-RHS row of the group, with
+///    no NULL among their LHS values, grouped by the LHS projection; a group
+///    violates when it carries >= 2 distinct non-NULL RHS values.
+class NativeDetector {
+ public:
+  /// `cfds` are resolved internally against rel's schema (copies; the input
+  /// vector is untouched).
+  NativeDetector(const relational::Relation* rel, std::vector<cfd::Cfd> cfds)
+      : rel_(rel), cfds_(std::move(cfds)) {}
+
+  /// Full-relation detection pass.
+  common::Result<ViolationTable> Detect();
+
+  /// The resolved CFDs in detector order (index space of SingleViolation).
+  const std::vector<cfd::Cfd>& cfds() const { return cfds_; }
+
+ private:
+  const relational::Relation* rel_;
+  std::vector<cfd::Cfd> cfds_;
+};
+
+}  // namespace semandaq::detect
+
+#endif  // SEMANDAQ_DETECT_NATIVE_DETECTOR_H_

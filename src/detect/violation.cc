@@ -1,0 +1,77 @@
+#include "detect/violation.h"
+
+#include <algorithm>
+
+namespace semandaq::detect {
+
+namespace {
+
+uint64_t PairKey(relational::TupleId tid, int cfd) {
+  return (static_cast<uint64_t>(tid) << 20) ^ static_cast<uint64_t>(cfd + 1);
+}
+
+}  // namespace
+
+bool ViolationTable::AddSingle(SingleViolation v) {
+  singles_.push_back(v);
+  const bool fresh = counted_singles_.insert(PairKey(v.tid, v.cfd_index)).second;
+  if (fresh) {
+    ++vio_[v.tid];
+    ++total_;
+    single_cfds_[v.tid].push_back(v.cfd_index);
+  }
+  return fresh;
+}
+
+void ViolationTable::AddGroup(ViolationGroup g) {
+  const int group_index = static_cast<int>(groups_.size());
+  // Partner count for member i is |G| - |{j : rhs_j == rhs_i}| (exact Value
+  // equality: two NULL RHS cells count as agreeing). One counting pass keeps
+  // this linear even for very wide groups.
+  std::unordered_map<relational::Value, int64_t, relational::ValueHash> freq;
+  for (const relational::Value& v : g.member_rhs) ++freq[v];
+  const int64_t n = static_cast<int64_t>(g.members.size());
+  for (size_t i = 0; i < g.members.size(); ++i) {
+    const int64_t partners = n - freq[g.member_rhs[i]];
+    if (partners > 0) {
+      vio_[g.members[i]] += partners;
+      total_ += partners;
+    }
+    group_membership_[g.members[i]].push_back(group_index);
+  }
+  groups_.push_back(std::move(g));
+}
+
+int64_t ViolationTable::vio(relational::TupleId tid) const {
+  auto it = vio_.find(tid);
+  return it == vio_.end() ? 0 : it->second;
+}
+
+std::vector<int> ViolationTable::SingleCfdsOf(relational::TupleId tid) const {
+  auto it = single_cfds_.find(tid);
+  return it == single_cfds_.end() ? std::vector<int>{} : it->second;
+}
+
+std::vector<int> ViolationTable::GroupsOf(relational::TupleId tid) const {
+  auto it = group_membership_.find(tid);
+  return it == group_membership_.end() ? std::vector<int>{} : it->second;
+}
+
+std::vector<relational::TupleId> ViolationTable::ViolatingTuples() const {
+  std::vector<relational::TupleId> out;
+  out.reserve(vio_.size());
+  for (const auto& [tid, count] : vio_) {
+    if (count > 0) out.push_back(tid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ViolationTable::Summary() const {
+  return std::to_string(singles_.size()) + " single-tuple violation(s), " +
+         std::to_string(groups_.size()) + " multi-tuple group(s), " +
+         std::to_string(NumViolatingTuples()) + " violating tuple(s), total vio " +
+         std::to_string(total_);
+}
+
+}  // namespace semandaq::detect

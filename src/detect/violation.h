@@ -1,0 +1,95 @@
+#ifndef SEMANDAQ_DETECT_VIOLATION_H_
+#define SEMANDAQ_DETECT_VIOLATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/value.h"
+
+namespace semandaq::detect {
+
+/// A tuple that conflicts with a constant-RHS pattern all by itself
+/// (paper §2: "single-tuple violations").
+struct SingleViolation {
+  relational::TupleId tid = -1;
+  int cfd_index = -1;      ///< index into the detector's CFD vector
+  int pattern_index = -1;  ///< tableau row within that CFD
+};
+
+/// Tuples that jointly conflict with a variable-RHS pattern: they agree on
+/// the LHS under the pattern but disagree on the RHS (paper §2:
+/// "multi-tuple violations"). Following the merged-tableau SQL semantics of
+/// Fan et al. [TODS'08], one group exists per (embedded-FD group, LHS key),
+/// not per tableau row.
+struct ViolationGroup {
+  int fd_group = -1;   ///< index into GroupByEmbeddedFd(cfds)
+  int cfd_index = -1;  ///< representative CFD (first contributing member)
+  relational::Row lhs_key;
+  std::vector<relational::TupleId> members;
+  /// RHS value of each member, parallel to `members` (kept so auditing can
+  /// judge "bulk agreement" without re-reading the relation).
+  std::vector<relational::Value> member_rhs;
+};
+
+/// The error detector's output: per-tuple violation counts vio(t) plus the
+/// full violation records (paper §2: "the error detector records additional
+/// information ... e.g. which CFDs are violated by which tuple").
+///
+/// vio(t) accounting follows the paper exactly: vio(t) starts at 0, gains 1
+/// per CFD for which t is a single-tuple violation (deduplicated per CFD,
+/// even if several tableau rows flag it), and gains, per multi-tuple
+/// violation group containing t, the number of group members whose RHS value
+/// differs from t's.
+class ViolationTable {
+ public:
+  ViolationTable() = default;
+
+  /// Records a single-tuple violation. Returns true when it was new at the
+  /// (tid, cfd) granularity, i.e. it contributed +1 to vio(tid).
+  bool AddSingle(SingleViolation v);
+
+  /// Records a multi-tuple violation group and credits every member's
+  /// vio(t) with its number of disagreeing partners.
+  void AddGroup(ViolationGroup g);
+
+  int64_t vio(relational::TupleId tid) const;
+  bool IsViolating(relational::TupleId tid) const { return vio(tid) > 0; }
+
+  const std::vector<SingleViolation>& singles() const { return singles_; }
+  const std::vector<ViolationGroup>& groups() const { return groups_; }
+
+  /// Distinct tuples with vio(t) > 0.
+  size_t NumViolatingTuples() const { return vio_.size(); }
+  /// Sum of vio(t) over all tuples.
+  int64_t TotalVio() const { return total_; }
+
+  /// CFD indices violated by `tid` (singles) plus fd-group indices of the
+  /// multi-tuple groups containing it, for the explorer drill-down.
+  std::vector<int> SingleCfdsOf(relational::TupleId tid) const;
+  std::vector<int> GroupsOf(relational::TupleId tid) const;
+
+  /// All violating tuple ids, ascending.
+  std::vector<relational::TupleId> ViolatingTuples() const;
+
+  std::string Summary() const;
+
+ private:
+  std::vector<SingleViolation> singles_;
+  std::vector<ViolationGroup> groups_;
+  std::unordered_map<relational::TupleId, int64_t> vio_;
+  // (tid, cfd) pairs already counted toward vio.
+  std::unordered_set<uint64_t> counted_singles_;
+  // tid -> indices into groups_ / list of cfds for singles.
+  std::unordered_map<relational::TupleId, std::vector<int>> single_cfds_;
+  std::unordered_map<relational::TupleId, std::vector<int>> group_membership_;
+  int64_t total_ = 0;
+};
+
+}  // namespace semandaq::detect
+
+#endif  // SEMANDAQ_DETECT_VIOLATION_H_

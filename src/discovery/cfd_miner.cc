@@ -1,0 +1,244 @@
+#include "discovery/cfd_miner.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "discovery/fd_miner.h"
+#include "discovery/partition.h"
+
+namespace semandaq::discovery {
+
+namespace {
+
+using cfd::Cfd;
+using cfd::PatternTuple;
+using cfd::PatternValue;
+using relational::Row;
+using relational::TupleId;
+using relational::Value;
+
+void ForEachSubset(size_t n, size_t k,
+                   const std::function<void(const std::vector<size_t>&)>& fn) {
+  if (k > n) return;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    fn(idx);
+    size_t i = k;
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return;
+  }
+}
+
+/// Is attribute `rhs` constant (and non-null) over the given tuples?
+/// When yes, the shared value lands in *value.
+bool ConstantOn(const relational::Relation& rel, const std::vector<TupleId>& tids,
+                size_t rhs, Value* value) {
+  bool first = true;
+  for (TupleId tid : tids) {
+    const Value& v = rel.cell(tid, rhs);
+    if (v.is_null()) return false;
+    if (first) {
+      *value = v;
+      first = false;
+    } else if (!(v == *value)) {
+      return false;
+    }
+  }
+  return !first;
+}
+
+}  // namespace
+
+common::Result<std::vector<Cfd>> CfdMiner::Mine() {
+  const auto& schema = rel_->schema();
+  const size_t ncols = schema.size();
+  std::vector<Cfd> out;
+
+  // Shared partition cache.
+  std::map<std::vector<size_t>, Partition> cache;
+  std::function<const Partition&(const std::vector<size_t>&)> partition_of =
+      [&](const std::vector<size_t>& cols) -> const Partition& {
+    auto it = cache.find(cols);
+    if (it != cache.end()) return it->second;
+    Partition p;
+    if (cols.size() <= 1) {
+      p = Partition::Build(*rel_, cols);
+    } else {
+      std::vector<size_t> prefix(cols.begin(), cols.end() - 1);
+      p = Partition::Intersect(partition_of(prefix), partition_of({cols.back()}));
+    }
+    return cache.emplace(cols, std::move(p)).first->second;
+  };
+
+  // Global minimal FDs first (they both seed all-wildcard CFDs and prune
+  // redundant conditional forms).
+  FdMinerOptions fd_opts;
+  fd_opts.max_lhs = options_.max_lhs;
+  FdMiner fd_miner(rel_, fd_opts);
+  const std::vector<DiscoveredFd> global_fds = fd_miner.Mine();
+  auto fd_holds_globally = [&](const std::vector<size_t>& lhs, size_t rhs) {
+    for (const DiscoveredFd& fd : global_fds) {
+      if (fd.rhs_col != rhs) continue;
+      if (std::includes(lhs.begin(), lhs.end(), fd.lhs_cols.begin(),
+                        fd.lhs_cols.end())) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto attr_names = [&](const std::vector<size_t>& cols) {
+    std::vector<std::string> names;
+    names.reserve(cols.size());
+    for (size_t c : cols) names.push_back(schema.attr(c).name);
+    return names;
+  };
+
+  if (options_.include_global_fds) {
+    for (const DiscoveredFd& fd : global_fds) {
+      PatternTuple pt;
+      pt.lhs.assign(fd.lhs_cols.size(), PatternValue::Wildcard());
+      pt.rhs = PatternValue::Wildcard();
+      out.emplace_back(rel_->name(), attr_names(fd.lhs_cols),
+                       schema.attr(fd.rhs_col).name,
+                       std::vector<PatternTuple>{std::move(pt)});
+    }
+  }
+
+  for (size_t level = 1; level <= options_.max_lhs && level < ncols; ++level) {
+    ForEachSubset(ncols, level, [&](const std::vector<size_t>& lhs) {
+      const Partition& px = partition_of(lhs);
+      for (size_t rhs = 0; rhs < ncols; ++rhs) {
+        if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
+        const bool global = fd_holds_globally(lhs, rhs);
+
+        // ---- Constant CFDs: per class of Π_X with support, A constant.
+        if (options_.mine_constant && !global) {
+          std::vector<PatternTuple> rows;
+          for (const auto& cls : px.classes()) {
+            if (cls.size() < options_.min_support) continue;
+            Value shared;
+            if (!ConstantOn(*rel_, cls, rhs, &shared)) continue;
+            // Left-reduction: skip when dropping any one LHS attribute
+            // still yields a constant class with the same value.
+            bool reducible = false;
+            if (lhs.size() > 1) {
+              for (size_t drop = 0; drop < lhs.size() && !reducible; ++drop) {
+                std::vector<size_t> sub;
+                for (size_t i = 0; i < lhs.size(); ++i) {
+                  if (i != drop) sub.push_back(lhs[i]);
+                }
+                const Partition& psub = partition_of(sub);
+                const int32_t cid = psub.ClassOf(cls.front());
+                if (cid < 0) continue;
+                // Find the materialized class (non-singleton) with this id.
+                for (const auto& sup : psub.classes()) {
+                  if (psub.ClassOf(sup.front()) != cid) continue;
+                  Value sub_shared;
+                  if (sup.size() >= options_.min_support &&
+                      ConstantOn(*rel_, sup, rhs, &sub_shared) &&
+                      sub_shared == shared) {
+                    reducible = true;
+                  }
+                  break;
+                }
+              }
+            }
+            if (reducible) continue;
+            PatternTuple pt;
+            const Row& sample = rel_->row(cls.front());
+            for (size_t c : lhs) pt.lhs.push_back(PatternValue::Constant(sample[c]));
+            pt.rhs = PatternValue::Constant(shared);
+            rows.push_back(std::move(pt));
+            if (rows.size() >= options_.max_patterns_per_fd) break;
+          }
+          if (!rows.empty()) {
+            out.emplace_back(rel_->name(), attr_names(lhs), schema.attr(rhs).name,
+                             std::move(rows));
+          }
+        }
+
+        // ---- Variable CFDs: condition one LHS attribute on a constant.
+        if (options_.mine_variable && !global && lhs.size() >= 2) {
+          std::vector<PatternTuple> rows;
+          for (size_t cond = 0; cond < lhs.size() && rows.size() <
+                                                        options_.max_patterns_per_fd;
+               ++cond) {
+            const Partition& pc = partition_of({lhs[cond]});
+            for (const auto& cls : pc.classes()) {
+              if (cls.size() < options_.min_support) continue;
+              // Does X -> A hold within σ_{C=c}? Group the class members by
+              // their full X projection and require constant A per group.
+              std::unordered_map<Row, Value, relational::RowHash, relational::RowEq>
+                  group_rhs;
+              bool holds = true;
+              // Evidence = tuples sitting in X-groups of size >= 2, i.e. the
+              // tuples the conditioned FD actually constrains. Requiring
+              // min_support *evidence* (not just a populous conditioning
+              // class) is what separates domain rules from sampling
+              // coincidences.
+              size_t evidence = 0;
+              std::unordered_map<Row, int, relational::RowHash, relational::RowEq>
+                  group_size;
+              for (TupleId tid : cls) {
+                const Row& row = rel_->row(tid);
+                Row key;
+                bool skip = false;
+                for (size_t c : lhs) {
+                  if (row[c].is_null()) {
+                    skip = true;
+                    break;
+                  }
+                  key.push_back(row[c]);
+                }
+                if (skip || row[rhs].is_null()) continue;
+                auto [it, fresh] = group_rhs.emplace(key, row[rhs]);
+                if (!fresh) {
+                  if (!(it->second == row[rhs])) {
+                    holds = false;
+                    break;
+                  }
+                }
+                const int n = ++group_size[key];
+                if (n == 2) {
+                  evidence += 2;  // the group just became nontrivial
+                } else if (n > 2) {
+                  ++evidence;
+                }
+              }
+              if (!holds || evidence < options_.min_support) continue;
+              PatternTuple pt;
+              const Value& c_value = rel_->cell(cls.front(), lhs[cond]);
+              for (size_t i = 0; i < lhs.size(); ++i) {
+                pt.lhs.push_back(i == cond ? PatternValue::Constant(c_value)
+                                           : PatternValue::Wildcard());
+              }
+              pt.rhs = PatternValue::Wildcard();
+              rows.push_back(std::move(pt));
+              if (rows.size() >= options_.max_patterns_per_fd) break;
+            }
+          }
+          if (!rows.empty()) {
+            out.emplace_back(rel_->name(), attr_names(lhs), schema.attr(rhs).name,
+                             std::move(rows));
+          }
+        }
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace semandaq::discovery

@@ -1,0 +1,57 @@
+#ifndef SEMANDAQ_DISCOVERY_CFD_MINER_H_
+#define SEMANDAQ_DISCOVERY_CFD_MINER_H_
+
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace semandaq::discovery {
+
+struct CfdMinerOptions {
+  /// Maximum LHS size explored.
+  size_t max_lhs = 3;
+  /// Minimum number of tuples a pattern must cover to be emitted (the
+  /// support threshold of CTANE-style discovery; filters coincidences).
+  size_t min_support = 3;
+  /// Mine variable CFDs ([C=c, rest=_] -> [A=_]).
+  bool mine_variable = true;
+  /// Mine constant CFDs ([X=x] -> [A=a]).
+  bool mine_constant = true;
+  /// Also emit plain FDs (all-wildcard tableau rows) that hold globally.
+  bool include_global_fds = true;
+  /// Cap on tableau rows per embedded FD (keeps Σ reviewable).
+  size_t max_patterns_per_fd = 64;
+};
+
+/// CTANE-style CFD discovery from reference data (paper §2, Constraint
+/// Engine: constraints "may either be explicitly specified by users or
+/// automatically discovered from reference data").
+///
+/// Levelwise over the attribute lattice (partitions shared with FdMiner):
+///  * a global FD X -> A becomes an all-wildcard CFD;
+///  * a class of Π_X with support >= k on which A is constant becomes a
+///    constant CFD ([X=x] -> [A=a]), pruned when an immediate-subset class
+///    already implies the same constant (left-reduction);
+///  * when X -> A fails globally, each conditioning attribute C in X whose
+///    value c restricts the data so that X -> A holds on σ_{C=c} with
+///    support >= k yields a variable CFD ([C=c, X\C=_] -> [A=_]).
+///
+/// Every emitted CFD holds on the mined instance by construction (the test
+/// suite re-verifies with the detector).
+class CfdMiner {
+ public:
+  explicit CfdMiner(const relational::Relation* rel, CfdMinerOptions options = {})
+      : rel_(rel), options_(options) {}
+
+  common::Result<std::vector<cfd::Cfd>> Mine();
+
+ private:
+  const relational::Relation* rel_;
+  CfdMinerOptions options_;
+};
+
+}  // namespace semandaq::discovery
+
+#endif  // SEMANDAQ_DISCOVERY_CFD_MINER_H_

@@ -1,0 +1,99 @@
+#include "discovery/fd_miner.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace semandaq::discovery {
+
+namespace {
+
+/// All size-k subsets of {0..n-1}, emitted in lexicographic order.
+void ForEachSubset(size_t n, size_t k,
+                   const std::function<void(const std::vector<size_t>&)>& fn) {
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  if (k > n) return;
+  while (true) {
+    fn(idx);
+    // Advance.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (k == 0) return;
+  }
+}
+
+}  // namespace
+
+bool FdMiner::Holds(const relational::Relation& rel, const std::vector<size_t>& lhs,
+                    size_t rhs) {
+  const Partition px = Partition::Build(rel, lhs);
+  std::vector<size_t> xa = lhs;
+  xa.push_back(rhs);
+  const Partition pxa = Partition::Build(rel, xa);
+  return px.Refines(pxa);
+}
+
+std::vector<DiscoveredFd> FdMiner::Mine() {
+  const size_t ncols = rel_->schema().size();
+  std::vector<DiscoveredFd> found;
+  // rhs -> list of minimal LHS sets found so far.
+  std::map<size_t, std::vector<std::vector<size_t>>> minimal_lhs;
+
+  // Partition cache keyed by the sorted column list; products are built from
+  // the prefix partition and the last singleton (classic TANE recurrence).
+  std::map<std::vector<size_t>, Partition> cache;
+  std::function<const Partition&(const std::vector<size_t>&)> partition_of =
+      [&](const std::vector<size_t>& cols) -> const Partition& {
+    auto it = cache.find(cols);
+    if (it != cache.end()) return it->second;
+    Partition p;
+    if (cols.size() <= 1) {
+      p = Partition::Build(*rel_, cols);
+    } else {
+      std::vector<size_t> prefix(cols.begin(), cols.end() - 1);
+      const Partition& pa = partition_of(prefix);
+      const Partition& pb = partition_of({cols.back()});
+      p = Partition::Intersect(pa, pb);
+    }
+    return cache.emplace(cols, std::move(p)).first->second;
+  };
+
+  auto has_subset_fd = [&](const std::vector<size_t>& lhs, size_t rhs) {
+    auto it = minimal_lhs.find(rhs);
+    if (it == minimal_lhs.end()) return false;
+    for (const auto& sub : it->second) {
+      if (std::includes(lhs.begin(), lhs.end(), sub.begin(), sub.end())) return true;
+    }
+    return false;
+  };
+
+  for (size_t level = 1; level <= options_.max_lhs && level < ncols; ++level) {
+    ForEachSubset(ncols, level, [&](const std::vector<size_t>& lhs) {
+      const Partition& px = partition_of(lhs);
+      for (size_t rhs = 0; rhs < ncols; ++rhs) {
+        if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
+        if (has_subset_fd(lhs, rhs)) continue;  // not minimal
+        std::vector<size_t> xa = lhs;
+        xa.push_back(rhs);
+        std::sort(xa.begin(), xa.end());
+        const Partition& pxa = partition_of(xa);
+        if (px.Refines(pxa)) {
+          found.push_back(DiscoveredFd{lhs, rhs});
+          minimal_lhs[rhs].push_back(lhs);
+        }
+      }
+    });
+  }
+  return found;
+}
+
+}  // namespace semandaq::discovery

@@ -1,0 +1,46 @@
+#ifndef SEMANDAQ_DISCOVERY_FD_MINER_H_
+#define SEMANDAQ_DISCOVERY_FD_MINER_H_
+
+#include <vector>
+
+#include "discovery/partition.h"
+#include "relational/relation.h"
+
+namespace semandaq::discovery {
+
+/// A functional dependency X -> A discovered from data, by column ordinals.
+struct DiscoveredFd {
+  std::vector<size_t> lhs_cols;  // sorted ascending
+  size_t rhs_col = 0;
+};
+
+struct FdMinerOptions {
+  /// Maximum LHS size to explore (levelwise lattice depth).
+  size_t max_lhs = 3;
+};
+
+/// TANE-style levelwise FD discovery on stripped partitions: candidate
+/// X -> A is valid iff Π_X refines Π_{X∪{A}}. Only minimal FDs are emitted
+/// (no discovered FD's LHS contains another's for the same RHS).
+///
+/// This is both a substrate of the CFD miner and the classical baseline the
+/// constraint engine falls back to when no conditioning helps.
+class FdMiner {
+ public:
+  explicit FdMiner(const relational::Relation* rel, FdMinerOptions options = {})
+      : rel_(rel), options_(options) {}
+
+  std::vector<DiscoveredFd> Mine();
+
+  /// Checks one FD directly (exposed for tests and the CFD miner).
+  static bool Holds(const relational::Relation& rel, const std::vector<size_t>& lhs,
+                    size_t rhs);
+
+ private:
+  const relational::Relation* rel_;
+  FdMinerOptions options_;
+};
+
+}  // namespace semandaq::discovery
+
+#endif  // SEMANDAQ_DISCOVERY_FD_MINER_H_

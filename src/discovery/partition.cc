@@ -1,0 +1,88 @@
+#include "discovery/partition.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace semandaq::discovery {
+
+using relational::Row;
+using relational::RowEq;
+using relational::RowHash;
+using relational::TupleId;
+
+Partition Partition::Build(const relational::Relation& rel,
+                           const std::vector<size_t>& cols) {
+  Partition p;
+  p.class_of_.assign(static_cast<size_t>(rel.IdBound()), -1);
+  std::unordered_map<Row, int32_t, RowHash, RowEq> ids;
+  std::vector<std::vector<TupleId>> members;
+  rel.ForEach([&](TupleId tid, const Row& row) {
+    Row key;
+    key.reserve(cols.size());
+    for (size_t c : cols) {
+      if (row[c].is_null()) return;  // NULL excluded from partitions
+      key.push_back(row[c]);
+    }
+    auto [it, fresh] = ids.emplace(std::move(key), static_cast<int32_t>(ids.size()));
+    if (fresh) members.emplace_back();
+    members[static_cast<size_t>(it->second)].push_back(tid);
+    p.class_of_[static_cast<size_t>(tid)] = it->second;
+    ++p.covered_;
+  });
+  p.num_classes_ = ids.size();
+  // Strip singletons but keep ids dense within classes_ (class ids in
+  // class_of_ index the *original* numbering; classes_ holds only the
+  // non-singleton ones, order preserved).
+  for (auto& m : members) {
+    if (m.size() >= 2) p.classes_.push_back(std::move(m));
+  }
+  return p;
+}
+
+Partition Partition::Intersect(const Partition& a, const Partition& b) {
+  Partition p;
+  const size_t bound = std::max(a.class_of_.size(), b.class_of_.size());
+  p.class_of_.assign(bound, -1);
+  std::unordered_map<uint64_t, int32_t> ids;
+  std::vector<std::vector<TupleId>> members;
+  for (size_t i = 0; i < bound; ++i) {
+    const int32_t ca = i < a.class_of_.size() ? a.class_of_[i] : -1;
+    const int32_t cb = i < b.class_of_.size() ? b.class_of_[i] : -1;
+    if (ca < 0 || cb < 0) continue;
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(ca)) << 32) |
+        static_cast<uint32_t>(cb);
+    auto [it, fresh] = ids.emplace(key, static_cast<int32_t>(ids.size()));
+    if (fresh) members.emplace_back();
+    members[static_cast<size_t>(it->second)].push_back(static_cast<TupleId>(i));
+    p.class_of_[i] = it->second;
+    ++p.covered_;
+  }
+  p.num_classes_ = ids.size();
+  for (auto& m : members) {
+    if (m.size() >= 2) p.classes_.push_back(std::move(m));
+  }
+  return p;
+}
+
+bool Partition::Refines(const Partition& other) const {
+  // Every non-singleton class must sit inside one class of `other`;
+  // singleton classes refine trivially. Tuples `other` does not cover
+  // (NULL in its attributes) cannot witness a difference and are skipped.
+  for (const auto& cls : classes_) {
+    int32_t target = -1;
+    for (TupleId tid : cls) {
+      const int32_t c = other.ClassOf(tid);
+      if (c < 0) continue;
+      if (target < 0) {
+        target = c;
+      } else if (c != target) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace semandaq::discovery

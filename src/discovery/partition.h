@@ -1,0 +1,56 @@
+#ifndef SEMANDAQ_DISCOVERY_PARTITION_H_
+#define SEMANDAQ_DISCOVERY_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace semandaq::discovery {
+
+/// The equivalence-class partition Π_X of a relation's live tuples under
+/// equality on an attribute set X — the workhorse of TANE-family dependency
+/// discovery. Tuples with NULL in any X attribute are excluded (NULLs
+/// cannot witness equality, matching the detector's semantics).
+class Partition {
+ public:
+  /// Builds Π_X by hashing the X projection of every live tuple.
+  static Partition Build(const relational::Relation& rel,
+                         const std::vector<size_t>& cols);
+
+  /// Product partition Π_{X ∪ Y} = Π_X · Π_Y from the class ids of both.
+  static Partition Intersect(const Partition& a, const Partition& b);
+
+  /// Number of classes (singletons included).
+  size_t num_classes() const { return num_classes_; }
+
+  /// Tuples covered (live tuples without NULL in X).
+  size_t num_tuples() const { return covered_; }
+
+  /// Class id for a tuple, or -1 when the tuple is not covered.
+  int32_t ClassOf(relational::TupleId tid) const {
+    const auto i = static_cast<size_t>(tid);
+    return i < class_of_.size() ? class_of_[i] : -1;
+  }
+
+  /// Members of every class of size >= 2, in class-id order. Singleton
+  /// classes are counted but not materialized ("stripped" representation).
+  const std::vector<std::vector<relational::TupleId>>& classes() const {
+    return classes_;
+  }
+
+  /// True when this partition refines `other`: every class of this is
+  /// contained in one class of `other` (restricted to commonly covered
+  /// tuples). Π_X refines Π_{X∪A}  <=>  FD X -> A holds.
+  bool Refines(const Partition& other) const;
+
+ private:
+  std::vector<int32_t> class_of_;  // indexed by tuple id; -1 = not covered
+  std::vector<std::vector<relational::TupleId>> classes_;  // size >= 2 only
+  size_t num_classes_ = 0;
+  size_t covered_ = 0;
+};
+
+}  // namespace semandaq::discovery
+
+#endif  // SEMANDAQ_DISCOVERY_PARTITION_H_

@@ -1,0 +1,72 @@
+#include "monitor/data_monitor.h"
+
+namespace semandaq::monitor {
+
+using common::Status;
+using relational::TupleId;
+using relational::Update;
+using relational::UpdateBatch;
+
+DataMonitor::DataMonitor(relational::Relation* rel, std::vector<cfd::Cfd> cfds,
+                         repair::CostModel cost_model,
+                         repair::RepairOptions repair_options)
+    : rel_(rel),
+      cfds_(std::move(cfds)),
+      cost_model_(std::move(cost_model)),
+      repair_options_(std::move(repair_options)) {}
+
+common::Status DataMonitor::Start() {
+  detector_ = std::make_unique<detect::IncrementalDetector>(rel_, cfds_);
+  return detector_->Initialize();
+}
+
+common::Result<MonitorReport> DataMonitor::OnUpdate(const UpdateBatch& batch) {
+  if (detector_ == nullptr && engine_ == nullptr) {
+    return Status::FailedPrecondition("DataMonitor::Start was not called");
+  }
+  MonitorReport report;
+
+  if (!cleansed_) {
+    // Mode (1): incremental detection only.
+    SEMANDAQ_RETURN_IF_ERROR(detector_->ApplyAndDetect(batch, &report.inserted));
+    const detect::ViolationTable table = detector_->Snapshot();
+    report.violating_tuples = table.NumViolatingTuples();
+    report.total_vio = table.TotalVio();
+    return report;
+  }
+
+  // Mode (2): incremental repair. The engine owns its own detector state;
+  // build it on the first cleansed-mode update (one O(|D|) pass) and retire
+  // the detection-only state.
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<repair::IncRepairEngine>(rel_, cfds_, cost_model_,
+                                                        repair_options_);
+    SEMANDAQ_RETURN_IF_ERROR(engine_->Start());
+    detector_.reset();
+  }
+  const TupleId bound_before = rel_->IdBound();
+  SEMANDAQ_ASSIGN_OR_RETURN(repair::IncBatchResult fixed,
+                            engine_->ApplyAndRepair(batch));
+  for (TupleId tid : fixed.delta_tids) {
+    if (tid >= bound_before) report.inserted.push_back(tid);
+  }
+  report.repairs_applied = std::move(fixed.changes);
+
+  const detect::ViolationTable table = engine_->detector()->Snapshot();
+  report.violating_tuples = table.NumViolatingTuples();
+  report.total_vio = table.TotalVio();
+  return report;
+}
+
+detect::ViolationTable DataMonitor::Violations() const {
+  if (engine_ != nullptr) {
+    // The engine's detector tracks the live relation in repair mode.
+    return const_cast<repair::IncRepairEngine*>(engine_.get())
+        ->detector()
+        ->Snapshot();
+  }
+  if (detector_ == nullptr) return detect::ViolationTable{};
+  return detector_->Snapshot();
+}
+
+}  // namespace semandaq::monitor

@@ -1,0 +1,73 @@
+#ifndef SEMANDAQ_MONITOR_DATA_MONITOR_H_
+#define SEMANDAQ_MONITOR_DATA_MONITOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "common/status.h"
+#include "detect/incremental_detector.h"
+#include "relational/relation.h"
+#include "relational/update.h"
+#include "repair/batch_repair.h"
+#include "repair/cost_model.h"
+#include "repair/inc_repair.h"
+
+namespace semandaq::monitor {
+
+/// What the monitor did with one update batch.
+struct MonitorReport {
+  /// Violations after the batch (and after repairs, in repair mode).
+  size_t violating_tuples = 0;
+  int64_t total_vio = 0;
+
+  /// Repairs applied to the delta (repair mode only).
+  std::vector<repair::CellChange> repairs_applied;
+
+  /// Tuple ids the batch inserted.
+  std::vector<relational::TupleId> inserted;
+};
+
+/// The data monitor of the paper (§2): "responds to updates on the data by
+/// (1) invoking an incremental detection module ... if the database has not
+/// been cleansed; or (2) invoking an incremental repair module ...
+/// otherwise."
+///
+/// Mode (1) runs the incremental detector over the live relation; mode (2)
+/// runs the stateful IncRepairEngine, which applies each batch and repairs
+/// the delta in place in O(|Δ|). Switching to mode (2) (MarkCleansed) pays
+/// one state-rebuild pass on the next update.
+class DataMonitor {
+ public:
+  /// The relation must outlive the monitor; all mutations must go through
+  /// OnUpdate so detector state stays in sync.
+  DataMonitor(relational::Relation* rel, std::vector<cfd::Cfd> cfds,
+              repair::CostModel cost_model, repair::RepairOptions repair_options = {});
+
+  /// Builds detector state. Call once.
+  common::Status Start();
+
+  /// Declares the database cleansed: subsequent updates are incrementally
+  /// repaired rather than merely flagged.
+  void MarkCleansed() { cleansed_ = true; }
+  bool cleansed() const { return cleansed_; }
+
+  /// Routes one update batch per the paper's mode rules.
+  common::Result<MonitorReport> OnUpdate(const relational::UpdateBatch& batch);
+
+  /// Current violations (snapshot of the incremental detector).
+  detect::ViolationTable Violations() const;
+
+ private:
+  relational::Relation* rel_;
+  std::vector<cfd::Cfd> cfds_;
+  repair::CostModel cost_model_;
+  repair::RepairOptions repair_options_;
+  std::unique_ptr<detect::IncrementalDetector> detector_;  // mode (1)
+  std::unique_ptr<repair::IncRepairEngine> engine_;        // mode (2)
+  bool cleansed_ = false;
+};
+
+}  // namespace semandaq::monitor
+
+#endif  // SEMANDAQ_MONITOR_DATA_MONITOR_H_

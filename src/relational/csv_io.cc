@@ -1,0 +1,117 @@
+#include "relational/csv_io.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace semandaq::relational {
+
+namespace {
+
+common::Result<Value> ParseCell(const std::string& text, DataType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case DataType::kString:
+      return Value::String(text);
+    case DataType::kInt: {
+      int64_t v = 0;
+      if (!common::ParseInt64(text, &v)) {
+        return common::Status::InvalidArgument("not an integer: '" + text + "'");
+      }
+      return Value::Int(v);
+    }
+    case DataType::kDouble: {
+      double v = 0;
+      if (!common::ParseDouble(text, &v)) {
+        return common::Status::InvalidArgument("not a number: '" + text + "'");
+      }
+      return Value::Double(v);
+    }
+    case DataType::kNull:
+      return Value::Null();
+  }
+  return common::Status::Internal("unreachable data type");
+}
+
+}  // namespace
+
+common::Result<Relation> RelationFromCsv(std::string_view name,
+                                         std::string_view csv_text,
+                                         const Schema* schema) {
+  SEMANDAQ_ASSIGN_OR_RETURN(auto rows, common::CsvParser::ParseDocument(csv_text));
+  if (rows.empty()) {
+    return common::Status::InvalidArgument("CSV has no header row");
+  }
+  const std::vector<std::string>& header = rows.front();
+
+  Schema effective;
+  if (schema != nullptr) {
+    if (header.size() != schema->size()) {
+      return common::Status::InvalidArgument(
+          "CSV header arity " + std::to_string(header.size()) +
+          " does not match declared schema arity " + std::to_string(schema->size()));
+    }
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (!common::EqualsIgnoreCase(common::Trim(header[i]), schema->attr(i).name)) {
+        return common::Status::InvalidArgument(
+            "CSV header column '" + header[i] + "' does not match schema attribute '" +
+            schema->attr(i).name + "'");
+      }
+    }
+    effective = *schema;
+  } else {
+    std::vector<std::string> names;
+    names.reserve(header.size());
+    for (const auto& h : header) names.emplace_back(common::Trim(h));
+    effective = Schema::AllStrings(names);
+    if (effective.size() != header.size()) {
+      return common::Status::InvalidArgument("duplicate column names in CSV header");
+    }
+  }
+
+  Relation rel{std::string(name), effective};
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& fields = rows[r];
+    if (fields.size() != effective.size()) {
+      return common::Status::InvalidArgument(
+          "CSV record " + std::to_string(r) + " has " + std::to_string(fields.size()) +
+          " fields, expected " + std::to_string(effective.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      SEMANDAQ_ASSIGN_OR_RETURN(Value v, ParseCell(fields[c], effective.attr(c).type));
+      row.push_back(std::move(v));
+    }
+    auto ins = rel.Insert(std::move(row));
+    if (!ins.ok()) return ins.status();
+  }
+  return rel;
+}
+
+common::Result<Relation> LoadRelationCsv(std::string_view name,
+                                         const std::string& path,
+                                         const Schema* schema) {
+  SEMANDAQ_ASSIGN_OR_RETURN(std::string text, common::ReadFileToString(path));
+  return RelationFromCsv(name, text, schema);
+}
+
+std::string RelationToCsv(const Relation& rel) {
+  std::string out = common::CsvFormatLine(rel.schema().Names());
+  out.push_back('\n');
+  rel.ForEach([&](TupleId, const Row& row) {
+    std::vector<std::string> fields;
+    fields.reserve(row.size());
+    for (const Value& v : row) {
+      fields.push_back(v.is_null() ? std::string() : v.ToDisplayString());
+    }
+    out += common::CsvFormatLine(fields);
+    out.push_back('\n');
+  });
+  return out;
+}
+
+common::Status SaveRelationCsv(const Relation& rel, const std::string& path) {
+  return common::WriteStringToFile(path, RelationToCsv(rel));
+}
+
+}  // namespace semandaq::relational

@@ -1,0 +1,33 @@
+#ifndef SEMANDAQ_RELATIONAL_CSV_IO_H_
+#define SEMANDAQ_RELATIONAL_CSV_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace semandaq::relational {
+
+/// Parses CSV text whose first record is the header into a relation.
+/// When `schema` is null, every column is typed STRING; otherwise the header
+/// must match the schema and cells are parsed to the declared types
+/// (empty cell -> NULL).
+common::Result<Relation> RelationFromCsv(std::string_view name,
+                                         std::string_view csv_text,
+                                         const Schema* schema = nullptr);
+
+/// Loads a CSV file (header row required) into a relation.
+common::Result<Relation> LoadRelationCsv(std::string_view name,
+                                         const std::string& path,
+                                         const Schema* schema = nullptr);
+
+/// Serializes the live tuples of a relation as CSV with a header row.
+std::string RelationToCsv(const Relation& rel);
+
+/// Writes RelationToCsv(rel) to a file.
+common::Status SaveRelationCsv(const Relation& rel, const std::string& path);
+
+}  // namespace semandaq::relational
+
+#endif  // SEMANDAQ_RELATIONAL_CSV_IO_H_

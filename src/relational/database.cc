@@ -1,0 +1,73 @@
+#include "relational/database.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace semandaq::relational {
+
+common::Status Database::AddRelation(Relation rel) {
+  std::string key = common::ToLower(rel.name());
+  if (key.empty()) {
+    return common::Status::InvalidArgument("relation must have a non-empty name");
+  }
+  if (by_name_.count(key) > 0) {
+    return common::Status::AlreadyExists("relation already exists: " + rel.name());
+  }
+  order_.push_back(key);
+  by_name_.emplace(std::move(key), std::make_unique<Relation>(std::move(rel)));
+  return common::Status::OK();
+}
+
+void Database::PutRelation(Relation rel) {
+  std::string key = common::ToLower(rel.name());
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) {
+    *it->second = std::move(rel);
+    return;
+  }
+  order_.push_back(key);
+  by_name_.emplace(std::move(key), std::make_unique<Relation>(std::move(rel)));
+}
+
+common::Status Database::DropRelation(std::string_view name) {
+  std::string key = common::ToLower(name);
+  auto it = by_name_.find(key);
+  if (it == by_name_.end()) {
+    return common::Status::NotFound("no relation named " + std::string(name));
+  }
+  by_name_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), key), order_.end());
+  return common::Status::OK();
+}
+
+bool Database::HasRelation(std::string_view name) const {
+  return by_name_.count(common::ToLower(name)) > 0;
+}
+
+const Relation* Database::FindRelation(std::string_view name) const {
+  auto it = by_name_.find(common::ToLower(name));
+  return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+Relation* Database::FindMutableRelation(std::string_view name) {
+  auto it = by_name_.find(common::ToLower(name));
+  return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+common::Result<const Relation*> Database::GetRelation(std::string_view name) const {
+  const Relation* rel = FindRelation(name);
+  if (rel == nullptr) {
+    return common::Status::NotFound("no relation named " + std::string(name));
+  }
+  return rel;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(order_.size());
+  for (const auto& key : order_) out.push_back(by_name_.at(key)->name());
+  return out;
+}
+
+}  // namespace semandaq::relational

@@ -1,0 +1,57 @@
+#ifndef SEMANDAQ_RELATIONAL_DATABASE_H_
+#define SEMANDAQ_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace semandaq::relational {
+
+/// Catalog of named relations; the unit the system "connects to" (paper §3,
+/// Specifying Constraints). Relation names are case-insensitive.
+class Database {
+ public:
+  Database() = default;
+
+  // Movable but not copyable: relations may be large.
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Registers a relation; fails if the name is taken.
+  common::Status AddRelation(Relation rel);
+
+  /// Replaces an existing relation (or adds a new one).
+  void PutRelation(Relation rel);
+
+  /// Removes a relation by name.
+  common::Status DropRelation(std::string_view name);
+
+  bool HasRelation(std::string_view name) const;
+
+  /// Lookup; nullptr when missing.
+  const Relation* FindRelation(std::string_view name) const;
+  Relation* FindMutableRelation(std::string_view name);
+
+  /// Lookup with a descriptive error.
+  common::Result<const Relation*> GetRelation(std::string_view name) const;
+
+  /// Names of all relations, in registration order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t size() const { return order_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Relation>> by_name_;
+  std::vector<std::string> order_;  // lowercase keys, registration order
+};
+
+}  // namespace semandaq::relational
+
+#endif  // SEMANDAQ_RELATIONAL_DATABASE_H_

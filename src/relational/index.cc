@@ -1,0 +1,38 @@
+#include "relational/index.h"
+
+#include <algorithm>
+
+namespace semandaq::relational {
+
+HashIndex::HashIndex(const Relation& rel, std::vector<size_t> cols)
+    : cols_(std::move(cols)) {
+  rel.ForEach([&](TupleId tid, const Row& row) { Add(tid, row); });
+}
+
+HashIndex::HashIndex(std::vector<size_t> cols) : cols_(std::move(cols)) {}
+
+Row HashIndex::ProjectKey(const Row& row) const {
+  Row key;
+  key.reserve(cols_.size());
+  for (size_t c : cols_) key.push_back(row[c]);
+  return key;
+}
+
+const std::vector<TupleId>& HashIndex::Lookup(const Row& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+void HashIndex::Add(TupleId tid, const Row& row) {
+  buckets_[ProjectKey(row)].push_back(tid);
+}
+
+void HashIndex::Remove(TupleId tid, const Row& row) {
+  auto it = buckets_.find(ProjectKey(row));
+  if (it == buckets_.end()) return;
+  auto& ids = it->second;
+  ids.erase(std::remove(ids.begin(), ids.end(), tid), ids.end());
+  if (ids.empty()) buckets_.erase(it);
+}
+
+}  // namespace semandaq::relational

@@ -1,0 +1,56 @@
+#ifndef SEMANDAQ_RELATIONAL_INDEX_H_
+#define SEMANDAQ_RELATIONAL_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace semandaq::relational {
+
+/// Hash index over a column subset of one relation: key = projected row,
+/// payload = tuple ids carrying that key.
+///
+/// The paper's constraint engine "maximally leverages the use of indices ...
+/// provided by DBMS"; in this substrate HashIndex is that facility. The
+/// incremental detector keeps one per embedded FD.
+class HashIndex {
+ public:
+  /// Builds an index over `cols` of `rel`, scanning all live tuples.
+  HashIndex(const Relation& rel, std::vector<size_t> cols);
+
+  /// Builds an empty index over `cols` (caller feeds Add/Remove).
+  explicit HashIndex(std::vector<size_t> cols);
+
+  const std::vector<size_t>& cols() const { return cols_; }
+
+  /// Tuple ids whose projection equals `key` (empty vector when none).
+  const std::vector<TupleId>& Lookup(const Row& key) const;
+
+  /// Registers a tuple (caller projects nothing; the index projects `row`).
+  void Add(TupleId tid, const Row& row);
+
+  /// Unregisters a tuple; the row must be the currently indexed image.
+  void Remove(TupleId tid, const Row& row);
+
+  /// Number of distinct keys.
+  size_t NumKeys() const { return buckets_.size(); }
+
+  /// Invokes fn(key, ids) for every distinct key.
+  template <typename Fn>
+  void ForEachGroup(Fn&& fn) const {
+    for (const auto& [key, ids] : buckets_) fn(key, ids);
+  }
+
+ private:
+  Row ProjectKey(const Row& row) const;
+
+  std::vector<size_t> cols_;
+  std::unordered_map<Row, std::vector<TupleId>, RowHash, RowEq> buckets_;
+  std::vector<TupleId> empty_;
+};
+
+}  // namespace semandaq::relational
+
+#endif  // SEMANDAQ_RELATIONAL_INDEX_H_

@@ -1,0 +1,118 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace semandaq::relational {
+
+common::Result<TupleId> Relation::Insert(Row row) {
+  if (row.size() != schema_.size()) {
+    return common::Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema arity " +
+        std::to_string(schema_.size()) + " of relation " + name_);
+  }
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  return static_cast<TupleId>(rows_.size() - 1);
+}
+
+TupleId Relation::MustInsert(Row row) {
+  auto r = Insert(std::move(row));
+  assert(r.ok());
+  return r.ok() ? *r : -1;
+}
+
+common::Status Relation::Delete(TupleId tid) {
+  if (!IsLive(tid)) {
+    return common::Status::OutOfRange("delete of dead or unknown tuple id " +
+                                      std::to_string(tid) + " in " + name_);
+  }
+  live_[static_cast<size_t>(tid)] = false;
+  --live_count_;
+  return common::Status::OK();
+}
+
+common::Status Relation::SetCell(TupleId tid, size_t col, Value v) {
+  if (!IsLive(tid)) {
+    return common::Status::OutOfRange("update of dead or unknown tuple id " +
+                                      std::to_string(tid) + " in " + name_);
+  }
+  if (col >= schema_.size()) {
+    return common::Status::OutOfRange("column ordinal " + std::to_string(col) +
+                                      " out of range in " + name_);
+  }
+  rows_[static_cast<size_t>(tid)][col] = std::move(v);
+  return common::Status::OK();
+}
+
+const Row& Relation::row(TupleId tid) const {
+  assert(IsLive(tid));
+  return rows_[static_cast<size_t>(tid)];
+}
+
+std::vector<TupleId> Relation::LiveIds() const {
+  std::vector<TupleId> out;
+  out.reserve(live_count_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (live_[i]) out.push_back(static_cast<TupleId>(i));
+  }
+  return out;
+}
+
+Row Relation::Project(TupleId tid, const std::vector<size_t>& cols) const {
+  const Row& r = row(tid);
+  Row out;
+  out.reserve(cols.size());
+  for (size_t c : cols) out.push_back(r[c]);
+  return out;
+}
+
+std::string Relation::ToAsciiTable(size_t max_rows) const {
+  std::vector<std::string> headers = schema_.Names();
+  std::vector<size_t> widths;
+  widths.reserve(headers.size());
+  for (const auto& h : headers) widths.push_back(h.size());
+
+  std::vector<std::vector<std::string>> cells;
+  size_t shown = 0;
+  for (size_t i = 0; i < rows_.size() && shown < max_rows; ++i) {
+    if (!live_[i]) continue;
+    std::vector<std::string> line;
+    line.reserve(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c) {
+      line.push_back(rows_[i][c].ToDisplayString());
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+    ++shown;
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& line) {
+    out << "|";
+    for (size_t c = 0; c < line.size(); ++c) {
+      out << " " << line[c] << std::string(widths[c] - line[c].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&]() {
+    out << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+  emit_rule();
+  emit_row(headers);
+  emit_rule();
+  for (const auto& line : cells) emit_row(line);
+  emit_rule();
+  if (size() > shown) {
+    out << "... " << (size() - shown) << " more tuple(s)\n";
+  }
+  return out.str();
+}
+
+}  // namespace semandaq::relational

@@ -1,0 +1,96 @@
+#ifndef SEMANDAQ_RELATIONAL_RELATION_H_
+#define SEMANDAQ_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace semandaq::relational {
+
+/// Stable identifier of a tuple within one relation. Ids are assigned by
+/// insertion order and never reused; deletion leaves a tombstone. The whole
+/// data-quality stack (violation tables, repairs, audits) refers to tuples
+/// by TupleId, so stability across updates is essential.
+using TupleId = int64_t;
+
+/// An in-memory relation: a schema plus a bag of rows with stable ids.
+///
+/// This is the storage substrate standing in for the RDBMS layer of the
+/// paper's architecture (Fig. 1, "Database Servers"). Mutation goes through
+/// Insert/Delete/SetCell so that indexes and monitors can observe changes.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live (non-deleted) tuples.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// One past the largest TupleId ever assigned; iterate ids in [0, bound)
+  /// and skip dead ones.
+  TupleId IdBound() const { return static_cast<TupleId>(rows_.size()); }
+
+  bool IsLive(TupleId tid) const {
+    return tid >= 0 && tid < IdBound() && live_[static_cast<size_t>(tid)];
+  }
+
+  /// Appends a row; the row arity must match the schema.
+  common::Result<TupleId> Insert(Row row);
+
+  /// Appends a row, asserting arity; for generators and tests.
+  TupleId MustInsert(Row row);
+
+  /// Tombstones a live tuple.
+  common::Status Delete(TupleId tid);
+
+  /// Overwrites one cell of a live tuple.
+  common::Status SetCell(TupleId tid, size_t col, Value v);
+
+  /// Read access; the tuple must be live (asserted in debug builds).
+  const Row& row(TupleId tid) const;
+
+  /// Cell access shorthand.
+  const Value& cell(TupleId tid, size_t col) const { return row(tid)[col]; }
+
+  /// All live tuple ids, ascending. O(IdBound()).
+  std::vector<TupleId> LiveIds() const;
+
+  /// Invokes fn(tid, row) for every live tuple in id order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (live_[i]) fn(static_cast<TupleId>(i), rows_[i]);
+    }
+  }
+
+  /// Deep copy with the same ids (tombstones preserved).
+  Relation Clone() const { return *this; }
+
+  /// Projects the given columns of a live tuple into a fresh row.
+  Row Project(TupleId tid, const std::vector<size_t>& cols) const;
+
+  /// Pretty-prints up to `max_rows` tuples as an ASCII table (for examples
+  /// and the fig_* binaries).
+  std::string ToAsciiTable(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace semandaq::relational
+
+#endif  // SEMANDAQ_RELATIONAL_RELATION_H_

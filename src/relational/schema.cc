@@ -1,0 +1,84 @@
+#include "relational/schema.h"
+
+#include "common/string_util.h"
+
+namespace semandaq::relational {
+
+Schema::Schema(std::vector<AttributeDef> attrs) {
+  for (auto& a : attrs) {
+    // Duplicate names in the constructor are a programming error; keep the
+    // first occurrence and let AddAttribute report duplicates on the
+    // fallible path.
+    (void)AddAttribute(std::move(a));
+  }
+}
+
+Schema Schema::AllStrings(std::initializer_list<std::string_view> names) {
+  Schema s;
+  for (std::string_view n : names) {
+    (void)s.AddAttribute(AttributeDef{std::string(n), DataType::kString, {}});
+  }
+  return s;
+}
+
+Schema Schema::AllStrings(const std::vector<std::string>& names) {
+  Schema s;
+  for (const std::string& n : names) {
+    (void)s.AddAttribute(AttributeDef{n, DataType::kString, {}});
+  }
+  return s;
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  auto it = by_lower_name_.find(common::ToLower(name));
+  if (it == by_lower_name_.end()) return -1;
+  return static_cast<int>(it->second);
+}
+
+common::Result<size_t> Schema::RequireIndexOf(std::string_view name) const {
+  const int i = IndexOf(name);
+  if (i < 0) {
+    return common::Status::NotFound("no attribute named '" + std::string(name) +
+                                    "' in schema (" + ToString() + ")");
+  }
+  return static_cast<size_t>(i);
+}
+
+common::Status Schema::AddAttribute(AttributeDef attr) {
+  std::string key = common::ToLower(attr.name);
+  if (by_lower_name_.count(key) > 0) {
+    return common::Status::AlreadyExists("duplicate attribute name: " + attr.name);
+  }
+  by_lower_name_.emplace(std::move(key), attrs_.size());
+  attrs_.push_back(std::move(attr));
+  return common::Status::OK();
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const auto& a : attrs_) out.push_back(a.name);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name;
+    out += " ";
+    out += DataTypeToString(attrs_[i].type);
+  }
+  return out;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (attrs_.size() != other.attrs_.size()) return false;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (!common::EqualsIgnoreCase(attrs_[i].name, other.attrs_[i].name)) return false;
+    if (attrs_[i].type != other.attrs_[i].type) return false;
+  }
+  return true;
+}
+
+}  // namespace semandaq::relational

@@ -1,0 +1,69 @@
+#ifndef SEMANDAQ_RELATIONAL_SCHEMA_H_
+#define SEMANDAQ_RELATIONAL_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace semandaq::relational {
+
+/// A named, typed attribute of a relation schema.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kString;
+
+  /// Attributes with a declared finite domain (e.g. a boolean flag or a
+  /// fixed code list) matter for CFD satisfiability analysis, which is
+  /// NP-complete only in their presence (Fan et al., TODS'08). Empty means
+  /// "infinite domain".
+  std::vector<Value> finite_domain;
+
+  bool has_finite_domain() const { return !finite_domain.empty(); }
+};
+
+/// An ordered list of attributes with unique (case-insensitive) names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attrs);
+
+  /// Convenience: all-string schema from attribute names.
+  static Schema AllStrings(std::initializer_list<std::string_view> names);
+  static Schema AllStrings(const std::vector<std::string>& names);
+
+  size_t size() const { return attrs_.size(); }
+  const AttributeDef& attr(size_t i) const { return attrs_[i]; }
+  const std::vector<AttributeDef>& attrs() const { return attrs_; }
+
+  /// Ordinal of the attribute with the given name (case-insensitive), or -1.
+  int IndexOf(std::string_view name) const;
+
+  /// Like IndexOf but produces a descriptive error.
+  common::Result<size_t> RequireIndexOf(std::string_view name) const;
+
+  /// Appends a new attribute; fails on duplicate name.
+  common::Status AddAttribute(AttributeDef attr);
+
+  /// All attribute names, in order.
+  std::vector<std::string> Names() const;
+
+  /// "name TYPE, name TYPE, ..." for logs and dumps.
+  std::string ToString() const;
+
+  /// Structural equality: same names (case-insensitive), same types, in the
+  /// same order.
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<AttributeDef> attrs_;
+  std::unordered_map<std::string, size_t> by_lower_name_;
+};
+
+}  // namespace semandaq::relational
+
+#endif  // SEMANDAQ_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,39 @@
+#include "relational/update.h"
+
+namespace semandaq::relational {
+
+std::string Update::ToString() const {
+  switch (kind) {
+    case Kind::kInsert:
+      return "INSERT " + RowToString(row);
+    case Kind::kDelete:
+      return "DELETE #" + std::to_string(tid);
+    case Kind::kModify:
+      return "MODIFY #" + std::to_string(tid) + " col " + std::to_string(col) +
+             " := " + new_value.ToDisplayString();
+  }
+  return "?";
+}
+
+common::Status ApplyUpdates(const UpdateBatch& batch, Relation* rel,
+                            std::vector<TupleId>* inserted_ids) {
+  for (const Update& u : batch) {
+    switch (u.kind) {
+      case Update::Kind::kInsert: {
+        auto r = rel->Insert(u.row);
+        if (!r.ok()) return r.status();
+        if (inserted_ids != nullptr) inserted_ids->push_back(*r);
+        break;
+      }
+      case Update::Kind::kDelete:
+        SEMANDAQ_RETURN_IF_ERROR(rel->Delete(u.tid));
+        break;
+      case Update::Kind::kModify:
+        SEMANDAQ_RETURN_IF_ERROR(rel->SetCell(u.tid, u.col, u.new_value));
+        break;
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace semandaq::relational

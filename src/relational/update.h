@@ -1,0 +1,64 @@
+#ifndef SEMANDAQ_RELATIONAL_UPDATE_H_
+#define SEMANDAQ_RELATIONAL_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace semandaq::relational {
+
+/// One change to a relation, the unit the data monitor reacts to (paper §2:
+/// "the data monitor responds to updates on the data").
+struct Update {
+  enum class Kind { kInsert, kDelete, kModify };
+
+  Kind kind = Kind::kInsert;
+
+  /// For kDelete / kModify: the target tuple.
+  TupleId tid = -1;
+
+  /// For kInsert: the new row.
+  Row row;
+
+  /// For kModify: which column changes and to what.
+  size_t col = 0;
+  Value new_value;
+
+  static Update Insert(Row r) {
+    Update u;
+    u.kind = Kind::kInsert;
+    u.row = std::move(r);
+    return u;
+  }
+  static Update DeleteTuple(TupleId tid) {
+    Update u;
+    u.kind = Kind::kDelete;
+    u.tid = tid;
+    return u;
+  }
+  static Update Modify(TupleId tid, size_t col, Value v) {
+    Update u;
+    u.kind = Kind::kModify;
+    u.tid = tid;
+    u.col = col;
+    u.new_value = std::move(v);
+    return u;
+  }
+
+  std::string ToString() const;
+};
+
+/// An ordered batch of updates applied atomically (from the monitor's point
+/// of view: detection/repair runs after the whole batch).
+using UpdateBatch = std::vector<Update>;
+
+/// Applies a batch to `rel` in order. Inserted tuples get fresh ids which
+/// are appended to `inserted_ids` when non-null. Stops at the first error.
+common::Status ApplyUpdates(const UpdateBatch& batch, Relation* rel,
+                            std::vector<TupleId>* inserted_ids = nullptr);
+
+}  // namespace semandaq::relational
+
+#endif  // SEMANDAQ_RELATIONAL_UPDATE_H_

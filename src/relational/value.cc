@@ -1,0 +1,150 @@
+#include "relational/value.h"
+
+#include <cassert>
+#include <functional>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace semandaq::relational {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+DataType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kInt;
+    case 2:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+int64_t Value::AsInt() const {
+  assert(std::holds_alternative<int64_t>(data_));
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  assert(std::holds_alternative<double>(data_));
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  assert(std::holds_alternative<std::string>(data_));
+  return std::get<std::string>(data_);
+}
+
+bool Value::ToNumeric(double* out) const {
+  switch (type()) {
+    case DataType::kInt:
+      *out = static_cast<double>(AsInt());
+      return true;
+    case DataType::kDouble:
+      *out = AsDouble();
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt:
+      return std::to_string(AsInt());
+    case DataType::kDouble:
+      return common::FormatDouble(AsDouble());
+    case DataType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (type() == DataType::kString) return common::QuoteSqlString(AsString());
+  return ToDisplayString();
+}
+
+int Value::Compare(const Value& other) const {
+  const DataType ta = type();
+  const DataType tb = other.type();
+  // NULL sorts first.
+  if (ta == DataType::kNull || tb == DataType::kNull) {
+    if (ta == tb) return 0;
+    return ta == DataType::kNull ? -1 : 1;
+  }
+  const bool a_num = (ta == DataType::kInt || ta == DataType::kDouble);
+  const bool b_num = (tb == DataType::kInt || tb == DataType::kDouble);
+  if (a_num && b_num) {
+    double x = 0;
+    double y = 0;
+    ToNumeric(&x);
+    other.ToNumeric(&y);
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a_num != b_num) return a_num ? -1 : 1;  // numbers before strings
+  const std::string& sa = AsString();
+  const std::string& sb = other.AsString();
+  if (sa < sb) return -1;
+  if (sa > sb) return 1;
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x6e756c6cULL;  // "null"
+    case DataType::kInt:
+      return common::HashMix(0x1, AsInt());
+    case DataType::kDouble:
+      return common::HashMix(0x2, AsDouble());
+    case DataType::kString:
+      return common::HashMix(0x3, AsString());
+  }
+  return 0;
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t h = 0x5244;  // "RD"
+  for (const Value& v : row) h = common::HashCombine(h, v.Hash());
+  return h;
+}
+
+bool RowEq::operator()(const Row& a, const Row& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToDisplayString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace semandaq::relational

@@ -1,0 +1,105 @@
+#ifndef SEMANDAQ_RELATIONAL_VALUE_H_
+#define SEMANDAQ_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace semandaq::relational {
+
+/// Column data types. Semandaq keeps the type lattice small on purpose: the
+/// CFD literature treats attribute domains as (possibly infinite) sets of
+/// uninterpreted constants, so strings carry most of the weight; ints and
+/// doubles exist for counts and measures.
+enum class DataType {
+  kNull = 0,  ///< Only the SQL NULL literal has this static type.
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// Short name such as "STRING", for error messages and schema dumps.
+const char* DataTypeToString(DataType t);
+
+/// A single typed cell value: NULL, INT (64-bit), DOUBLE, or STRING.
+///
+/// Values are immutable once constructed and cheap to move. Equality is
+/// exact (no numeric coercion between int and double in operator==; the SQL
+/// layer performs coercion explicitly where the standard requires it).
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+
+  DataType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  /// Accessors assert on type mismatch in debug builds; callers check type()
+  /// first or use the As*Lenient forms below.
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: INT widens to double; DOUBLE passes through; anything
+  /// else returns false.
+  bool ToNumeric(double* out) const;
+
+  /// Unquoted display form ("NULL", "42", "2.5", "Edinburgh").
+  std::string ToDisplayString() const;
+
+  /// SQL literal form ("NULL", "42", "2.5", "'Edi''nburgh'").
+  std::string ToSqlLiteral() const;
+
+  /// Exact equality: same type and same payload. Two NULLs compare equal
+  /// here (this is *identity* equality used by containers; SQL three-valued
+  /// comparison lives in the sql:: layer).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for sorting and map keys: NULL < INT/DOUBLE (by numeric
+  /// value) < STRING (lexicographic). Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  using Payload = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Payload data) : data_(std::move(data)) {}
+
+  Payload data_;
+};
+
+/// A row is a positional sequence of values; position i holds attribute i of
+/// the owning relation's schema.
+using Row = std::vector<Value>;
+
+/// Hash functor so Row can key unordered containers (group-by keys, indexes).
+struct RowHash {
+  size_t operator()(const Row& row) const;
+};
+
+/// Equality functor matching RowHash (exact Value equality per cell).
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const;
+};
+
+/// Hash functor so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Renders a row as "(v1, v2, ...)" for logs and test output.
+std::string RowToString(const Row& row);
+
+}  // namespace semandaq::relational
+
+#endif  // SEMANDAQ_RELATIONAL_VALUE_H_

@@ -1,0 +1,415 @@
+#include "repair/batch_repair.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "detect/native_detector.h"
+
+namespace semandaq::repair {
+
+namespace {
+
+using cfd::Cfd;
+using cfd::PatternTuple;
+using common::Result;
+using common::Status;
+using detect::SingleViolation;
+using detect::ViolationGroup;
+using detect::ViolationTable;
+using relational::Relation;
+using relational::Row;
+using relational::TupleId;
+using relational::Value;
+
+/// A candidate assignment for one cell with its cost.
+struct Candidate {
+  Value value;
+  double cost = 0;
+};
+
+class RepairEngine {
+ public:
+  RepairEngine(const Relation* rel, std::vector<Cfd> cfds, CostModel cost_model,
+               RepairOptions options)
+      : original_(rel),
+        work_(rel->Clone()),
+        cfds_(std::move(cfds)),
+        cost_model_(std::move(cost_model)),
+        options_(std::move(options)) {}
+
+  Result<RepairResult> Run() {
+    SEMANDAQ_RETURN_IF_ERROR(cfd::ResolveAll(&cfds_, work_.schema()));
+    ComputeFrequentValues();
+
+    RepairResult result;
+    int it = 0;
+    for (; it < options_.max_iterations; ++it) {
+      detect::NativeDetector detector(&work_, cfds_);
+      SEMANDAQ_ASSIGN_OR_RETURN(ViolationTable table, detector.Detect());
+      if (table.TotalVio() == 0) break;
+      touched_this_round_.clear();
+      pending_targets_.clear();
+      size_t edits = 0;
+      for (const SingleViolation& sv : table.singles()) {
+        edits += ResolveSingle(sv, &result);
+      }
+      for (const ViolationGroup& vg : table.groups()) {
+        edits += ResolveGroup(vg, &result);
+      }
+      if (edits == 0) break;  // stuck: defer to the escape pass
+    }
+    result.iterations = it;
+
+    // Termination escape. Overlapping embedded FDs can constrain the same
+    // cell in incompatible ways; whatever is left now gets the NULL
+    // treatment of [VLDB'07] — but surgically: only the cells that actually
+    // disagree with their group's majority, never whole groups.
+    {
+      detect::NativeDetector detector(&work_, cfds_);
+      SEMANDAQ_ASSIGN_OR_RETURN(ViolationTable table, detector.Detect());
+      if (table.TotalVio() > 0) {
+        for (const SingleViolation& sv : table.singles()) {
+          const Cfd& c = cfds_[static_cast<size_t>(sv.cfd_index)];
+          if (!Mutable(sv.tid)) continue;
+          ApplyChange(sv.tid, c.rhs_col(), Value::Null(), {});
+          ++result.null_escapes;
+        }
+        for (const ViolationGroup& vg : table.groups()) {
+          const Cfd& c = cfds_[static_cast<size_t>(vg.cfd_index)];
+          std::unordered_map<Value, int64_t, relational::ValueHash> freq;
+          for (const Value& v : vg.member_rhs) {
+            if (!v.is_null()) ++freq[v];
+          }
+          const Value* majority = nullptr;
+          int64_t best_n = 0;
+          for (const auto& [v, n] : freq) {
+            if (n > best_n) {
+              best_n = n;
+              majority = &v;
+            }
+          }
+          for (size_t i = 0; i < vg.members.size(); ++i) {
+            if (!Mutable(vg.members[i])) continue;
+            const Value& rhs = work_.cell(vg.members[i], c.rhs_col());
+            if (rhs.is_null()) continue;
+            if (majority != nullptr && rhs == *majority) continue;
+            ApplyChange(vg.members[i], c.rhs_col(), Value::Null(), {});
+            ++result.null_escapes;
+          }
+        }
+      }
+    }
+
+    // Final audit of what is left (non-zero only when frozen tuples pin
+    // irreconcilable values).
+    {
+      detect::NativeDetector detector(&work_, cfds_);
+      SEMANDAQ_ASSIGN_OR_RETURN(ViolationTable table, detector.Detect());
+      result.remaining_violations = static_cast<size_t>(table.TotalVio());
+    }
+
+    // Materialize the change log against the original relation.
+    for (const auto& [cell, alts] : change_alternatives_) {
+      const TupleId tid = static_cast<TupleId>(cell >> 16);
+      const size_t col = static_cast<size_t>(cell & 0xFFFF);
+      CellChange ch;
+      ch.tid = tid;
+      ch.col = col;
+      ch.original = original_->cell(tid, col);
+      ch.repaired = work_.cell(tid, col);
+      if (ch.original == ch.repaired) continue;  // net no-op across rounds
+      ch.cost = cost_model_.CellChangeCost(col, ch.original, ch.repaired);
+      ch.alternatives = alts;
+      result.total_cost += ch.cost;
+      result.changes.push_back(std::move(ch));
+    }
+    std::sort(result.changes.begin(), result.changes.end(),
+              [](const CellChange& a, const CellChange& b) {
+                return a.tid != b.tid ? a.tid < b.tid : a.col < b.col;
+              });
+    result.repaired = std::move(work_);
+    return result;
+  }
+
+ private:
+  static uint64_t CellKey(TupleId tid, size_t col) {
+    return (static_cast<uint64_t>(tid) << 16) | static_cast<uint64_t>(col);
+  }
+
+  bool Mutable(TupleId tid) const {
+    return !options_.restrict_to_mutable || options_.mutable_tids.count(tid) > 0;
+  }
+
+  void ComputeFrequentValues() {
+    const size_t ncols = work_.schema().size();
+    std::vector<std::unordered_map<Value, int64_t, relational::ValueHash>> counts(
+        ncols);
+    work_.ForEach([&](TupleId, const Row& row) {
+      for (size_t c = 0; c < ncols; ++c) {
+        if (!row[c].is_null()) ++counts[c][row[c]];
+      }
+    });
+    frequent_.resize(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      std::vector<std::pair<Value, int64_t>> items(counts[c].begin(), counts[c].end());
+      std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+        return a.second > b.second;
+      });
+      const size_t keep = std::min<size_t>(items.size(), 4);
+      for (size_t i = 0; i < keep; ++i) frequent_[c].push_back(items[i].first);
+    }
+  }
+
+  void ApplyChange(TupleId tid, size_t col, Value v,
+                   std::vector<std::pair<Value, double>> alternatives) {
+    pending_targets_[CellKey(tid, col)] = v;
+    (void)work_.SetCell(tid, col, std::move(v));
+    touched_this_round_.insert(CellKey(tid, col));
+    auto& slot = change_alternatives_[CellKey(tid, col)];
+    if (!alternatives.empty() || slot.empty()) slot = std::move(alternatives);
+  }
+
+  /// This round's decision for a cell, if one was already made. Two
+  /// overlapping FD groups demanding different values for the same cell is
+  /// the conflict the equivalence classes of [VLDB'07] exist to catch; we
+  /// detect it here and resolve by detaching the tuple via an LHS edit.
+  const Value* PendingTarget(TupleId tid, size_t col) const {
+    auto it = pending_targets_.find(CellKey(tid, col));
+    return it == pending_targets_.end() ? nullptr : &it->second;
+  }
+
+  std::vector<std::pair<Value, double>> RankAlternatives(
+      const std::vector<Candidate>& cands) const {
+    std::vector<std::pair<Value, double>> out;
+    out.reserve(cands.size());
+    for (const Candidate& c : cands) out.emplace_back(c.value, c.cost);
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (out.size() > options_.alternatives_k) out.resize(options_.alternatives_k);
+    return out;
+  }
+
+  /// Returns the number of edits applied (0 when skipped/stale).
+  size_t ResolveSingle(const SingleViolation& sv, RepairResult* result) {
+    const Cfd& c = cfds_[static_cast<size_t>(sv.cfd_index)];
+    const PatternTuple& pt = c.tableau()[static_cast<size_t>(sv.pattern_index)];
+    if (!work_.IsLive(sv.tid) || !Mutable(sv.tid)) return 0;
+    const Row& row = work_.row(sv.tid);
+
+    // Staleness check: earlier edits this round may have fixed it already.
+    for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+      if (!pt.lhs[i].Matches(row[c.lhs_cols()[i]])) return 0;
+    }
+    const Value& cur = row[c.rhs_col()];
+    if (cur.is_null() || cur == pt.rhs.constant()) return 0;
+    if (const Value* pending = PendingTarget(sv.tid, c.rhs_col())) {
+      if (*pending == pt.rhs.constant()) return 0;  // already decided our way
+      // Conflicting demand on the RHS cell: detach the tuple from this
+      // pattern via a constant-LHS position instead of flip-flopping.
+      if (options_.enable_lhs_repairs) {
+        for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+          if (!pt.lhs[i].is_constant()) continue;
+          ApplyChange(sv.tid, c.lhs_cols()[i], Value::Null(), {});
+          ++result->null_escapes;
+          return 1;
+        }
+      }
+      return 0;  // all-wildcard LHS: leave it to the escape pass
+    }
+    if (touched_this_round_.count(CellKey(sv.tid, c.rhs_col())) > 0) return 0;
+
+    std::vector<Candidate> rhs_cands;
+    rhs_cands.push_back(
+        {pt.rhs.constant(),
+         cost_model_.CellChangeCost(c.rhs_col(), cur, pt.rhs.constant())});
+
+    // Option B: break the LHS match at a constant-pattern position.
+    double best_lhs_cost = -1;
+    size_t best_lhs_col = 0;
+    Value best_lhs_value;
+    if (options_.enable_lhs_repairs) {
+      for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+        if (!pt.lhs[i].is_constant()) continue;  // wildcard matches any value
+        const size_t col = c.lhs_cols()[i];
+        if (touched_this_round_.count(CellKey(sv.tid, col)) > 0) continue;
+        // Candidate replacement values: frequent column values that differ
+        // from the pattern constant, and the NULL escape.
+        for (const Value& v : frequent_[col]) {
+          if (v == pt.lhs[i].constant()) continue;
+          const double cost = cost_model_.CellChangeCost(col, row[col], v);
+          if (best_lhs_cost < 0 || cost < best_lhs_cost) {
+            best_lhs_cost = cost;
+            best_lhs_col = col;
+            best_lhs_value = v;
+          }
+        }
+        const double null_cost = cost_model_.CellChangeCost(col, row[col], Value::Null());
+        if (best_lhs_cost < 0 || null_cost < best_lhs_cost) {
+          best_lhs_cost = null_cost;
+          best_lhs_col = col;
+          best_lhs_value = Value::Null();
+        }
+      }
+    }
+
+    const double rhs_cost = rhs_cands.front().cost;
+    if (best_lhs_cost >= 0 && best_lhs_cost < rhs_cost) {
+      ApplyChange(sv.tid, best_lhs_col, best_lhs_value, {});
+      return 1;
+    }
+    ApplyChange(sv.tid, c.rhs_col(), pt.rhs.constant(), RankAlternatives(rhs_cands));
+    return 1;
+  }
+
+  /// Returns the number of edits applied.
+  size_t ResolveGroup(const ViolationGroup& vg, RepairResult* result) {
+    if (vg.cfd_index < 0) return 0;
+    const Cfd& c = cfds_[static_cast<size_t>(vg.cfd_index)];
+    const size_t rhs_col = c.rhs_col();
+
+    // Re-read current member values (earlier edits may have resolved or
+    // reshaped the group).
+    struct MemberState {
+      TupleId tid;
+      Value rhs;
+      bool is_mutable;
+    };
+    std::vector<MemberState> members;
+    members.reserve(vg.members.size());
+    for (TupleId tid : vg.members) {
+      if (!work_.IsLive(tid)) continue;
+      members.push_back({tid, work_.cell(tid, rhs_col), Mutable(tid)});
+    }
+
+    // Distinct non-null values with weighted change costs.
+    std::unordered_map<Value, int64_t, relational::ValueHash> freq;
+    for (const MemberState& m : members) {
+      if (!m.rhs.is_null()) ++freq[m.rhs];
+    }
+    if (freq.size() < 2) return 0;  // already resolved
+
+    // Frozen members pin the target: if they disagree among themselves the
+    // group cannot be repaired on the RHS at all.
+    std::unordered_map<Value, int64_t, relational::ValueHash> frozen_values;
+    for (const MemberState& m : members) {
+      if (!m.is_mutable && !m.rhs.is_null()) ++frozen_values[m.rhs];
+    }
+    if (frozen_values.size() > 1) {
+      // Move mutable members out of the group by breaking the LHS key.
+      size_t edits = 0;
+      if (options_.enable_lhs_repairs) {
+        const size_t escape_col = c.lhs_cols().back();
+        for (const MemberState& m : members) {
+          if (!m.is_mutable) continue;
+          ApplyChange(m.tid, escape_col, Value::Null(), {});
+          ++result->null_escapes;
+          ++edits;
+        }
+      }
+      return edits;
+    }
+
+    std::vector<Candidate> candidates;
+    if (frozen_values.size() == 1) {
+      candidates.push_back({frozen_values.begin()->first, 0});
+      candidates.back().cost = TotalRhsCost(members, rhs_col, candidates.back().value);
+    } else {
+      candidates.reserve(freq.size());
+      for (const auto& [v, n] : freq) {
+        candidates.push_back({v, TotalRhsCost(members, rhs_col, v)});
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
+    }
+    const Candidate& best = candidates.front();
+
+    // Alternative resolution (the attribute-modification option of
+    // [VLDB'07]): move the disagreeing members out of the group by breaking
+    // the LHS key instead of rewriting their RHS. Wins when the RHS carries
+    // far more weight than the LHS.
+    double escape_cost = 0;
+    std::vector<const MemberState*> escapees;
+    if (options_.enable_lhs_repairs) {
+      const size_t escape_col = c.lhs_cols().back();
+      for (const MemberState& m : members) {
+        if (!m.is_mutable || m.rhs == best.value) continue;
+        escapees.push_back(&m);
+        escape_cost += cost_model_.CellChangeCost(escape_col, work_.cell(m.tid, escape_col),
+                                                  Value::Null());
+      }
+      if (!escapees.empty() && escape_cost < best.cost) {
+        size_t edits = 0;
+        for (const MemberState* m : escapees) {
+          if (touched_this_round_.count(CellKey(m->tid, escape_col)) > 0) continue;
+          ApplyChange(m->tid, escape_col, Value::Null(), {});
+          ++result->null_escapes;
+          ++edits;
+        }
+        if (edits > 0) return edits;
+      }
+    }
+
+    size_t edits = 0;
+    for (const MemberState& m : members) {
+      if (!m.is_mutable) continue;
+      if (m.rhs == best.value) continue;
+      if (const Value* pending = PendingTarget(m.tid, rhs_col)) {
+        if (*pending == best.value) continue;
+        // Another FD group already claimed this cell with a different
+        // value: the tuple's LHS attributes are mutually inconsistent
+        // (e.g. a Denver city with a Phoenix zip). Detach it from THIS
+        // group by clearing the group's key attribute.
+        if (options_.enable_lhs_repairs) {
+          const size_t escape_col = c.lhs_cols().back();
+          ApplyChange(m.tid, escape_col, Value::Null(), {});
+          ++result->null_escapes;
+          ++edits;
+        }
+        continue;
+      }
+      if (touched_this_round_.count(CellKey(m.tid, rhs_col)) > 0) continue;
+      ApplyChange(m.tid, rhs_col, best.value, RankAlternatives(candidates));
+      ++edits;
+    }
+    return edits;
+  }
+
+  template <typename MemberVec>
+  double TotalRhsCost(const MemberVec& members, size_t rhs_col, const Value& target) {
+    double cost = 0;
+    for (const auto& m : members) {
+      if (!m.is_mutable) continue;
+      cost += cost_model_.CellChangeCost(rhs_col, m.rhs, target);
+    }
+    return cost;
+  }
+
+  const Relation* original_;
+  Relation work_;
+  std::vector<Cfd> cfds_;
+  CostModel cost_model_;
+  RepairOptions options_;
+
+  std::vector<std::vector<Value>> frequent_;  // per column, most frequent first
+  std::unordered_set<uint64_t> touched_this_round_;
+  std::unordered_map<uint64_t, Value> pending_targets_;  // per round
+  /// cell key -> ranked alternatives recorded when the cell was changed.
+  std::map<uint64_t, std::vector<std::pair<Value, double>>> change_alternatives_;
+};
+
+}  // namespace
+
+BatchRepair::BatchRepair(const Relation* rel, std::vector<Cfd> cfds,
+                         CostModel cost_model, RepairOptions options)
+    : rel_(rel),
+      cfds_(std::move(cfds)),
+      cost_model_(std::move(cost_model)),
+      options_(std::move(options)) {}
+
+common::Result<RepairResult> BatchRepair::Run() {
+  RepairEngine engine(rel_, cfds_, cost_model_, options_);
+  return engine.Run();
+}
+
+}  // namespace semandaq::repair

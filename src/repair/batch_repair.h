@@ -1,0 +1,90 @@
+#ifndef SEMANDAQ_REPAIR_BATCH_REPAIR_H_
+#define SEMANDAQ_REPAIR_BATCH_REPAIR_H_
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "common/status.h"
+#include "detect/violation.h"
+#include "relational/relation.h"
+#include "repair/cost_model.h"
+
+namespace semandaq::repair {
+
+/// Tuning knobs of the heuristic repair algorithm.
+struct RepairOptions {
+  /// Detection/resolution rounds before the NULL-escape pass that
+  /// guarantees termination (the role nulls play in Cong et al. [VLDB'07]).
+  int max_iterations = 16;
+
+  /// Allow breaking a pattern match by editing an LHS cell (otherwise only
+  /// RHS cells are repaired).
+  bool enable_lhs_repairs = true;
+
+  /// How many ranked alternative values to keep per changed cell for the
+  /// cleansing-review UI (paper Fig. 5).
+  size_t alternatives_k = 3;
+
+  /// When non-empty, only these tuples may be modified (IncRepair mode:
+  /// existing clean data is immutable, only the delta is repaired).
+  std::unordered_set<relational::TupleId> mutable_tids;
+  bool restrict_to_mutable = false;
+};
+
+/// One cell edit made by the cleanser, with its ranked alternatives.
+struct CellChange {
+  relational::TupleId tid = -1;
+  size_t col = 0;
+  relational::Value original;
+  relational::Value repaired;
+  double cost = 0;
+  /// Other candidate values considered for this cell, ranked by cost
+  /// ascending (the pop-up list of the paper's Fig. 5).
+  std::vector<std::pair<relational::Value, double>> alternatives;
+};
+
+/// Outcome of a repair run.
+struct RepairResult {
+  relational::Relation repaired;
+  std::vector<CellChange> changes;
+  double total_cost = 0;
+  int iterations = 0;
+  /// Violations left when the heuristic gave up (0 unless the constraint
+  /// set is effectively unsatisfiable on some tuple in restricted mode).
+  size_t remaining_violations = 0;
+  /// Number of cells forced to NULL by the termination escape.
+  size_t null_escapes = 0;
+};
+
+/// The cost-based heuristic repair algorithm of Cong et al. [VLDB'07]
+/// ("BatchRepair"), the engine behind the paper's data cleanser (§2: "a
+/// candidate repair is obtained from the original data using attribute value
+/// modifications on the violations ... the repair algorithm aims to find a
+/// repair that minimally differs from the original data").
+///
+/// Each round: detect violations; resolve every single-tuple violation by
+/// the cheaper of (RHS := pattern constant) and (break the LHS match);
+/// resolve every multi-tuple group by merging the members' RHS cells and
+/// assigning the value that minimizes total weighted change cost (or break
+/// a minority member's LHS match when cheaper). Rounds repeat until clean;
+/// a NULL-escape pass bounds the worst case.
+class BatchRepair {
+ public:
+  /// `cfds` are resolved internally against rel's schema.
+  BatchRepair(const relational::Relation* rel, std::vector<cfd::Cfd> cfds,
+              CostModel cost_model, RepairOptions options = {});
+
+  common::Result<RepairResult> Run();
+
+ private:
+  const relational::Relation* rel_;
+  std::vector<cfd::Cfd> cfds_;
+  CostModel cost_model_;
+  RepairOptions options_;
+};
+
+}  // namespace semandaq::repair
+
+#endif  // SEMANDAQ_REPAIR_BATCH_REPAIR_H_

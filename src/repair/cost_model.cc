@@ -1,0 +1,34 @@
+#include "repair/cost_model.h"
+
+#include "common/string_util.h"
+
+namespace semandaq::repair {
+
+using relational::DataType;
+using relational::Value;
+
+CostModel::CostModel(const relational::Schema& schema, CostModelOptions options)
+    : schema_(schema), options_(std::move(options)) {}
+
+double CostModel::CellChangeCost(size_t col, const Value& from, const Value& to) const {
+  if (from == to) return 0.0;
+  const double w = weight(col);
+  if (to.is_null() || from.is_null()) {
+    // Introducing or overwriting NULL: a full change, with the NULL escape
+    // surcharged so constant repairs win when available.
+    return w * (to.is_null() ? options_.null_penalty : 1.0);
+  }
+  if (from.type() == DataType::kString && to.type() == DataType::kString) {
+    return w * common::NormalizedEditDistance(from.AsString(), to.AsString());
+  }
+  return w;  // numeric or mixed-type change: unit cost
+}
+
+double CostModel::RowDistance(const relational::Row& a, const relational::Row& b) const {
+  double total = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t c = 0; c < n; ++c) total += CellChangeCost(c, a[c], b[c]);
+  return total;
+}
+
+}  // namespace semandaq::repair

@@ -1,0 +1,69 @@
+#include "repair/equivalence.h"
+
+namespace semandaq::repair {
+
+uint64_t EquivalenceClasses::FindRoot(uint64_t key) {
+  auto it = parent_.find(key);
+  if (it == parent_.end()) {
+    parent_[key] = key;
+    members_[key] = {key};
+    return key;
+  }
+  // Path compression.
+  uint64_t root = key;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[key] != root) {
+    uint64_t next = parent_[key];
+    parent_[key] = root;
+    key = next;
+  }
+  return root;
+}
+
+CellId EquivalenceClasses::Find(CellId cell) { return FromKey(FindRoot(Key(cell))); }
+
+void EquivalenceClasses::Union(CellId a, CellId b) {
+  uint64_t ra = FindRoot(Key(a));
+  uint64_t rb = FindRoot(Key(b));
+  if (ra == rb) return;
+  // Union by size.
+  if (members_[ra].size() < members_[rb].size()) std::swap(ra, rb);
+  parent_[rb] = ra;
+  auto& ma = members_[ra];
+  auto& mb = members_[rb];
+  ma.insert(ma.end(), mb.begin(), mb.end());
+  members_.erase(rb);
+  auto tb = targets_.find(rb);
+  if (tb != targets_.end()) {
+    // Keep the absorbing class's target when both exist.
+    if (targets_.find(ra) == targets_.end()) targets_[ra] = tb->second;
+    targets_.erase(tb);
+  }
+}
+
+std::vector<CellId> EquivalenceClasses::Members(CellId cell) {
+  const uint64_t root = FindRoot(Key(cell));
+  std::vector<CellId> out;
+  for (uint64_t k : members_[root]) out.push_back(FromKey(k));
+  return out;
+}
+
+void EquivalenceClasses::SetTarget(CellId cell, relational::Value v) {
+  targets_[FindRoot(Key(cell))] = std::move(v);
+}
+
+std::optional<relational::Value> EquivalenceClasses::Target(CellId cell) {
+  auto it = targets_.find(FindRoot(Key(cell)));
+  if (it == targets_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t EquivalenceClasses::NumMergedClasses() const {
+  size_t n = 0;
+  for (const auto& [root, cells] : members_) {
+    if (cells.size() > 1) ++n;
+  }
+  return n;
+}
+
+}  // namespace semandaq::repair

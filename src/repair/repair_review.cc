@@ -1,0 +1,108 @@
+#include "repair/repair_review.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace semandaq::repair {
+
+using common::Status;
+using relational::Row;
+using relational::TupleId;
+using relational::Update;
+using relational::Value;
+
+RepairReview::RepairReview(const relational::Relation* original, RepairResult result,
+                           std::vector<cfd::Cfd> cfds)
+    : original_(original), result_(std::move(result)), cfds_(std::move(cfds)) {}
+
+common::Status RepairReview::Start() {
+  detector_ =
+      std::make_unique<detect::IncrementalDetector>(&result_.repaired, cfds_);
+  return detector_->Initialize();
+}
+
+const CellChange* RepairReview::FindChange(TupleId tid, size_t col) const {
+  for (const CellChange& ch : result_.changes) {
+    if (ch.tid == tid && ch.col == col) return &ch;
+  }
+  return nullptr;
+}
+
+common::Result<std::vector<TupleId>> RepairReview::OverrideCell(TupleId tid,
+                                                                size_t col,
+                                                                Value v) {
+  if (detector_ == nullptr) {
+    return Status::FailedPrecondition("RepairReview::Start was not called");
+  }
+  std::vector<TupleId> before = detector_->Snapshot().ViolatingTuples();
+  SEMANDAQ_RETURN_IF_ERROR(
+      detector_->ApplyAndDetect({Update::Modify(tid, col, std::move(v))}));
+  std::vector<TupleId> after = detector_->Snapshot().ViolatingTuples();
+
+  // Newly conflicting tuples = after \ before.
+  std::vector<TupleId> fresh;
+  std::set_difference(after.begin(), after.end(), before.begin(), before.end(),
+                      std::back_inserter(fresh));
+
+  // Keep the change log in sync with the user's decision.
+  bool found = false;
+  for (CellChange& ch : result_.changes) {
+    if (ch.tid == tid && ch.col == col) {
+      ch.repaired = result_.repaired.cell(tid, col);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    CellChange ch;
+    ch.tid = tid;
+    ch.col = col;
+    ch.original = original_->cell(tid, col);
+    ch.repaired = result_.repaired.cell(tid, col);
+    result_.changes.push_back(std::move(ch));
+  }
+  return fresh;
+}
+
+std::string RepairReview::RenderDiff(size_t max_rows) const {
+  const auto& schema = original_->schema();
+  std::ostringstream out;
+  out << "Cleansing review (" << result_.changes.size() << " modified cell(s), cost "
+      << result_.total_cost << ")\n";
+
+  // Column headers.
+  out << "tid";
+  for (size_t c = 0; c < schema.size(); ++c) out << " | " << schema.attr(c).name;
+  out << "\n";
+
+  size_t shown = 0;
+  original_->ForEach([&](TupleId tid, const Row& row) {
+    if (shown >= max_rows) return;
+    if (!result_.repaired.IsLive(tid)) return;
+    bool any_change = false;
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (FindChange(tid, c) != nullptr) {
+        any_change = true;
+        break;
+      }
+    }
+    if (!any_change) return;
+    ++shown;
+    out << "#" << tid;
+    for (size_t c = 0; c < schema.size(); ++c) {
+      out << " | ";
+      const CellChange* ch = FindChange(tid, c);
+      if (ch != nullptr && !(ch->original == ch->repaired)) {
+        out << "[" << ch->original.ToDisplayString() << " -> "
+            << ch->repaired.ToDisplayString() << "]";
+      } else {
+        out << row[c].ToDisplayString();
+      }
+    }
+    out << "\n";
+  });
+  if (shown == 0) out << "(no modified tuples)\n";
+  return out.str();
+}
+
+}  // namespace semandaq::repair

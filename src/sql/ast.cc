@@ -1,0 +1,194 @@
+#include "sql/ast.h"
+
+namespace semandaq::sql {
+
+const char* BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> CloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->literal = e.literal;
+  out->qualifier = e.qualifier;
+  out->column = e.column;
+  out->bound_table = e.bound_table;
+  out->bound_col = e.bound_col;
+  out->unary_op = e.unary_op;
+  out->bin_op = e.bin_op;
+  out->func_name = e.func_name;
+  out->distinct = e.distinct;
+  out->star_arg = e.star_arg;
+  out->agg_index = e.agg_index;
+  out->negated = e.negated;
+  if (e.left) out->left = CloneExpr(*e.left);
+  if (e.right) out->right = CloneExpr(*e.right);
+  for (const auto& a : e.args) out->args.push_back(CloneExpr(*a));
+  for (const auto& a : e.in_list) out->in_list.push_back(CloneExpr(*a));
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case ExprKind::kUnary:
+      return (unary_op == UnaryOp::kNot ? "(NOT " : "(-") + left->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + " " + BinOpToString(bin_op) + " " +
+             right->ToString() + ")";
+    case ExprKind::kFuncCall: {
+      std::string out = func_name + "(";
+      if (distinct) out += "DISTINCT ";
+      if (star_arg) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->ToString();
+        }
+      }
+      return out + ")";
+    }
+    case ExprKind::kInList: {
+      std::string out = "(" + left->ToString();
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_list[i]->ToString();
+      }
+      return out + "))";
+    }
+    case ExprKind::kIsNull:
+      return "(" + left->ToString() + (negated ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::kLike:
+      return "(" + left->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             right->ToString() + ")";
+    case ExprKind::kStar:
+      return qualifier.empty() ? "*" : qualifier + ".*";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Literal(relational::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Column(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(UnaryOp op, std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinOp op, std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Func(std::string name,
+                                 std::vector<std::unique_ptr<Expr>> args,
+                                 bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = std::move(name);
+  e->args = std::move(args);
+  e->distinct = distinct;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::CountStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = "COUNT";
+  e->star_arg = true;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Star() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table_name;
+    if (!from[i].alias.empty()) out += " " + from[i].alias;
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace semandaq::sql

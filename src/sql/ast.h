@@ -1,0 +1,138 @@
+#ifndef SEMANDAQ_SQL_AST_H_
+#define SEMANDAQ_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace semandaq::sql {
+
+/// Expression node kinds. A single struct (rather than a class hierarchy)
+/// keeps this mini-engine's AST compact; fields are used per-kind as
+/// documented below.
+enum class ExprKind {
+  kLiteral,    ///< `literal`
+  kColumnRef,  ///< `qualifier` (may be empty) + `column`
+  kUnary,      ///< `unary_op` applied to `left`
+  kBinary,     ///< `bin_op` over `left`, `right`
+  kFuncCall,   ///< `func_name`(args...), possibly DISTINCT or COUNT(*)
+  kInList,     ///< `left` [NOT] IN (in_list...)
+  kIsNull,     ///< `left` IS [NOT] NULL
+  kLike,       ///< `left` [NOT] LIKE `right`
+  kStar,       ///< bare `*` in a select list (optionally qualified)
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,  // comparisons
+  kAnd, kOr,                     // logic
+  kAdd, kSub, kMul, kDiv,        // arithmetic
+};
+
+/// Returns the SQL spelling of a binary operator ("=", "AND", ...).
+const char* BinOpToString(BinOp op);
+
+struct Expr;
+
+/// Deep copy of an expression tree (binder bindings included).
+std::unique_ptr<Expr> CloneExpr(const Expr& e);
+
+/// A SQL scalar expression.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  relational::Value literal;
+
+  // kColumnRef
+  std::string qualifier;  ///< table name or alias; empty if unqualified
+  std::string column;
+
+  // Filled by the binder: which FROM entry / column ordinal this reference
+  // resolved to. bound_col == kTidColumn refers to the pseudo-column __tid.
+  int bound_table = -1;
+  int bound_col = -1;
+  static constexpr int kTidColumn = -2;
+
+  // kUnary
+  UnaryOp unary_op = UnaryOp::kNot;
+
+  // kBinary
+  BinOp bin_op = BinOp::kEq;
+  std::unique_ptr<Expr> left;
+  std::unique_ptr<Expr> right;
+
+  // kFuncCall
+  std::string func_name;  ///< upper-cased
+  bool distinct = false;
+  bool star_arg = false;  ///< COUNT(*)
+  std::vector<std::unique_ptr<Expr>> args;
+  int agg_index = -1;  ///< filled by the binder for aggregate calls
+
+  // kInList / kIsNull / kLike
+  bool negated = false;
+  std::vector<std::unique_ptr<Expr>> in_list;
+
+  /// Debug/round-trip rendering (parseable SQL for all kinds).
+  std::string ToString() const;
+
+  // -- Factories ------------------------------------------------------------
+  static std::unique_ptr<Expr> Literal(relational::Value v);
+  static std::unique_ptr<Expr> Column(std::string qualifier, std::string column);
+  static std::unique_ptr<Expr> Unary(UnaryOp op, std::unique_ptr<Expr> operand);
+  static std::unique_ptr<Expr> Binary(BinOp op, std::unique_ptr<Expr> l,
+                                      std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> Func(std::string name,
+                                    std::vector<std::unique_ptr<Expr>> args,
+                                    bool distinct);
+  static std::unique_ptr<Expr> CountStar();
+  static std::unique_ptr<Expr> Star();
+};
+
+/// One entry of a SELECT list: an expression with an optional alias, or a
+/// (qualified) star.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string alias;  ///< empty means derive a name
+};
+
+/// One entry of a FROM list. Joins are expressed as comma-separated tables
+/// with join predicates in WHERE (the form the CFD detection queries of
+/// Fan et al. use); INNER JOIN ... ON sugar is normalized to this by the
+/// parser.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  ///< empty means the table name itself
+
+  const std::string& effective_name() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool ascending = true;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  /// Round-trip rendering for logs/tests.
+  std::string ToString() const;
+};
+
+}  // namespace semandaq::sql
+
+#endif  // SEMANDAQ_SQL_AST_H_

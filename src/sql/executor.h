@@ -1,0 +1,27 @@
+#ifndef SEMANDAQ_SQL_EXECUTOR_H_
+#define SEMANDAQ_SQL_EXECUTOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/relation.h"
+#include "sql/binder.h"
+
+namespace semandaq::sql {
+
+/// Evaluates a bound query and materializes the result as a relation.
+///
+/// Physical strategy: left-deep join in FROM order. Equality conjuncts
+/// between the joined prefix and the next table become composite-key hash
+/// joins (SQL NULL semantics: null keys never match); everything else is a
+/// nested-loop filter applied as soon as all referenced tables are joined.
+/// Aggregation is hash-based with per-group states for COUNT / COUNT
+/// DISTINCT / SUM / AVG / MIN / MAX. NULL comparison follows three-valued
+/// logic throughout.
+common::Result<relational::Relation> Execute(const BoundQuery& query,
+                                             std::string_view result_name = "result");
+
+}  // namespace semandaq::sql
+
+#endif  // SEMANDAQ_SQL_EXECUTOR_H_

@@ -1,0 +1,193 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace semandaq::sql {
+
+namespace {
+
+constexpr std::array<std::string_view, 25> kKeywords = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP",  "BY",    "HAVING",
+    "ORDER",  "ASC",      "DESC", "LIMIT", "AND",    "OR",    "NOT",
+    "IN",     "IS",       "NULL", "LIKE",  "AS",     "ON",    "JOIN",
+    "INNER",  "TRUE",     "FALSE", "BETWEEN",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsReservedKeyword(std::string_view upper_word) {
+  for (std::string_view kw : kKeywords) {
+    if (kw == upper_word) return true;
+  }
+  return false;
+}
+
+common::Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    // String literal with '' escaping.
+    if (c == '\'') {
+      std::string payload;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            payload.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        payload.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return common::Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(payload);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Quoted identifier.
+    if (c == '"') {
+      std::string payload;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '"') {
+          if (i + 1 < n && sql[i + 1] == '"') {
+            payload.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        payload.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return common::Status::InvalidArgument(
+            "unterminated quoted identifier at offset " + std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::move(payload);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Number literal.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string_view lexeme = sql.substr(start, i - start);
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        if (!common::ParseDouble(lexeme, &tok.double_value)) {
+          return common::Status::InvalidArgument("bad numeric literal: " +
+                                                 std::string(lexeme));
+        }
+      } else {
+        tok.type = TokenType::kInteger;
+        if (!common::ParseInt64(lexeme, &tok.int_value)) {
+          return common::Status::InvalidArgument("bad integer literal: " +
+                                                 std::string(lexeme));
+        }
+      }
+      tok.text = std::string(lexeme);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Identifier or keyword.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string upper = common::ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = std::move(word);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto starts = [&](std::string_view op) {
+      return sql.substr(i, op.size()) == op;
+    };
+    bool matched = false;
+    for (std::string_view op : {"<>", "<=", ">=", "!="}) {
+      if (starts(op)) {
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(op);
+        i += op.size();
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (std::string_view("(),.*=<>+-/;").find(c) != std::string_view::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return common::Status::InvalidArgument("unexpected character '" + std::string(1, c) +
+                                           "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace semandaq::sql

@@ -1,0 +1,50 @@
+#ifndef SEMANDAQ_SQL_LEXER_H_
+#define SEMANDAQ_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace semandaq::sql {
+
+/// Token categories produced by the SQL lexer.
+enum class TokenType {
+  kIdentifier,   ///< Bare or "quoted" identifier.
+  kKeyword,      ///< Reserved word; text is upper-cased.
+  kString,       ///< 'single quoted' literal; text is the unescaped payload.
+  kInteger,      ///< Integer literal.
+  kFloat,        ///< Floating-point literal.
+  kSymbol,       ///< Punctuation/operator; text is the exact lexeme.
+  kEnd,          ///< End of input sentinel.
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        ///< Normalized lexeme (see TokenType docs).
+  int64_t int_value = 0;   ///< For kInteger.
+  double double_value = 0; ///< For kFloat.
+  size_t offset = 0;       ///< Byte offset in the input.
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes a SQL string. SQL keywords are recognized case-insensitively;
+/// '--' starts a line comment. Fails on unterminated strings and unknown
+/// characters.
+common::Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+/// True if `word` (upper-cased) is one of the reserved keywords.
+bool IsReservedKeyword(std::string_view upper_word);
+
+}  // namespace semandaq::sql
+
+#endif  // SEMANDAQ_SQL_LEXER_H_

@@ -1,0 +1,501 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "sql/lexer.h"
+
+namespace semandaq::sql {
+
+namespace {
+
+using common::Result;
+using common::Status;
+using relational::Value;
+
+// We cannot use SEMANDAQ_RETURN_IF_ERROR (it returns Status, these methods
+// return Result<T>); this helper keeps keyword checks terse.
+#define SEMANDAQ_RETURN_IF_NOT(expr)            \
+  do {                                          \
+    Status _st = (expr);                        \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> ParseStatement() {
+    SEMANDAQ_RETURN_IF_NOT(ExpectKeyword("SELECT"));
+    SelectStmt stmt;
+    if (Peek().IsKeyword("DISTINCT")) {
+      Advance();
+      stmt.distinct = true;
+    }
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        item.expr = Expr::Star();
+      } else if (Peek().type == TokenType::kIdentifier && Peek(1).IsSymbol(".") &&
+                 Peek(2).IsSymbol("*")) {
+        auto star = Expr::Star();
+        star->qualifier = Peek().text;
+        Advance();
+        Advance();
+        Advance();
+        item.expr = std::move(star);
+      } else {
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        item.expr = std::move(*e);
+        if (Peek().IsKeyword("AS")) {
+          Advance();
+          if (Peek().type != TokenType::kIdentifier) {
+            return Err("expected alias after AS");
+          }
+          item.alias = Peek().text;
+          Advance();
+        } else if (Peek().type == TokenType::kIdentifier) {
+          item.alias = Peek().text;
+          Advance();
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    SEMANDAQ_RETURN_IF_NOT(ExpectKeyword("FROM"));
+    // FROM list with optional INNER JOIN ... ON sugar.
+    {
+      auto first = ParseTableRef();
+      if (!first.ok()) return first.status();
+      stmt.from.push_back(std::move(*first));
+    }
+    while (true) {
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        auto tr = ParseTableRef();
+        if (!tr.ok()) return tr.status();
+        stmt.from.push_back(std::move(*tr));
+        continue;
+      }
+      if (Peek().IsKeyword("JOIN") ||
+          (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN"))) {
+        if (Peek().IsKeyword("INNER")) Advance();
+        Advance();  // JOIN
+        auto tr2 = ParseTableRef();
+        if (!tr2.ok()) return tr2.status();
+        stmt.from.push_back(std::move(*tr2));
+        SEMANDAQ_RETURN_IF_NOT(ExpectKeyword("ON"));
+        auto cond = ParseExpr();
+        if (!cond.ok()) return cond.status();
+        // Fold the join condition into WHERE.
+        if (stmt.where) {
+          stmt.where =
+              Expr::Binary(BinOp::kAnd, std::move(stmt.where), std::move(*cond));
+        } else {
+          stmt.where = std::move(*cond);
+        }
+        continue;
+      }
+      break;
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      if (stmt.where) {
+        stmt.where = Expr::Binary(BinOp::kAnd, std::move(*e), std::move(stmt.where));
+      } else {
+        stmt.where = std::move(*e);
+      }
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      SEMANDAQ_RETURN_IF_NOT(ExpectKeyword("BY"));
+      while (true) {
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        stmt.group_by.push_back(std::move(*e));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("HAVING")) {
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      stmt.having = std::move(*e);
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      SEMANDAQ_RETURN_IF_NOT(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        item.expr = std::move(*e);
+        if (Peek().IsKeyword("ASC")) {
+          Advance();
+        } else if (Peek().IsKeyword("DESC")) {
+          Advance();
+          item.ascending = false;
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (Peek().type != TokenType::kInteger) return Err("expected integer after LIMIT");
+      stmt.limit = Peek().int_value;
+      Advance();
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input: '" + Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(std::string msg) const {
+    return Status::InvalidArgument("SQL parse error at offset " +
+                                   std::to_string(Peek().offset) + ": " + std::move(msg));
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Err("expected " + std::string(kw) + ", found '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (Peek().type != TokenType::kIdentifier) return Err("expected table name");
+    TableRef tr;
+    tr.table_name = Peek().text;
+    Advance();
+    if (Peek().IsKeyword("AS")) {
+      Advance();
+      if (Peek().type != TokenType::kIdentifier) return Err("expected alias after AS");
+      tr.alias = Peek().text;
+      Advance();
+    } else if (Peek().type == TokenType::kIdentifier) {
+      tr.alias = Peek().text;
+      Advance();
+    }
+    return tr;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs.status();
+    auto node = std::move(*lhs);
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs.status();
+      node = Expr::Binary(BinOp::kOr, std::move(node), std::move(*rhs));
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) return lhs.status();
+    auto node = std::move(*lhs);
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      auto rhs = ParseNot();
+      if (!rhs.ok()) return rhs.status();
+      node = Expr::Binary(BinOp::kAnd, std::move(node), std::move(*rhs));
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (Peek().IsKeyword("NOT")) {
+      Advance();
+      auto operand = ParseNot();
+      if (!operand.ok()) return operand.status();
+      return Expr::Unary(UnaryOp::kNot, std::move(*operand));
+    }
+    return ParsePredicate();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePredicate() {
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs.status();
+    auto node = std::move(*lhs);
+
+    // Comparison operators.
+    struct CmpOp {
+      std::string_view sym;
+      BinOp op;
+    };
+    static constexpr CmpOp kCmps[] = {
+        {"<>", BinOp::kNe}, {"!=", BinOp::kNe}, {"<=", BinOp::kLe},
+        {">=", BinOp::kGe}, {"=", BinOp::kEq},  {"<", BinOp::kLt},
+        {">", BinOp::kGt},
+    };
+    for (const auto& cmp : kCmps) {
+      if (Peek().IsSymbol(cmp.sym)) {
+        Advance();
+        auto rhs = ParseAdditive();
+        if (!rhs.ok()) return rhs.status();
+        return Expr::Binary(cmp.op, std::move(node), std::move(*rhs));
+      }
+    }
+
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("LIKE") ||
+         Peek(1).IsKeyword("BETWEEN"))) {
+      negated = true;
+      Advance();
+    }
+    if (Peek().IsKeyword("IS")) {
+      Advance();
+      bool is_not = false;
+      if (Peek().IsKeyword("NOT")) {
+        Advance();
+        is_not = true;
+      }
+      SEMANDAQ_RETURN_IF_NOT(ExpectKeyword("NULL"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->left = std::move(node);
+      e->negated = is_not;
+      return e;
+    }
+    if (Peek().IsKeyword("LIKE")) {
+      Advance();
+      auto pat = ParseAdditive();
+      if (!pat.ok()) return pat.status();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLike;
+      e->left = std::move(node);
+      e->right = std::move(*pat);
+      e->negated = negated;
+      return e;
+    }
+    if (Peek().IsKeyword("IN")) {
+      Advance();
+      if (!Peek().IsSymbol("(")) return Err("expected ( after IN");
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->left = std::move(node);
+      e->negated = negated;
+      while (true) {
+        auto item = ParseExpr();
+        if (!item.ok()) return item.status();
+        e->in_list.push_back(std::move(*item));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (!Peek().IsSymbol(")")) return Err("expected ) closing IN list");
+      Advance();
+      return e;
+    }
+    if (Peek().IsKeyword("BETWEEN")) {
+      Advance();
+      auto lo = ParseAdditive();
+      if (!lo.ok()) return lo.status();
+      SEMANDAQ_RETURN_IF_NOT(ExpectKeyword("AND"));
+      auto hi = ParseAdditive();
+      if (!hi.ok()) return hi.status();
+      // x BETWEEN a AND b  =>  x >= a AND x <= b  (negated: NOT (...)).
+      auto lhs_copy = CloneExpr(*node);
+      auto range = Expr::Binary(
+          BinOp::kAnd, Expr::Binary(BinOp::kGe, std::move(node), std::move(*lo)),
+          Expr::Binary(BinOp::kLe, std::move(lhs_copy), std::move(*hi)));
+      if (negated) return Expr::Unary(UnaryOp::kNot, std::move(range));
+      return range;
+    }
+    if (negated) return Err("dangling NOT");
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs.status();
+    auto node = std::move(*lhs);
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      const BinOp op = Peek().IsSymbol("+") ? BinOp::kAdd : BinOp::kSub;
+      Advance();
+      auto rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs.status();
+      node = Expr::Binary(op, std::move(node), std::move(*rhs));
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs.status();
+    auto node = std::move(*lhs);
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      const BinOp op = Peek().IsSymbol("*") ? BinOp::kMul : BinOp::kDiv;
+      Advance();
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs.status();
+      node = Expr::Binary(op, std::move(node), std::move(*rhs));
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      Advance();
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand.status();
+      return Expr::Unary(UnaryOp::kNegate, std::move(*operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kString: {
+        auto e = Expr::Literal(Value::String(t.text));
+        Advance();
+        return e;
+      }
+      case TokenType::kInteger: {
+        auto e = Expr::Literal(Value::Int(t.int_value));
+        Advance();
+        return e;
+      }
+      case TokenType::kFloat: {
+        auto e = Expr::Literal(Value::Double(t.double_value));
+        Advance();
+        return e;
+      }
+      case TokenType::kKeyword: {
+        if (t.IsKeyword("NULL")) {
+          Advance();
+          return Expr::Literal(Value::Null());
+        }
+        if (t.IsKeyword("TRUE")) {
+          Advance();
+          return Expr::Literal(Value::Int(1));
+        }
+        if (t.IsKeyword("FALSE")) {
+          Advance();
+          return Expr::Literal(Value::Int(0));
+        }
+        return Err("unexpected keyword '" + t.text + "' in expression");
+      }
+      case TokenType::kIdentifier: {
+        std::string first = t.text;
+        Advance();
+        // Function call?
+        if (Peek().IsSymbol("(")) {
+          Advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFuncCall;
+          e->func_name = ToUpperAscii(first);
+          if (Peek().IsSymbol("*")) {
+            Advance();
+            e->star_arg = true;
+          } else {
+            if (Peek().IsKeyword("DISTINCT")) {
+              Advance();
+              e->distinct = true;
+            }
+            if (!Peek().IsSymbol(")")) {
+              while (true) {
+                auto arg = ParseExpr();
+                if (!arg.ok()) return arg.status();
+                e->args.push_back(std::move(*arg));
+                if (Peek().IsSymbol(",")) {
+                  Advance();
+                  continue;
+                }
+                break;
+              }
+            }
+          }
+          if (!Peek().IsSymbol(")")) return Err("expected ) closing function call");
+          Advance();
+          return e;
+        }
+        // Qualified column?
+        if (Peek().IsSymbol(".")) {
+          Advance();
+          if (Peek().type != TokenType::kIdentifier) {
+            return Err("expected column name after '.'");
+          }
+          std::string col = Peek().text;
+          Advance();
+          return Expr::Column(std::move(first), std::move(col));
+        }
+        return Expr::Column("", std::move(first));
+      }
+      case TokenType::kSymbol: {
+        if (t.IsSymbol("(")) {
+          Advance();
+          auto inner = ParseExpr();
+          if (!inner.ok()) return inner.status();
+          if (!Peek().IsSymbol(")")) return Err("expected )");
+          Advance();
+          return inner;
+        }
+        return Err("unexpected symbol '" + t.text + "' in expression");
+      }
+      case TokenType::kEnd:
+        return Err("unexpected end of input in expression");
+    }
+    return Err("unexpected token");
+  }
+
+  static std::string ToUpperAscii(std::string s) {
+    for (char& c : s) {
+      if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    }
+    return s;
+  }
+
+#undef SEMANDAQ_RETURN_IF_NOT
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Result<SelectStmt> ParseSelect(std::string_view sql) {
+  SEMANDAQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace semandaq::sql

@@ -1,0 +1,29 @@
+#ifndef SEMANDAQ_SQL_PARSER_H_
+#define SEMANDAQ_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace semandaq::sql {
+
+/// Parses a single SELECT statement.
+///
+/// Supported grammar (a superset of what the generated CFD-detection queries
+/// of Fan et al. [TODS'08] need):
+///
+///   SELECT [DISTINCT] item, ...            item := * | t.* | expr [AS alias]
+///   FROM t [alias], ...                    and INNER JOIN ... ON sugar
+///   [WHERE expr] [GROUP BY expr, ...] [HAVING expr]
+///   [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+///
+/// Expressions: literals (string/int/float/NULL/TRUE/FALSE), column refs,
+/// comparisons, AND/OR/NOT, arithmetic, LIKE, IN (list), IS [NOT] NULL,
+/// BETWEEN (desugared), and aggregate calls COUNT/SUM/AVG/MIN/MAX with
+/// optional DISTINCT and COUNT(*).
+common::Result<SelectStmt> ParseSelect(std::string_view sql);
+
+}  // namespace semandaq::sql
+
+#endif  // SEMANDAQ_SQL_PARSER_H_

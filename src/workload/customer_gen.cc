@@ -1,0 +1,180 @@
+#include "workload/customer_gen.h"
+
+#include <array>
+
+#include "common/random.h"
+
+namespace semandaq::workload {
+
+using common::Rng;
+using common::ZipfGenerator;
+using relational::Relation;
+using relational::Row;
+using relational::Schema;
+using relational::TupleId;
+using relational::Value;
+
+namespace {
+
+/// One master location: a fully consistent (CNT, CITY, ZIP, STR, CC, AC)
+/// combination. The generator samples customers from this pool.
+struct Location {
+  const char* cnt;
+  const char* city;
+  std::string zip;
+  std::string str;
+  const char* cc;
+  const char* ac;
+};
+
+struct CitySpec {
+  const char* cnt;
+  const char* cc;
+  const char* city;
+  const char* ac;
+  const char* zip_prefix;
+  bool zip_determines_street;  // true in the UK (paper's φ2), false in the US
+};
+
+constexpr CitySpec kCities[] = {
+    {"UK", "44", "Edinburgh", "131", "EH", true},
+    {"UK", "44", "London", "20", "W", true},
+    {"UK", "44", "Glasgow", "141", "G", true},
+    {"NL", "31", "Amsterdam", "20", "10", true},
+    {"NL", "31", "Utrecht", "30", "35", true},
+    {"US", "1", "NewYork", "212", "100", false},
+    {"US", "1", "Chicago", "312", "606", false},
+};
+
+constexpr const char* kStreetNames[] = {
+    "MayfieldRd", "PrincesSt", "HighSt",  "KingsRd",   "QueenSt",
+    "ParkAve",    "LakeSt",    "MainSt",  "OakAve",    "ElmSt",
+};
+
+/// Builds the master location pool: per city a handful of zips; in
+/// zip_determines_street cities each zip has exactly one street, elsewhere
+/// each zip is shared by several streets.
+std::vector<Location> BuildMasterData() {
+  std::vector<Location> pool;
+  for (const CitySpec& city : kCities) {
+    const size_t zips = 6;
+    for (size_t z = 0; z < zips; ++z) {
+      const std::string zip =
+          std::string(city.zip_prefix) + std::to_string(z + 1) + " " +
+          std::to_string((z * 7) % 10) + "XY";
+      if (city.zip_determines_street) {
+        pool.push_back(Location{city.cnt, city.city, zip,
+                                kStreetNames[z % std::size(kStreetNames)], city.cc,
+                                city.ac});
+      } else {
+        for (size_t s = 0; s < 3; ++s) {
+          pool.push_back(Location{city.cnt, city.city, zip,
+                                  kStreetNames[(z + s * 3) % std::size(kStreetNames)],
+                                  city.cc, city.ac});
+        }
+      }
+    }
+  }
+  return pool;
+}
+
+/// Introduces a one-character typo (substitution) into a string value.
+Value Typo(const Value& v, Rng* rng) {
+  if (v.type() != relational::DataType::kString || v.AsString().empty()) {
+    return Value::String("X");
+  }
+  std::string s = v.AsString();
+  const size_t pos = rng->NextIndex(s.size());
+  char replacement = static_cast<char>('a' + rng->NextBelow(26));
+  if (s[pos] == replacement) replacement = 'z';
+  s[pos] = replacement;
+  return Value::String(std::move(s));
+}
+
+}  // namespace
+
+Schema CustomerGenerator::CustomerSchema() {
+  return Schema::AllStrings({"NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"});
+}
+
+std::string CustomerGenerator::PaperCfds() {
+  return R"(# Sigma for the paper's customer relation (Section 3 examples)
+# phi1: country + zip determine city (holds globally, like f1)
+customer: [CNT, ZIP] -> [CITY]
+# phi2: in the UK, zip determines street (conditional - fails in the US)
+customer: [CNT=UK, ZIP=_] -> [STR=_]
+# phi3/phi4: country code determines country, with known constant bindings
+customer: [CC] -> [CNT] { (44 | UK), (31 | NL), (1 | US) }
+# country + city determine area code
+customer: [CNT, CITY] -> [AC]
+)";
+}
+
+CustomerWorkload CustomerGenerator::Generate(const CustomerWorkloadOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<Location> pool = BuildMasterData();
+  ZipfGenerator zipf(pool.size(), options.zipf_theta);
+
+  CustomerWorkload out;
+  out.clean = Relation{"customer_gold", CustomerSchema()};
+  out.dirty = Relation{"customer", CustomerSchema()};
+
+  for (size_t i = 0; i < options.num_tuples; ++i) {
+    const Location& loc = pool[zipf.Next(&rng)];
+    Row row{Value::String("Cust_" + std::to_string(i)), Value::String(loc.cnt),
+            Value::String(loc.city),  Value::String(loc.zip),
+            Value::String(loc.str),   Value::String(loc.cc),
+            Value::String(loc.ac)};
+    out.clean.MustInsert(row);
+    out.dirty.MustInsert(std::move(row));
+  }
+
+  // Corrupt ~noise_rate of the tuples, one cell each. Errors are either a
+  // domain swap (value from another master location: semantically wrong but
+  // plausible) or a typo.
+  const size_t num_errors =
+      static_cast<size_t>(static_cast<double>(options.num_tuples) *
+                              options.noise_rate +
+                          0.5);
+  std::vector<TupleId> tids = out.dirty.LiveIds();
+  rng.Shuffle(&tids);
+  constexpr std::array<size_t, 6> kCorruptible = {kCnt, kCity, kZip, kStr, kCc, kAc};
+  for (size_t e = 0; e < num_errors && e < tids.size(); ++e) {
+    const TupleId tid = tids[e];
+    const size_t col = kCorruptible[rng.NextIndex(kCorruptible.size())];
+    const Value original = out.dirty.cell(tid, col);
+    Value corrupted;
+    if (rng.NextBool(0.5)) {
+      // Domain swap: pick the same attribute from a random other location.
+      const Location& other = pool[rng.NextIndex(pool.size())];
+      switch (col) {
+        case kCnt:
+          corrupted = Value::String(other.cnt);
+          break;
+        case kCity:
+          corrupted = Value::String(other.city);
+          break;
+        case kZip:
+          corrupted = Value::String(other.zip);
+          break;
+        case kStr:
+          corrupted = Value::String(other.str);
+          break;
+        case kCc:
+          corrupted = Value::String(other.cc);
+          break;
+        default:
+          corrupted = Value::String(other.ac);
+          break;
+      }
+      if (corrupted == original) corrupted = Typo(original, &rng);
+    } else {
+      corrupted = Typo(original, &rng);
+    }
+    (void)out.dirty.SetCell(tid, col, corrupted);
+    out.injected.push_back(InjectedError{tid, col, original, corrupted});
+  }
+  return out;
+}
+
+}  // namespace semandaq::workload

@@ -1,0 +1,64 @@
+#ifndef SEMANDAQ_WORKLOAD_CUSTOMER_GEN_H_
+#define SEMANDAQ_WORKLOAD_CUSTOMER_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace semandaq::workload {
+
+/// One injected error, kept as the gold standard for repair-quality
+/// measurements (precision/recall as in Cong et al. [VLDB'07]).
+struct InjectedError {
+  relational::TupleId tid = -1;
+  size_t col = 0;
+  relational::Value clean;
+  relational::Value dirty;
+};
+
+struct CustomerWorkloadOptions {
+  size_t num_tuples = 1000;
+  /// Fraction of tuples that receive one corrupted cell.
+  double noise_rate = 0.05;
+  uint64_t seed = 42;
+  /// Skew of master-location popularity (0 = uniform).
+  double zipf_theta = 0.6;
+};
+
+/// A generated instance of the paper's running example relation
+/// customer(NAME, CNT, CITY, ZIP, STR, CC, AC).
+struct CustomerWorkload {
+  relational::Relation clean;  ///< gold standard ("customer_gold")
+  relational::Relation dirty;  ///< with injected noise ("customer")
+  std::vector<InjectedError> injected;
+};
+
+/// Synthetic generator for the paper's customer relation, built from master
+/// data that satisfies the paper's Σ by construction:
+///  * CC determines CNT (44=UK, 31=NL, 1=US) — φ3/φ4;
+///  * (CNT, ZIP) determines CITY everywhere — φ1;
+///  * within the UK, ZIP additionally determines STR — φ2 — while US zips
+///    are shared by several streets, so the FD [CNT,ZIP] -> [STR] holds
+///    *only conditionally* (the motivating example of the paper);
+///  * (CNT, CITY) determines AC.
+/// Injected noise corrupts one cell per chosen tuple (domain swap or typo).
+class CustomerGenerator {
+ public:
+  /// The seven-attribute all-string schema of the paper's example.
+  static relational::Schema CustomerSchema();
+
+  /// The paper's constraint set (φ1, φ2, φ3 as a tableau of φ4-style
+  /// constants, plus the AC rule) in cfd_parser notation.
+  static std::string PaperCfds();
+
+  /// Column ordinals, for tests and benches.
+  enum Column : size_t { kName = 0, kCnt, kCity, kZip, kStr, kCc, kAc };
+
+  static CustomerWorkload Generate(const CustomerWorkloadOptions& options);
+};
+
+}  // namespace semandaq::workload
+
+#endif  // SEMANDAQ_WORKLOAD_CUSTOMER_GEN_H_

@@ -1,0 +1,127 @@
+#include "workload/hospital_gen.h"
+
+#include <array>
+
+#include "common/random.h"
+
+namespace semandaq::workload {
+
+using common::Rng;
+using relational::Relation;
+using relational::Row;
+using relational::Schema;
+using relational::TupleId;
+using relational::Value;
+
+namespace {
+
+struct HospitalCity {
+  const char* city;
+  const char* state;
+  const char* zip_prefix;
+  const char* phone_prefix;
+};
+
+constexpr HospitalCity kHospitalCities[] = {
+    {"Birmingham", "AL", "352", "205"}, {"Mobile", "AL", "366", "251"},
+    {"Phoenix", "AZ", "850", "602"},    {"Tucson", "AZ", "857", "520"},
+    {"Denver", "CO", "802", "303"},     {"Boulder", "CO", "803", "720"},
+};
+
+struct Measure {
+  const char* code;
+  const char* name;
+};
+
+constexpr Measure kMeasures[] = {
+    {"PN-1", "Pneumonia oxygenation assessment"},
+    {"PN-2", "Pneumonia vaccination"},
+    {"AMI-1", "Aspirin at arrival"},
+    {"AMI-2", "Aspirin at discharge"},
+    {"HF-1", "Discharge instructions"},
+    {"SCIP-1", "Prophylactic antibiotic"},
+};
+
+}  // namespace
+
+Schema HospitalGenerator::HospitalSchema() {
+  return Schema::AllStrings(
+      {"PROVIDER", "CITY", "STATE", "ZIP", "PHONE", "MCODE", "MNAME"});
+}
+
+std::string HospitalGenerator::HospitalCfds() {
+  return R"(# Sigma for the hospital relation
+hospital: [ZIP] -> [STATE]
+hospital: [ZIP] -> [CITY]
+hospital: [MCODE] -> [MNAME]
+hospital: [MCODE] -> [MNAME] { (PN-2 | 'Pneumonia vaccination'), (AMI-1 | 'Aspirin at arrival') }
+hospital: [STATE, CITY] -> [PHONE]
+)";
+}
+
+HospitalWorkload HospitalGenerator::Generate(const HospitalWorkloadOptions& options) {
+  Rng rng(options.seed);
+  HospitalWorkload out;
+  out.clean = Relation{"hospital_gold", HospitalSchema()};
+  out.dirty = Relation{"hospital", HospitalSchema()};
+
+  for (size_t i = 0; i < options.num_tuples; ++i) {
+    const HospitalCity& city = kHospitalCities[rng.NextIndex(std::size(kHospitalCities))];
+    const Measure& m = kMeasures[rng.NextIndex(std::size(kMeasures))];
+    const std::string zip =
+        std::string(city.zip_prefix) + std::to_string(10 + rng.NextBelow(6));
+    // The central switchboard number: constant per (STATE, CITY) so the
+    // [STATE, CITY] -> [PHONE] dependency holds on clean data.
+    const std::string phone = std::string(city.phone_prefix) + "-555-0100";
+    Row row{Value::String("Provider_" + std::to_string(i % 97)),
+            Value::String(city.city),
+            Value::String(city.state),
+            Value::String(zip),
+            Value::String(phone),
+            Value::String(m.code),
+            Value::String(m.name)};
+    out.clean.MustInsert(row);
+    out.dirty.MustInsert(std::move(row));
+  }
+
+  const size_t num_errors = static_cast<size_t>(
+      static_cast<double>(options.num_tuples) * options.noise_rate + 0.5);
+  std::vector<TupleId> tids = out.dirty.LiveIds();
+  rng.Shuffle(&tids);
+  constexpr std::array<size_t, 5> kCorruptible = {kCity, kState, kZip, kMcode, kMname};
+  for (size_t e = 0; e < num_errors && e < tids.size(); ++e) {
+    const TupleId tid = tids[e];
+    const size_t col = kCorruptible[rng.NextIndex(kCorruptible.size())];
+    const Value original = out.dirty.cell(tid, col);
+    Value corrupted;
+    const HospitalCity& other =
+        kHospitalCities[rng.NextIndex(std::size(kHospitalCities))];
+    const Measure& other_m = kMeasures[rng.NextIndex(std::size(kMeasures))];
+    switch (col) {
+      case kCity:
+        corrupted = Value::String(other.city);
+        break;
+      case kState:
+        corrupted = Value::String(other.state);
+        break;
+      case kZip:
+        corrupted = Value::String(std::string(other.zip_prefix) +
+                                  std::to_string(10 + rng.NextBelow(6)));
+        break;
+      case kMcode:
+        corrupted = Value::String(other_m.code);
+        break;
+      default:
+        corrupted = Value::String(other_m.name);
+        break;
+    }
+    if (corrupted == original) {
+      corrupted = Value::String(original.AsString() + "X");
+    }
+    (void)out.dirty.SetCell(tid, col, corrupted);
+    out.injected.push_back(InjectedError{tid, col, original, corrupted});
+  }
+  return out;
+}
+
+}  // namespace semandaq::workload

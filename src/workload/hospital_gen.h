@@ -1,0 +1,46 @@
+#ifndef SEMANDAQ_WORKLOAD_HOSPITAL_GEN_H_
+#define SEMANDAQ_WORKLOAD_HOSPITAL_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/relation.h"
+#include "workload/customer_gen.h"
+
+namespace semandaq::workload {
+
+struct HospitalWorkloadOptions {
+  size_t num_tuples = 1000;
+  double noise_rate = 0.05;
+  uint64_t seed = 4242;
+};
+
+/// The second evaluation domain: a simplified HOSPITAL quality-measure feed
+/// (the dataset family used throughout the CFD literature), with schema
+/// hospital(PROVIDER, CITY, STATE, ZIP, PHONE, MCODE, MNAME).
+struct HospitalWorkload {
+  relational::Relation clean;  ///< "hospital_gold"
+  relational::Relation dirty;  ///< "hospital"
+  std::vector<InjectedError> injected;
+};
+
+/// Master-data invariants: ZIP determines (CITY, STATE); (STATE, CITY)
+/// determines PHONE area prefix; MCODE determines MNAME with well-known
+/// constant bindings.
+class HospitalGenerator {
+ public:
+  static relational::Schema HospitalSchema();
+
+  /// Σ_hospital in cfd_parser notation: [ZIP]->[STATE], [ZIP]->[CITY],
+  /// [MCODE]->[MNAME] plus a constant tableau binding measure codes to
+  /// names, and [STATE,CITY]->[PHONE].
+  static std::string HospitalCfds();
+
+  enum Column : size_t { kProvider = 0, kCity, kState, kZip, kPhone, kMcode, kMname };
+
+  static HospitalWorkload Generate(const HospitalWorkloadOptions& options);
+};
+
+}  // namespace semandaq::workload
+
+#endif  // SEMANDAQ_WORKLOAD_HOSPITAL_GEN_H_

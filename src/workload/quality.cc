@@ -1,0 +1,59 @@
+#include "workload/quality.h"
+
+#include <cstdio>
+
+namespace semandaq::workload {
+
+using relational::Row;
+using relational::TupleId;
+
+RepairQuality EvaluateRepair(const relational::Relation& gold,
+                             const relational::Relation& dirty,
+                             const relational::Relation& repaired) {
+  RepairQuality q;
+  size_t correctly_changed = 0;
+  gold.ForEach([&](TupleId tid, const Row& grow) {
+    if (!dirty.IsLive(tid) || !repaired.IsLive(tid)) return;
+    const Row& drow = dirty.row(tid);
+    const Row& rrow = repaired.row(tid);
+    for (size_t c = 0; c < grow.size(); ++c) {
+      const bool was_error = !(drow[c] == grow[c]);
+      const bool changed = !(rrow[c] == drow[c]);
+      const bool now_correct = rrow[c] == grow[c];
+      if (was_error) {
+        ++q.error_cells;
+        if (now_correct) ++q.corrected;
+      } else if (changed) {
+        ++q.damaged;
+      }
+      if (changed) {
+        ++q.changed_cells;
+        if (now_correct) ++correctly_changed;
+      }
+      if (!now_correct) ++q.residual_errors;
+    }
+  });
+  q.precision = q.changed_cells == 0
+                    ? 1.0
+                    : static_cast<double>(correctly_changed) /
+                          static_cast<double>(q.changed_cells);
+  q.recall = q.error_cells == 0 ? 1.0
+                                : static_cast<double>(q.corrected) /
+                                      static_cast<double>(q.error_cells);
+  q.f1 = (q.precision + q.recall) == 0
+             ? 0
+             : 2 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+std::string RepairQuality::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "errors=%zu changed=%zu corrected=%zu damaged=%zu residual=%zu "
+                "precision=%.3f recall=%.3f f1=%.3f",
+                error_cells, changed_cells, corrected, damaged, residual_errors,
+                precision, recall, f1);
+  return buf;
+}
+
+}  // namespace semandaq::workload

@@ -1,0 +1,37 @@
+#ifndef SEMANDAQ_WORKLOAD_QUALITY_H_
+#define SEMANDAQ_WORKLOAD_QUALITY_H_
+
+#include <string>
+
+#include "relational/relation.h"
+
+namespace semandaq::workload {
+
+/// Repair quality against a gold standard, the evaluation metric of Cong et
+/// al. [VLDB'07]: how much of the injected noise did the cleanser undo, and
+/// how much clean data did it damage?
+struct RepairQuality {
+  size_t error_cells = 0;     ///< cells where dirty != gold
+  size_t changed_cells = 0;   ///< cells where repaired != dirty
+  size_t corrected = 0;       ///< error cells restored to the gold value
+  size_t damaged = 0;         ///< clean cells the cleanser changed
+  size_t residual_errors = 0; ///< cells still != gold after repair
+
+  /// changed cells that now match gold / changed cells.
+  double precision = 0;
+  /// corrected / error cells.
+  double recall = 0;
+  double f1 = 0;
+
+  std::string ToString() const;
+};
+
+/// Cell-level comparison of gold vs. dirty vs. repaired. The three relations
+/// must share schema and tuple ids (the generator guarantees this).
+RepairQuality EvaluateRepair(const relational::Relation& gold,
+                             const relational::Relation& dirty,
+                             const relational::Relation& repaired);
+
+}  // namespace semandaq::workload
+
+#endif  // SEMANDAQ_WORKLOAD_QUALITY_H_

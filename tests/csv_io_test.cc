@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "relational/csv_io.h"
+#include "test_util.h"
+
+namespace semandaq::relational {
+namespace {
+
+TEST(CsvIoTest, InfersAllStringSchema) {
+  ASSERT_OK_AND_ASSIGN(Relation rel,
+                       RelationFromCsv("t", "A,B\nx,1\ny,2\n"));
+  EXPECT_EQ(rel.schema().size(), 2u);
+  EXPECT_EQ(rel.schema().attr(0).name, "A");
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.cell(0, 1).AsString(), "1");  // string without schema
+}
+
+TEST(CsvIoTest, TypedSchemaParsesCells) {
+  Schema schema;
+  ASSERT_OK(schema.AddAttribute({"NAME", DataType::kString, {}}));
+  ASSERT_OK(schema.AddAttribute({"AGE", DataType::kInt, {}}));
+  ASSERT_OK(schema.AddAttribute({"SCORE", DataType::kDouble, {}}));
+  ASSERT_OK_AND_ASSIGN(Relation rel,
+                       RelationFromCsv("t", "NAME,AGE,SCORE\nbob,42,2.5\nsue,,\n",
+                                       &schema));
+  EXPECT_EQ(rel.cell(0, 1).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(rel.cell(0, 2).AsDouble(), 2.5);
+  // Empty cells become NULL.
+  EXPECT_TRUE(rel.cell(1, 1).is_null());
+  EXPECT_TRUE(rel.cell(1, 2).is_null());
+}
+
+TEST(CsvIoTest, TypedSchemaRejectsBadCells) {
+  Schema schema;
+  ASSERT_OK(schema.AddAttribute({"AGE", DataType::kInt, {}}));
+  auto r = RelationFromCsv("t", "AGE\nnot_a_number\n", &schema);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvIoTest, HeaderMismatchRejected) {
+  Schema schema = Schema::AllStrings({"A", "B"});
+  EXPECT_FALSE(RelationFromCsv("t", "A,WRONG\nx,y\n", &schema).ok());
+  EXPECT_FALSE(RelationFromCsv("t", "A\nx\n", &schema).ok());
+}
+
+TEST(CsvIoTest, RaggedRecordRejected) {
+  EXPECT_FALSE(RelationFromCsv("t", "A,B\nx\n").ok());
+}
+
+TEST(CsvIoTest, EmptyDocumentRejected) {
+  EXPECT_FALSE(RelationFromCsv("t", "").ok());
+}
+
+TEST(CsvIoTest, DuplicateHeaderRejected) {
+  EXPECT_FALSE(RelationFromCsv("t", "A,a\n1,2\n").ok());
+}
+
+TEST(CsvIoTest, RoundTripPreservesContent) {
+  Relation rel = testing::MakeStringRelation(
+      "t", {"A", "B"}, {{"plain", "with,comma"}, {"q\"uote", ""}});
+  const std::string csv = RelationToCsv(rel);
+  ASSERT_OK_AND_ASSIGN(Relation back, RelationFromCsv("t", csv));
+  EXPECT_EQ(back.size(), rel.size());
+  EXPECT_EQ(back.cell(0, 1).AsString(), "with,comma");
+  EXPECT_EQ(back.cell(1, 0).AsString(), "q\"uote");
+  // "" round-trips as NULL (empty cell).
+  EXPECT_TRUE(back.cell(1, 1).is_null());
+}
+
+TEST(CsvIoTest, FileRoundTrip) {
+  Relation rel = testing::MakeStringRelation("t", {"X"}, {{"1"}, {"2"}});
+  const std::string path = ::testing::TempDir() + "/semandaq_rel.csv";
+  ASSERT_OK(SaveRelationCsv(rel, path));
+  ASSERT_OK_AND_ASSIGN(Relation back, LoadRelationCsv("t", path));
+  EXPECT_EQ(back.size(), 2u);
+}
+
+TEST(CsvIoTest, SkipsDeadTuplesOnExport) {
+  Relation rel = testing::MakeStringRelation("t", {"X"}, {{"1"}, {"2"}, {"3"}});
+  ASSERT_OK(rel.Delete(1));
+  ASSERT_OK_AND_ASSIGN(Relation back, RelationFromCsv("t", RelationToCsv(rel)));
+  EXPECT_EQ(back.size(), 2u);
+}
+
+}  // namespace
+}  // namespace semandaq::relational

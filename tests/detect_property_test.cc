@@ -1,0 +1,148 @@
+// Cross-implementation property tests: on randomized instances, the three
+// detection code paths (native hash detection, generated-SQL detection, and
+// incremental detection after a random update stream) must produce exactly
+// the same violation structure. This is the central correctness invariant of
+// the error detector (Fan et al. [TODS'08], Theorems on detection SQL).
+
+#include <gtest/gtest.h>
+
+#include "cfd/cfd_parser.h"
+#include "common/random.h"
+#include "detect/incremental_detector.h"
+#include "detect/native_detector.h"
+#include "detect/sql_detector.h"
+#include "test_util.h"
+#include "workload/customer_gen.h"
+#include "workload/hospital_gen.h"
+
+namespace semandaq::detect {
+namespace {
+
+using relational::Database;
+using relational::Relation;
+using relational::Row;
+using relational::TupleId;
+using relational::Update;
+using relational::UpdateBatch;
+using relational::Value;
+
+std::vector<cfd::Cfd> Parse(const std::string& text) {
+  auto r = cfd::ParseCfdSet(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : std::vector<cfd::Cfd>{};
+}
+
+void ExpectEquivalent(const ViolationTable& a, const ViolationTable& b,
+                      const Relation& rel, const std::string& label) {
+  EXPECT_EQ(a.TotalVio(), b.TotalVio()) << label;
+  EXPECT_EQ(a.NumViolatingTuples(), b.NumViolatingTuples()) << label;
+  EXPECT_EQ(a.groups().size(), b.groups().size()) << label;
+  rel.ForEach([&](TupleId tid, const Row&) {
+    ASSERT_EQ(a.vio(tid), b.vio(tid)) << label << " tuple " << tid;
+  });
+}
+
+struct Sweep {
+  size_t tuples;
+  double noise;
+  uint64_t seed;
+};
+
+class DetectorEquivalence : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(DetectorEquivalence, NativeEqualsSqlOnCustomer) {
+  const Sweep p = GetParam();
+  workload::CustomerWorkloadOptions opts;
+  opts.num_tuples = p.tuples;
+  opts.noise_rate = p.noise;
+  opts.seed = p.seed;
+  auto wl = workload::CustomerGenerator::Generate(opts);
+  auto cfds = Parse(workload::CustomerGenerator::PaperCfds());
+
+  NativeDetector native(&wl.dirty, cfds);
+  ASSERT_OK_AND_ASSIGN(ViolationTable nat, native.Detect());
+
+  Database db;
+  ASSERT_OK(db.AddRelation(wl.dirty.Clone()));
+  SqlDetector sql(&db, "customer", cfds);
+  ASSERT_OK_AND_ASSIGN(ViolationTable sq, sql.Detect());
+
+  ExpectEquivalent(nat, sq, wl.dirty, "native-vs-sql");
+}
+
+TEST_P(DetectorEquivalence, NativeEqualsSqlOnHospital) {
+  const Sweep p = GetParam();
+  workload::HospitalWorkloadOptions opts;
+  opts.num_tuples = p.tuples;
+  opts.noise_rate = p.noise;
+  opts.seed = p.seed;
+  auto wl = workload::HospitalGenerator::Generate(opts);
+  auto cfds = Parse(workload::HospitalGenerator::HospitalCfds());
+
+  NativeDetector native(&wl.dirty, cfds);
+  ASSERT_OK_AND_ASSIGN(ViolationTable nat, native.Detect());
+
+  Database db;
+  ASSERT_OK(db.AddRelation(wl.dirty.Clone()));
+  SqlDetector sql(&db, "hospital", cfds);
+  ASSERT_OK_AND_ASSIGN(ViolationTable sq, sql.Detect());
+
+  ExpectEquivalent(nat, sq, wl.dirty, "native-vs-sql-hospital");
+}
+
+TEST_P(DetectorEquivalence, IncrementalEqualsFullAfterRandomUpdates) {
+  const Sweep p = GetParam();
+  workload::CustomerWorkloadOptions opts;
+  opts.num_tuples = p.tuples;
+  opts.noise_rate = p.noise;
+  opts.seed = p.seed;
+  auto wl = workload::CustomerGenerator::Generate(opts);
+  auto cfds = Parse(workload::CustomerGenerator::PaperCfds());
+
+  IncrementalDetector inc(&wl.dirty, cfds);
+  ASSERT_OK(inc.Initialize());
+
+  // Random update stream: inserts sampled from existing rows (possibly
+  // corrupted), point deletes, and point modifications.
+  common::Rng rng(p.seed ^ 0xDEADBEEF);
+  const size_t kSteps = 40;
+  for (size_t step = 0; step < kSteps; ++step) {
+    std::vector<TupleId> live = wl.dirty.LiveIds();
+    if (live.empty()) break;
+    UpdateBatch batch;
+    const uint64_t kind = rng.NextBelow(3);
+    const TupleId victim = live[rng.NextIndex(live.size())];
+    if (kind == 0) {
+      Row row = wl.dirty.row(victim);
+      if (rng.NextBool(0.5)) {
+        row[1 + rng.NextIndex(row.size() - 1)] =
+            Value::String(rng.NextString(4));
+      }
+      batch.push_back(Update::Insert(std::move(row)));
+    } else if (kind == 1) {
+      batch.push_back(Update::DeleteTuple(victim));
+    } else {
+      const size_t col = 1 + rng.NextIndex(wl.dirty.schema().size() - 1);
+      batch.push_back(Update::Modify(victim, col, Value::String(rng.NextString(3))));
+    }
+    ASSERT_OK(inc.ApplyAndDetect(batch));
+  }
+
+  NativeDetector full(&wl.dirty, cfds);
+  ASSERT_OK_AND_ASSIGN(ViolationTable from_scratch, full.Detect());
+  ExpectEquivalent(inc.Snapshot(), from_scratch, wl.dirty, "incremental-vs-full");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, DetectorEquivalence,
+    ::testing::Values(Sweep{50, 0.0, 1}, Sweep{50, 0.1, 2}, Sweep{200, 0.05, 3},
+                      Sweep{200, 0.2, 4}, Sweep{500, 0.02, 5}, Sweep{500, 0.3, 6},
+                      Sweep{1000, 0.05, 7}, Sweep{100, 0.5, 8}),
+    [](const ::testing::TestParamInfo<Sweep>& info) {
+      return "n" + std::to_string(info.param.tuples) + "_noise" +
+             std::to_string(static_cast<int>(info.param.noise * 100)) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace semandaq::detect

@@ -1,0 +1,203 @@
+// Tests for the stateful delta-local repair engine and the incremental
+// detector introspection it relies on.
+
+#include <gtest/gtest.h>
+
+#include "cfd/cfd_parser.h"
+#include "common/random.h"
+#include "detect/native_detector.h"
+#include "repair/inc_repair.h"
+#include "test_util.h"
+#include "workload/customer_gen.h"
+
+namespace semandaq::repair {
+namespace {
+
+using relational::Relation;
+using relational::Row;
+using relational::TupleId;
+using relational::Update;
+using relational::Value;
+
+std::vector<cfd::Cfd> Parse(const std::string& text) {
+  auto r = cfd::ParseCfdSet(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : std::vector<cfd::Cfd>{};
+}
+
+Row CleanUkRow(const char* name, const char* zip, const char* str) {
+  return {Value::String(name), Value::String("UK"), Value::String("Edi"),
+          Value::String(zip),  Value::String(str), Value::String("44"),
+          Value::String("131")};
+}
+
+// ---------------------------------------------- detector introspection ---
+
+TEST(DetectorIntrospectionTest, SinglesOfReportsConstantViolations) {
+  Relation rel = semandaq::testing::PaperCustomerRelation();
+  detect::IncrementalDetector det(&rel, Parse(semandaq::testing::PaperCfdText()));
+  ASSERT_OK(det.Initialize());
+  // Eve (6) violates phi4 (CFD index 1).
+  auto singles = det.SinglesOf(6);
+  ASSERT_EQ(singles.size(), 1u);
+  EXPECT_EQ(singles[0].first, 1u);
+  EXPECT_TRUE(det.SinglesOf(0).empty());
+}
+
+TEST(DetectorIntrospectionTest, ViolatingGroupsOfReportsBuckets) {
+  Relation rel = semandaq::testing::PaperCustomerRelation();
+  detect::IncrementalDetector det(&rel, Parse(semandaq::testing::PaperCfdText()));
+  ASSERT_OK(det.Initialize());
+  // Rick (1) sits in the EH2 4SD street group.
+  auto groups = det.ViolatingGroupsOf(1);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members->size(), 3u);
+  EXPECT_EQ(groups[0].rhs_counts->size(), 2u);  // Mayfield Rd, Crichton St
+  // Clean tuples report none.
+  EXPECT_TRUE(det.ViolatingGroupsOf(4).empty());
+  EXPECT_TRUE(det.ViolatingGroupsOf(999).empty());
+}
+
+// ------------------------------------------------------ IncRepairEngine ---
+
+TEST(IncRepairEngineTest, RequiresStart) {
+  Relation rel = semandaq::testing::PaperCustomerRelation();
+  CostModel cm(rel.schema());
+  IncRepairEngine engine(&rel, Parse(semandaq::testing::PaperCfdText()), cm);
+  EXPECT_FALSE(engine.ApplyAndRepair({}).ok());
+}
+
+TEST(IncRepairEngineTest, RepairsDirtyInsertInPlace) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "customer", {"NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"},
+      {{"A", "UK", "Edi", "EH1", "HighSt", "44", "131"},
+       {"B", "UK", "Edi", "EH1", "HighSt", "44", "131"}});
+  CostModel cm(rel.schema());
+  IncRepairEngine engine(&rel, Parse(semandaq::testing::PaperCfdText()), cm);
+  ASSERT_OK(engine.Start());
+
+  ASSERT_OK_AND_ASSIGN(
+      IncBatchResult result,
+      engine.ApplyAndRepair({Update::Insert(CleanUkRow("C", "EH1", "WrongSt"))}));
+  EXPECT_EQ(result.remaining_violations, 0u);
+  EXPECT_EQ(result.delta_tids, (std::vector<TupleId>{2}));
+  // Fixed in place, and the change log explains it.
+  EXPECT_EQ(rel.cell(2, 4).AsString(), "HighSt");
+  ASSERT_EQ(result.changes.size(), 1u);
+  EXPECT_EQ(result.changes[0].original, Value::String("WrongSt"));
+  EXPECT_EQ(result.changes[0].repaired, Value::String("HighSt"));
+  EXPECT_GT(result.total_cost, 0.0);
+  // Base data untouched.
+  EXPECT_EQ(rel.cell(0, 4).AsString(), "HighSt");
+  EXPECT_EQ(rel.cell(1, 4).AsString(), "HighSt");
+}
+
+TEST(IncRepairEngineTest, RepairsConstantViolation) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "customer", {"NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"},
+      {{"A", "UK", "Edi", "EH1", "HighSt", "44", "131"}});
+  CostModel cm(rel.schema());
+  IncRepairEngine engine(&rel, Parse(semandaq::testing::PaperCfdText()), cm);
+  ASSERT_OK(engine.Start());
+  Row bad = {Value::String("D"), Value::String("US"), Value::String("NY"),
+             Value::String("10011"), Value::String("Broadway"),
+             Value::String("44"), Value::String("212")};
+  ASSERT_OK_AND_ASSIGN(IncBatchResult result,
+                       engine.ApplyAndRepair({Update::Insert(bad)}));
+  EXPECT_EQ(result.remaining_violations, 0u);
+  EXPECT_EQ(rel.cell(1, 1).AsString(), "UK");
+}
+
+TEST(IncRepairEngineTest, SequentialBatchesStayConsistent) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "customer", {"NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"},
+      {{"A", "UK", "Edi", "EH1", "HighSt", "44", "131"},
+       {"B", "UK", "Edi", "EH1", "HighSt", "44", "131"}});
+  auto cfds = Parse(semandaq::testing::PaperCfdText());
+  CostModel cm(rel.schema());
+  IncRepairEngine engine(&rel, cfds, cm);
+  ASSERT_OK(engine.Start());
+
+  for (int i = 0; i < 5; ++i) {
+    const std::string name = "N" + std::to_string(i);
+    ASSERT_OK_AND_ASSIGN(
+        IncBatchResult result,
+        engine.ApplyAndRepair(
+            {Update::Insert(CleanUkRow(name.c_str(), "EH1",
+                                       ("Wrong" + std::to_string(i)).c_str()))}));
+    EXPECT_EQ(result.remaining_violations, 0u) << "batch " << i;
+    // Full re-detection agrees the relation is clean.
+    detect::NativeDetector fresh(&rel, cfds);
+    ASSERT_OK_AND_ASSIGN(auto table, fresh.Detect());
+    EXPECT_EQ(table.TotalVio(), 0) << "batch " << i;
+  }
+}
+
+TEST(IncRepairEngineTest, AllDeltaGroupUsesCostConsensus) {
+  // Empty base; two inserted tuples disagree. With no frozen values, the
+  // engine picks a consensus value among the delta itself.
+  Relation rel{"customer",
+               relational::Schema::AllStrings(
+                   {"NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"})};
+  auto cfds = Parse(semandaq::testing::PaperCfdText());
+  CostModel cm(rel.schema());
+  IncRepairEngine engine(&rel, cfds, cm);
+  ASSERT_OK(engine.Start());
+  ASSERT_OK_AND_ASSIGN(
+      IncBatchResult result,
+      engine.ApplyAndRepair({Update::Insert(CleanUkRow("A", "EH1", "HighSt")),
+                             Update::Insert(CleanUkRow("B", "EH1", "HighStX"))}));
+  EXPECT_EQ(result.remaining_violations, 0u);
+  EXPECT_EQ(rel.cell(0, 4), rel.cell(1, 4));
+}
+
+TEST(IncRepairEngineTest, ModifiedTupleBecomesMutable) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "customer", {"NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"},
+      {{"A", "UK", "Edi", "EH1", "HighSt", "44", "131"},
+       {"B", "UK", "Edi", "EH1", "HighSt", "44", "131"}});
+  auto cfds = Parse(semandaq::testing::PaperCfdText());
+  CostModel cm(rel.schema());
+  IncRepairEngine engine(&rel, cfds, cm);
+  ASSERT_OK(engine.Start());
+  ASSERT_OK_AND_ASSIGN(
+      IncBatchResult result,
+      engine.ApplyAndRepair({Update::Modify(1, 4, Value::String("Oops"))}));
+  EXPECT_EQ(result.remaining_violations, 0u);
+  EXPECT_EQ(rel.cell(1, 4).AsString(), "HighSt");
+}
+
+TEST(IncRepairEngineTest, RandomizedBatchesAgainstFullDetection) {
+  workload::CustomerWorkloadOptions opts;
+  opts.num_tuples = 400;
+  opts.noise_rate = 0.0;
+  opts.seed = 55;
+  auto wl = workload::CustomerGenerator::Generate(opts);
+  auto cfds = Parse(workload::CustomerGenerator::PaperCfds());
+  CostModel cm(wl.clean.schema());
+  IncRepairEngine engine(&wl.clean, cfds, cm);
+  ASSERT_OK(engine.Start());
+
+  common::Rng rng(77);
+  std::vector<TupleId> live = wl.clean.LiveIds();
+  for (int round = 0; round < 10; ++round) {
+    relational::UpdateBatch batch;
+    for (int i = 0; i < 5; ++i) {
+      Row row = wl.clean.row(live[rng.NextIndex(live.size())]);
+      row[0] = Value::String("R" + std::to_string(round) + "_" + std::to_string(i));
+      // Corrupt one non-name cell half the time.
+      if (rng.NextBool(0.5)) {
+        row[1 + rng.NextIndex(6)] = Value::String(rng.NextString(4));
+      }
+      batch.push_back(Update::Insert(std::move(row)));
+    }
+    ASSERT_OK_AND_ASSIGN(IncBatchResult result, engine.ApplyAndRepair(batch));
+    (void)result;
+    detect::NativeDetector fresh(&wl.clean, cfds);
+    ASSERT_OK_AND_ASSIGN(auto table, fresh.Detect());
+    EXPECT_EQ(table.TotalVio(), 0) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace semandaq::repair

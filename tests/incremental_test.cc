@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "cfd/cfd_parser.h"
+#include "detect/incremental_detector.h"
+#include "detect/native_detector.h"
+#include "test_util.h"
+
+namespace semandaq::detect {
+namespace {
+
+using relational::Relation;
+using relational::Row;
+using relational::TupleId;
+using relational::Update;
+using relational::Value;
+
+std::vector<cfd::Cfd> Parse(const std::string& text) {
+  auto r = cfd::ParseCfdSet(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : std::vector<cfd::Cfd>{};
+}
+
+Row CustomerRow(const char* name, const char* cnt, const char* city,
+                const char* zip, const char* str, const char* cc, const char* ac) {
+  return {Value::String(name), Value::String(cnt), Value::String(city),
+          Value::String(zip),  Value::String(str), Value::String(cc),
+          Value::String(ac)};
+}
+
+void ExpectEquivalent(const ViolationTable& a, const ViolationTable& b,
+                      const Relation& rel) {
+  EXPECT_EQ(a.TotalVio(), b.TotalVio());
+  EXPECT_EQ(a.NumViolatingTuples(), b.NumViolatingTuples());
+  rel.ForEach([&](TupleId tid, const Row&) {
+    EXPECT_EQ(a.vio(tid), b.vio(tid)) << "tuple " << tid;
+  });
+}
+
+class IncrementalDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = semandaq::testing::PaperCustomerRelation();
+    detector_ = std::make_unique<IncrementalDetector>(
+        &rel_, Parse(semandaq::testing::PaperCfdText()));
+    ASSERT_OK(detector_->Initialize());
+  }
+
+  void ExpectMatchesFullDetection() {
+    NativeDetector full(&rel_, Parse(semandaq::testing::PaperCfdText()));
+    auto table = full.Detect();
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    ExpectEquivalent(detector_->Snapshot(), *table, rel_);
+  }
+
+  Relation rel_;
+  std::unique_ptr<IncrementalDetector> detector_;
+};
+
+TEST_F(IncrementalDetectorTest, InitialSnapshotMatchesFullDetection) {
+  ExpectMatchesFullDetection();
+  EXPECT_FALSE(detector_->Clean());
+}
+
+TEST_F(IncrementalDetectorTest, RequiresInitialize) {
+  Relation rel = semandaq::testing::PaperCustomerRelation();
+  IncrementalDetector d(&rel, Parse(semandaq::testing::PaperCfdText()));
+  EXPECT_FALSE(d.ApplyAndDetect({}).ok());
+}
+
+TEST_F(IncrementalDetectorTest, InsertCreatesViolations) {
+  // A fourth tuple in the EH2 4SD group with yet another street.
+  std::vector<TupleId> inserted;
+  ASSERT_OK(detector_->ApplyAndDetect(
+      {Update::Insert(CustomerRow("New", "UK", "Edinburgh", "EH2 4SD", "Third St",
+                                  "44", "131"))},
+      &inserted));
+  ASSERT_EQ(inserted.size(), 1u);
+  EXPECT_EQ(detector_->Vio(inserted[0]), 3);  // disagrees with all three
+  ExpectMatchesFullDetection();
+}
+
+TEST_F(IncrementalDetectorTest, InsertCleanTupleNoViolations) {
+  std::vector<TupleId> inserted;
+  ASSERT_OK(detector_->ApplyAndDetect(
+      {Update::Insert(CustomerRow("Ok", "NL", "Utrecht", "3512", "Dom", "31",
+                                  "30"))},
+      &inserted));
+  EXPECT_EQ(detector_->Vio(inserted[0]), 0);
+  ExpectMatchesFullDetection();
+}
+
+TEST_F(IncrementalDetectorTest, DeleteResolvesGroup) {
+  // Removing Rick (the odd street) resolves the multi-tuple violation.
+  ASSERT_OK(detector_->ApplyAndDetect({Update::DeleteTuple(1)}));
+  EXPECT_EQ(detector_->Vio(0), 0);
+  EXPECT_EQ(detector_->Vio(2), 0);
+  ExpectMatchesFullDetection();
+}
+
+TEST_F(IncrementalDetectorTest, ModifyFixesSingleViolation) {
+  // Fixing Eve's CNT to UK resolves the constant CFD violation.
+  ASSERT_OK(detector_->ApplyAndDetect({Update::Modify(6, 1, Value::String("UK"))}));
+  EXPECT_EQ(detector_->Vio(6), 0);
+  ExpectMatchesFullDetection();
+}
+
+TEST_F(IncrementalDetectorTest, ModifyCreatesSingleViolation) {
+  // Bob's CC becomes 44 while CNT stays US.
+  ASSERT_OK(detector_->ApplyAndDetect({Update::Modify(5, 5, Value::String("44"))}));
+  EXPECT_EQ(detector_->Vio(5), 1);
+  ExpectMatchesFullDetection();
+}
+
+TEST_F(IncrementalDetectorTest, ModifyMovesTupleBetweenGroups) {
+  // Mary moves into the EH2 4SD zip with her own street: group grows to 4.
+  ASSERT_OK(detector_->ApplyAndDetect({Update::Modify(3, 3,
+                                                      Value::String("EH2 4SD"))}));
+  EXPECT_GT(detector_->Vio(3), 0);
+  ExpectMatchesFullDetection();
+  // And back out again.
+  ASSERT_OK(detector_->ApplyAndDetect({Update::Modify(3, 3,
+                                                      Value::String("EH8 9LE"))}));
+  EXPECT_EQ(detector_->Vio(3), 0);
+  ExpectMatchesFullDetection();
+}
+
+TEST_F(IncrementalDetectorTest, CleanTransition) {
+  // Fix everything: align streets and Eve's country.
+  ASSERT_OK(detector_->ApplyAndDetect({
+      Update::Modify(1, 4, Value::String("Mayfield Rd")),
+      Update::Modify(6, 1, Value::String("UK")),
+  }));
+  EXPECT_TRUE(detector_->Clean());
+  EXPECT_EQ(detector_->Snapshot().TotalVio(), 0);
+  ExpectMatchesFullDetection();
+}
+
+TEST_F(IncrementalDetectorTest, MixedBatchKeepsStateConsistent) {
+  std::vector<TupleId> inserted;
+  ASSERT_OK(detector_->ApplyAndDetect(
+      {
+          Update::Insert(CustomerRow("X1", "UK", "Edinburgh", "EH2 4SD",
+                                     "Mayfield Rd", "44", "131")),
+          Update::DeleteTuple(0),
+          Update::Modify(2, 4, Value::String("Crichton St")),
+          Update::Insert(CustomerRow("X2", "US", "NewYork", "10011", "5th Ave",
+                                     "44", "212")),
+      },
+      &inserted));
+  EXPECT_EQ(inserted.size(), 2u);
+  ExpectMatchesFullDetection();
+}
+
+TEST_F(IncrementalDetectorTest, ErrorsOnDeadTuples) {
+  ASSERT_OK(detector_->ApplyAndDetect({Update::DeleteTuple(0)}));
+  EXPECT_FALSE(detector_->ApplyAndDetect({Update::DeleteTuple(0)}).ok());
+  EXPECT_FALSE(
+      detector_->ApplyAndDetect({Update::Modify(0, 1, Value::String("x"))}).ok());
+}
+
+TEST_F(IncrementalDetectorTest, TracksWorkMeasure) {
+  const size_t before = detector_->buckets_touched();
+  ASSERT_OK(detector_->ApplyAndDetect({Update::Modify(6, 1, Value::String("UK"))}));
+  EXPECT_GE(detector_->buckets_touched(), before);
+}
+
+}  // namespace
+}  // namespace semandaq::detect

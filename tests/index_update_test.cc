@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "relational/index.h"
+#include "relational/update.h"
+#include "test_util.h"
+
+namespace semandaq::relational {
+namespace {
+
+Relation SampleRel() {
+  return testing::MakeStringRelation("t", {"CNT", "ZIP", "CITY"},
+                                     {
+                                         {"UK", "EH2", "Edinburgh"},
+                                         {"UK", "EH2", "Edinburgh"},
+                                         {"UK", "W1", "London"},
+                                         {"NL", "10", "Amsterdam"},
+                                     });
+}
+
+TEST(HashIndexTest, BuildsGroups) {
+  Relation rel = SampleRel();
+  HashIndex idx(rel, {0, 1});
+  EXPECT_EQ(idx.NumKeys(), 3u);
+  Row key = {Value::String("UK"), Value::String("EH2")};
+  EXPECT_EQ(idx.Lookup(key).size(), 2u);
+  Row missing = {Value::String("DE"), Value::String("xx")};
+  EXPECT_TRUE(idx.Lookup(missing).empty());
+}
+
+TEST(HashIndexTest, AddRemoveMaintainsBuckets) {
+  Relation rel = SampleRel();
+  HashIndex idx(rel, {0});
+  Row uk = {Value::String("UK")};
+  EXPECT_EQ(idx.Lookup(uk).size(), 3u);
+  idx.Remove(0, rel.row(0));
+  EXPECT_EQ(idx.Lookup(uk).size(), 2u);
+  idx.Remove(1, rel.row(1));
+  idx.Remove(2, rel.row(2));
+  EXPECT_TRUE(idx.Lookup(uk).empty());
+  EXPECT_EQ(idx.NumKeys(), 1u);  // only NL remains
+  idx.Add(7, {Value::String("UK"), Value::String("x"), Value::String("y")});
+  EXPECT_EQ(idx.Lookup(uk).size(), 1u);
+  EXPECT_EQ(idx.Lookup(uk)[0], 7);
+}
+
+TEST(HashIndexTest, ForEachGroupVisitsAllKeys) {
+  Relation rel = SampleRel();
+  HashIndex idx(rel, {2});
+  size_t groups = 0;
+  size_t tuples = 0;
+  idx.ForEachGroup([&](const Row&, const std::vector<TupleId>& ids) {
+    ++groups;
+    tuples += ids.size();
+  });
+  EXPECT_EQ(groups, 3u);
+  EXPECT_EQ(tuples, 4u);
+}
+
+TEST(UpdateTest, ToStringDescribes) {
+  EXPECT_NE(Update::Insert({Value::String("x")}).ToString().find("INSERT"),
+            std::string::npos);
+  EXPECT_NE(Update::DeleteTuple(3).ToString().find("DELETE #3"), std::string::npos);
+  EXPECT_NE(Update::Modify(2, 1, Value::String("v")).ToString().find("MODIFY #2"),
+            std::string::npos);
+}
+
+TEST(ApplyUpdatesTest, AppliesInOrder) {
+  Relation rel = SampleRel();
+  std::vector<TupleId> inserted;
+  UpdateBatch batch = {
+      Update::Insert({Value::String("US"), Value::String("606"),
+                      Value::String("Chicago")}),
+      Update::Modify(0, 2, Value::String("Leith")),
+      Update::DeleteTuple(3),
+  };
+  ASSERT_OK(ApplyUpdates(batch, &rel, &inserted));
+  ASSERT_EQ(inserted.size(), 1u);
+  EXPECT_EQ(inserted[0], 4);
+  EXPECT_EQ(rel.cell(0, 2).AsString(), "Leith");
+  EXPECT_FALSE(rel.IsLive(3));
+  EXPECT_EQ(rel.size(), 4u);
+}
+
+TEST(ApplyUpdatesTest, StopsAtFirstError) {
+  Relation rel = SampleRel();
+  UpdateBatch batch = {
+      Update::Modify(0, 2, Value::String("ok")),
+      Update::DeleteTuple(99),  // fails
+      Update::Modify(1, 2, Value::String("never applied")),
+  };
+  EXPECT_FALSE(ApplyUpdates(batch, &rel).ok());
+  EXPECT_EQ(rel.cell(0, 2).AsString(), "ok");
+  EXPECT_EQ(rel.cell(1, 2).AsString(), "Edinburgh");
+}
+
+}  // namespace
+}  // namespace semandaq::relational

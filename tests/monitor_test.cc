@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "cfd/cfd_parser.h"
+#include "detect/native_detector.h"
+#include "monitor/data_monitor.h"
+#include "test_util.h"
+
+namespace semandaq::monitor {
+namespace {
+
+using relational::Relation;
+using relational::Row;
+using relational::TupleId;
+using relational::Update;
+using relational::Value;
+
+std::vector<cfd::Cfd> Parse(const std::string& text) {
+  auto r = cfd::ParseCfdSet(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : std::vector<cfd::Cfd>{};
+}
+
+Row CleanUkRow(const char* name) {
+  return {Value::String(name), Value::String("UK"), Value::String("Edi"),
+          Value::String("EH1"), Value::String("HighSt"), Value::String("44"),
+          Value::String("131")};
+}
+
+class DataMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = semandaq::testing::MakeStringRelation(
+        "customer", {"NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"},
+        {{"A", "UK", "Edi", "EH1", "HighSt", "44", "131"},
+         {"B", "UK", "Edi", "EH1", "HighSt", "44", "131"}});
+    cfds_ = Parse(semandaq::testing::PaperCfdText());
+  }
+
+  Relation rel_;
+  std::vector<cfd::Cfd> cfds_;
+};
+
+TEST_F(DataMonitorTest, RequiresStart) {
+  repair::CostModel cm(rel_.schema());
+  DataMonitor monitor(&rel_, cfds_, cm);
+  EXPECT_FALSE(monitor.OnUpdate({}).ok());
+}
+
+TEST_F(DataMonitorTest, DetectModeFlagsButDoesNotFix) {
+  repair::CostModel cm(rel_.schema());
+  DataMonitor monitor(&rel_, cfds_, cm);
+  ASSERT_OK(monitor.Start());
+  EXPECT_FALSE(monitor.cleansed());
+
+  Row bad = CleanUkRow("C");
+  bad[4] = Value::String("WrongSt");
+  ASSERT_OK_AND_ASSIGN(MonitorReport report, monitor.OnUpdate({Update::Insert(bad)}));
+  EXPECT_GT(report.total_vio, 0);
+  EXPECT_TRUE(report.repairs_applied.empty());
+  // The bad value is still there: mode (1) only detects.
+  EXPECT_EQ(rel_.cell(2, 4).AsString(), "WrongSt");
+}
+
+TEST_F(DataMonitorTest, RepairModeFixesTheDelta) {
+  repair::CostModel cm(rel_.schema());
+  DataMonitor monitor(&rel_, cfds_, cm);
+  ASSERT_OK(monitor.Start());
+  monitor.MarkCleansed();
+
+  Row bad = CleanUkRow("C");
+  bad[4] = Value::String("WrongSt");
+  ASSERT_OK_AND_ASSIGN(MonitorReport report, monitor.OnUpdate({Update::Insert(bad)}));
+  EXPECT_EQ(report.total_vio, 0);
+  EXPECT_FALSE(report.repairs_applied.empty());
+  // The live relation was fixed to the established street.
+  EXPECT_EQ(rel_.cell(2, 4).AsString(), "HighSt");
+  // Old tuples untouched.
+  EXPECT_EQ(rel_.cell(0, 4).AsString(), "HighSt");
+}
+
+TEST_F(DataMonitorTest, RepairModeFixesConstantViolation) {
+  repair::CostModel cm(rel_.schema());
+  DataMonitor monitor(&rel_, cfds_, cm);
+  ASSERT_OK(monitor.Start());
+  monitor.MarkCleansed();
+
+  // CC=44 with CNT=US: the constant CFD forces CNT := UK.
+  Row bad = {Value::String("D"), Value::String("US"), Value::String("NY"),
+             Value::String("10011"), Value::String("Broadway"),
+             Value::String("44"), Value::String("212")};
+  ASSERT_OK_AND_ASSIGN(MonitorReport report, monitor.OnUpdate({Update::Insert(bad)}));
+  EXPECT_EQ(report.total_vio, 0);
+  EXPECT_EQ(rel_.cell(2, 1).AsString(), "UK");
+}
+
+TEST_F(DataMonitorTest, CleanUpdatesPassThroughBothModes) {
+  repair::CostModel cm(rel_.schema());
+  DataMonitor monitor(&rel_, cfds_, cm);
+  ASSERT_OK(monitor.Start());
+
+  ASSERT_OK_AND_ASSIGN(MonitorReport r1,
+                       monitor.OnUpdate({Update::Insert(CleanUkRow("C"))}));
+  EXPECT_EQ(r1.total_vio, 0);
+  monitor.MarkCleansed();
+  ASSERT_OK_AND_ASSIGN(MonitorReport r2,
+                       monitor.OnUpdate({Update::Insert(CleanUkRow("D"))}));
+  EXPECT_EQ(r2.total_vio, 0);
+  EXPECT_TRUE(r2.repairs_applied.empty());
+  EXPECT_EQ(rel_.size(), 4u);
+}
+
+TEST_F(DataMonitorTest, MonitorStateTracksLiveRelation) {
+  repair::CostModel cm(rel_.schema());
+  DataMonitor monitor(&rel_, cfds_, cm);
+  ASSERT_OK(monitor.Start());
+  monitor.MarkCleansed();
+
+  // Three batches in sequence; after each, the relation must satisfy Σ and
+  // the monitor's view must match a fresh detection.
+  for (int round = 0; round < 3; ++round) {
+    Row bad = CleanUkRow(("R" + std::to_string(round)).c_str());
+    bad[4] = Value::String("Wrong" + std::to_string(round));
+    ASSERT_OK_AND_ASSIGN(MonitorReport report,
+                         monitor.OnUpdate({Update::Insert(bad)}));
+    EXPECT_EQ(report.total_vio, 0);
+    detect::NativeDetector fresh(&rel_, cfds_);
+    ASSERT_OK_AND_ASSIGN(auto table, fresh.Detect());
+    EXPECT_EQ(table.TotalVio(), 0);
+  }
+}
+
+TEST_F(DataMonitorTest, DeleteUpdatesHandled) {
+  repair::CostModel cm(rel_.schema());
+  DataMonitor monitor(&rel_, cfds_, cm);
+  ASSERT_OK(monitor.Start());
+  ASSERT_OK_AND_ASSIGN(MonitorReport report,
+                       monitor.OnUpdate({Update::DeleteTuple(0)}));
+  EXPECT_EQ(report.total_vio, 0);
+  EXPECT_EQ(rel_.size(), 1u);
+}
+
+}  // namespace
+}  // namespace semandaq::monitor

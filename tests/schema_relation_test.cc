@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "test_util.h"
+
+namespace semandaq::relational {
+namespace {
+
+TEST(SchemaTest, AllStringsBuildsNamedColumns) {
+  Schema s = Schema::AllStrings({"A", "B", "C"});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.attr(1).name, "B");
+  EXPECT_EQ(s.attr(1).type, DataType::kString);
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s = Schema::AllStrings({"CNT", "ZIP"});
+  EXPECT_EQ(s.IndexOf("cnt"), 0);
+  EXPECT_EQ(s.IndexOf("Zip"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+}
+
+TEST(SchemaTest, RequireIndexOfReportsSchema) {
+  Schema s = Schema::AllStrings({"A"});
+  auto r = s.RequireIndexOf("B");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("B"), std::string::npos);
+}
+
+TEST(SchemaTest, DuplicateAttributeRejected) {
+  Schema s = Schema::AllStrings({"A"});
+  EXPECT_FALSE(s.AddAttribute({"a", DataType::kInt, {}}).ok());
+  EXPECT_OK(s.AddAttribute({"B", DataType::kInt, {}}));
+}
+
+TEST(SchemaTest, EqualsIgnoresCaseRequiresTypes) {
+  Schema a = Schema::AllStrings({"X", "Y"});
+  Schema b = Schema::AllStrings({"x", "y"});
+  EXPECT_TRUE(a.Equals(b));
+  Schema c;
+  ASSERT_OK(c.AddAttribute({"X", DataType::kInt, {}}));
+  ASSERT_OK(c.AddAttribute({"Y", DataType::kString, {}}));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(SchemaTest, FiniteDomainFlag) {
+  AttributeDef def{"FLAG", DataType::kString,
+                   {Value::String("Y"), Value::String("N")}};
+  EXPECT_TRUE(def.has_finite_domain());
+  AttributeDef open{"NAME", DataType::kString, {}};
+  EXPECT_FALSE(open.has_finite_domain());
+}
+
+TEST(RelationTest, InsertAssignsSequentialIds) {
+  Relation rel{"t", Schema::AllStrings({"A"})};
+  ASSERT_OK_AND_ASSIGN(TupleId t0, rel.Insert({Value::String("x")}));
+  ASSERT_OK_AND_ASSIGN(TupleId t1, rel.Insert({Value::String("y")}));
+  EXPECT_EQ(t0, 0);
+  EXPECT_EQ(t1, 1);
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.IdBound(), 2);
+}
+
+TEST(RelationTest, ArityMismatchRejected) {
+  Relation rel{"t", Schema::AllStrings({"A", "B"})};
+  auto r = rel.Insert({Value::String("only one")});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(rel.size(), 0u);
+}
+
+TEST(RelationTest, DeleteTombstonesButKeepsIds) {
+  Relation rel{"t", Schema::AllStrings({"A"})};
+  const TupleId t0 = rel.MustInsert({Value::String("x")});
+  const TupleId t1 = rel.MustInsert({Value::String("y")});
+  ASSERT_OK(rel.Delete(t0));
+  EXPECT_FALSE(rel.IsLive(t0));
+  EXPECT_TRUE(rel.IsLive(t1));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel.IdBound(), 2);  // ids are never reused
+  const TupleId t2 = rel.MustInsert({Value::String("z")});
+  EXPECT_EQ(t2, 2);
+}
+
+TEST(RelationTest, DoubleDeleteFails) {
+  Relation rel{"t", Schema::AllStrings({"A"})};
+  const TupleId t0 = rel.MustInsert({Value::String("x")});
+  ASSERT_OK(rel.Delete(t0));
+  EXPECT_FALSE(rel.Delete(t0).ok());
+  EXPECT_FALSE(rel.Delete(99).ok());
+}
+
+TEST(RelationTest, SetCellUpdatesValue) {
+  Relation rel{"t", Schema::AllStrings({"A", "B"})};
+  const TupleId t0 = rel.MustInsert({Value::String("x"), Value::String("y")});
+  ASSERT_OK(rel.SetCell(t0, 1, Value::String("z")));
+  EXPECT_EQ(rel.cell(t0, 1).AsString(), "z");
+  EXPECT_FALSE(rel.SetCell(t0, 5, Value::Null()).ok());
+  EXPECT_FALSE(rel.SetCell(42, 0, Value::Null()).ok());
+}
+
+TEST(RelationTest, ForEachSkipsDead) {
+  Relation rel{"t", Schema::AllStrings({"A"})};
+  rel.MustInsert({Value::String("a")});
+  const TupleId t1 = rel.MustInsert({Value::String("b")});
+  rel.MustInsert({Value::String("c")});
+  ASSERT_OK(rel.Delete(t1));
+  std::vector<TupleId> seen;
+  rel.ForEach([&](TupleId tid, const Row&) { seen.push_back(tid); });
+  EXPECT_EQ(seen, (std::vector<TupleId>{0, 2}));
+  EXPECT_EQ(rel.LiveIds(), (std::vector<TupleId>{0, 2}));
+}
+
+TEST(RelationTest, ProjectSelectsColumns) {
+  Relation rel{"t", Schema::AllStrings({"A", "B", "C"})};
+  const TupleId t0 = rel.MustInsert(
+      {Value::String("1"), Value::String("2"), Value::String("3")});
+  Row p = rel.Project(t0, {2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].AsString(), "3");
+  EXPECT_EQ(p[1].AsString(), "1");
+}
+
+TEST(RelationTest, CloneIsDeepAndPreservesIds) {
+  Relation rel{"t", Schema::AllStrings({"A"})};
+  rel.MustInsert({Value::String("x")});
+  const TupleId t1 = rel.MustInsert({Value::String("y")});
+  ASSERT_OK(rel.Delete(t1));
+  Relation copy = rel.Clone();
+  ASSERT_OK(copy.SetCell(0, 0, Value::String("changed")));
+  EXPECT_EQ(rel.cell(0, 0).AsString(), "x");
+  EXPECT_EQ(copy.cell(0, 0).AsString(), "changed");
+  EXPECT_FALSE(copy.IsLive(t1));
+}
+
+TEST(RelationTest, AsciiTableRendersHeaderAndRows) {
+  Relation rel = testing::MakeStringRelation("t", {"A", "B"}, {{"x", "y"}});
+  const std::string table = rel.ToAsciiTable();
+  EXPECT_NE(table.find("A"), std::string::npos);
+  EXPECT_NE(table.find("| x"), std::string::npos);
+}
+
+TEST(RelationTest, AsciiTableTruncates) {
+  Relation rel{"t", Schema::AllStrings({"A"})};
+  for (int i = 0; i < 30; ++i) rel.MustInsert({Value::String("v")});
+  const std::string table = rel.ToAsciiTable(5);
+  EXPECT_NE(table.find("25 more tuple(s)"), std::string::npos);
+}
+
+TEST(DatabaseTest, AddFindDrop) {
+  Database db;
+  ASSERT_OK(db.AddRelation(testing::MakeStringRelation("t1", {"A"}, {{"x"}})));
+  EXPECT_TRUE(db.HasRelation("T1"));  // case-insensitive
+  EXPECT_NE(db.FindRelation("t1"), nullptr);
+  EXPECT_EQ(db.FindRelation("nope"), nullptr);
+  EXPECT_FALSE(db.AddRelation(testing::MakeStringRelation("T1", {"A"}, {})).ok());
+  ASSERT_OK(db.DropRelation("t1"));
+  EXPECT_FALSE(db.HasRelation("t1"));
+  EXPECT_FALSE(db.DropRelation("t1").ok());
+}
+
+TEST(DatabaseTest, PutReplaces) {
+  Database db;
+  db.PutRelation(testing::MakeStringRelation("t", {"A"}, {{"x"}}));
+  db.PutRelation(testing::MakeStringRelation("t", {"A"}, {{"y"}, {"z"}}));
+  EXPECT_EQ(db.FindRelation("t")->size(), 2u);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(DatabaseTest, NamesInRegistrationOrder) {
+  Database db;
+  ASSERT_OK(db.AddRelation(testing::MakeStringRelation("b", {"A"}, {})));
+  ASSERT_OK(db.AddRelation(testing::MakeStringRelation("a", {"A"}, {})));
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(DatabaseTest, EmptyNameRejected) {
+  Database db;
+  EXPECT_FALSE(db.AddRelation(Relation{"", Schema::AllStrings({"A"})}).ok());
+}
+
+}  // namespace
+}  // namespace semandaq::relational

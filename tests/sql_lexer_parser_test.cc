@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace semandaq::sql {
+namespace {
+
+TEST(LexerTest, TokenizesKeywordsAndIdentifiers) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("SELECT name FROM customer"));
+  ASSERT_EQ(tokens.size(), 5u);  // incl. end
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "name");
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+  EXPECT_EQ(tokens[4].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("select Select SELECT"));
+  for (size_t i = 0; i < 3; ++i) EXPECT_TRUE(tokens[i].IsKeyword("SELECT"));
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("'it''s'"));
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, Numbers) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("42 2.5 1e3 .5"));
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 2.5);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloat);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("a <> b <= c >= d != e"));
+  EXPECT_TRUE(tokens[1].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[3].IsSymbol("<="));
+  EXPECT_TRUE(tokens[5].IsSymbol(">="));
+  EXPECT_TRUE(tokens[7].IsSymbol("!="));
+}
+
+TEST(LexerTest, LineComments) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("SELECT -- comment\n1"));
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kInteger);
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("\"weird name\""));
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "weird name");
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+// ---------------------------------------------------------------- Parser --
+
+TEST(ParserTest, MinimalSelect) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt stmt, ParseSelect("SELECT * FROM t"));
+  EXPECT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].expr->kind, ExprKind::kStar);
+  ASSERT_EQ(stmt.from.size(), 1u);
+  EXPECT_EQ(stmt.from[0].table_name, "t");
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt stmt,
+                       ParseSelect("SELECT a AS x, b y FROM t u, s AS v"));
+  EXPECT_EQ(stmt.items[0].alias, "x");
+  EXPECT_EQ(stmt.items[1].alias, "y");
+  EXPECT_EQ(stmt.from[0].alias, "u");
+  EXPECT_EQ(stmt.from[1].alias, "v");
+}
+
+TEST(ParserTest, WhereTreePrecedence) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt stmt,
+                       ParseSelect("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3"));
+  // AND binds tighter: OR(a=1, AND(b=2, c=3)).
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->bin_op, BinOp::kOr);
+  EXPECT_EQ(stmt.where->right->bin_op, BinOp::kAnd);
+}
+
+TEST(ParserTest, InnerJoinDesugarsToWhere) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt stmt,
+      ParseSelect("SELECT * FROM a INNER JOIN b ON a.x = b.x WHERE a.y = 1"));
+  EXPECT_EQ(stmt.from.size(), 2u);
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->bin_op, BinOp::kAnd);
+}
+
+TEST(ParserTest, GroupByHavingOrderLimit) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt stmt,
+      ParseSelect("SELECT cnt, COUNT(*) FROM t GROUP BY cnt "
+                  "HAVING COUNT(DISTINCT zip) > 1 ORDER BY cnt DESC LIMIT 5"));
+  EXPECT_EQ(stmt.group_by.size(), 1u);
+  ASSERT_NE(stmt.having, nullptr);
+  ASSERT_EQ(stmt.order_by.size(), 1u);
+  EXPECT_FALSE(stmt.order_by[0].ascending);
+  EXPECT_EQ(stmt.limit, 5);
+}
+
+TEST(ParserTest, CountDistinctAndStar) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt stmt,
+                       ParseSelect("SELECT COUNT(*), COUNT(DISTINCT a) FROM t"));
+  EXPECT_TRUE(stmt.items[0].expr->star_arg);
+  EXPECT_TRUE(stmt.items[1].expr->distinct);
+}
+
+TEST(ParserTest, PredicateForms) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStmt stmt,
+      ParseSelect("SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL AND "
+                  "c LIKE 'x%' AND d NOT LIKE 'y' AND e IN (1, 2) AND "
+                  "f NOT IN ('a') AND g BETWEEN 1 AND 3"));
+  // Parse success is the main assertion; spot-check the rendering.
+  const std::string text = stmt.ToString();
+  EXPECT_NE(text.find("IS NULL"), std::string::npos);
+  EXPECT_NE(text.find("IS NOT NULL"), std::string::npos);
+  EXPECT_NE(text.find("NOT LIKE"), std::string::npos);
+  EXPECT_NE(text.find("NOT IN"), std::string::npos);
+  // BETWEEN desugars to >= / <=.
+  EXPECT_NE(text.find(">="), std::string::npos);
+  EXPECT_NE(text.find("<="), std::string::npos);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt stmt, ParseSelect("SELECT 1 + 2 * 3 FROM t"));
+  EXPECT_EQ(stmt.items[0].expr->bin_op, BinOp::kAdd);
+  EXPECT_EQ(stmt.items[0].expr->right->bin_op, BinOp::kMul);
+}
+
+TEST(ParserTest, QualifiedColumnsAndStars) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt stmt, ParseSelect("SELECT t.*, t.a FROM t"));
+  EXPECT_EQ(stmt.items[0].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(stmt.items[0].expr->qualifier, "t");
+  EXPECT_EQ(stmt.items[1].expr->qualifier, "t");
+  EXPECT_EQ(stmt.items[1].expr->column, "a");
+}
+
+TEST(ParserTest, LiteralsIncludingNullTrueFalse) {
+  ASSERT_OK_AND_ASSIGN(SelectStmt stmt,
+                       ParseSelect("SELECT NULL, TRUE, FALSE, 'txt', -5 FROM t"));
+  EXPECT_TRUE(stmt.items[0].expr->literal.is_null());
+  EXPECT_EQ(stmt.items[1].expr->literal.AsInt(), 1);
+  EXPECT_EQ(stmt.items[2].expr->literal.AsInt(), 0);
+  EXPECT_EQ(stmt.items[3].expr->literal.AsString(), "txt");
+  EXPECT_EQ(stmt.items[4].expr->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, ErrorsAreDescriptive) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());              // missing FROM
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());         // missing table
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok()); // missing expr
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra garbage ,").ok());
+  EXPECT_FALSE(ParseSelect("SELECT f( FROM t").ok());
+}
+
+TEST(ParserTest, RoundTripReparses) {
+  const char* queries[] = {
+      "SELECT DISTINCT a, b AS c FROM t u WHERE (a = 1 OR b < 2) AND c IS NULL",
+      "SELECT COUNT(*) FROM r GROUP BY x HAVING COUNT(DISTINCT y) > 1",
+      "SELECT a FROM t ORDER BY a DESC, b LIMIT 3",
+  };
+  for (const char* q : queries) {
+    ASSERT_OK_AND_ASSIGN(SelectStmt stmt, ParseSelect(q));
+    ASSERT_OK_AND_ASSIGN(SelectStmt again, ParseSelect(stmt.ToString()));
+    EXPECT_EQ(stmt.ToString(), again.ToString()) << q;
+  }
+}
+
+}  // namespace
+}  // namespace semandaq::sql

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "cfd/cfd_parser.h"
+#include "cfd/subsumption.h"
+#include "test_util.h"
+
+namespace semandaq::cfd {
+namespace {
+
+using relational::Value;
+
+Cfd Parse1(const std::string& text) {
+  auto r = ParseCfd(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : Cfd{};
+}
+
+std::vector<Cfd> ParseN(const std::string& text) {
+  auto r = ParseCfdSet(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : std::vector<Cfd>{};
+}
+
+PatternTuple Row1(const Cfd& c) { return c.tableau()[0]; }
+
+TEST(PatternSubsumesTest, WildcardLhsSubsumesConstantLhs) {
+  // (_, _ || _) covers (UK, _ || _): broader scope, same demand.
+  Cfd general = Parse1("t: [A, B] -> [C]");
+  Cfd specific = Parse1("t: [A=UK, B=_] -> [C=_]");
+  EXPECT_TRUE(PatternSubsumes(Row1(general), Row1(specific)));
+  EXPECT_FALSE(PatternSubsumes(Row1(specific), Row1(general)));
+}
+
+TEST(PatternSubsumesTest, DifferentConstantsDoNotSubsume) {
+  Cfd a = Parse1("t: [A=UK] -> [B=_]");
+  Cfd b = Parse1("t: [A=US] -> [B=_]");
+  EXPECT_FALSE(PatternSubsumes(Row1(a), Row1(b)));
+  EXPECT_FALSE(PatternSubsumes(Row1(b), Row1(a)));
+}
+
+TEST(PatternSubsumesTest, ConstantRhsImpliesVariableRhsInScope) {
+  // [A=44] -> [B=UK] forces all 44-tuples to agree on B, which is what
+  // [A=44] -> [B=_] asks.
+  Cfd constant = Parse1("t: [A=44] -> [B=UK]");
+  Cfd variable = Parse1("t: [A=44] -> [B=_]");
+  EXPECT_TRUE(PatternSubsumes(Row1(constant), Row1(variable)));
+  // The converse is false: agreement does not pin the value.
+  EXPECT_FALSE(PatternSubsumes(Row1(variable), Row1(constant)));
+}
+
+TEST(PatternSubsumesTest, EqualRowsSubsumeEachOther) {
+  Cfd a = Parse1("t: [A=1] -> [B=2]");
+  Cfd b = Parse1("t: [A=1] -> [B=2]");
+  EXPECT_TRUE(PatternSubsumes(Row1(a), Row1(b)));
+  EXPECT_TRUE(PatternSubsumes(Row1(b), Row1(a)));
+}
+
+TEST(CfdSubsumesTest, RequiresSameEmbeddedFd) {
+  Cfd a = Parse1("t: [A] -> [B]");
+  Cfd b = Parse1("t: [A] -> [C]");
+  Cfd c = Parse1("other: [A] -> [B]");
+  EXPECT_FALSE(CfdSubsumes(a, b));
+  EXPECT_FALSE(CfdSubsumes(a, c));
+  EXPECT_TRUE(CfdSubsumes(a, a));
+}
+
+TEST(CfdSubsumesTest, TableauCoverage) {
+  Cfd general = Parse1("t: [A] -> [B]");  // all-wildcard
+  Cfd specific = Parse1("t: [A] -> [B] { (1 | _), (2 | _) }");
+  EXPECT_TRUE(CfdSubsumes(general, specific));
+  EXPECT_FALSE(CfdSubsumes(specific, general));
+}
+
+TEST(RemoveSubsumedTest, DropsRowsCoveredByWildcardRow) {
+  auto pruned = RemoveSubsumed(ParseN("t: [A] -> [B]\n"
+                                      "t: [A=1] -> [B=_]\n"));
+  ASSERT_EQ(pruned.size(), 1u);
+  EXPECT_TRUE(pruned[0].IsStandardFd());
+}
+
+TEST(RemoveSubsumedTest, KeepsOneCopyOfDuplicates) {
+  auto pruned = RemoveSubsumed(ParseN("t: [A=1] -> [B=2]\n"
+                                      "t: [A=1] -> [B=2]\n"));
+  ASSERT_EQ(pruned.size(), 1u);
+}
+
+TEST(RemoveSubsumedTest, AugmentationDropsWiderVariableFd) {
+  // A -> C (pure FD) makes the variable CFD on {A,B} -> C redundant.
+  auto pruned = RemoveSubsumed(ParseN("t: [A] -> [C]\n"
+                                      "t: [A, B] -> [C]\n"
+                                      "t: [A=1, B=_] -> [C=_]\n"));
+  ASSERT_EQ(pruned.size(), 1u);
+  EXPECT_EQ(pruned[0].lhs_attrs().size(), 1u);
+}
+
+TEST(RemoveSubsumedTest, AugmentationKeepsConstantDemands) {
+  // The constant binding is NOT implied by the pure FD: it pins a value.
+  auto pruned = RemoveSubsumed(ParseN("t: [A] -> [C]\n"
+                                      "t: [A=1, B=2] -> [C=3]\n"));
+  EXPECT_EQ(pruned.size(), 2u);
+}
+
+TEST(RemoveSubsumedTest, IndependentCfdsUntouched) {
+  auto in = ParseN(semandaq::testing::PaperCfdText());
+  auto pruned = RemoveSubsumed(in);
+  EXPECT_EQ(pruned.size(), in.size());
+}
+
+TEST(RemoveSubsumedTest, MergesNothingAcrossRelations) {
+  auto pruned = RemoveSubsumed(ParseN("t: [A] -> [B]\n"
+                                      "s: [A=1] -> [B=_]\n"));
+  EXPECT_EQ(pruned.size(), 2u);
+}
+
+}  // namespace
+}  // namespace semandaq::cfd

@@ -1,0 +1,126 @@
+#include "relational/value.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace semandaq::relational {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToDisplayString(), "NULL");
+}
+
+TEST(ValueTest, IntAccessors) {
+  Value v = Value::Int(-42);
+  EXPECT_EQ(v.type(), DataType::kInt);
+  EXPECT_EQ(v.AsInt(), -42);
+  EXPECT_EQ(v.ToDisplayString(), "-42");
+  double num = 0;
+  EXPECT_TRUE(v.ToNumeric(&num));
+  EXPECT_DOUBLE_EQ(num, -42.0);
+}
+
+TEST(ValueTest, DoubleAccessors) {
+  Value v = Value::Double(2.5);
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+  EXPECT_EQ(v.ToDisplayString(), "2.5");
+}
+
+TEST(ValueTest, StringAccessors) {
+  Value v = Value::String("Edinburgh");
+  EXPECT_EQ(v.type(), DataType::kString);
+  EXPECT_EQ(v.AsString(), "Edinburgh");
+  double num = 0;
+  EXPECT_FALSE(v.ToNumeric(&num));
+}
+
+TEST(ValueTest, SqlLiteralQuotesStrings) {
+  EXPECT_EQ(Value::String("O'Hare").ToSqlLiteral(), "'O''Hare'");
+  EXPECT_EQ(Value::Int(7).ToSqlLiteral(), "7");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, ExactEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  // No coercion in exact equality: INT 1 != DOUBLE 1.0 as container keys.
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  EXPECT_NE(Value::Int(1), Value::String("1"));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  // NULL < numbers < strings.
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(5).Compare(Value::String("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  // Numeric cross-type comparison.
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.0).Compare(Value::Int(2)), 0);
+  // String lexicographic.
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::String("zip").Hash(), Value::String("zip").Hash());
+  EXPECT_EQ(Value::Int(9).Hash(), Value::Int(9).Hash());
+  // Not required, but overwhelmingly expected:
+  EXPECT_NE(Value::String("a").Hash(), Value::String("b").Hash());
+}
+
+TEST(ValueTest, WorksAsUnorderedKey) {
+  std::unordered_map<Value, int, ValueHash> m;
+  m[Value::String("x")] = 1;
+  m[Value::Int(3)] = 2;
+  m[Value::Null()] = 3;
+  EXPECT_EQ(m.at(Value::String("x")), 1);
+  EXPECT_EQ(m.at(Value::Int(3)), 2);
+  EXPECT_EQ(m.at(Value::Null()), 3);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(RowTest, RowHashAndEq) {
+  Row a = {Value::String("UK"), Value::Int(44)};
+  Row b = {Value::String("UK"), Value::Int(44)};
+  Row c = {Value::String("UK"), Value::Int(45)};
+  EXPECT_TRUE(RowEq{}(a, b));
+  EXPECT_FALSE(RowEq{}(a, c));
+  EXPECT_EQ(RowHash{}(a), RowHash{}(b));
+  std::unordered_set<Row, RowHash, RowEq> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(RowTest, RowEqDifferentArity) {
+  Row a = {Value::Int(1)};
+  Row b = {Value::Int(1), Value::Int(2)};
+  EXPECT_FALSE(RowEq{}(a, b));
+}
+
+TEST(RowTest, RowToString) {
+  Row r = {Value::String("UK"), Value::Null(), Value::Int(3)};
+  EXPECT_EQ(RowToString(r), "(UK, NULL, 3)");
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt), "INT");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "STRING");
+  EXPECT_STREQ(DataTypeToString(DataType::kNull), "NULL");
+}
+
+}  // namespace
+}  // namespace semandaq::relational

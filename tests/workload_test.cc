@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "cfd/cfd_parser.h"
+#include "detect/native_detector.h"
+#include "test_util.h"
+#include "workload/customer_gen.h"
+#include "workload/hospital_gen.h"
+#include "workload/quality.h"
+
+namespace semandaq::workload {
+namespace {
+
+std::vector<cfd::Cfd> Parse(const std::string& text) {
+  auto r = cfd::ParseCfdSet(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : std::vector<cfd::Cfd>{};
+}
+
+TEST(CustomerGeneratorTest, CleanDataSatisfiesSigma) {
+  CustomerWorkloadOptions opts;
+  opts.num_tuples = 500;
+  opts.noise_rate = 0.1;
+  opts.seed = 5;
+  auto wl = CustomerGenerator::Generate(opts);
+  detect::NativeDetector detector(&wl.clean, Parse(CustomerGenerator::PaperCfds()));
+  ASSERT_OK_AND_ASSIGN(auto table, detector.Detect());
+  EXPECT_EQ(table.TotalVio(), 0) << "master data violates its own Sigma";
+}
+
+TEST(CustomerGeneratorTest, NoiseCountMatchesRate) {
+  CustomerWorkloadOptions opts;
+  opts.num_tuples = 1000;
+  opts.noise_rate = 0.07;
+  opts.seed = 6;
+  auto wl = CustomerGenerator::Generate(opts);
+  EXPECT_EQ(wl.injected.size(), 70u);
+  // Every injected error actually differs.
+  for (const auto& e : wl.injected) {
+    EXPECT_NE(e.clean, e.dirty);
+    EXPECT_EQ(wl.dirty.cell(e.tid, e.col), e.dirty);
+    EXPECT_EQ(wl.clean.cell(e.tid, e.col), e.clean);
+  }
+}
+
+TEST(CustomerGeneratorTest, DeterministicUnderSeed) {
+  CustomerWorkloadOptions opts;
+  opts.num_tuples = 100;
+  opts.seed = 7;
+  auto a = CustomerGenerator::Generate(opts);
+  auto b = CustomerGenerator::Generate(opts);
+  ASSERT_EQ(a.dirty.size(), b.dirty.size());
+  a.dirty.ForEach([&](relational::TupleId tid, const relational::Row& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      ASSERT_EQ(row[c], b.dirty.cell(tid, c));
+    }
+  });
+}
+
+TEST(CustomerGeneratorTest, ConditionalStructureIsPresent) {
+  // The motivating property: [CNT, ZIP] -> [STR] fails globally but holds on
+  // the UK fragment of the clean data.
+  CustomerWorkloadOptions opts;
+  opts.num_tuples = 600;
+  opts.noise_rate = 0.0;
+  opts.seed = 8;
+  auto wl = CustomerGenerator::Generate(opts);
+
+  detect::NativeDetector global(&wl.clean, Parse("customer: [CNT, ZIP] -> [STR]"));
+  ASSERT_OK_AND_ASSIGN(auto gtable, global.Detect());
+  EXPECT_GT(gtable.TotalVio(), 0) << "US zips should share streets";
+
+  detect::NativeDetector uk(&wl.clean, Parse("customer: [CNT=UK, ZIP=_] -> [STR=_]"));
+  ASSERT_OK_AND_ASSIGN(auto uktable, uk.Detect());
+  EXPECT_EQ(uktable.TotalVio(), 0);
+}
+
+TEST(CustomerGeneratorTest, DirtyDataViolatesSigma) {
+  CustomerWorkloadOptions opts;
+  opts.num_tuples = 500;
+  opts.noise_rate = 0.1;
+  opts.seed = 9;
+  auto wl = CustomerGenerator::Generate(opts);
+  detect::NativeDetector detector(&wl.dirty, Parse(CustomerGenerator::PaperCfds()));
+  ASSERT_OK_AND_ASSIGN(auto table, detector.Detect());
+  EXPECT_GT(table.TotalVio(), 0);
+}
+
+TEST(HospitalGeneratorTest, CleanDataSatisfiesSigma) {
+  HospitalWorkloadOptions opts;
+  opts.num_tuples = 400;
+  opts.noise_rate = 0.1;
+  opts.seed = 10;
+  auto wl = HospitalGenerator::Generate(opts);
+  detect::NativeDetector detector(&wl.clean, Parse(HospitalGenerator::HospitalCfds()));
+  ASSERT_OK_AND_ASSIGN(auto table, detector.Detect());
+  EXPECT_EQ(table.TotalVio(), 0);
+}
+
+TEST(HospitalGeneratorTest, InjectedErrorsRecorded) {
+  HospitalWorkloadOptions opts;
+  opts.num_tuples = 200;
+  opts.noise_rate = 0.05;
+  opts.seed = 11;
+  auto wl = HospitalGenerator::Generate(opts);
+  EXPECT_EQ(wl.injected.size(), 10u);
+  for (const auto& e : wl.injected) {
+    EXPECT_NE(e.clean, e.dirty);
+  }
+}
+
+TEST(QualityTest, PerfectRepairScoresOne) {
+  CustomerWorkloadOptions opts;
+  opts.num_tuples = 100;
+  opts.noise_rate = 0.1;
+  opts.seed = 12;
+  auto wl = CustomerGenerator::Generate(opts);
+  // "Repairing" by copying the gold standard: precision = recall = 1.
+  auto q = EvaluateRepair(wl.clean, wl.dirty, wl.clean);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_EQ(q.residual_errors, 0u);
+  EXPECT_EQ(q.corrected, q.error_cells);
+}
+
+TEST(QualityTest, NoOpRepairScoresZeroRecall) {
+  CustomerWorkloadOptions opts;
+  opts.num_tuples = 100;
+  opts.noise_rate = 0.1;
+  opts.seed = 13;
+  auto wl = CustomerGenerator::Generate(opts);
+  auto q = EvaluateRepair(wl.clean, wl.dirty, wl.dirty);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_EQ(q.changed_cells, 0u);
+  // Precision of doing nothing is vacuously 1.
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+}
+
+TEST(QualityTest, DamagingRepairScoresLowPrecision) {
+  CustomerWorkloadOptions opts;
+  opts.num_tuples = 50;
+  opts.noise_rate = 0.0;
+  opts.seed = 14;
+  auto wl = CustomerGenerator::Generate(opts);
+  relational::Relation vandalized = wl.dirty.Clone();
+  ASSERT_OK(vandalized.SetCell(0, 0, relational::Value::String("XXXX")));
+  auto q = EvaluateRepair(wl.clean, wl.dirty, vandalized);
+  EXPECT_EQ(q.damaged, 1u);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+}
+
+TEST(QualityTest, ToStringMentionsAllFields) {
+  RepairQuality q;
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("precision"), std::string::npos);
+  EXPECT_NE(s.find("recall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semandaq::workload
