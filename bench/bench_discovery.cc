@@ -8,6 +8,8 @@
 #include "bench_util.h"
 #include "discovery/cfd_miner.h"
 #include "discovery/fd_miner.h"
+#include "discovery/partition.h"
+#include "relational/encoded_relation.h"
 #include "workload/hospital_gen.h"
 
 namespace semandaq {
@@ -57,6 +59,50 @@ void BM_CfdDiscoveryHospital(benchmark::State& state) {
   state.counters["cfds_found"] = static_cast<double>(found);
 }
 BENCHMARK(BM_CfdDiscoveryHospital)->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+// Π_X construction — the workhorse of TANE-family mining — over projected
+// Row hashing vs. dictionary code columns. range(0) selects the attribute
+// set: 0 = single attribute (ZIP), 1 = pair (CNT, ZIP), 2 = triple
+// (CNT, ZIP, STR).
+std::vector<size_t> PartitionCols(int selector) {
+  using C = workload::CustomerGenerator;
+  switch (selector) {
+    case 0: return {C::kZip};
+    case 1: return {C::kCnt, C::kZip};
+    default: return {C::kCnt, C::kZip, C::kStr};
+  }
+}
+
+void BM_PartitionBuild(benchmark::State& state) {
+  const auto& wl = bench::CachedCustomer(64000, 0.05);
+  const std::vector<size_t> cols = PartitionCols(static_cast<int>(state.range(0)));
+  relational::EncodedRelation encoded(&wl.dirty);
+  size_t classes = 0;
+  for (auto _ : state) {
+    auto p = discovery::Partition::Build(encoded, cols);
+    benchmark::DoNotOptimize(p);
+    classes = p.num_classes();
+  }
+  state.counters["lhs_size"] = static_cast<double>(cols.size());
+  state.counters["classes"] = static_cast<double>(classes);
+}
+BENCHMARK(BM_PartitionBuild)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartitionBuildRows(benchmark::State& state) {
+  const auto& wl = bench::CachedCustomer(64000, 0.05);
+  const std::vector<size_t> cols = PartitionCols(static_cast<int>(state.range(0)));
+  size_t classes = 0;
+  for (auto _ : state) {
+    auto p = discovery::Partition::Build(wl.dirty, cols);
+    benchmark::DoNotOptimize(p);
+    classes = p.num_classes();
+  }
+  state.counters["lhs_size"] = static_cast<double>(cols.size());
+  state.counters["classes"] = static_cast<double>(classes);
+}
+BENCHMARK(BM_PartitionBuildRows)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_FdDiscoveryByLhsDepth(benchmark::State& state) {

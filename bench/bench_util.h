@@ -1,8 +1,12 @@
 #ifndef SEMANDAQ_BENCH_BENCH_UTIL_H_
 #define SEMANDAQ_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "cfd/cfd_parser.h"
 #include "workload/customer_gen.h"

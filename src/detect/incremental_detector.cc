@@ -8,6 +8,8 @@ namespace semandaq::detect {
 using cfd::Cfd;
 using cfd::PatternTuple;
 using common::Status;
+using relational::Code;
+using relational::kNullCode;
 using relational::Row;
 using relational::TupleId;
 using relational::Update;
@@ -33,6 +35,7 @@ common::Status IncrementalDetector::Initialize() {
   SEMANDAQ_RETURN_IF_ERROR(cfd::ResolveAll(&cfds_, rel_->schema()));
   groups_.clear();
   singles_.clear();
+  enc_.emplace(rel_);
 
   const auto fd_groups = cfd::GroupByEmbeddedFd(cfds_);
   groups_.reserve(fd_groups.size());
@@ -42,10 +45,35 @@ common::Status IncrementalDetector::Initialize() {
     gs.lhs_cols = first.lhs_cols();
     gs.rhs_col = first.rhs_col();
     for (const auto& member : g.members) {
-      if (cfds_[member.first].tableau()[member.second].is_constant_rhs()) {
-        gs.const_rows.push_back(member);
+      const auto& [ci, pi] = member;
+      const PatternTuple& pt = cfds_[ci].tableau()[pi];
+      // Compile the row to codes. Constants are *encoded* (not looked up):
+      // that allocates a stable code even for values the data does not
+      // contain yet, so later inserts of the value match correctly.
+      CompiledRow cr;
+      cr.ci = ci;
+      cr.pi = pi;
+      bool feasible = true;
+      for (size_t i = 0; i < gs.lhs_cols.size(); ++i) {
+        if (pt.lhs[i].is_wildcard()) continue;
+        // A NULL constant matches nothing (PatternValue::Matches rejects
+        // NULL cells), so the whole row can never apply to any tuple.
+        if (pt.lhs[i].constant().is_null()) {
+          feasible = false;
+          break;
+        }
+        cr.lhs_consts.emplace_back(
+            static_cast<uint32_t>(i),
+            enc_->mutable_dictionary(gs.lhs_cols[i]).Encode(pt.lhs[i].constant()));
+      }
+      if (!feasible) continue;
+      if (pt.is_constant_rhs()) {
+        cr.rhs_code =
+            enc_->mutable_dictionary(gs.rhs_col).Encode(pt.rhs.constant());
+        gs.compiled_const.push_back(std::move(cr));
       } else {
         gs.var_rows.push_back(member);
+        gs.compiled_var.push_back(std::move(cr));
       }
     }
     groups_.push_back(std::move(gs));
@@ -56,32 +84,42 @@ common::Status IncrementalDetector::Initialize() {
   return Status::OK();
 }
 
+bool IncrementalDetector::LhsKeyOf(const GroupState& gs, TupleId tid,
+                                   std::vector<Code>* key) const {
+  key->clear();
+  key->reserve(gs.lhs_cols.size());
+  for (size_t c : gs.lhs_cols) {
+    const Code code = enc_->code(tid, c);
+    if (code == kNullCode) return false;
+    key->push_back(code);
+  }
+  return true;
+}
+
 void IncrementalDetector::EnterTuple(TupleId tid) {
-  const Row& row = rel_->row(tid);
+  std::vector<Code> key;
   for (GroupState& gs : groups_) {
     // Single-tuple violations against constant-RHS rows.
-    for (const auto& [ci, pi] : gs.const_rows) {
-      const PatternTuple& pt = cfds_[ci].tableau()[pi];
+    const Code rhs_code = enc_->code(tid, gs.rhs_col);
+    for (const CompiledRow& cr : gs.compiled_const) {
       bool lhs_match = true;
-      for (size_t i = 0; i < gs.lhs_cols.size(); ++i) {
-        if (!pt.lhs[i].Matches(row[gs.lhs_cols[i]])) {
+      for (const auto& [pos, code] : cr.lhs_consts) {
+        if (enc_->code(tid, gs.lhs_cols[pos]) != code) {
           lhs_match = false;
           break;
         }
       }
       if (!lhs_match) continue;
-      const Value& a = row[gs.rhs_col];
-      if (!a.is_null() && !(a == pt.rhs.constant())) {
-        singles_[tid].emplace_back(ci, pi);
+      if (rhs_code != kNullCode && rhs_code != cr.rhs_code) {
+        singles_[tid].emplace_back(cr.ci, cr.pi);
       }
     }
     // Variable-RHS scope membership.
     bool in_scope = false;
-    for (const auto& [ci, pi] : gs.var_rows) {
-      const PatternTuple& pt = cfds_[ci].tableau()[pi];
+    for (const CompiledRow& cr : gs.compiled_var) {
       bool lhs_match = true;
-      for (size_t i = 0; i < gs.lhs_cols.size(); ++i) {
-        if (!pt.lhs[i].Matches(row[gs.lhs_cols[i]])) {
+      for (const auto& [pos, code] : cr.lhs_consts) {
+        if (enc_->code(tid, gs.lhs_cols[pos]) != code) {
           lhs_match = false;
           break;
         }
@@ -92,47 +130,27 @@ void IncrementalDetector::EnterTuple(TupleId tid) {
       }
     }
     if (!in_scope) continue;
-    Row key;
-    key.reserve(gs.lhs_cols.size());
-    bool null_key = false;
-    for (size_t c : gs.lhs_cols) {
-      if (row[c].is_null()) {
-        null_key = true;
-        break;
-      }
-      key.push_back(row[c]);
-    }
-    if (null_key) continue;
-    Bucket& b = gs.buckets[std::move(key)];
+    if (!LhsKeyOf(gs, tid, &key)) continue;  // NULL LHS never groups
+    Bucket& b = gs.buckets[key];
     b.members.push_back(tid);
-    b.AddRhs(row[gs.rhs_col]);
+    b.AddRhs(enc_->Decode(gs.rhs_col, rhs_code));
     ++buckets_touched_;
   }
 }
 
 void IncrementalDetector::LeaveTuple(TupleId tid) {
   assert(rel_->IsLive(tid));
-  const Row& row = rel_->row(tid);
   singles_.erase(tid);
+  std::vector<Code> key;
   for (GroupState& gs : groups_) {
-    Row key;
-    key.reserve(gs.lhs_cols.size());
-    bool null_key = false;
-    for (size_t c : gs.lhs_cols) {
-      if (row[c].is_null()) {
-        null_key = true;
-        break;
-      }
-      key.push_back(row[c]);
-    }
-    if (null_key) continue;
+    if (!LhsKeyOf(gs, tid, &key)) continue;
     auto it = gs.buckets.find(key);
     if (it == gs.buckets.end()) continue;
     auto& members = it->second.members;
     auto pos = std::find(members.begin(), members.end(), tid);
     if (pos == members.end()) continue;  // was not in scope for this group
     members.erase(pos);
-    it->second.RemoveRhs(row[gs.rhs_col]);
+    it->second.RemoveRhs(enc_->Decode(gs.rhs_col, enc_->code(tid, gs.rhs_col)));
     ++buckets_touched_;
     if (members.empty()) gs.buckets.erase(it);
   }
@@ -149,6 +167,7 @@ common::Status IncrementalDetector::ApplyAndDetect(const UpdateBatch& batch,
         auto r = rel_->Insert(u.row);
         if (!r.ok()) return r.status();
         if (inserted != nullptr) inserted->push_back(*r);
+        enc_->ApplyInsert(*r);
         EnterTuple(*r);
         break;
       }
@@ -158,13 +177,21 @@ common::Status IncrementalDetector::ApplyAndDetect(const UpdateBatch& batch,
         }
         LeaveTuple(u.tid);
         SEMANDAQ_RETURN_IF_ERROR(rel_->Delete(u.tid));
+        enc_->NoteDelete();
         break;
       case Update::Kind::kModify:
         if (!rel_->IsLive(u.tid)) {
           return Status::OutOfRange("modify of dead tuple " + std::to_string(u.tid));
         }
+        if (u.col >= rel_->schema().size()) {
+          // Validate before LeaveTuple: a SetCell failure after it would
+          // leave detector state drifted from the (unchanged) relation.
+          return Status::OutOfRange("modify of unknown column " +
+                                    std::to_string(u.col));
+        }
         LeaveTuple(u.tid);
         SEMANDAQ_RETURN_IF_ERROR(rel_->SetCell(u.tid, u.col, u.new_value));
+        enc_->ApplyCell(u.tid, u.col);
         EnterTuple(u.tid);
         break;
     }
@@ -192,7 +219,10 @@ ViolationTable IncrementalDetector::Snapshot() const {
       vg.fd_group = static_cast<int>(gi);
       vg.cfd_index =
           gs.var_rows.empty() ? -1 : static_cast<int>(gs.var_rows.front().first);
-      vg.lhs_key = key;
+      vg.lhs_key.reserve(key.size());
+      for (size_t i = 0; i < key.size(); ++i) {
+        vg.lhs_key.push_back(enc_->Decode(gs.lhs_cols[i], key[i]));
+      }
       vg.members = bucket.members;
       vg.member_rhs.reserve(bucket.members.size());
       for (TupleId tid : bucket.members) {
@@ -216,32 +246,23 @@ int64_t IncrementalDetector::Vio(TupleId tid) const {
     vio += static_cast<int64_t>(cfd_ids.size());
   }
   if (!rel_->IsLive(tid)) return vio;
-  const Row& row = rel_->row(tid);
+  std::vector<Code> key;
   for (const GroupState& gs : groups_) {
-    Row key;
-    bool null_key = false;
-    for (size_t c : gs.lhs_cols) {
-      if (row[c].is_null()) {
-        null_key = true;
-        break;
-      }
-      key.push_back(row[c]);
-    }
-    if (null_key) continue;
+    if (!LhsKeyOf(gs, tid, &key)) continue;
     auto bit = gs.buckets.find(key);
     if (bit == gs.buckets.end() || !bit->second.violating()) continue;
     const Bucket& b = bit->second;
     if (std::find(b.members.begin(), b.members.end(), tid) == b.members.end()) {
       continue;
     }
-    const Value& mine = row[gs.rhs_col];
+    const Code mine = enc_->code(tid, gs.rhs_col);
     int64_t same = 0;
-    if (!mine.is_null()) {
-      auto cit = b.rhs_counts.find(mine);
+    if (mine != kNullCode) {
+      auto cit = b.rhs_counts.find(enc_->Decode(gs.rhs_col, mine));
       if (cit != b.rhs_counts.end()) same = cit->second;
     } else {
       for (TupleId other : b.members) {
-        if (rel_->cell(other, gs.rhs_col).is_null()) ++same;
+        if (enc_->code(other, gs.rhs_col) == kNullCode) ++same;
       }
     }
     vio += static_cast<int64_t>(b.members.size()) - same;
@@ -260,19 +281,10 @@ std::vector<IncrementalDetector::GroupView> IncrementalDetector::ViolatingGroups
     TupleId tid) const {
   std::vector<GroupView> out;
   if (!rel_->IsLive(tid)) return out;
-  const Row& row = rel_->row(tid);
+  std::vector<Code> key;
   for (size_t gi = 0; gi < groups_.size(); ++gi) {
     const GroupState& gs = groups_[gi];
-    Row key;
-    bool null_key = false;
-    for (size_t c : gs.lhs_cols) {
-      if (row[c].is_null()) {
-        null_key = true;
-        break;
-      }
-      key.push_back(row[c]);
-    }
-    if (null_key) continue;
+    if (!LhsKeyOf(gs, tid, &key)) continue;
     auto bit = gs.buckets.find(key);
     if (bit == gs.buckets.end() || !bit->second.violating()) continue;
     const Bucket& b = bit->second;

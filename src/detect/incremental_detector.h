@@ -1,6 +1,7 @@
 #ifndef SEMANDAQ_DETECT_INCREMENTAL_DETECTOR_H_
 #define SEMANDAQ_DETECT_INCREMENTAL_DETECTOR_H_
 
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "cfd/cfd.h"
 #include "common/status.h"
 #include "detect/violation.h"
+#include "relational/encoded_relation.h"
 #include "relational/relation.h"
 #include "relational/update.h"
 
@@ -24,6 +26,13 @@ namespace semandaq::detect {
 /// O(|Δ|) work instead of a full re-scan. Snapshot() reconstitutes a
 /// ViolationTable that is value-identical to a from-scratch NativeDetector
 /// run (a test invariant).
+///
+/// Internally the detector runs on a dictionary-encoded columnar snapshot
+/// (relational::EncodedRelation) that it keeps warm through the delta hooks:
+/// bucket keys are LHS code vectors and pattern tableaux are precompiled to
+/// codes at Initialize (pattern constants are *encoded into* the
+/// dictionaries, so a constant that first appears in a later insert still
+/// compiles to the same stable code).
 ///
 /// The detector applies updates to the relation itself so its state can
 /// never drift from the data: route all mutations through ApplyAndDetect.
@@ -85,16 +94,32 @@ class IncrementalDetector {
     bool violating() const { return distinct_nonnull >= 2; }
   };
 
+  /// A tableau row compiled to codes: (LHS position, required code) pairs
+  /// for the constants, plus the RHS code for constant-RHS rows.
+  struct CompiledRow {
+    size_t ci = 0;
+    size_t pi = 0;
+    std::vector<std::pair<uint32_t, relational::Code>> lhs_consts;
+    relational::Code rhs_code = relational::kNullCode;
+  };
+
   struct GroupState {
     std::vector<size_t> lhs_cols;
     size_t rhs_col = 0;
-    /// (cfd, pattern) of constant-RHS rows, then of variable-RHS rows.
-    std::vector<std::pair<size_t, size_t>> const_rows;
+    /// (cfd, pattern) of the feasible variable-RHS rows (Snapshot needs a
+    /// representative CFD index for each group).
     std::vector<std::pair<size_t, size_t>> var_rows;
-    std::unordered_map<relational::Row, Bucket, relational::RowHash,
-                       relational::RowEq>
+    /// Tableau rows compiled to codes (compiled_var parallel to var_rows).
+    std::vector<CompiledRow> compiled_const;
+    std::vector<CompiledRow> compiled_var;
+    std::unordered_map<std::vector<relational::Code>, Bucket,
+                       relational::CodeVecHash>
         buckets;
   };
+
+  /// Fills `key` with the tuple's LHS codes; false when any is NULL.
+  bool LhsKeyOf(const GroupState& gs, relational::TupleId tid,
+                std::vector<relational::Code>* key) const;
 
   /// Registers a live tuple in singles and group buckets.
   void EnterTuple(relational::TupleId tid);
@@ -104,6 +129,8 @@ class IncrementalDetector {
   relational::Relation* rel_;
   std::vector<cfd::Cfd> cfds_;
   std::vector<GroupState> groups_;
+  /// Columnar code mirror of *rel_, kept warm by the delta hooks.
+  std::optional<relational::EncodedRelation> enc_;
   bool initialized_ = false;
 
   /// tid -> (cfd, pattern) single violations.

@@ -1,5 +1,6 @@
 #include "detect/native_detector.h"
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,6 +9,12 @@ namespace semandaq::detect {
 using cfd::Cfd;
 using cfd::EmbeddedFdGroup;
 using cfd::PatternTuple;
+using relational::Code;
+using relational::CodeVecHash;
+using relational::EncodedRelation;
+using relational::kAbsentCode;
+using relational::kNullCode;
+using relational::PackCodes;
 using relational::Row;
 using relational::RowEq;
 using relational::RowHash;
@@ -16,6 +23,245 @@ using relational::Value;
 
 common::Result<ViolationTable> NativeDetector::Detect() {
   SEMANDAQ_RETURN_IF_ERROR(cfd::ResolveAll(&cfds_, rel_->schema()));
+  if (!options_.use_encoded) return DetectRows();
+  if (encoded_ != nullptr && &encoded_->relation() == rel_ &&
+      encoded_->InSync()) {
+    return DetectEncoded(*encoded_);
+  }
+  const EncodedRelation local(rel_);
+  return DetectEncoded(local);
+}
+
+namespace {
+
+/// A pattern tuple compiled against the column dictionaries: constants
+/// become codes, wildcards vanish (they constrain nothing in code space).
+struct CompiledPattern {
+  int ci = -1;
+  int pi = -1;
+  /// (LHS position, required code) for each constant LHS entry.
+  std::vector<std::pair<uint32_t, Code>> lhs_consts;
+  /// Required RHS code for constant-RHS rows; kAbsentCode when the constant
+  /// never occurs in the column (every non-NULL RHS then disagrees).
+  Code rhs_code = kAbsentCode;
+
+  bool MatchesLhs(const Code* const* lhs_cols, TupleId tid) const {
+    for (const auto& [pos, code] : lhs_consts) {
+      if (lhs_cols[pos][tid] != code) return false;
+    }
+    return true;
+  }
+};
+
+/// One multi-tuple candidate group: the tuples sharing an LHS code key.
+/// RHS codes are not duplicated here — the column itself holds them,
+/// indexed by member tuple id.
+struct CodeBucket {
+  std::vector<TupleId> members;
+  std::vector<Code> key;  // the LHS codes
+  int first_cfd = -1;
+  Code first_nonnull = kAbsentCode;
+  bool two_distinct = false;
+
+  void AddRhs(Code c) {
+    if (c == kNullCode) return;
+    if (first_nonnull == kAbsentCode) {
+      first_nonnull = c;
+    } else if (c != first_nonnull) {
+      two_distinct = true;
+    }
+  }
+};
+
+/// Above this many slots the dense code-product group index would cost more
+/// to allocate than it saves; fall back to hashing.
+constexpr uint64_t kDenseGroupLimit = uint64_t{1} << 21;
+
+}  // namespace
+
+common::Result<ViolationTable> NativeDetector::DetectEncoded(
+    const EncodedRelation& enc) {
+  ViolationTable table;
+  const std::vector<TupleId> live = rel_->LiveIds();
+
+  const std::vector<EmbeddedFdGroup> groups = cfd::GroupByEmbeddedFd(cfds_);
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const EmbeddedFdGroup& g = groups[gi];
+    const Cfd& first = cfds_[g.members.front().first];
+    const std::vector<size_t>& lhs_cols = first.lhs_cols();
+    const size_t rhs_col = first.rhs_col();
+    const size_t arity = lhs_cols.size();
+
+    // Compile the tableau rows to codes, preserving member order. An LHS
+    // constant absent from its column dictionary can never match a tuple,
+    // so the whole row drops out of the scan upfront.
+    std::vector<CompiledPattern> const_rows;
+    std::vector<CompiledPattern> var_rows;
+    for (const auto& [ci, pi] : g.members) {
+      const PatternTuple& pt = cfds_[ci].tableau()[pi];
+      CompiledPattern cp;
+      cp.ci = static_cast<int>(ci);
+      cp.pi = static_cast<int>(pi);
+      bool feasible = true;
+      for (size_t i = 0; i < arity; ++i) {
+        if (pt.lhs[i].is_wildcard()) continue;
+        // A NULL constant matches nothing (PatternValue::Matches rejects
+        // NULL cells); it must not compile to kNullCode, which would match
+        // exactly the NULL cells instead.
+        const Code code = pt.lhs[i].constant().is_null()
+                              ? kAbsentCode
+                              : enc.dictionary(lhs_cols[i]).Lookup(
+                                    pt.lhs[i].constant());
+        if (code == kAbsentCode) {
+          feasible = false;
+          break;
+        }
+        cp.lhs_consts.emplace_back(static_cast<uint32_t>(i), code);
+      }
+      if (!feasible) continue;
+      if (pt.is_constant_rhs()) {
+        cp.rhs_code = enc.dictionary(rhs_col).Lookup(pt.rhs.constant());
+        const_rows.push_back(std::move(cp));
+      } else {
+        var_rows.push_back(std::move(cp));
+      }
+    }
+    if (const_rows.empty() && var_rows.empty()) continue;
+
+    // Raw column pointers for the scan.
+    std::vector<const Code*> lhs_ptr_storage(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      lhs_ptr_storage[i] = enc.column(lhs_cols[i]).data();
+    }
+    const Code* const* lhs_ptrs = lhs_ptr_storage.data();
+    const Code* rhs_ptr = enc.column(rhs_col).data();
+
+    // An all-wildcard variable row (the plain embedded FD) puts every tuple
+    // in multi-tuple scope; skip the per-tuple pattern loop then.
+    const bool var_always =
+        !var_rows.empty() && var_rows.front().lhs_consts.empty();
+    const int var_always_cfd = var_always ? var_rows.front().ci : -1;
+
+    // Buckets live in a vector (first-touch order). The key->bucket index
+    // picks the cheapest representation: codes are dense per column, so for
+    // one LHS column the code itself indexes a flat array, and for two the
+    // code *product* does whenever it fits; hashing is the fallback (packed
+    // uint64 for pairs, flat code vector beyond).
+    std::vector<CodeBucket> buckets;
+    const uint64_t stride =
+        arity == 2 ? enc.dictionary(lhs_cols[1]).size() + 1 : 0;
+    uint64_t dense_slots = 0;
+    if (arity == 1) {
+      dense_slots = enc.dictionary(lhs_cols[0]).size() + 1;
+    } else if (arity == 2) {
+      dense_slots = (enc.dictionary(lhs_cols[0]).size() + 1) * stride;
+    }
+    const bool use_dense = dense_slots > 0 && dense_slots <= kDenseGroupLimit;
+    constexpr uint32_t kNoBucket = UINT32_MAX;
+    std::vector<uint32_t> dense_index;
+    if (use_dense) dense_index.assign(dense_slots, kNoBucket);
+    std::unordered_map<uint64_t, uint32_t> narrow_index;
+    std::unordered_map<std::vector<Code>, uint32_t, CodeVecHash> wide_index;
+    std::vector<Code> scratch_key(arity);
+
+    for (const TupleId tid : live) {
+      for (const CompiledPattern& cp : const_rows) {
+        if (!cp.MatchesLhs(lhs_ptrs, tid)) continue;
+        const Code a = rhs_ptr[tid];
+        if (a != kNullCode && a != cp.rhs_code) {
+          table.AddSingle(SingleViolation{tid, cp.ci, cp.pi});
+        }
+      }
+      int var_cfd = var_always_cfd;
+      if (!var_always) {
+        for (const CompiledPattern& cp : var_rows) {
+          if (cp.MatchesLhs(lhs_ptrs, tid)) {
+            var_cfd = cp.ci;
+            break;
+          }
+        }
+        if (var_cfd < 0) continue;
+      }
+      // Multi-tuple scope: NULL LHS values cannot witness equality.
+      uint32_t bi;
+      if (arity <= 2) {
+        const Code c0 = lhs_ptrs[0][tid];
+        if (c0 == kNullCode) continue;
+        const Code c1 = arity == 2 ? lhs_ptrs[1][tid] : kNullCode;
+        if (arity == 2 && c1 == kNullCode) continue;
+        if (use_dense) {
+          const uint64_t slot =
+              arity == 1 ? c0 : static_cast<uint64_t>(c0) * stride + c1;
+          uint32_t& entry = dense_index[slot];
+          if (entry == kNoBucket) {
+            entry = static_cast<uint32_t>(buckets.size());
+            buckets.emplace_back();
+          }
+          bi = entry;
+        } else {
+          auto [it, fresh] = narrow_index.emplace(
+              PackCodes(c0, c1), static_cast<uint32_t>(buckets.size()));
+          if (fresh) buckets.emplace_back();
+          bi = it->second;
+        }
+        scratch_key[0] = c0;
+        if (arity == 2) scratch_key[1] = c1;
+      } else {
+        bool null_key = false;
+        for (size_t i = 0; i < arity; ++i) {
+          const Code c = lhs_ptrs[i][tid];
+          if (c == kNullCode) {
+            null_key = true;
+            break;
+          }
+          scratch_key[i] = c;
+        }
+        if (null_key) continue;
+        auto [it, fresh] = wide_index.emplace(
+            scratch_key, static_cast<uint32_t>(buckets.size()));
+        if (fresh) buckets.emplace_back();
+        bi = it->second;
+      }
+      CodeBucket& b = buckets[bi];
+      if (b.first_cfd < 0) {
+        b.first_cfd = var_cfd;
+        b.key = scratch_key;
+      }
+      b.members.push_back(tid);
+      b.AddRhs(rhs_ptr[tid]);
+    }
+
+    // Partner counts on codes (NULLs share kNullCode and so agree with each
+    // other, matching exact Value equality). The freq array is dense over
+    // the RHS dictionary and reset per bucket by walking the same codes.
+    std::vector<int64_t> freq(enc.dictionary(rhs_col).size() + 1, 0);
+    for (CodeBucket& b : buckets) {
+      if (!b.two_distinct) continue;
+      ViolationGroup vg;
+      vg.fd_group = static_cast<int>(gi);
+      vg.cfd_index = b.first_cfd;
+      vg.lhs_key.reserve(arity);
+      for (size_t i = 0; i < arity; ++i) {
+        vg.lhs_key.push_back(enc.Decode(lhs_cols[i], b.key[i]));
+      }
+      const int64_t n = static_cast<int64_t>(b.members.size());
+      for (TupleId m : b.members) ++freq[rhs_ptr[m]];
+      vg.member_partners.reserve(b.members.size());
+      vg.member_rhs.reserve(b.members.size());
+      for (TupleId m : b.members) {
+        const Code c = rhs_ptr[m];
+        vg.member_partners.push_back(n - freq[c]);
+        vg.member_rhs.push_back(enc.Decode(rhs_col, c));
+      }
+      for (TupleId m : b.members) freq[rhs_ptr[m]] = 0;
+      vg.members = std::move(b.members);
+      table.AddGroup(std::move(vg));
+    }
+  }
+  return table;
+}
+
+common::Result<ViolationTable> NativeDetector::DetectRows() {
   ViolationTable table;
 
   const std::vector<EmbeddedFdGroup> groups = cfd::GroupByEmbeddedFd(cfds_);

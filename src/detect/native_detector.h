@@ -6,9 +6,19 @@
 #include "cfd/cfd.h"
 #include "common/status.h"
 #include "detect/violation.h"
+#include "relational/encoded_relation.h"
 #include "relational/relation.h"
 
 namespace semandaq::detect {
+
+struct DetectorOptions {
+  /// Route the scan through a dictionary-encoded columnar snapshot
+  /// (relational::EncodedRelation): pattern constants compile to integer
+  /// codes once per Detect, and grouping runs on packed code keys instead
+  /// of hashing projected Rows. Off = the original row-hash scan, kept for
+  /// A/B measurement and as the semantic reference.
+  bool use_encoded = true;
+};
 
 /// In-process CFD violation detector: one scan per embedded-FD group with
 /// hash partitioning on the LHS attributes.
@@ -21,12 +31,25 @@ namespace semandaq::detect {
 ///  * multi-tuple: tuples matching ANY variable-RHS row of the group, with
 ///    no NULL among their LHS values, grouped by the LHS projection; a group
 ///    violates when it carries >= 2 distinct non-NULL RHS values.
+///
+/// The encoded path (DetectorOptions::use_encoded, the default) produces a
+/// ViolationTable with identical contents; multi-tuple groups are emitted in
+/// deterministic first-touch order.
 class NativeDetector {
  public:
   /// `cfds` are resolved internally against rel's schema (copies; the input
   /// vector is untouched).
-  NativeDetector(const relational::Relation* rel, std::vector<cfd::Cfd> cfds)
-      : rel_(rel), cfds_(std::move(cfds)) {}
+  NativeDetector(const relational::Relation* rel, std::vector<cfd::Cfd> cfds,
+                 DetectorOptions options = {})
+      : rel_(rel), cfds_(std::move(cfds)), options_(options) {}
+
+  /// Attaches an externally owned, already-synced encoded snapshot of the
+  /// relation so repeated Detect calls skip the encode pass (the warm-scan
+  /// production pattern). Ignored when use_encoded is off; a stale snapshot
+  /// is ignored too (a fresh local one is built instead).
+  void set_encoded(const relational::EncodedRelation* encoded) {
+    encoded_ = encoded;
+  }
 
   /// Full-relation detection pass.
   common::Result<ViolationTable> Detect();
@@ -35,8 +58,14 @@ class NativeDetector {
   const std::vector<cfd::Cfd>& cfds() const { return cfds_; }
 
  private:
+  common::Result<ViolationTable> DetectRows();
+  common::Result<ViolationTable> DetectEncoded(
+      const relational::EncodedRelation& enc);
+
   const relational::Relation* rel_;
   std::vector<cfd::Cfd> cfds_;
+  DetectorOptions options_;
+  const relational::EncodedRelation* encoded_ = nullptr;
 };
 
 }  // namespace semandaq::detect

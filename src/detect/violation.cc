@@ -12,58 +12,86 @@ uint64_t PairKey(relational::TupleId tid, int cfd) {
 
 }  // namespace
 
+void ViolationTable::EnsureTid(relational::TupleId tid) {
+  const size_t need = static_cast<size_t>(tid) + 1;
+  if (vio_.size() < need) {
+    vio_.resize(need, 0);
+    single_cfds_.resize(need);
+    group_membership_.resize(need);
+  }
+}
+
+void ViolationTable::AddVio(relational::TupleId tid, int64_t amount) {
+  int64_t& v = vio_[static_cast<size_t>(tid)];
+  if (v == 0 && amount > 0) ++num_violating_;
+  v += amount;
+  total_ += amount;
+}
+
 bool ViolationTable::AddSingle(SingleViolation v) {
   singles_.push_back(v);
   const bool fresh = counted_singles_.insert(PairKey(v.tid, v.cfd_index)).second;
   if (fresh) {
-    ++vio_[v.tid];
-    ++total_;
-    single_cfds_[v.tid].push_back(v.cfd_index);
+    EnsureTid(v.tid);
+    AddVio(v.tid, 1);
+    single_cfds_[static_cast<size_t>(v.tid)].push_back(v.cfd_index);
   }
   return fresh;
 }
 
 void ViolationTable::AddGroup(ViolationGroup g) {
   const int group_index = static_cast<int>(groups_.size());
-  // Partner count for member i is |G| - |{j : rhs_j == rhs_i}| (exact Value
-  // equality: two NULL RHS cells count as agreeing). One counting pass keeps
-  // this linear even for very wide groups.
-  std::unordered_map<relational::Value, int64_t, relational::ValueHash> freq;
-  for (const relational::Value& v : g.member_rhs) ++freq[v];
   const int64_t n = static_cast<int64_t>(g.members.size());
-  for (size_t i = 0; i < g.members.size(); ++i) {
-    const int64_t partners = n - freq[g.member_rhs[i]];
-    if (partners > 0) {
-      vio_[g.members[i]] += partners;
-      total_ += partners;
+  if (!g.members.empty()) {
+    relational::TupleId max_tid = g.members.front();
+    for (relational::TupleId tid : g.members) max_tid = std::max(max_tid, tid);
+    EnsureTid(max_tid);
+  }
+  if (g.member_partners.size() == g.members.size()) {
+    // Producer supplied exact partner counts (computed on integer codes).
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      const int64_t partners = g.member_partners[i];
+      if (partners > 0) AddVio(g.members[i], partners);
+      group_membership_[static_cast<size_t>(g.members[i])].push_back(group_index);
     }
-    group_membership_[g.members[i]].push_back(group_index);
+  } else {
+    // Partner count for member i is |G| - |{j : rhs_j == rhs_i}| (exact
+    // Value equality: two NULL RHS cells count as agreeing). One counting
+    // pass keeps this linear even for very wide groups.
+    std::unordered_map<relational::Value, int64_t, relational::ValueHash> freq;
+    for (const relational::Value& v : g.member_rhs) ++freq[v];
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      const int64_t partners = n - freq[g.member_rhs[i]];
+      if (partners > 0) AddVio(g.members[i], partners);
+      group_membership_[static_cast<size_t>(g.members[i])].push_back(group_index);
+    }
   }
   groups_.push_back(std::move(g));
 }
 
 int64_t ViolationTable::vio(relational::TupleId tid) const {
-  auto it = vio_.find(tid);
-  return it == vio_.end() ? 0 : it->second;
+  const size_t i = static_cast<size_t>(tid);
+  return tid >= 0 && i < vio_.size() ? vio_[i] : 0;
 }
 
 std::vector<int> ViolationTable::SingleCfdsOf(relational::TupleId tid) const {
-  auto it = single_cfds_.find(tid);
-  return it == single_cfds_.end() ? std::vector<int>{} : it->second;
+  const size_t i = static_cast<size_t>(tid);
+  return tid >= 0 && i < single_cfds_.size() ? single_cfds_[i]
+                                             : std::vector<int>{};
 }
 
 std::vector<int> ViolationTable::GroupsOf(relational::TupleId tid) const {
-  auto it = group_membership_.find(tid);
-  return it == group_membership_.end() ? std::vector<int>{} : it->second;
+  const size_t i = static_cast<size_t>(tid);
+  return tid >= 0 && i < group_membership_.size() ? group_membership_[i]
+                                                  : std::vector<int>{};
 }
 
 std::vector<relational::TupleId> ViolationTable::ViolatingTuples() const {
   std::vector<relational::TupleId> out;
-  out.reserve(vio_.size());
-  for (const auto& [tid, count] : vio_) {
-    if (count > 0) out.push_back(tid);
+  out.reserve(num_violating_);
+  for (size_t i = 0; i < vio_.size(); ++i) {
+    if (vio_[i] > 0) out.push_back(static_cast<relational::TupleId>(i));
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -34,6 +34,11 @@ struct ViolationGroup {
   /// RHS value of each member, parallel to `members` (kept so auditing can
   /// judge "bulk agreement" without re-reading the relation).
   std::vector<relational::Value> member_rhs;
+  /// Optional producer hint, parallel to `members`: the number of group
+  /// members whose RHS disagrees with this member's. Detectors that group
+  /// on dictionary codes fill it from integer counts; when absent (size
+  /// mismatch), AddGroup derives it from member_rhs by value hashing.
+  std::vector<int64_t> member_partners;
 };
 
 /// The error detector's output: per-tuple violation counts vio(t) plus the
@@ -64,7 +69,7 @@ class ViolationTable {
   const std::vector<ViolationGroup>& groups() const { return groups_; }
 
   /// Distinct tuples with vio(t) > 0.
-  size_t NumViolatingTuples() const { return vio_.size(); }
+  size_t NumViolatingTuples() const { return num_violating_; }
   /// Sum of vio(t) over all tuples.
   int64_t TotalVio() const { return total_; }
 
@@ -79,14 +84,21 @@ class ViolationTable {
   std::string Summary() const;
 
  private:
+  /// Grows the dense per-tuple arrays to cover `tid`.
+  void EnsureTid(relational::TupleId tid);
+  /// Adds to vio(tid), maintaining the violating-tuple count.
+  void AddVio(relational::TupleId tid, int64_t amount);
+
   std::vector<SingleViolation> singles_;
   std::vector<ViolationGroup> groups_;
-  std::unordered_map<relational::TupleId, int64_t> vio_;
+  // Dense per-tuple accounting, indexed by tid (tuple ids are dense by
+  // construction; hash maps here dominated emission cost at scale).
+  std::vector<int64_t> vio_;
+  std::vector<std::vector<int>> single_cfds_;
+  std::vector<std::vector<int>> group_membership_;
+  size_t num_violating_ = 0;
   // (tid, cfd) pairs already counted toward vio.
   std::unordered_set<uint64_t> counted_singles_;
-  // tid -> indices into groups_ / list of cfds for singles.
-  std::unordered_map<relational::TupleId, std::vector<int>> single_cfds_;
-  std::unordered_map<relational::TupleId, std::vector<int>> group_membership_;
   int64_t total_ = 0;
 };
 

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "discovery/fd_miner.h"
 #include "discovery/partition.h"
+#include "relational/encoded_relation.h"
 
 namespace semandaq::discovery {
 
@@ -59,12 +61,39 @@ bool ConstantOn(const relational::Relation& rel, const std::vector<TupleId>& tid
   return !first;
 }
 
+/// Code-space twin of ConstantOn: one integer compare per tuple.
+bool ConstantOnEncoded(const relational::EncodedRelation& enc,
+                       const std::vector<TupleId>& tids, size_t rhs,
+                       Value* value) {
+  using relational::Code;
+  const std::vector<Code>& codes = enc.column(rhs);
+  Code shared = relational::kNullCode;
+  for (TupleId tid : tids) {
+    const Code c = codes[static_cast<size_t>(tid)];
+    if (c == relational::kNullCode) return false;
+    if (shared == relational::kNullCode) {
+      shared = c;
+    } else if (c != shared) {
+      return false;
+    }
+  }
+  if (shared == relational::kNullCode) return false;
+  *value = enc.Decode(rhs, shared);
+  return true;
+}
+
 }  // namespace
 
 common::Result<std::vector<Cfd>> CfdMiner::Mine() {
   const auto& schema = rel_->schema();
   const size_t ncols = schema.size();
   std::vector<Cfd> out;
+
+  // One columnar encode pass feeds every partition and evidence scan below.
+  std::unique_ptr<relational::EncodedRelation> encoded;
+  if (options_.use_encoded) {
+    encoded = std::make_unique<relational::EncodedRelation>(rel_);
+  }
 
   // Shared partition cache.
   std::map<std::vector<size_t>, Partition> cache;
@@ -74,7 +103,8 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
     if (it != cache.end()) return it->second;
     Partition p;
     if (cols.size() <= 1) {
-      p = Partition::Build(*rel_, cols);
+      p = encoded ? Partition::Build(*encoded, cols)
+                  : Partition::Build(*rel_, cols);
     } else {
       std::vector<size_t> prefix(cols.begin(), cols.end() - 1);
       p = Partition::Intersect(partition_of(prefix), partition_of({cols.back()}));
@@ -130,7 +160,10 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
           for (const auto& cls : px.classes()) {
             if (cls.size() < options_.min_support) continue;
             Value shared;
-            if (!ConstantOn(*rel_, cls, rhs, &shared)) continue;
+            if (encoded ? !ConstantOnEncoded(*encoded, cls, rhs, &shared)
+                        : !ConstantOn(*rel_, cls, rhs, &shared)) {
+              continue;
+            }
             // Left-reduction: skip when dropping any one LHS attribute
             // still yields a constant class with the same value.
             bool reducible = false;
@@ -148,7 +181,8 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
                   if (psub.ClassOf(sup.front()) != cid) continue;
                   Value sub_shared;
                   if (sup.size() >= options_.min_support &&
-                      ConstantOn(*rel_, sup, rhs, &sub_shared) &&
+                      (encoded ? ConstantOnEncoded(*encoded, sup, rhs, &sub_shared)
+                               : ConstantOn(*rel_, sup, rhs, &sub_shared)) &&
                       sub_shared == shared) {
                     reducible = true;
                   }
@@ -181,8 +215,6 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
               if (cls.size() < options_.min_support) continue;
               // Does X -> A hold within σ_{C=c}? Group the class members by
               // their full X projection and require constant A per group.
-              std::unordered_map<Row, Value, relational::RowHash, relational::RowEq>
-                  group_rhs;
               bool holds = true;
               // Evidence = tuples sitting in X-groups of size >= 2, i.e. the
               // tuples the conditioned FD actually constrains. Requiring
@@ -190,32 +222,68 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
               // class) is what separates domain rules from sampling
               // coincidences.
               size_t evidence = 0;
-              std::unordered_map<Row, int, relational::RowHash, relational::RowEq>
-                  group_size;
-              for (TupleId tid : cls) {
-                const Row& row = rel_->row(tid);
-                Row key;
-                bool skip = false;
-                for (size_t c : lhs) {
-                  if (row[c].is_null()) {
-                    skip = true;
-                    break;
+              if (encoded) {
+                // Code-space grouping: (rhs code, group size) per X code key.
+                using relational::Code;
+                std::unordered_map<std::vector<Code>, std::pair<Code, int>,
+                                   relational::CodeVecHash>
+                    groups;
+                std::vector<Code> key(lhs.size());
+                for (TupleId tid : cls) {
+                  bool skip = false;
+                  for (size_t i = 0; i < lhs.size(); ++i) {
+                    key[i] = encoded->code(tid, lhs[i]);
+                    if (key[i] == relational::kNullCode) {
+                      skip = true;
+                      break;
+                    }
                   }
-                  key.push_back(row[c]);
-                }
-                if (skip || row[rhs].is_null()) continue;
-                auto [it, fresh] = group_rhs.emplace(key, row[rhs]);
-                if (!fresh) {
-                  if (!(it->second == row[rhs])) {
+                  const Code a = encoded->code(tid, rhs);
+                  if (skip || a == relational::kNullCode) continue;
+                  auto [it, fresh] = groups.emplace(key, std::make_pair(a, 0));
+                  if (!fresh && it->second.first != a) {
                     holds = false;
                     break;
                   }
+                  const int n = ++it->second.second;
+                  if (n == 2) {
+                    evidence += 2;  // the group just became nontrivial
+                  } else if (n > 2) {
+                    ++evidence;
+                  }
                 }
-                const int n = ++group_size[key];
-                if (n == 2) {
-                  evidence += 2;  // the group just became nontrivial
-                } else if (n > 2) {
-                  ++evidence;
+              } else {
+                std::unordered_map<Row, Value, relational::RowHash,
+                                   relational::RowEq>
+                    group_rhs;
+                std::unordered_map<Row, int, relational::RowHash,
+                                   relational::RowEq>
+                    group_size;
+                for (TupleId tid : cls) {
+                  const Row& row = rel_->row(tid);
+                  Row key;
+                  bool skip = false;
+                  for (size_t c : lhs) {
+                    if (row[c].is_null()) {
+                      skip = true;
+                      break;
+                    }
+                    key.push_back(row[c]);
+                  }
+                  if (skip || row[rhs].is_null()) continue;
+                  auto [it, fresh] = group_rhs.emplace(key, row[rhs]);
+                  if (!fresh) {
+                    if (!(it->second == row[rhs])) {
+                      holds = false;
+                      break;
+                    }
+                  }
+                  const int n = ++group_size[key];
+                  if (n == 2) {
+                    evidence += 2;  // the group just became nontrivial
+                  } else if (n > 2) {
+                    ++evidence;
+                  }
                 }
               }
               if (!holds || evidence < options_.min_support) continue;

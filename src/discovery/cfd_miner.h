@@ -23,6 +23,9 @@ struct CfdMinerOptions {
   bool include_global_fds = true;
   /// Cap on tableau rows per embedded FD (keeps Σ reviewable).
   size_t max_patterns_per_fd = 64;
+  /// Run the partition and evidence passes over a dictionary-encoded
+  /// snapshot (integer codes) instead of hashing Rows and Values.
+  bool use_encoded = true;
 };
 
 /// CTANE-style CFD discovery from reference data (paper §2, Constraint

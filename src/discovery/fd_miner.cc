@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
+
+#include "relational/encoded_relation.h"
 
 namespace semandaq::discovery {
 
@@ -48,6 +51,14 @@ std::vector<DiscoveredFd> FdMiner::Mine() {
   // rhs -> list of minimal LHS sets found so far.
   std::map<size_t, std::vector<std::vector<size_t>>> minimal_lhs;
 
+  // Base partitions come from the dictionary-encoded snapshot when enabled:
+  // singletons then cost one dense code->class array pass each, with the
+  // array sized directly from the dictionary cardinality.
+  std::unique_ptr<relational::EncodedRelation> encoded;
+  if (options_.use_encoded) {
+    encoded = std::make_unique<relational::EncodedRelation>(rel_);
+  }
+
   // Partition cache keyed by the sorted column list; products are built from
   // the prefix partition and the last singleton (classic TANE recurrence).
   std::map<std::vector<size_t>, Partition> cache;
@@ -57,7 +68,8 @@ std::vector<DiscoveredFd> FdMiner::Mine() {
     if (it != cache.end()) return it->second;
     Partition p;
     if (cols.size() <= 1) {
-      p = Partition::Build(*rel_, cols);
+      p = encoded ? Partition::Build(*encoded, cols)
+                  : Partition::Build(*rel_, cols);
     } else {
       std::vector<size_t> prefix(cols.begin(), cols.end() - 1);
       const Partition& pa = partition_of(prefix);

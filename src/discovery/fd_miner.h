@@ -17,6 +17,9 @@ struct DiscoveredFd {
 struct FdMinerOptions {
   /// Maximum LHS size to explore (levelwise lattice depth).
   size_t max_lhs = 3;
+  /// Build base partitions from a dictionary-encoded snapshot (one encode
+  /// pass, then pure integer grouping) instead of hashing projected Rows.
+  bool use_encoded = true;
 };
 
 /// TANE-style levelwise FD discovery on stripped partitions: candidate

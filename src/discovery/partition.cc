@@ -40,6 +40,76 @@ Partition Partition::Build(const relational::Relation& rel,
   return p;
 }
 
+Partition Partition::Build(const relational::EncodedRelation& enc,
+                           const std::vector<size_t>& cols) {
+  using relational::Code;
+  using relational::kNullCode;
+
+  Partition p;
+  const size_t bound = static_cast<size_t>(enc.IdBound());
+  p.class_of_.assign(bound, -1);
+  std::vector<std::vector<TupleId>> members;
+
+  // Class ids are issued densely in first-touch order, so a fresh id is
+  // always exactly members.size().
+  auto place = [&](TupleId tid, int32_t cid) {
+    if (static_cast<size_t>(cid) == members.size()) members.emplace_back();
+    members[static_cast<size_t>(cid)].push_back(tid);
+    p.class_of_[static_cast<size_t>(tid)] = cid;
+    ++p.covered_;
+  };
+
+  if (cols.size() == 1) {
+    // Codes are dense 1..|dict|: the class of a tuple is a direct array
+    // lookup, with ids renumbered in first-touch order to stay structurally
+    // identical to the hash build.
+    const std::vector<Code>& codes = enc.column(cols[0]);
+    std::vector<int32_t> class_of_code(enc.dictionary(cols[0]).size() + 1, -1);
+    int32_t next = 0;
+    enc.ForEachLive([&](TupleId tid) {
+      const Code c = codes[static_cast<size_t>(tid)];
+      if (c == kNullCode) return;  // NULL excluded from partitions
+      int32_t& cid = class_of_code[c];
+      if (cid < 0) cid = next++;
+      place(tid, cid);
+    });
+    p.num_classes_ = static_cast<size_t>(next);
+  } else if (cols.size() == 2) {
+    const std::vector<Code>& ca = enc.column(cols[0]);
+    const std::vector<Code>& cb = enc.column(cols[1]);
+    std::unordered_map<uint64_t, int32_t> ids;
+    enc.ForEachLive([&](TupleId tid) {
+      const size_t i = static_cast<size_t>(tid);
+      if (ca[i] == kNullCode || cb[i] == kNullCode) return;
+      auto [it, fresh] = ids.emplace(relational::PackCodes(ca[i], cb[i]),
+                                     static_cast<int32_t>(ids.size()));
+      place(tid, it->second);
+    });
+    p.num_classes_ = ids.size();
+  } else {
+    std::vector<const Code*> ptrs;
+    ptrs.reserve(cols.size());
+    for (size_t c : cols) ptrs.push_back(enc.column(c).data());
+    std::unordered_map<std::vector<Code>, int32_t, relational::CodeVecHash> ids;
+    std::vector<Code> key(cols.size());
+    enc.ForEachLive([&](TupleId tid) {
+      const size_t i = static_cast<size_t>(tid);
+      for (size_t k = 0; k < ptrs.size(); ++k) {
+        key[k] = ptrs[k][i];
+        if (key[k] == kNullCode) return;
+      }
+      auto [it, fresh] = ids.emplace(key, static_cast<int32_t>(ids.size()));
+      place(tid, it->second);
+    });
+    p.num_classes_ = ids.size();
+  }
+
+  for (auto& m : members) {
+    if (m.size() >= 2) p.classes_.push_back(std::move(m));
+  }
+  return p;
+}
+
 Partition Partition::Intersect(const Partition& a, const Partition& b) {
   Partition p;
   const size_t bound = std::max(a.class_of_.size(), b.class_of_.size());

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "relational/encoded_relation.h"
 #include "relational/relation.h"
 
 namespace semandaq::discovery {
@@ -16,6 +17,15 @@ class Partition {
  public:
   /// Builds Π_X by hashing the X projection of every live tuple.
   static Partition Build(const relational::Relation& rel,
+                         const std::vector<size_t>& cols);
+
+  /// Builds Π_X from a dictionary-encoded snapshot: a counting/group pass
+  /// over code columns instead of hashing projected Rows. Single attributes
+  /// index a dense code->class array sized by the dictionary cardinality
+  /// (no hash table at all); wider sets group on packed code keys. Class
+  /// ids are assigned in first-touch (tuple id) order, so the result is
+  /// structurally identical to the row-hash Build.
+  static Partition Build(const relational::EncodedRelation& enc,
                          const std::vector<size_t>& cols);
 
   /// Product partition Π_{X ∪ Y} = Π_X · Π_Y from the class ids of both.

@@ -1,0 +1,29 @@
+#include "relational/dictionary.h"
+
+#include <cassert>
+
+namespace semandaq::relational {
+
+Code Dictionary::Encode(const Value& v) {
+  if (v.is_null()) return kNullCode;
+  auto it = codes_.find(v);
+  if (it != codes_.end()) return it->second;
+  assert(values_.size() < static_cast<size_t>(kAbsentCode));
+  const Code code = static_cast<Code>(values_.size());
+  values_.push_back(v);
+  codes_.emplace(v, code);
+  return code;
+}
+
+Code Dictionary::Lookup(const Value& v) const {
+  if (v.is_null()) return kNullCode;
+  auto it = codes_.find(v);
+  return it == codes_.end() ? kAbsentCode : it->second;
+}
+
+const Value& Dictionary::Decode(Code code) const {
+  assert(Contains(code));
+  return values_[code];
+}
+
+}  // namespace semandaq::relational

@@ -1,0 +1,63 @@
+#ifndef SEMANDAQ_RELATIONAL_DICTIONARY_H_
+#define SEMANDAQ_RELATIONAL_DICTIONARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace semandaq::relational {
+
+/// Dense integer code of a column value inside one column's Dictionary.
+/// Code 0 is permanently reserved for SQL NULL; live values get 1, 2, ...
+/// in first-seen order. Codes are never reused or recycled, so a code taken
+/// once stays valid for the dictionary's whole lifetime (this is what lets
+/// incremental consumers keep compiled pattern codes across appends).
+using Code = uint32_t;
+
+/// The NULL code: every NULL cell of a column encodes to 0.
+inline constexpr Code kNullCode = 0;
+
+/// Sentinel for "this value has no code in the dictionary". Never assigned
+/// to a real value (a dictionary holding 2^32-1 distinct values is out of
+/// this system's design envelope; Encode asserts before wrapping).
+inline constexpr Code kAbsentCode = UINT32_MAX;
+
+/// Per-column mapping Value <-> dense Code.
+///
+/// Equality of codes is exactly Value::operator== on the decoded values:
+/// the dictionary is injective on non-NULL values, and all NULLs share
+/// kNullCode. This makes code comparison a drop-in replacement for Value
+/// comparison in the detection and discovery inner loops — one string hash
+/// per *distinct* value at encode time instead of one per tuple per scan.
+class Dictionary {
+ public:
+  Dictionary() { values_.push_back(Value::Null()); }
+
+  /// Code of `v`, inserting it on first sight. NULL always maps to
+  /// kNullCode without touching the hash table.
+  Code Encode(const Value& v);
+
+  /// Code of `v` without inserting; kAbsentCode when the value was never
+  /// encoded (a pattern constant absent here can never match any tuple).
+  Code Lookup(const Value& v) const;
+
+  /// The value behind a code; Decode(kNullCode) is NULL. The code must have
+  /// been issued by this dictionary (asserted in debug builds).
+  const Value& Decode(Code code) const;
+
+  /// Number of distinct non-NULL values; issued codes are 1..size().
+  size_t size() const { return values_.size() - 1; }
+
+  /// True when `code` was issued by this dictionary (or is the NULL code).
+  bool Contains(Code code) const { return code < values_.size(); }
+
+ private:
+  std::unordered_map<Value, Code, ValueHash> codes_;
+  std::vector<Value> values_;  // values_[0] = NULL; values_[c] decodes c
+};
+
+}  // namespace semandaq::relational
+
+#endif  // SEMANDAQ_RELATIONAL_DICTIONARY_H_

@@ -1,0 +1,64 @@
+#include "relational/encoded_relation.h"
+
+#include <cassert>
+
+namespace semandaq::relational {
+
+EncodedRelation::EncodedRelation(const Relation* rel) : rel_(rel) {
+  Rebuild();
+}
+
+void EncodedRelation::Rebuild() {
+  const size_t ncols = rel_->schema().size();
+  dicts_.assign(ncols, Dictionary());
+  columns_.assign(ncols, {});
+  const size_t bound = static_cast<size_t>(rel_->IdBound());
+  for (auto& col : columns_) col.assign(bound, kNullCode);
+  EncodeRows(0, static_cast<TupleId>(bound));
+  synced_version_ = rel_->version();
+  synced_overwrite_version_ = rel_->overwrite_version();
+}
+
+void EncodedRelation::Sync() {
+  if (InSync()) return;
+  if (synced_overwrite_version_ != rel_->overwrite_version()) {
+    Rebuild();
+    return;
+  }
+  // Appends and/or deletes only: encode the fresh id range. Dead tuples in
+  // the old range keep their codes (scans skip them via liveness).
+  const TupleId from = IdBound();
+  const TupleId to = rel_->IdBound();
+  for (auto& col : columns_) col.resize(static_cast<size_t>(to), kNullCode);
+  EncodeRows(from, to);
+  synced_version_ = rel_->version();
+}
+
+void EncodedRelation::EncodeRows(TupleId from, TupleId to) {
+  for (TupleId tid = from; tid < to; ++tid) {
+    if (!rel_->IsLive(tid)) continue;
+    const Row& row = rel_->row(tid);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c][static_cast<size_t>(tid)] = dicts_[c].Encode(row[c]);
+    }
+  }
+}
+
+void EncodedRelation::ApplyInsert(TupleId tid) {
+  assert(tid == IdBound());
+  for (auto& col : columns_) {
+    col.resize(static_cast<size_t>(tid) + 1, kNullCode);
+  }
+  EncodeRows(tid, tid + 1);
+  synced_version_ = rel_->version();
+}
+
+void EncodedRelation::ApplyCell(TupleId tid, size_t col) {
+  assert(tid >= 0 && tid < IdBound() && col < columns_.size());
+  columns_[col][static_cast<size_t>(tid)] =
+      dicts_[col].Encode(rel_->cell(tid, col));
+  synced_version_ = rel_->version();
+  synced_overwrite_version_ = rel_->overwrite_version();
+}
+
+}  // namespace semandaq::relational

@@ -1,0 +1,131 @@
+#ifndef SEMANDAQ_RELATIONAL_ENCODED_RELATION_H_
+#define SEMANDAQ_RELATIONAL_ENCODED_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "relational/dictionary.h"
+#include "relational/relation.h"
+
+namespace semandaq::relational {
+
+/// A dictionary-encoded columnar snapshot of a Relation: one flat
+/// std::vector<Code> per column, indexed by TupleId, plus the per-column
+/// Dictionary that issued the codes.
+///
+/// This is the substrate of the detection/discovery fast paths: equality of
+/// cells becomes equality of 32-bit codes, group-by keys become packed
+/// integers, and the string hashing that dominates row-at-a-time scans is
+/// paid once per distinct value at encode time. The design follows the
+/// position-list/partition representations of TANE-family discovery systems
+/// (Desbordante et al.): detection is then "a small number of scans" over
+/// dense integer arrays, which is the paper's scaling claim made concrete.
+///
+/// Staleness protocol. The snapshot remembers the relation's (version,
+/// overwrite_version) pair at the last sync:
+///   * both match                -> in sync, Sync() is a no-op;
+///   * only `version` moved      -> the relation saw appends and/or deletes;
+///     Sync() encodes just the new rows (deletes need no code work because
+///     scans consult Relation::IsLive, which EncodedRelation::ForEachLive
+///     does for you);
+///   * `overwrite_version` moved -> some cell was rewritten in place and the
+///     snapshot cannot tell which; Sync() rebuilds everything.
+/// Callers that apply mutations themselves (IncrementalDetector) can stay
+/// warm through overwrites via the delta hooks ApplyInsert/ApplyCell, which
+/// re-encode exactly the touched cells and fast-forward the sync marks.
+///
+/// Dictionaries only grow: deletes and overwrites may strand codes whose
+/// value no longer occurs live. That is deliberate — code stability is what
+/// keeps precompiled pattern codes valid across deltas — and bounded by
+/// update volume; a full Rebuild() (or a fresh snapshot) compacts.
+class EncodedRelation {
+ public:
+  /// Builds the snapshot with one pass over the live tuples.
+  explicit EncodedRelation(const Relation* rel);
+
+  const Relation& relation() const { return *rel_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// One past the largest encoded TupleId; matches relation().IdBound()
+  /// whenever the snapshot is in sync.
+  TupleId IdBound() const {
+    return columns_.empty() ? 0 : static_cast<TupleId>(columns_[0].size());
+  }
+
+  /// True when the snapshot reflects the relation's current contents.
+  bool InSync() const {
+    return synced_version_ == rel_->version() &&
+           synced_overwrite_version_ == rel_->overwrite_version();
+  }
+
+  /// Catches up with the relation: no-op when in sync, append-only encode
+  /// after inserts/deletes, full rebuild after in-place overwrites.
+  void Sync();
+
+  /// Re-encodes everything from scratch (also compacts the dictionaries).
+  void Rebuild();
+
+  /// Delta hook: the caller just inserted `tid` (== previous IdBound).
+  void ApplyInsert(TupleId tid);
+
+  /// Delta hook: the caller just overwrote cell (tid, col) in the relation.
+  void ApplyCell(TupleId tid, size_t col);
+
+  /// Delta hook: the caller just tombstoned a tuple. Codes are untouched;
+  /// this only fast-forwards the sync mark.
+  void NoteDelete() { synced_version_ = rel_->version(); }
+
+  /// The whole code column, indexed by TupleId (dead tuples keep their last
+  /// codes; filter with relation().IsLive or ForEachLive).
+  const std::vector<Code>& column(size_t col) const { return columns_[col]; }
+
+  Code code(TupleId tid, size_t col) const {
+    return columns_[col][static_cast<size_t>(tid)];
+  }
+
+  const Dictionary& dictionary(size_t col) const { return dicts_[col]; }
+  Dictionary& mutable_dictionary(size_t col) { return dicts_[col]; }
+
+  /// Decoded value of a cell (NULL for kNullCode).
+  const Value& Decode(size_t col, Code code) const {
+    return dicts_[col].Decode(code);
+  }
+
+  /// Invokes fn(tid) for every live encoded tuple in id order.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    const TupleId bound = IdBound();
+    for (TupleId tid = 0; tid < bound; ++tid) {
+      if (rel_->IsLive(tid)) fn(tid);
+    }
+  }
+
+ private:
+  void EncodeRows(TupleId from, TupleId to);
+
+  const Relation* rel_;
+  std::vector<Dictionary> dicts_;          // one per column
+  std::vector<std::vector<Code>> columns_; // [col][tid]
+  uint64_t synced_version_ = 0;
+  uint64_t synced_overwrite_version_ = 0;
+};
+
+/// Packs two codes into one 64-bit group-by key (the <=2-column fast case;
+/// a single column packs with kNullCode as the high half).
+inline uint64_t PackCodes(Code a, Code b) {
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+/// Hash/equality for wide (>2 column) code keys.
+struct CodeVecHash {
+  size_t operator()(const std::vector<Code>& key) const {
+    size_t h = 0x434b;  // "CK"
+    for (Code c : key) h = common::HashCombine(h, c);
+    return h;
+  }
+};
+
+}  // namespace semandaq::relational
+
+#endif  // SEMANDAQ_RELATIONAL_ENCODED_RELATION_H_

@@ -15,6 +15,7 @@ common::Result<TupleId> Relation::Insert(Row row) {
   rows_.push_back(std::move(row));
   live_.push_back(true);
   ++live_count_;
+  ++version_;
   return static_cast<TupleId>(rows_.size() - 1);
 }
 
@@ -31,6 +32,7 @@ common::Status Relation::Delete(TupleId tid) {
   }
   live_[static_cast<size_t>(tid)] = false;
   --live_count_;
+  ++version_;
   return common::Status::OK();
 }
 
@@ -44,6 +46,8 @@ common::Status Relation::SetCell(TupleId tid, size_t col, Value v) {
                                       " out of range in " + name_);
   }
   rows_[static_cast<size_t>(tid)][col] = std::move(v);
+  ++version_;
+  ++overwrite_version_;
   return common::Status::OK();
 }
 

@@ -44,6 +44,16 @@ class Relation {
     return tid >= 0 && tid < IdBound() && live_[static_cast<size_t>(tid)];
   }
 
+  /// Monotone counter bumped by every successful mutation (Insert, Delete,
+  /// SetCell). Snapshot consumers (EncodedRelation) compare it to decide
+  /// whether they are stale.
+  uint64_t version() const { return version_; }
+
+  /// Monotone counter bumped only by successful SetCell calls. A snapshot
+  /// whose overwrite_version matches but whose version lags has only missed
+  /// appends/deletes and can catch up without a full rebuild.
+  uint64_t overwrite_version() const { return overwrite_version_; }
+
   /// Appends a row; the row arity must match the schema.
   common::Result<TupleId> Insert(Row row);
 
@@ -89,6 +99,8 @@ class Relation {
   std::vector<Row> rows_;
   std::vector<bool> live_;
   size_t live_count_ = 0;
+  uint64_t version_ = 0;
+  uint64_t overwrite_version_ = 0;
 };
 
 }  // namespace semandaq::relational

@@ -1,0 +1,148 @@
+#include "relational/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/encoded_relation.h"
+#include "test_util.h"
+
+namespace semandaq::relational {
+namespace {
+
+TEST(DictionaryTest, NullAlwaysMapsToNullCode) {
+  Dictionary d;
+  EXPECT_EQ(d.Encode(Value::Null()), kNullCode);
+  EXPECT_EQ(d.Lookup(Value::Null()), kNullCode);
+  EXPECT_TRUE(d.Decode(kNullCode).is_null());
+  EXPECT_EQ(d.size(), 0u);  // NULL never counts as a distinct value
+}
+
+TEST(DictionaryTest, EncodeDecodeRoundTrip) {
+  Dictionary d;
+  const std::vector<Value> values = {
+      Value::String("Edinburgh"), Value::Int(44), Value::Double(2.5),
+      Value::String(""),  // empty string is a value, distinct from NULL
+  };
+  std::vector<Code> codes;
+  for (const Value& v : values) codes.push_back(d.Encode(v));
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(d.Decode(codes[i]), values[i]);
+    EXPECT_EQ(d.Lookup(values[i]), codes[i]);
+    EXPECT_EQ(d.Encode(values[i]), codes[i]) << "re-encode must be stable";
+  }
+  EXPECT_EQ(d.size(), values.size());
+}
+
+TEST(DictionaryTest, CodesAreDenseAndFirstSeenOrdered) {
+  Dictionary d;
+  EXPECT_EQ(d.Encode(Value::String("a")), 1u);
+  EXPECT_EQ(d.Encode(Value::String("b")), 2u);
+  EXPECT_EQ(d.Encode(Value::String("a")), 1u);
+  EXPECT_EQ(d.Encode(Value::String("c")), 3u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, LookupOfUnknownValueIsAbsent) {
+  Dictionary d;
+  d.Encode(Value::String("present"));
+  EXPECT_EQ(d.Lookup(Value::String("missing")), kAbsentCode);
+  EXPECT_FALSE(d.Contains(kAbsentCode));
+}
+
+TEST(DictionaryTest, DistinguishesTypesWithEqualDisplay) {
+  // INT 2 and DOUBLE 2.0 and STRING "2" are distinct Values and must get
+  // distinct codes (code equality == Value equality).
+  Dictionary d;
+  const Code ci = d.Encode(Value::Int(2));
+  const Code cd = d.Encode(Value::Double(2.0));
+  const Code cs = d.Encode(Value::String("2"));
+  EXPECT_NE(ci, cd);
+  EXPECT_NE(ci, cs);
+  EXPECT_NE(cd, cs);
+}
+
+// ------------------------------------------------------------ EncodedRelation
+
+TEST(EncodedRelationTest, SnapshotMatchesRelation) {
+  Relation rel = semandaq::testing::PaperCustomerRelation();
+  EncodedRelation enc(&rel);
+  ASSERT_EQ(enc.num_columns(), rel.schema().size());
+  ASSERT_EQ(enc.IdBound(), rel.IdBound());
+  rel.ForEach([&](TupleId tid, const Row& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      EXPECT_EQ(enc.Decode(c, enc.code(tid, c)), row[c])
+          << "cell (" << tid << ", " << c << ")";
+    }
+  });
+  EXPECT_TRUE(enc.InSync());
+}
+
+TEST(EncodedRelationTest, NullCellsEncodeToNullCode) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "t", {"A", "B"}, {{"", "x"}, {"y", ""}});
+  EncodedRelation enc(&rel);
+  EXPECT_EQ(enc.code(0, 0), kNullCode);
+  EXPECT_NE(enc.code(0, 1), kNullCode);
+  EXPECT_NE(enc.code(1, 0), kNullCode);
+  EXPECT_EQ(enc.code(1, 1), kNullCode);
+}
+
+TEST(EncodedRelationTest, EqualValuesShareOneCodePerColumn) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "t", {"A", "B"}, {{"x", "x"}, {"x", "y"}});
+  EncodedRelation enc(&rel);
+  EXPECT_EQ(enc.code(0, 0), enc.code(1, 0));  // same column, same value
+  // Dictionaries are per column: "x" in A and "x" in B code independently.
+  EXPECT_EQ(enc.dictionary(0).size(), 1u);
+  EXPECT_EQ(enc.dictionary(1).size(), 2u);
+}
+
+TEST(EncodedRelationTest, SyncAppendsInserts) {
+  Relation rel = semandaq::testing::MakeStringRelation("t", {"A"}, {{"x"}});
+  EncodedRelation enc(&rel);
+  rel.MustInsert({Value::String("y")});
+  rel.MustInsert({Value::String("x")});
+  EXPECT_FALSE(enc.InSync());
+  enc.Sync();
+  EXPECT_TRUE(enc.InSync());
+  ASSERT_EQ(enc.IdBound(), 3);
+  EXPECT_EQ(enc.code(2, 0), enc.code(0, 0));  // appended "x" reuses the code
+  EXPECT_NE(enc.code(1, 0), enc.code(0, 0));
+}
+
+TEST(EncodedRelationTest, SyncRebuildsAfterOverwrite) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "t", {"A"}, {{"x"}, {"y"}});
+  EncodedRelation enc(&rel);
+  ASSERT_OK(rel.SetCell(0, 0, Value::String("z")));
+  EXPECT_FALSE(enc.InSync());
+  enc.Sync();
+  EXPECT_TRUE(enc.InSync());
+  EXPECT_EQ(enc.Decode(0, enc.code(0, 0)), Value::String("z"));
+}
+
+TEST(EncodedRelationTest, ApplyCellStaysWarmThroughOverwrite) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "t", {"A", "B"}, {{"x", "u"}, {"y", "v"}});
+  EncodedRelation enc(&rel);
+  ASSERT_OK(rel.SetCell(1, 0, Value::String("x")));
+  enc.ApplyCell(1, 0);
+  EXPECT_TRUE(enc.InSync());
+  EXPECT_EQ(enc.code(1, 0), enc.code(0, 0));
+  // Untouched column unaffected.
+  EXPECT_EQ(enc.Decode(1, enc.code(1, 1)), Value::String("v"));
+}
+
+TEST(EncodedRelationTest, DeletesNeedNoCodeWork) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "t", {"A"}, {{"x"}, {"y"}});
+  EncodedRelation enc(&rel);
+  ASSERT_OK(rel.Delete(0));
+  enc.Sync();
+  EXPECT_TRUE(enc.InSync());
+  std::vector<TupleId> live;
+  enc.ForEachLive([&](TupleId tid) { live.push_back(tid); });
+  EXPECT_EQ(live, (std::vector<TupleId>{1}));
+}
+
+}  // namespace
+}  // namespace semandaq::relational

@@ -1,0 +1,302 @@
+// Equivalence of the dictionary-encoded fast paths with the row-hash
+// reference paths: detection (NativeDetector use_encoded on/off) and
+// discovery partitions (Partition::Build over codes vs. over Rows) must
+// produce identical results on noisy generated workloads.
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "cfd/cfd_parser.h"
+#include "detect/incremental_detector.h"
+#include "detect/native_detector.h"
+#include "discovery/partition.h"
+#include "relational/encoded_relation.h"
+#include "test_util.h"
+#include "workload/customer_gen.h"
+#include "workload/hospital_gen.h"
+
+namespace semandaq::detect {
+namespace {
+
+using discovery::Partition;
+using relational::EncodedRelation;
+using relational::Relation;
+using relational::TupleId;
+using relational::Value;
+
+std::vector<cfd::Cfd> Parse(const std::string& text) {
+  auto r = cfd::ParseCfdSet(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : std::vector<cfd::Cfd>{};
+}
+
+/// Group emission order is an implementation detail (hash order on the row
+/// path, first-touch order on the encoded path), and so is member order
+/// within a group (the incremental detector re-appends modified tuples).
+/// Canonical form: (member, rhs) pairs sorted by member, groups sorted by
+/// (fd_group, smallest member).
+struct CanonicalGroup {
+  int fd_group = -1;
+  int cfd_index = -1;
+  relational::Row lhs_key;
+  std::vector<std::pair<TupleId, Value>> members;
+};
+
+std::vector<CanonicalGroup> CanonicalGroups(const ViolationTable& t) {
+  std::vector<CanonicalGroup> out;
+  out.reserve(t.groups().size());
+  for (const auto& g : t.groups()) {
+    CanonicalGroup cg;
+    cg.fd_group = g.fd_group;
+    cg.cfd_index = g.cfd_index;
+    cg.lhs_key = g.lhs_key;
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      cg.members.emplace_back(g.members[i], g.member_rhs[i]);
+    }
+    std::sort(cg.members.begin(), cg.members.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.push_back(std::move(cg));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CanonicalGroup& a, const CanonicalGroup& b) {
+              if (a.fd_group != b.fd_group) return a.fd_group < b.fd_group;
+              return a.members.front().first < b.members.front().first;
+            });
+  return out;
+}
+
+void ExpectIdenticalTables(const ViolationTable& row_table,
+                           const ViolationTable& enc_table,
+                           const Relation& rel) {
+  EXPECT_EQ(row_table.TotalVio(), enc_table.TotalVio());
+  EXPECT_EQ(row_table.NumViolatingTuples(), enc_table.NumViolatingTuples());
+  for (TupleId tid = 0; tid < rel.IdBound(); ++tid) {
+    ASSERT_EQ(row_table.vio(tid), enc_table.vio(tid))
+        << "vio mismatch at tuple " << tid;
+  }
+
+  // Canonicalize singles: full detection emits them group-major while the
+  // incremental Snapshot emits them tid-major.
+  auto canonical_singles = [](const ViolationTable& t) {
+    std::vector<std::tuple<TupleId, int, int>> out;
+    out.reserve(t.singles().size());
+    for (const SingleViolation& s : t.singles()) {
+      out.emplace_back(s.tid, s.cfd_index, s.pattern_index);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(canonical_singles(row_table), canonical_singles(enc_table));
+
+  const auto ga = CanonicalGroups(row_table);
+  const auto gb = CanonicalGroups(enc_table);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_EQ(ga[i].fd_group, gb[i].fd_group);
+    EXPECT_EQ(ga[i].cfd_index, gb[i].cfd_index);
+    ASSERT_EQ(ga[i].lhs_key.size(), gb[i].lhs_key.size());
+    for (size_t k = 0; k < ga[i].lhs_key.size(); ++k) {
+      EXPECT_EQ(ga[i].lhs_key[k], gb[i].lhs_key[k])
+          << "lhs_key mismatch in group " << i;
+    }
+    ASSERT_EQ(ga[i].members.size(), gb[i].members.size());
+    for (size_t k = 0; k < ga[i].members.size(); ++k) {
+      EXPECT_EQ(ga[i].members[k].first, gb[i].members[k].first);
+      EXPECT_EQ(ga[i].members[k].second, gb[i].members[k].second)
+          << "rhs mismatch at member " << ga[i].members[k].first;
+    }
+  }
+}
+
+void ExpectDetectorEquivalence(const Relation& rel,
+                               const std::vector<cfd::Cfd>& cfds) {
+  NativeDetector row_detector(&rel, cfds, DetectorOptions{/*use_encoded=*/false});
+  auto row_table = row_detector.Detect();
+  ASSERT_TRUE(row_table.ok()) << row_table.status().ToString();
+
+  NativeDetector enc_detector(&rel, cfds, DetectorOptions{/*use_encoded=*/true});
+  auto enc_table = enc_detector.Detect();
+  ASSERT_TRUE(enc_table.ok()) << enc_table.status().ToString();
+
+  ExpectIdenticalTables(*row_table, *enc_table, rel);
+
+  // Same again through an externally owned warm snapshot.
+  EncodedRelation warm(&rel);
+  NativeDetector warm_detector(&rel, cfds);
+  warm_detector.set_encoded(&warm);
+  auto warm_table = warm_detector.Detect();
+  ASSERT_TRUE(warm_table.ok()) << warm_table.status().ToString();
+  ExpectIdenticalTables(*row_table, *warm_table, rel);
+}
+
+TEST(EncodedEquivalenceTest, NoisyCustomerDetection) {
+  workload::CustomerWorkloadOptions opts;
+  opts.num_tuples = 3000;
+  opts.noise_rate = 0.10;
+  opts.seed = 7;
+  const auto wl = workload::CustomerGenerator::Generate(opts);
+  ExpectDetectorEquivalence(wl.dirty,
+                            Parse(workload::CustomerGenerator::PaperCfds()));
+}
+
+TEST(EncodedEquivalenceTest, NoisyHospitalDetection) {
+  workload::HospitalWorkloadOptions opts;
+  opts.num_tuples = 3000;
+  opts.noise_rate = 0.10;
+  opts.seed = 8;
+  const auto wl = workload::HospitalGenerator::Generate(opts);
+  ExpectDetectorEquivalence(wl.dirty,
+                            Parse(workload::HospitalGenerator::HospitalCfds()));
+}
+
+TEST(EncodedEquivalenceTest, PaperExampleDetection) {
+  const Relation rel = semandaq::testing::PaperCustomerRelation();
+  ExpectDetectorEquivalence(rel, Parse(semandaq::testing::PaperCfdText()));
+}
+
+TEST(EncodedEquivalenceTest, NullHeavyEdgeCases) {
+  // NULL LHS never groups; NULL RHS is "unknown, not wrong"; constants
+  // absent from the data are compiled out.
+  const Relation rel = semandaq::testing::MakeStringRelation(
+      "t", {"A", "B", "C"},
+      {{"", "x", "1"},
+       {"", "y", "1"},
+       {"1", "x", ""},
+       {"1", "y", "2"},
+       {"1", "", "2"},
+       {"2", "z", "9"}});
+  ExpectDetectorEquivalence(
+      rel, Parse("t: [A] -> [B]\n"
+                 "t: [A=1] -> [C=2]\n"
+                 "t: [A=7] -> [C=5]\n"));  // A=7 absent from the data
+}
+
+TEST(EncodedEquivalenceTest, NullPatternConstantMatchesNothing) {
+  // A NULL pattern *constant* is legal via the public API and matches no
+  // tuple (PatternValue::Matches rejects NULL cells); the encoded compiler
+  // must not conflate it with kNullCode, which would match exactly the
+  // NULL cells. Both paths — and the incremental detector — must agree.
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "t", {"A", "B"}, {{"", "x"}, {"", "y"}, {"1", "x"}, {"1", "y"}});
+  cfd::PatternTuple null_const_row;
+  null_const_row.lhs = {cfd::PatternValue::Constant(Value::Null())};
+  null_const_row.rhs = cfd::PatternValue::Wildcard();
+  cfd::Cfd phi("t", {"A"}, "B", {null_const_row});
+  ExpectDetectorEquivalence(rel, {phi});
+
+  NativeDetector enc_detector(&rel, {phi});
+  auto table = enc_detector.Detect();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->TotalVio(), 0) << "NULL constant must match no tuple";
+
+  IncrementalDetector inc(&rel, {phi});
+  ASSERT_OK(inc.Initialize());
+  EXPECT_TRUE(inc.Clean());
+}
+
+TEST(EncodedEquivalenceTest, StaleExternalSnapshotFallsBack) {
+  Relation rel = semandaq::testing::MakeStringRelation(
+      "t", {"A", "B"}, {{"1", "x"}, {"1", "x"}});
+  EncodedRelation stale(&rel);
+  rel.MustInsert({Value::String("1"), Value::String("y")});  // stale now
+  NativeDetector detector(&rel, Parse("t: [A] -> [B]"));
+  detector.set_encoded(&stale);
+  auto table = detector.Detect();
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  // The conflict introduced after the snapshot must still be found.
+  ASSERT_EQ(table->groups().size(), 1u);
+  EXPECT_EQ(table->groups()[0].members.size(), 3u);
+}
+
+// -------------------------------------------------- Partition equivalence
+
+void ExpectIdenticalPartitions(const Relation& rel,
+                               const std::vector<size_t>& cols) {
+  const Partition by_rows = Partition::Build(rel, cols);
+  const EncodedRelation enc(&rel);
+  const Partition by_codes = Partition::Build(enc, cols);
+
+  // First-touch class numbering makes the two structurally identical, not
+  // just isomorphic.
+  EXPECT_EQ(by_rows.num_classes(), by_codes.num_classes());
+  EXPECT_EQ(by_rows.num_tuples(), by_codes.num_tuples());
+  for (TupleId tid = 0; tid < rel.IdBound(); ++tid) {
+    ASSERT_EQ(by_rows.ClassOf(tid), by_codes.ClassOf(tid))
+        << "class mismatch at tuple " << tid << " cols " << cols.size();
+  }
+  ASSERT_EQ(by_rows.classes().size(), by_codes.classes().size());
+  for (size_t i = 0; i < by_rows.classes().size(); ++i) {
+    EXPECT_EQ(by_rows.classes()[i], by_codes.classes()[i]);
+  }
+}
+
+TEST(EncodedEquivalenceTest, PartitionsOnNoisyCustomer) {
+  workload::CustomerWorkloadOptions opts;
+  opts.num_tuples = 2000;
+  opts.noise_rate = 0.10;
+  opts.seed = 9;
+  const auto wl = workload::CustomerGenerator::Generate(opts);
+  using C = workload::CustomerGenerator;
+  ExpectIdenticalPartitions(wl.dirty, {C::kCnt});
+  ExpectIdenticalPartitions(wl.dirty, {C::kZip});
+  ExpectIdenticalPartitions(wl.dirty, {C::kCnt, C::kZip});
+  ExpectIdenticalPartitions(wl.dirty, {C::kCnt, C::kZip, C::kStr});
+}
+
+TEST(EncodedEquivalenceTest, PartitionsOnNoisyHospital) {
+  workload::HospitalWorkloadOptions opts;
+  opts.num_tuples = 2000;
+  opts.noise_rate = 0.10;
+  opts.seed = 10;
+  const auto wl = workload::HospitalGenerator::Generate(opts);
+  using H = workload::HospitalGenerator;
+  ExpectIdenticalPartitions(wl.dirty, {H::kZip});
+  ExpectIdenticalPartitions(wl.dirty, {H::kState, H::kCity});
+  ExpectIdenticalPartitions(wl.dirty, {H::kState, H::kCity, H::kZip, H::kMcode});
+}
+
+TEST(EncodedEquivalenceTest, PartitionsWithNulls) {
+  const Relation rel = semandaq::testing::MakeStringRelation(
+      "t", {"A", "B"},
+      {{"", "x"}, {"1", "x"}, {"1", ""}, {"1", "x"}, {"2", "y"}, {"", ""}});
+  ExpectIdenticalPartitions(rel, {0});
+  ExpectIdenticalPartitions(rel, {1});
+  ExpectIdenticalPartitions(rel, {0, 1});
+}
+
+// ------------------------------------------- incremental detector parity
+
+TEST(EncodedEquivalenceTest, IncrementalSnapshotMatchesBothFullPaths) {
+  workload::CustomerWorkloadOptions opts;
+  opts.num_tuples = 500;
+  opts.noise_rate = 0.10;
+  opts.seed = 11;
+  auto wl = workload::CustomerGenerator::Generate(opts);
+  const auto cfds = Parse(workload::CustomerGenerator::PaperCfds());
+
+  IncrementalDetector inc(&wl.dirty, cfds);
+  ASSERT_OK(inc.Initialize());
+  // Churn: modify some cells, delete a tuple, insert a conflicting one.
+  ASSERT_OK(inc.ApplyAndDetect(
+      {relational::Update::Modify(3, workload::CustomerGenerator::kStr,
+                                  Value::String("Broadway")),
+       relational::Update::DeleteTuple(10),
+       relational::Update::Modify(42, workload::CustomerGenerator::kCnt,
+                                  Value::String("UK"))}));
+  const ViolationTable snap = inc.Snapshot();
+
+  NativeDetector rows(&wl.dirty, cfds, DetectorOptions{/*use_encoded=*/false});
+  auto row_table = rows.Detect();
+  ASSERT_TRUE(row_table.ok());
+  ExpectIdenticalTables(*row_table, snap, wl.dirty);
+
+  NativeDetector enc(&wl.dirty, cfds);
+  auto enc_table = enc.Detect();
+  ASSERT_TRUE(enc_table.ok());
+  ExpectIdenticalTables(*enc_table, snap, wl.dirty);
+}
+
+}  // namespace
+}  // namespace semandaq::detect
