@@ -63,6 +63,31 @@ void BM_NativeDetectColdEncode(benchmark::State& state) {
 BENCHMARK(BM_NativeDetectColdEncode)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000)
     ->Unit(benchmark::kMillisecond);
 
+// Thread sweep of the sharded scan over a warm snapshot: the LHS code-key
+// space partitions into num_threads shards (second Arg; 1 = the serial
+// fast path, the baseline the speedup is measured against). The output is
+// identical to serial for every point of the sweep — this measures pure
+// scan parallelism, not a semantic variant.
+void BM_NativeDetectSharded(benchmark::State& state) {
+  const auto& wl =
+      bench::CachedCustomer(static_cast<size_t>(state.range(0)), kNoise);
+  relational::EncodedRelation encoded(&wl.dirty);
+  detect::DetectorOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  RunNativeDetect(state, options, &encoded);
+  // "shards", not "threads": benchmark emits its own per-run "threads" JSON
+  // field and duplicate keys would make the artifact parser-dependent.
+  state.counters["shards"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_NativeDetectSharded)
+    ->Args({64000, 1})
+    ->Args({64000, 2})
+    ->Args({64000, 4})
+    ->Args({64000, 8})
+    ->Args({256000, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // The pre-columnar baseline: hash partitioning on projected Rows.
 void BM_NativeDetectRows(benchmark::State& state) {
   RunNativeDetect(state, detect::DetectorOptions{/*use_encoded=*/false},

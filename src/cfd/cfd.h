@@ -33,6 +33,20 @@ struct PatternTuple {
 /// relation R together with a pattern tableau Tp. Each tableau row whose LHS
 /// pattern a tuple matches conditions the FD onto that tuple, and the tuple
 /// (pair) must additionally match the row's RHS pattern.
+///
+/// Worked example (the paper's φ2): over customer, [CNT=UK, ZIP=_] → [STR=_]
+/// reads "for UK customers, zip code determines street" — the constant UK
+/// conditions the dependency onto a subset of the data, which is exactly
+/// what classical FDs cannot express. A row with a *constant* RHS (e.g.
+/// [CC=44] → [CNT=UK]) is checkable one tuple at a time ("single-tuple
+/// semantics"); a wildcard RHS needs a pair of tuples to witness a
+/// violation ("multi-tuple semantics"). src/detect implements both, and
+/// cfd_parser.h accepts the bracket notation used above.
+///
+/// Lifecycle: construct (or parse) → Resolve against a schema (fills the
+/// column ordinals and coerces constants to attribute types) → hand copies
+/// to detectors/repairers. A Cfd is plain data; resolution is the only
+/// step that ties it to a concrete relation.
 class Cfd {
  public:
   Cfd() = default;

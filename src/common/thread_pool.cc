@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+namespace semandaq::common {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t lanes = num_threads == 0 ? 1 : num_threads;
+  workers_.reserve(lanes - 1);
+  for (size_t i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Single-lane pool: run inline, no synchronization needed.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    total_ = n;
+    done_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++epoch_;  // publishes the batch to WorkerLoop's wait predicate
+  }
+  work_cv_.notify_all();
+
+  // The calling thread is a lane too.
+  size_t ran = 0;
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i);
+    ++ran;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_ += ran;
+  // Wait for the work AND for every worker to leave its claim loop: a
+  // worker that woke for this batch but was descheduled before claiming
+  // anything still holds the batch's function pointer, and returning while
+  // active_ > 0 would let it claim from the *next* batch's counter with
+  // this batch's (destroyed) closure.
+  done_cv_.wait(lock, [this] { return done_ == total_ && active_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    // fn_ is reset to null under mu_ when a batch completes: waking late,
+    // after the batch we were notified for already drained, must not enter
+    // the claim loop — the counter may belong to the *next* batch by the
+    // time we reach it.
+    if (fn_ == nullptr) continue;
+    const std::function<void(size_t)>* fn = fn_;
+    const size_t total = total_;
+    ++active_;  // under mu_: Run cannot complete while we hold `fn`
+    lock.unlock();
+
+    size_t ran = 0;
+    for (;;) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      (*fn)(i);
+      ++ran;
+    }
+
+    lock.lock();
+    done_ += ran;
+    --active_;
+    if (done_ == total_ && active_ == 0) done_cv_.notify_one();
+  }
+}
+
+}  // namespace semandaq::common

@@ -9,12 +9,14 @@ namespace semandaq::core {
 using common::Status;
 
 common::Result<detect::ViolationTable> Semandaq::DetectErrors(
-    const std::string& relation, DetectorKind kind) {
+    const std::string& relation, DetectorKind kind,
+    std::optional<detect::DetectorOptions> options) {
   SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
                             db_.GetRelation(relation));
   std::vector<cfd::Cfd> cfds = engine_.CfdsFor(relation);
   if (kind == DetectorKind::kNative) {
-    detect::NativeDetector detector(rel, std::move(cfds));
+    detect::NativeDetector detector(rel, std::move(cfds),
+                                    options.value_or(detector_options_));
     return detector.Detect();
   }
   detect::SqlDetector detector(&db_, relation, std::move(cfds));

@@ -2,6 +2,7 @@
 #define SEMANDAQ_CORE_SEMANDAQ_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "common/status.h"
 #include "core/constraint_engine.h"
 #include "core/explorer.h"
+#include "detect/native_detector.h"
 #include "detect/violation.h"
 #include "monitor/data_monitor.h"
 #include "relational/database.h"
@@ -22,7 +24,9 @@ namespace semandaq::core {
 /// The system facade, wiring the six components of the paper's architecture
 /// (Fig. 1): constraint engine, error detector, data auditor, data cleanser,
 /// data monitor, and the (programmatic) data explorer, over the relational
-/// substrate standing in for the database servers.
+/// substrate standing in for the database servers. The data flow between
+/// the components is diagrammed in docs/architecture.md; the text-command
+/// wrapper over this facade is core/session.h.
 ///
 /// Typical session, mirroring the demonstration flow of §3:
 ///
@@ -62,9 +66,25 @@ class Semandaq {
   }
 
   /// Runs the error detector over one relation with the CFDs registered for
-  /// it.
+  /// it. `options` only applies to the native detector; in particular
+  /// DetectorOptions::num_threads >= 2 (or 0 = all hardware threads) turns
+  /// on the sharded parallel scan, whose output is identical to the serial
+  /// one (see docs/architecture.md). Omitted, it inherits the facade-wide
+  /// default set via set_detector_options.
   common::Result<detect::ViolationTable> DetectErrors(
-      const std::string& relation, DetectorKind kind = DetectorKind::kNative);
+      const std::string& relation, DetectorKind kind = DetectorKind::kNative,
+      std::optional<detect::DetectorOptions> options = std::nullopt);
+
+  /// Facade-wide default detection options, used by DetectErrors and by
+  /// every component that detects internally (Audit, Report, QualityMap,
+  /// Explore). This is how a deployment opts the whole read path into
+  /// sharded detection once instead of plumbing options through each call.
+  void set_detector_options(detect::DetectorOptions options) {
+    detector_options_ = options;
+  }
+  const detect::DetectorOptions& detector_options() const {
+    return detector_options_;
+  }
 
   /// Error detector + data auditor.
   common::Result<audit::AuditOutcome> Audit(const std::string& relation);
@@ -105,6 +125,7 @@ class Semandaq {
  private:
   relational::Database db_;
   ConstraintEngine engine_;
+  detect::DetectorOptions detector_options_;
 
   // Kept alive for explorers handed out by Explore().
   std::vector<std::unique_ptr<std::vector<cfd::Cfd>>> explorer_cfds_;

@@ -53,7 +53,9 @@ std::string Session::Help() {
       "  cfd DEFINITION            e.g. cfd customer: [CC=44] -> [CNT=UK]\n"
       "  cfds                      list registered CFDs\n"
       "  validate REL              satisfiability analysis of Sigma(REL)\n"
-      "  detect REL [sql]          run the error detector (native or SQL path)\n"
+      "  detect REL [sql] [threads=N]  run the error detector (native or SQL\n"
+      "                            path; threads=N shards the native scan,\n"
+      "                            0 = all hardware threads)\n"
       "  map REL [N]               tuple-level data quality map\n"
       "  report REL                data quality report\n"
       "  explore REL CFD# PAT#     drill-down tables for a pattern\n"
@@ -174,11 +176,30 @@ common::Result<std::string> Session::CmdValidate(
 }
 
 common::Result<std::string> Session::CmdDetect(const std::vector<std::string>& args) {
-  if (args.empty()) return Status::InvalidArgument("usage: detect REL [sql]");
-  const auto kind = (args.size() > 1 && common::EqualsIgnoreCase(args[1], "sql"))
-                        ? Semandaq::DetectorKind::kSql
-                        : Semandaq::DetectorKind::kNative;
-  SEMANDAQ_ASSIGN_OR_RETURN(auto table, sys_.DetectErrors(args[0], kind));
+  if (args.empty()) {
+    return Status::InvalidArgument("usage: detect REL [sql] [threads=N]");
+  }
+  auto kind = Semandaq::DetectorKind::kNative;
+  detect::DetectorOptions options = sys_.detector_options();
+  bool threads_given = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (common::EqualsIgnoreCase(args[i], "sql")) {
+      kind = Semandaq::DetectorKind::kSql;
+    } else if (common::StartsWith(common::ToLower(args[i]), "threads=")) {
+      SEMANDAQ_ASSIGN_OR_RETURN(
+          size_t n, ParseCount(args[i].substr(std::string("threads=").size())));
+      options.num_threads = n;  // 0 = all hardware threads, 1 = serial
+      threads_given = true;
+    } else {
+      return Status::InvalidArgument("unknown detect option '" + args[i] +
+                                     "' (usage: detect REL [sql] [threads=N])");
+    }
+  }
+  if (kind == Semandaq::DetectorKind::kSql && threads_given) {
+    return Status::InvalidArgument(
+        "threads= applies to the native detector only");
+  }
+  SEMANDAQ_ASSIGN_OR_RETURN(auto table, sys_.DetectErrors(args[0], kind, options));
   return table.Summary() + "\n";
 }
 

@@ -13,8 +13,11 @@ namespace semandaq::core {
 
 /// A text-command front end over the Semandaq facade — the library-level
 /// analog of the paper's web-based data explorer. Each command returns the
-/// text a UI would render, so the CLI example, tests, and scripting all
-/// share one surface.
+/// text a UI would render, so the CLI example (examples/semandaq_cli.cpp),
+/// tests, and scripting all share one surface. New contributors: this is
+/// the easiest way to poke at the whole pipeline interactively; see the
+/// worked example in the top-level README and the data-flow overview in
+/// docs/architecture.md.
 ///
 /// Commands (see Help() for the full syntax):
 ///   help                          this text
@@ -25,7 +28,10 @@ namespace semandaq::core {
 ///   cfd DEFINITION                add one CFD (parser notation)
 ///   cfds                          list registered CFDs
 ///   validate REL                  satisfiability analysis
-///   detect REL [sql]              run the error detector
+///   detect REL [sql] [threads=N]  run the error detector; threads=N shards
+///                                 the native scan over N worker lanes
+///                                 (0 = all hardware threads) with output
+///                                 identical to the serial scan
 ///   map REL [N]                   tuple-level quality map (Fig 3)
 ///   report REL                    quality report (Fig 4)
 ///   explore REL CFD# PAT#         drill-down tables (Fig 2)
@@ -33,6 +39,9 @@ namespace semandaq::core {
 ///   diff                          show the pending repair (Fig 5)
 ///   apply                         write the pending repair back
 ///   sql QUERY                     run a SELECT through the SQL engine
+///
+/// Error model: Execute never throws; every failure comes back as the
+/// common::Status inside the Result, rendered by the caller.
 class Session {
  public:
   Session() = default;

@@ -162,6 +162,9 @@ common::Status IncrementalDetector::ApplyAndDetect(const UpdateBatch& batch,
     return Status::FailedPrecondition("IncrementalDetector::Initialize was not called");
   }
   for (const Update& u : batch) {
+    // Validate before LeaveTuple: a relation-level failure after it would
+    // leave detector state drifted from the (unchanged) relation.
+    SEMANDAQ_RETURN_IF_ERROR(relational::ValidateUpdate(u, *rel_));
     switch (u.kind) {
       case Update::Kind::kInsert: {
         auto r = rel_->Insert(u.row);
@@ -172,23 +175,11 @@ common::Status IncrementalDetector::ApplyAndDetect(const UpdateBatch& batch,
         break;
       }
       case Update::Kind::kDelete:
-        if (!rel_->IsLive(u.tid)) {
-          return Status::OutOfRange("delete of dead tuple " + std::to_string(u.tid));
-        }
         LeaveTuple(u.tid);
         SEMANDAQ_RETURN_IF_ERROR(rel_->Delete(u.tid));
         enc_->NoteDelete();
         break;
       case Update::Kind::kModify:
-        if (!rel_->IsLive(u.tid)) {
-          return Status::OutOfRange("modify of dead tuple " + std::to_string(u.tid));
-        }
-        if (u.col >= rel_->schema().size()) {
-          // Validate before LeaveTuple: a SetCell failure after it would
-          // leave detector state drifted from the (unchanged) relation.
-          return Status::OutOfRange("modify of unknown column " +
-                                    std::to_string(u.col));
-        }
         LeaveTuple(u.tid);
         SEMANDAQ_RETURN_IF_ERROR(rel_->SetCell(u.tid, u.col, u.new_value));
         enc_->ApplyCell(u.tid, u.col);

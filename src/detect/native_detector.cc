@@ -1,8 +1,13 @@
 #include "detect/native_detector.h"
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/thread_pool.h"
+#include "detect/shard_plan.h"
 
 namespace semandaq::detect {
 
@@ -77,6 +82,375 @@ struct CodeBucket {
 /// to allocate than it saves; fall back to hashing.
 constexpr uint64_t kDenseGroupLimit = uint64_t{1} << 21;
 
+constexpr uint32_t kNoBucket = UINT32_MAX;
+
+/// One embedded-FD group lowered for the encoded scan: tableau rows
+/// compiled to codes, raw column pointers, and the geometry of the dense
+/// slot index when the LHS is narrow enough to afford one. Built once per
+/// group and shared read-only by the serial and sharded scan bodies.
+struct GroupScan {
+  const EncodedRelation* enc = nullptr;
+  int gi = -1;
+  size_t arity = 0;
+  std::vector<size_t> lhs_cols;
+  size_t rhs_col = 0;
+
+  std::vector<CompiledPattern> const_rows;
+  std::vector<CompiledPattern> var_rows;
+
+  /// Raw column pointers (lhs_ptrs()[i][tid] is the code of LHS column i).
+  std::vector<const Code*> lhs_ptr_storage;
+  const Code* rhs_ptr = nullptr;
+  const Code* const* lhs_ptrs() const { return lhs_ptr_storage.data(); }
+
+  /// An all-wildcard variable row (the plain embedded FD) puts every tuple
+  /// in multi-tuple scope; the per-tuple pattern loop is skipped then.
+  bool var_always = false;
+  int var_always_cfd = -1;
+
+  /// Dense slot-index geometry: codes are dense per column, so for one LHS
+  /// column the code itself indexes a flat array, and for two the code
+  /// *product* does whenever it fits; hashing is the fallback.
+  uint64_t stride = 0;
+  uint64_t dense_slots = 0;
+  bool use_dense = false;
+
+  uint64_t SlotOf(Code c0, Code c1) const {
+    return arity == 1 ? c0 : static_cast<uint64_t>(c0) * stride + c1;
+  }
+};
+
+/// Compiles one embedded-FD group; false when no tableau row is feasible
+/// (the whole group then contributes nothing to the scan).
+bool CompileGroup(const EncodedRelation& enc, const std::vector<Cfd>& cfds,
+                  const EmbeddedFdGroup& g, size_t gi, GroupScan* gs) {
+  const Cfd& first = cfds[g.members.front().first];
+  gs->enc = &enc;
+  gs->gi = static_cast<int>(gi);
+  gs->lhs_cols = first.lhs_cols();
+  gs->rhs_col = first.rhs_col();
+  gs->arity = gs->lhs_cols.size();
+
+  // Compile the tableau rows to codes, preserving member order. An LHS
+  // constant absent from its column dictionary can never match a tuple,
+  // so the whole row drops out of the scan upfront.
+  for (const auto& [ci, pi] : g.members) {
+    const PatternTuple& pt = cfds[ci].tableau()[pi];
+    CompiledPattern cp;
+    cp.ci = static_cast<int>(ci);
+    cp.pi = static_cast<int>(pi);
+    bool feasible = true;
+    for (size_t i = 0; i < gs->arity; ++i) {
+      if (pt.lhs[i].is_wildcard()) continue;
+      // A NULL constant matches nothing (PatternValue::Matches rejects
+      // NULL cells); it must not compile to kNullCode, which would match
+      // exactly the NULL cells instead.
+      const Code code = pt.lhs[i].constant().is_null()
+                            ? kAbsentCode
+                            : enc.dictionary(gs->lhs_cols[i])
+                                  .Lookup(pt.lhs[i].constant());
+      if (code == kAbsentCode) {
+        feasible = false;
+        break;
+      }
+      cp.lhs_consts.emplace_back(static_cast<uint32_t>(i), code);
+    }
+    if (!feasible) continue;
+    if (pt.is_constant_rhs()) {
+      cp.rhs_code = enc.dictionary(gs->rhs_col).Lookup(pt.rhs.constant());
+      gs->const_rows.push_back(std::move(cp));
+    } else {
+      gs->var_rows.push_back(std::move(cp));
+    }
+  }
+  if (gs->const_rows.empty() && gs->var_rows.empty()) return false;
+
+  gs->lhs_ptr_storage.resize(gs->arity);
+  for (size_t i = 0; i < gs->arity; ++i) {
+    gs->lhs_ptr_storage[i] = enc.column(gs->lhs_cols[i]).data();
+  }
+  gs->rhs_ptr = enc.column(gs->rhs_col).data();
+
+  gs->var_always = !gs->var_rows.empty() && gs->var_rows.front().lhs_consts.empty();
+  gs->var_always_cfd = gs->var_always ? gs->var_rows.front().ci : -1;
+
+  gs->stride = gs->arity == 2 ? enc.dictionary(gs->lhs_cols[1]).size() + 1 : 0;
+  if (gs->arity == 1) {
+    gs->dense_slots = enc.dictionary(gs->lhs_cols[0]).size() + 1;
+  } else if (gs->arity == 2) {
+    gs->dense_slots =
+        (enc.dictionary(gs->lhs_cols[0]).size() + 1) * gs->stride;
+  }
+  gs->use_dense = gs->dense_slots > 0 && gs->dense_slots <= kDenseGroupLimit;
+  return true;
+}
+
+/// The variable-RHS scope check for one tuple: the CFD index of the first
+/// matching variable row, or -1 when the tuple is out of scope.
+inline int VarScopeOf(const GroupScan& gs, TupleId tid) {
+  if (gs.var_always) return gs.var_always_cfd;
+  for (const CompiledPattern& cp : gs.var_rows) {
+    if (cp.MatchesLhs(gs.lhs_ptrs(), tid)) return cp.ci;
+  }
+  return -1;
+}
+
+/// Materializes one violating bucket as a ViolationGroup. `freq` is a
+/// caller-owned scratch array dense over the RHS dictionary (plus the NULL
+/// slot), zeroed on entry and re-zeroed before returning; partner counts on
+/// codes match exact Value equality because NULLs share kNullCode.
+ViolationGroup MakeGroup(const GroupScan& gs, CodeBucket* b,
+                         std::vector<int64_t>* freq) {
+  const EncodedRelation& enc = *gs.enc;
+  ViolationGroup vg;
+  vg.fd_group = gs.gi;
+  vg.cfd_index = b->first_cfd;
+  vg.lhs_key.reserve(gs.arity);
+  for (size_t i = 0; i < gs.arity; ++i) {
+    vg.lhs_key.push_back(enc.Decode(gs.lhs_cols[i], b->key[i]));
+  }
+  const int64_t n = static_cast<int64_t>(b->members.size());
+  for (TupleId m : b->members) ++(*freq)[gs.rhs_ptr[m]];
+  vg.member_partners.reserve(b->members.size());
+  vg.member_rhs.reserve(b->members.size());
+  for (TupleId m : b->members) {
+    const Code c = gs.rhs_ptr[m];
+    vg.member_partners.push_back(n - (*freq)[c]);
+    vg.member_rhs.push_back(enc.Decode(gs.rhs_col, c));
+  }
+  for (TupleId m : b->members) (*freq)[gs.rhs_ptr[m]] = 0;
+  vg.members = std::move(b->members);
+  return vg;
+}
+
+/// The original single-threaded scan body (the semantic reference for the
+/// sharded path): one pass over the live tuples, buckets in first-touch
+/// order.
+void ScanGroupSerial(const GroupScan& gs, const std::vector<TupleId>& live,
+                     ViolationTable* table) {
+  const EncodedRelation& enc = *gs.enc;
+  const size_t arity = gs.arity;
+  const Code* const* lhs_ptrs = gs.lhs_ptrs();
+
+  std::vector<CodeBucket> buckets;
+  std::vector<uint32_t> dense_index;
+  if (gs.use_dense) dense_index.assign(gs.dense_slots, kNoBucket);
+  std::unordered_map<uint64_t, uint32_t> narrow_index;
+  std::unordered_map<std::vector<Code>, uint32_t, CodeVecHash> wide_index;
+  std::vector<Code> scratch_key(arity);
+
+  for (const TupleId tid : live) {
+    for (const CompiledPattern& cp : gs.const_rows) {
+      if (!cp.MatchesLhs(lhs_ptrs, tid)) continue;
+      const Code a = gs.rhs_ptr[tid];
+      if (a != kNullCode && a != cp.rhs_code) {
+        table->AddSingle(SingleViolation{tid, cp.ci, cp.pi});
+      }
+    }
+    const int var_cfd = VarScopeOf(gs, tid);
+    if (var_cfd < 0) continue;
+    // Multi-tuple scope: NULL LHS values cannot witness equality.
+    uint32_t bi;
+    if (arity <= 2) {
+      const Code c0 = lhs_ptrs[0][tid];
+      if (c0 == kNullCode) continue;
+      const Code c1 = arity == 2 ? lhs_ptrs[1][tid] : kNullCode;
+      if (arity == 2 && c1 == kNullCode) continue;
+      if (gs.use_dense) {
+        uint32_t& entry = dense_index[gs.SlotOf(c0, c1)];
+        if (entry == kNoBucket) {
+          entry = static_cast<uint32_t>(buckets.size());
+          buckets.emplace_back();
+        }
+        bi = entry;
+      } else {
+        auto [it, fresh] = narrow_index.emplace(
+            PackCodes(c0, c1), static_cast<uint32_t>(buckets.size()));
+        if (fresh) buckets.emplace_back();
+        bi = it->second;
+      }
+      scratch_key[0] = c0;
+      if (arity == 2) scratch_key[1] = c1;
+    } else {
+      bool null_key = false;
+      for (size_t i = 0; i < arity; ++i) {
+        const Code c = lhs_ptrs[i][tid];
+        if (c == kNullCode) {
+          null_key = true;
+          break;
+        }
+        scratch_key[i] = c;
+      }
+      if (null_key) continue;
+      auto [it, fresh] = wide_index.emplace(
+          scratch_key, static_cast<uint32_t>(buckets.size()));
+      if (fresh) buckets.emplace_back();
+      bi = it->second;
+    }
+    CodeBucket& b = buckets[bi];
+    if (b.first_cfd < 0) {
+      b.first_cfd = var_cfd;
+      b.key = scratch_key;
+    }
+    b.members.push_back(tid);
+    b.AddRhs(gs.rhs_ptr[tid]);
+  }
+
+  std::vector<int64_t> freq(enc.dictionary(gs.rhs_col).size() + 1, 0);
+  for (CodeBucket& b : buckets) {
+    if (!b.two_distinct) continue;
+    table->AddGroup(MakeGroup(gs, &b, &freq));
+  }
+}
+
+/// A tuple routed to a shard during the partition phase. The LHS codes are
+/// not buffered — the build phase re-reads them from the encoded columns,
+/// which are already in cache-friendly flat arrays.
+struct ShardEntry {
+  TupleId tid;
+  int var_cfd;
+};
+
+/// The sharded scan body. Two fork-join phases over `plan.num_shards`
+/// lanes, then a merge on the calling thread:
+///
+///   Phase A (partition): the live-tuple list is cut into contiguous
+///   stripes, one per lane. Each lane evaluates the compiled patterns for
+///   its stripe, collects its single-tuple violations (stripe-local, in
+///   tuple order), and routes every in-scope tuple to the shard owning its
+///   LHS code key (a pure function of the key — see ShardPlan).
+///
+///   Phase B (build): lane w builds the buckets of shard w, consuming the
+///   routed entries stripe by stripe so members accumulate in ascending
+///   tuple order, then materializes that shard's violating groups. The
+///   dense slot index is one shared array — shards own disjoint slot
+///   ranges, so concurrent writes never alias.
+///
+///   Merge: singles concatenate in stripe order (= tuple order, exactly
+///   the serial emission order). Groups sort by first member tuple id —
+///   the serial path emits buckets in first-touch order, and a bucket's
+///   first member IS its first toucher, so this reproduces the serial
+///   order exactly. The result is byte-identical to ScanGroupSerial for
+///   every shard count: determinism is structural, not best-effort.
+void ScanGroupSharded(const GroupScan& gs, const std::vector<TupleId>& live,
+                      const ShardPlan& plan, common::ThreadPool* pool,
+                      ViolationTable* table) {
+  const EncodedRelation& enc = *gs.enc;
+  const size_t arity = gs.arity;
+  const size_t num_shards = plan.num_shards;
+
+  std::vector<std::vector<SingleViolation>> stripe_singles(num_shards);
+  // routed[stripe][shard]: entries found by `stripe` owned by `shard`.
+  std::vector<std::vector<std::vector<ShardEntry>>> routed(
+      num_shards, std::vector<std::vector<ShardEntry>>(num_shards));
+  std::vector<uint32_t> dense_index;
+  if (gs.use_dense) dense_index.assign(gs.dense_slots, kNoBucket);
+
+  pool->Run(num_shards, [&](size_t s) {
+    const size_t begin = live.size() * s / num_shards;
+    const size_t end = live.size() * (s + 1) / num_shards;
+    const Code* const* lhs_ptrs = gs.lhs_ptrs();
+    std::vector<SingleViolation>& singles = stripe_singles[s];
+    std::vector<std::vector<ShardEntry>>& out = routed[s];
+    std::vector<Code> key(arity);
+    for (size_t li = begin; li < end; ++li) {
+      const TupleId tid = live[li];
+      for (const CompiledPattern& cp : gs.const_rows) {
+        if (!cp.MatchesLhs(lhs_ptrs, tid)) continue;
+        const Code a = gs.rhs_ptr[tid];
+        if (a != kNullCode && a != cp.rhs_code) {
+          singles.push_back(SingleViolation{tid, cp.ci, cp.pi});
+        }
+      }
+      const int var_cfd = VarScopeOf(gs, tid);
+      if (var_cfd < 0) continue;
+      bool null_key = false;
+      for (size_t i = 0; i < arity; ++i) {
+        const Code c = lhs_ptrs[i][tid];
+        if (c == kNullCode) {
+          null_key = true;
+          break;
+        }
+        key[i] = c;
+      }
+      if (null_key) continue;  // NULL LHS values cannot witness equality
+      size_t shard;
+      if (gs.use_dense) {
+        shard = plan.ShardOfSlot(gs.SlotOf(key[0], arity == 2 ? key[1] : 0),
+                                 gs.dense_slots);
+      } else if (arity <= 2) {
+        shard = plan.ShardOfHash(
+            PackCodes(key[0], arity == 2 ? key[1] : kNullCode));
+      } else {
+        shard = plan.ShardOfHash(CodeVecHash{}(key));
+      }
+      out[shard].push_back(ShardEntry{tid, var_cfd});
+    }
+  });
+
+  std::vector<std::vector<ViolationGroup>> shard_groups(num_shards);
+  pool->Run(num_shards, [&](size_t w) {
+    const Code* const* lhs_ptrs = gs.lhs_ptrs();
+    std::vector<CodeBucket> buckets;
+    std::unordered_map<uint64_t, uint32_t> narrow_index;
+    std::unordered_map<std::vector<Code>, uint32_t, CodeVecHash> wide_index;
+    std::vector<Code> key(arity);
+    for (size_t s = 0; s < num_shards; ++s) {
+      for (const ShardEntry& e : routed[s][w]) {
+        for (size_t i = 0; i < arity; ++i) key[i] = lhs_ptrs[i][e.tid];
+        uint32_t bi;
+        if (gs.use_dense) {
+          uint32_t& entry =
+              dense_index[gs.SlotOf(key[0], arity == 2 ? key[1] : 0)];
+          if (entry == kNoBucket) {
+            entry = static_cast<uint32_t>(buckets.size());
+            buckets.emplace_back();
+          }
+          bi = entry;
+        } else if (arity <= 2) {
+          auto [it, fresh] = narrow_index.emplace(
+              PackCodes(key[0], arity == 2 ? key[1] : kNullCode),
+              static_cast<uint32_t>(buckets.size()));
+          if (fresh) buckets.emplace_back();
+          bi = it->second;
+        } else {
+          auto [it, fresh] = wide_index.emplace(
+              key, static_cast<uint32_t>(buckets.size()));
+          if (fresh) buckets.emplace_back();
+          bi = it->second;
+        }
+        CodeBucket& b = buckets[bi];
+        if (b.first_cfd < 0) {
+          b.first_cfd = e.var_cfd;
+          b.key = key;
+        }
+        b.members.push_back(e.tid);
+        b.AddRhs(gs.rhs_ptr[e.tid]);
+      }
+    }
+    std::vector<int64_t> freq(enc.dictionary(gs.rhs_col).size() + 1, 0);
+    for (CodeBucket& b : buckets) {
+      if (!b.two_distinct) continue;
+      shard_groups[w].push_back(MakeGroup(gs, &b, &freq));
+    }
+  });
+
+  for (const std::vector<SingleViolation>& singles : stripe_singles) {
+    for (const SingleViolation& sv : singles) table->AddSingle(sv);
+  }
+  std::vector<ViolationGroup> merged;
+  for (std::vector<ViolationGroup>& sg : shard_groups) {
+    for (ViolationGroup& vg : sg) merged.push_back(std::move(vg));
+  }
+  // First members are distinct across buckets of one group (a tuple joins
+  // at most one bucket), so this order is total.
+  std::sort(merged.begin(), merged.end(),
+            [](const ViolationGroup& a, const ViolationGroup& b) {
+              return a.members.front() < b.members.front();
+            });
+  for (ViolationGroup& vg : merged) table->AddGroup(std::move(vg));
+}
+
 }  // namespace
 
 common::Result<ViolationTable> NativeDetector::DetectEncoded(
@@ -84,178 +458,19 @@ common::Result<ViolationTable> NativeDetector::DetectEncoded(
   ViolationTable table;
   const std::vector<TupleId> live = rel_->LiveIds();
 
+  // One shard plan and one worker pool for the whole CFD batch.
+  const ShardPlan plan = PlanShards(options_.num_threads, live.size());
+  std::optional<common::ThreadPool> pool;
+  if (plan.sharded()) pool.emplace(plan.num_shards);
+
   const std::vector<EmbeddedFdGroup> groups = cfd::GroupByEmbeddedFd(cfds_);
   for (size_t gi = 0; gi < groups.size(); ++gi) {
-    const EmbeddedFdGroup& g = groups[gi];
-    const Cfd& first = cfds_[g.members.front().first];
-    const std::vector<size_t>& lhs_cols = first.lhs_cols();
-    const size_t rhs_col = first.rhs_col();
-    const size_t arity = lhs_cols.size();
-
-    // Compile the tableau rows to codes, preserving member order. An LHS
-    // constant absent from its column dictionary can never match a tuple,
-    // so the whole row drops out of the scan upfront.
-    std::vector<CompiledPattern> const_rows;
-    std::vector<CompiledPattern> var_rows;
-    for (const auto& [ci, pi] : g.members) {
-      const PatternTuple& pt = cfds_[ci].tableau()[pi];
-      CompiledPattern cp;
-      cp.ci = static_cast<int>(ci);
-      cp.pi = static_cast<int>(pi);
-      bool feasible = true;
-      for (size_t i = 0; i < arity; ++i) {
-        if (pt.lhs[i].is_wildcard()) continue;
-        // A NULL constant matches nothing (PatternValue::Matches rejects
-        // NULL cells); it must not compile to kNullCode, which would match
-        // exactly the NULL cells instead.
-        const Code code = pt.lhs[i].constant().is_null()
-                              ? kAbsentCode
-                              : enc.dictionary(lhs_cols[i]).Lookup(
-                                    pt.lhs[i].constant());
-        if (code == kAbsentCode) {
-          feasible = false;
-          break;
-        }
-        cp.lhs_consts.emplace_back(static_cast<uint32_t>(i), code);
-      }
-      if (!feasible) continue;
-      if (pt.is_constant_rhs()) {
-        cp.rhs_code = enc.dictionary(rhs_col).Lookup(pt.rhs.constant());
-        const_rows.push_back(std::move(cp));
-      } else {
-        var_rows.push_back(std::move(cp));
-      }
-    }
-    if (const_rows.empty() && var_rows.empty()) continue;
-
-    // Raw column pointers for the scan.
-    std::vector<const Code*> lhs_ptr_storage(arity);
-    for (size_t i = 0; i < arity; ++i) {
-      lhs_ptr_storage[i] = enc.column(lhs_cols[i]).data();
-    }
-    const Code* const* lhs_ptrs = lhs_ptr_storage.data();
-    const Code* rhs_ptr = enc.column(rhs_col).data();
-
-    // An all-wildcard variable row (the plain embedded FD) puts every tuple
-    // in multi-tuple scope; skip the per-tuple pattern loop then.
-    const bool var_always =
-        !var_rows.empty() && var_rows.front().lhs_consts.empty();
-    const int var_always_cfd = var_always ? var_rows.front().ci : -1;
-
-    // Buckets live in a vector (first-touch order). The key->bucket index
-    // picks the cheapest representation: codes are dense per column, so for
-    // one LHS column the code itself indexes a flat array, and for two the
-    // code *product* does whenever it fits; hashing is the fallback (packed
-    // uint64 for pairs, flat code vector beyond).
-    std::vector<CodeBucket> buckets;
-    const uint64_t stride =
-        arity == 2 ? enc.dictionary(lhs_cols[1]).size() + 1 : 0;
-    uint64_t dense_slots = 0;
-    if (arity == 1) {
-      dense_slots = enc.dictionary(lhs_cols[0]).size() + 1;
-    } else if (arity == 2) {
-      dense_slots = (enc.dictionary(lhs_cols[0]).size() + 1) * stride;
-    }
-    const bool use_dense = dense_slots > 0 && dense_slots <= kDenseGroupLimit;
-    constexpr uint32_t kNoBucket = UINT32_MAX;
-    std::vector<uint32_t> dense_index;
-    if (use_dense) dense_index.assign(dense_slots, kNoBucket);
-    std::unordered_map<uint64_t, uint32_t> narrow_index;
-    std::unordered_map<std::vector<Code>, uint32_t, CodeVecHash> wide_index;
-    std::vector<Code> scratch_key(arity);
-
-    for (const TupleId tid : live) {
-      for (const CompiledPattern& cp : const_rows) {
-        if (!cp.MatchesLhs(lhs_ptrs, tid)) continue;
-        const Code a = rhs_ptr[tid];
-        if (a != kNullCode && a != cp.rhs_code) {
-          table.AddSingle(SingleViolation{tid, cp.ci, cp.pi});
-        }
-      }
-      int var_cfd = var_always_cfd;
-      if (!var_always) {
-        for (const CompiledPattern& cp : var_rows) {
-          if (cp.MatchesLhs(lhs_ptrs, tid)) {
-            var_cfd = cp.ci;
-            break;
-          }
-        }
-        if (var_cfd < 0) continue;
-      }
-      // Multi-tuple scope: NULL LHS values cannot witness equality.
-      uint32_t bi;
-      if (arity <= 2) {
-        const Code c0 = lhs_ptrs[0][tid];
-        if (c0 == kNullCode) continue;
-        const Code c1 = arity == 2 ? lhs_ptrs[1][tid] : kNullCode;
-        if (arity == 2 && c1 == kNullCode) continue;
-        if (use_dense) {
-          const uint64_t slot =
-              arity == 1 ? c0 : static_cast<uint64_t>(c0) * stride + c1;
-          uint32_t& entry = dense_index[slot];
-          if (entry == kNoBucket) {
-            entry = static_cast<uint32_t>(buckets.size());
-            buckets.emplace_back();
-          }
-          bi = entry;
-        } else {
-          auto [it, fresh] = narrow_index.emplace(
-              PackCodes(c0, c1), static_cast<uint32_t>(buckets.size()));
-          if (fresh) buckets.emplace_back();
-          bi = it->second;
-        }
-        scratch_key[0] = c0;
-        if (arity == 2) scratch_key[1] = c1;
-      } else {
-        bool null_key = false;
-        for (size_t i = 0; i < arity; ++i) {
-          const Code c = lhs_ptrs[i][tid];
-          if (c == kNullCode) {
-            null_key = true;
-            break;
-          }
-          scratch_key[i] = c;
-        }
-        if (null_key) continue;
-        auto [it, fresh] = wide_index.emplace(
-            scratch_key, static_cast<uint32_t>(buckets.size()));
-        if (fresh) buckets.emplace_back();
-        bi = it->second;
-      }
-      CodeBucket& b = buckets[bi];
-      if (b.first_cfd < 0) {
-        b.first_cfd = var_cfd;
-        b.key = scratch_key;
-      }
-      b.members.push_back(tid);
-      b.AddRhs(rhs_ptr[tid]);
-    }
-
-    // Partner counts on codes (NULLs share kNullCode and so agree with each
-    // other, matching exact Value equality). The freq array is dense over
-    // the RHS dictionary and reset per bucket by walking the same codes.
-    std::vector<int64_t> freq(enc.dictionary(rhs_col).size() + 1, 0);
-    for (CodeBucket& b : buckets) {
-      if (!b.two_distinct) continue;
-      ViolationGroup vg;
-      vg.fd_group = static_cast<int>(gi);
-      vg.cfd_index = b.first_cfd;
-      vg.lhs_key.reserve(arity);
-      for (size_t i = 0; i < arity; ++i) {
-        vg.lhs_key.push_back(enc.Decode(lhs_cols[i], b.key[i]));
-      }
-      const int64_t n = static_cast<int64_t>(b.members.size());
-      for (TupleId m : b.members) ++freq[rhs_ptr[m]];
-      vg.member_partners.reserve(b.members.size());
-      vg.member_rhs.reserve(b.members.size());
-      for (TupleId m : b.members) {
-        const Code c = rhs_ptr[m];
-        vg.member_partners.push_back(n - freq[c]);
-        vg.member_rhs.push_back(enc.Decode(rhs_col, c));
-      }
-      for (TupleId m : b.members) freq[rhs_ptr[m]] = 0;
-      vg.members = std::move(b.members);
-      table.AddGroup(std::move(vg));
+    GroupScan gs;
+    if (!CompileGroup(enc, cfds_, groups[gi], gi, &gs)) continue;
+    if (plan.sharded()) {
+      ScanGroupSharded(gs, live, plan, &*pool, &table);
+    } else {
+      ScanGroupSerial(gs, live, &table);
     }
   }
   return table;

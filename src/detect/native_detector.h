@@ -1,6 +1,7 @@
 #ifndef SEMANDAQ_DETECT_NATIVE_DETECTOR_H_
 #define SEMANDAQ_DETECT_NATIVE_DETECTOR_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "cfd/cfd.h"
@@ -18,6 +19,22 @@ struct DetectorOptions {
   /// of hashing projected Rows. Off = the original row-hash scan, kept for
   /// A/B measurement and as the semantic reference.
   bool use_encoded = true;
+
+  /// Worker lanes for the encoded scan.
+  ///   1 (default)  the single-threaded scan, unchanged from before;
+  ///   0            one lane per hardware thread;
+  ///   >= 2         partition each CFD's LHS code-key space into that many
+  ///                shards and scan them on a worker pool.
+  ///
+  /// The sharded result is *identical* to the serial one — same violations,
+  /// same emission order — for every thread count (see docs/architecture.md,
+  /// "Sharded detection"): a tuple's shard is a pure function of its LHS
+  /// codes, never of thread timing. The planner may narrow the shard count
+  /// on small relations (fork-join overhead would dominate) and caps it at
+  /// shard_plan.h's kMaxShards (an oversized knob must not exhaust OS
+  /// threads); the row path (use_encoded = false) ignores this knob
+  /// entirely.
+  size_t num_threads = 1;
 };
 
 /// In-process CFD violation detector: one scan per embedded-FD group with
@@ -34,7 +51,9 @@ struct DetectorOptions {
 ///
 /// The encoded path (DetectorOptions::use_encoded, the default) produces a
 /// ViolationTable with identical contents; multi-tuple groups are emitted in
-/// deterministic first-touch order.
+/// deterministic first-touch order. With DetectorOptions::num_threads >= 2
+/// the encoded scan shards the LHS code-key space over a worker pool and
+/// merges per-shard results back into exactly that order.
 class NativeDetector {
  public:
   /// `cfds` are resolved internally against rel's schema (copies; the input
@@ -46,7 +65,9 @@ class NativeDetector {
   /// Attaches an externally owned, already-synced encoded snapshot of the
   /// relation so repeated Detect calls skip the encode pass (the warm-scan
   /// production pattern). Ignored when use_encoded is off; a stale snapshot
-  /// is ignored too (a fresh local one is built instead).
+  /// is ignored too (a fresh local one is built instead). The snapshot is
+  /// never written during Detect, which is what lets sharded workers share
+  /// it without locks.
   void set_encoded(const relational::EncodedRelation* encoded) {
     encoded_ = encoded;
   }

@@ -1,0 +1,19 @@
+#include "detect/shard_plan.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace semandaq::detect {
+
+ShardPlan PlanShards(size_t num_threads, size_t live_tuples) {
+  ShardPlan plan;
+  if (num_threads == 1) return plan;  // the serial path, explicitly chosen
+  const size_t lanes =
+      std::min(common::ResolveThreadCount(num_threads), kMaxShards);
+  const size_t by_size = std::max<size_t>(1, live_tuples / kMinTuplesPerShard);
+  plan.num_shards = std::max<size_t>(1, std::min(lanes, by_size));
+  return plan;
+}
+
+}  // namespace semandaq::detect

@@ -1,0 +1,75 @@
+#ifndef SEMANDAQ_DETECT_SHARD_PLAN_H_
+#define SEMANDAQ_DETECT_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace semandaq::detect {
+
+/// Finalizer of splitmix64 — a cheap full-avalanche mix so that code keys
+/// that differ only in low bits still spread across shards. (Raw packed
+/// codes are dense small integers; `packed % num_shards` would put every
+/// key of one column value into the same shard.)
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// A partition of the LHS code-key space for one detection pass.
+///
+/// Every CFD group in a batch detect shares the same plan: the shard of a
+/// tuple is a pure function of its LHS code key (never of thread timing),
+/// which is what makes the sharded scan deterministic — each key's bucket
+/// is built by exactly one worker, in tuple-id order, regardless of how the
+/// OS schedules the pool.
+///
+/// Two partition functions, matching the two group-index representations
+/// of the encoded scan:
+///  * dense (<= 2 LHS columns whose code product fits the dense index):
+///    contiguous *ranges* of dense slots, so all shards can share one flat
+///    slot->bucket array without ever touching the same element;
+///  * hashed (everything else): Mix64 of the packed/combined codes, reduced
+///    mod num_shards.
+struct ShardPlan {
+  size_t num_shards = 1;
+
+  /// False means the serial scan runs unchanged.
+  bool sharded() const { return num_shards > 1; }
+
+  /// Shard owning a dense group-index slot; slot < dense_slots.
+  size_t ShardOfSlot(uint64_t slot, uint64_t dense_slots) const {
+    // dense_slots <= 2^21 and num_shards is a thread count, so the product
+    // cannot overflow 64 bits.
+    return static_cast<size_t>(slot * num_shards / dense_slots);
+  }
+
+  /// Shard owning a hashed code key (`packed` is PackCodes for <= 2
+  /// columns, a HashCombine chain for wide keys).
+  size_t ShardOfHash(uint64_t packed) const {
+    return static_cast<size_t>(Mix64(packed) % num_shards);
+  }
+};
+
+/// Below this many live tuples per shard, fork-join dispatch costs more
+/// than the scan it parallelizes; the planner narrows the shard count so
+/// every shard clears the floor.
+inline constexpr size_t kMinTuplesPerShard = 512;
+
+/// Hard ceiling on the shard count, whatever the caller asked for: beyond
+/// this, extra OS threads only oversubscribe (and a typo'd knob — say
+/// `threads=999999` through the CLI — must not try to spawn thousands of
+/// threads and die on resource exhaustion).
+inline constexpr size_t kMaxShards = 64;
+
+/// Plans the shard count for a detection pass over `live_tuples` tuples.
+/// `num_threads` carries the DetectorOptions knob semantics: 1 = serial,
+/// 0 = one shard per hardware thread, >= 2 = exactly that many shards
+/// (subject to the per-shard tuple floor). The same plan is reused across
+/// all CFDs of the batch so the worker pool is started once.
+ShardPlan PlanShards(size_t num_threads, size_t live_tuples);
+
+}  // namespace semandaq::detect
+
+#endif  // SEMANDAQ_DETECT_SHARD_PLAN_H_

@@ -25,11 +25,25 @@ TupleId Relation::MustInsert(Row row) {
   return r.ok() ? *r : -1;
 }
 
-common::Status Relation::Delete(TupleId tid) {
+common::Status Relation::CheckLive(TupleId tid, std::string_view verb) const {
   if (!IsLive(tid)) {
-    return common::Status::OutOfRange("delete of dead or unknown tuple id " +
+    return common::Status::OutOfRange(std::string(verb) +
+                                      " of dead or unknown tuple id " +
                                       std::to_string(tid) + " in " + name_);
   }
+  return common::Status::OK();
+}
+
+common::Status Relation::CheckColumn(size_t col) const {
+  if (col >= schema_.size()) {
+    return common::Status::OutOfRange("column ordinal " + std::to_string(col) +
+                                      " out of range in " + name_);
+  }
+  return common::Status::OK();
+}
+
+common::Status Relation::Delete(TupleId tid) {
+  SEMANDAQ_RETURN_IF_ERROR(CheckLive(tid, "delete"));
   live_[static_cast<size_t>(tid)] = false;
   --live_count_;
   ++version_;
@@ -37,14 +51,8 @@ common::Status Relation::Delete(TupleId tid) {
 }
 
 common::Status Relation::SetCell(TupleId tid, size_t col, Value v) {
-  if (!IsLive(tid)) {
-    return common::Status::OutOfRange("update of dead or unknown tuple id " +
-                                      std::to_string(tid) + " in " + name_);
-  }
-  if (col >= schema_.size()) {
-    return common::Status::OutOfRange("column ordinal " + std::to_string(col) +
-                                      " out of range in " + name_);
-  }
+  SEMANDAQ_RETURN_IF_ERROR(CheckLive(tid, "update"));
+  SEMANDAQ_RETURN_IF_ERROR(CheckColumn(col));
   rows_[static_cast<size_t>(tid)][col] = std::move(v);
   ++version_;
   ++overwrite_version_;

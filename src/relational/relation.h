@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -43,6 +44,17 @@ class Relation {
   bool IsLive(TupleId tid) const {
     return tid >= 0 && tid < IdBound() && live_[static_cast<size_t>(tid)];
   }
+
+  /// Status form of IsLive: OutOfRange (naming `verb`, e.g. "delete") when
+  /// `tid` is dead or unknown. Shared by the mutators and by pre-flight
+  /// validation (relational::ValidateUpdate) in appliers that mirror
+  /// relation state and must reject an update *before* touching their own
+  /// structures.
+  common::Status CheckLive(TupleId tid, std::string_view verb) const;
+
+  /// Status form of the column-ordinal bounds check, the companion of
+  /// CheckLive for kModify-style updates.
+  common::Status CheckColumn(size_t col) const;
 
   /// Monotone counter bumped by every successful mutation (Insert, Delete,
   /// SetCell). Snapshot consumers (EncodedRelation) compare it to decide

@@ -15,6 +15,25 @@ std::string Update::ToString() const {
   return "?";
 }
 
+common::Status ValidateUpdate(const Update& u, const Relation& rel) {
+  switch (u.kind) {
+    case Update::Kind::kInsert:
+      if (u.row.size() != rel.schema().size()) {
+        return common::Status::InvalidArgument(
+            "insert arity " + std::to_string(u.row.size()) +
+            " does not match schema arity " +
+            std::to_string(rel.schema().size()) + " of relation " + rel.name());
+      }
+      return common::Status::OK();
+    case Update::Kind::kDelete:
+      return rel.CheckLive(u.tid, "delete");
+    case Update::Kind::kModify:
+      SEMANDAQ_RETURN_IF_ERROR(rel.CheckLive(u.tid, "modify"));
+      return rel.CheckColumn(u.col);
+  }
+  return common::Status::OK();
+}
+
 common::Status ApplyUpdates(const UpdateBatch& batch, Relation* rel,
                             std::vector<TupleId>* inserted_ids) {
   for (const Update& u : batch) {

@@ -54,6 +54,15 @@ struct Update {
 /// of view: detection/repair runs after the whole batch).
 using UpdateBatch = std::vector<Update>;
 
+/// Pre-flight validation of one update against `rel`, without applying it:
+/// inserts must match the schema arity, deletes and modifies must target a
+/// live tuple, and modifies a valid column (Relation::CheckLive /
+/// CheckColumn). Appliers that mirror relation state (IncrementalDetector
+/// and the repair engines built on it) call this *before* unregistering the
+/// tuple from their own structures, so a rejected update can never leave
+/// them drifted from the (unchanged) relation.
+common::Status ValidateUpdate(const Update& u, const Relation& rel);
+
 /// Applies a batch to `rel` in order. Inserted tuples get fresh ids which
 /// are appended to `inserted_ids` when non-null. Stops at the first error.
 common::Status ApplyUpdates(const UpdateBatch& batch, Relation* rel,

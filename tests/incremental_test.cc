@@ -158,6 +158,28 @@ TEST_F(IncrementalDetectorTest, ErrorsOnDeadTuples) {
       detector_->ApplyAndDetect({Update::Modify(0, 1, Value::String("x"))}).ok());
 }
 
+TEST_F(IncrementalDetectorTest, ErrorsOnUnknownColumnWithoutDrifting) {
+  // The shared pre-flight validation (relational::ValidateUpdate) must
+  // reject the modify before LeaveTuple runs, leaving both the relation and
+  // the detector state exactly as they were.
+  const uint64_t version_before = rel_.version();
+  const auto st = detector_->ApplyAndDetect(
+      {Update::Modify(0, rel_.schema().size(), Value::String("x"))});
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), common::StatusCode::kOutOfRange);
+  EXPECT_EQ(rel_.version(), version_before);
+  // The tuple is still registered: follow-up updates and snapshots agree
+  // with a from-scratch detection.
+  ExpectMatchesFullDetection();
+  ASSERT_OK(detector_->ApplyAndDetect({Update::Modify(0, 4,
+                                                      Value::String("Crichton St"))}));
+  ExpectMatchesFullDetection();
+
+  // An arity-mismatched insert is rejected by the same helper.
+  EXPECT_FALSE(detector_->ApplyAndDetect({Update::Insert({Value::String("x")})}).ok());
+  ExpectMatchesFullDetection();
+}
+
 TEST_F(IncrementalDetectorTest, TracksWorkMeasure) {
   const size_t before = detector_->buckets_touched();
   ASSERT_OK(detector_->ApplyAndDetect({Update::Modify(6, 1, Value::String("UK"))}));

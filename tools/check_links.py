@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fails when a markdown file contains a broken relative link.
+
+Usage: tools/check_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Checks every [text](target) and [text](target#fragment) in the given
+markdown files (directories are scanned for *.md). External schemes
+(http/https/mailto) and pure in-page anchors (#...) are skipped; anything
+else must resolve, relative to the containing file, to an existing file or
+directory. Run by CI after the docs were touched; runnable locally with no
+arguments beyond the paths.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) with no nested parens in the target; images share the form.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def collect(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def check_file(md_path):
+    broken = []
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:  # code blocks may show link *syntax*; not rendered
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md_path), rel))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target, resolved))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for md_path in collect(argv[1:]):
+        checked += 1
+        for lineno, target, resolved in check_file(md_path):
+            print(f"{md_path}:{lineno}: broken link '{target}' "
+                  f"(resolved to {resolved})")
+            failures += 1
+    print(f"checked {checked} markdown file(s), {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
