@@ -1,12 +1,42 @@
 #include "core/semandaq.h"
 
 #include "audit/render.h"
+#include "common/string_util.h"
 #include "detect/native_detector.h"
 #include "detect/sql_detector.h"
+#include "storage/wal.h"
 
 namespace semandaq::core {
 
 using common::Status;
+
+common::ThreadPool* Semandaq::PoolFor(size_t num_threads) {
+  if (num_threads == 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<common::ThreadPool>(common::ResolveThreadCount(0));
+  }
+  return pool_.get();
+}
+
+relational::EncodedRelation* Semandaq::FindWarm(
+    const std::string& relation, const relational::Relation* rel) {
+  auto it = warm_.find(common::ToLower(relation));
+  if (it == warm_.end()) return nullptr;
+  if (&it->second->relation() != rel) {
+    // The relation was replaced out from under the snapshot (PutRelation /
+    // Drop + Add); the entry is garbage, not merely stale.
+    warm_.erase(it);
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+relational::EncodedRelation* Semandaq::WarmSnapshot(
+    const std::string& relation) {
+  const relational::Relation* rel = db_.FindRelation(relation);
+  if (rel == nullptr) return nullptr;
+  return FindWarm(relation, rel);
+}
 
 common::Result<detect::ViolationTable> Semandaq::DetectErrors(
     const std::string& relation, DetectorKind kind,
@@ -15,12 +45,69 @@ common::Result<detect::ViolationTable> Semandaq::DetectErrors(
                             db_.GetRelation(relation));
   std::vector<cfd::Cfd> cfds = engine_.CfdsFor(relation);
   if (kind == DetectorKind::kNative) {
-    detect::NativeDetector detector(rel, std::move(cfds),
-                                    options.value_or(detector_options_));
+    const detect::DetectorOptions opts = options.value_or(detector_options_);
+    detect::NativeDetector detector(rel, std::move(cfds), opts);
+    common::ThreadPool* pool = PoolFor(opts.num_threads);
+    detector.set_thread_pool(pool);
+    if (relational::EncodedRelation* warm = FindWarm(relation, rel)) {
+      warm->set_thread_pool(pool);
+      warm->Sync();
+      detector.set_encoded(warm);
+    }
     return detector.Detect();
   }
   detect::SqlDetector detector(&db_, relation, std::move(cfds));
   return detector.Detect();
+}
+
+common::Result<storage::SnapshotStats> Semandaq::SaveRelation(
+    const std::string& relation, const std::string& path) {
+  SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                            db_.GetRelation(relation));
+  common::ThreadPool* pool = PoolFor(detector_options_.num_threads);
+  relational::EncodedRelation* warm = FindWarm(relation, rel);
+  if (warm == nullptr) {
+    auto enc = std::make_unique<relational::EncodedRelation>(rel, pool);
+    warm = enc.get();
+    warm_[common::ToLower(relation)] = std::move(enc);
+  } else {
+    warm->set_thread_pool(pool);
+    warm->Sync();
+  }
+  return storage::SnapshotWriter::Write(*rel, *warm, path);
+}
+
+common::Result<Semandaq::OpenStats> Semandaq::OpenRelation(
+    const std::string& name, const std::string& path) {
+  if (db_.HasRelation(name)) {
+    return Status::AlreadyExists("relation already connected: " + name);
+  }
+  SEMANDAQ_ASSIGN_OR_RETURN(storage::LoadedSnapshot snap,
+                            storage::SnapshotReader::Read(path));
+  snap.relation.set_name(name);
+  SEMANDAQ_RETURN_IF_ERROR(db_.AddRelation(std::move(snap.relation)));
+  relational::Relation* rel = db_.FindMutableRelation(name);
+  auto enc = std::make_unique<relational::EncodedRelation>(
+      relational::EncodedRelation::FromStorage(rel, std::move(snap.dicts),
+                                               std::move(snap.columns)));
+  // The WAL tail replays through the relation's ordinary mutators; Sync()
+  // then absorbs it along the encoded append path (or a rebuild after an
+  // in-place overwrite record). A bad WAL unwinds the registration.
+  auto wal = storage::ReplayWal(storage::WalPathFor(path),
+                                snap.manifest_checksum, rel);
+  if (!wal.ok()) {
+    (void)db_.DropRelation(name);
+    return wal.status();
+  }
+  enc->set_thread_pool(PoolFor(detector_options_.num_threads));
+  enc->Sync();
+
+  OpenStats stats;
+  stats.live_rows = rel->size();
+  stats.num_columns = static_cast<uint32_t>(rel->schema().size());
+  stats.wal_records = *wal;
+  warm_[common::ToLower(name)] = std::move(enc);
+  return stats;
 }
 
 common::Result<audit::AuditOutcome> Semandaq::Audit(const std::string& relation) {

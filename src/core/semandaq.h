@@ -4,20 +4,24 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "audit/metrics.h"
 #include "audit/report.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/constraint_engine.h"
 #include "core/explorer.h"
 #include "detect/native_detector.h"
 #include "detect/violation.h"
 #include "monitor/data_monitor.h"
 #include "relational/database.h"
+#include "relational/encoded_relation.h"
 #include "repair/batch_repair.h"
 #include "repair/cost_model.h"
 #include "repair/repair_review.h"
+#include "storage/snapshot.h"
 
 namespace semandaq::core {
 
@@ -64,6 +68,32 @@ class Semandaq {
   common::Status Connect(relational::Relation data) {
     return db_.AddRelation(std::move(data));
   }
+
+  /// Persists `relation` as a binary columnar snapshot at `path` (plus a
+  /// fresh WAL sidecar at `path + ".wal"`), using — and warming — the
+  /// facade's encoded snapshot of the relation, so a save also primes
+  /// subsequent detections. See docs/storage.md for the format.
+  common::Result<storage::SnapshotStats> SaveRelation(
+      const std::string& relation, const std::string& path);
+
+  /// What OpenRelation reports back.
+  struct OpenStats {
+    uint64_t live_rows = 0;
+    uint32_t num_columns = 0;
+    size_t wal_records = 0;  ///< mutations replayed from the WAL sidecar
+  };
+
+  /// Loads a snapshot (replaying any WAL tail through the relation and the
+  /// encoded append path) and registers it as `name`. The loaded code
+  /// columns are adopted as the relation's warm encoded snapshot — the
+  /// first DetectErrors after an open pays no re-encode. Fails without
+  /// side effects if `name` is taken or the files are corrupt.
+  common::Result<OpenStats> OpenRelation(const std::string& name,
+                                         const std::string& path);
+
+  /// The warm encoded snapshot DetectErrors uses for `relation`; nullptr
+  /// when none exists yet (exposed for tests and benches).
+  relational::EncodedRelation* WarmSnapshot(const std::string& relation);
 
   /// Runs the error detector over one relation with the CFDs registered for
   /// it. `options` only applies to the native detector; in particular
@@ -123,9 +153,27 @@ class Semandaq {
   common::Result<std::unique_ptr<DataExplorer>> Explore(const std::string& relation);
 
  private:
+  /// The shared worker pool for sharded scans and parallel encodes, built
+  /// once (at hardware width) the first time options ask for parallelism
+  /// and reused across Detect/Save/Open calls. nullptr result = stay
+  /// serial. The shard plan still decides task counts; the pool is only
+  /// the lanes they run on.
+  common::ThreadPool* PoolFor(size_t num_threads);
+
+  /// The warm snapshot for `relation` if it still describes `rel` (a
+  /// replaced relation drops its stale entry); nullptr otherwise.
+  relational::EncodedRelation* FindWarm(const std::string& relation,
+                                        const relational::Relation* rel);
+
   relational::Database db_;
   ConstraintEngine engine_;
   detect::DetectorOptions detector_options_;
+  std::unique_ptr<common::ThreadPool> pool_;
+
+  /// Warm encoded snapshots by lowercase relation name, fed by
+  /// SaveRelation/OpenRelation and consumed (and Sync'd) by DetectErrors.
+  std::unordered_map<std::string, std::unique_ptr<relational::EncodedRelation>>
+      warm_;
 
   // Kept alive for explorers handed out by Explore().
   std::vector<std::unique_ptr<std::vector<cfd::Cfd>>> explorer_cfds_;

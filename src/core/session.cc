@@ -48,6 +48,10 @@ std::string Session::Help() {
       "commands:\n"
       "  help | ls\n"
       "  load NAME PATH            import CSV as relation NAME\n"
+      "  save REL PATH             persist REL as a binary columnar snapshot\n"
+      "                            (WAL sidecar at PATH.wal)\n"
+      "  open NAME PATH            load a snapshot (+ WAL tail) as NAME;\n"
+      "                            detect/mine need no re-encode afterwards\n"
       "  gen customer|hospital N NOISE%   generate a workload (dirty + gold)\n"
       "  show REL [N]              print up to N tuples (default 10)\n"
       "  cfd DEFINITION            e.g. cfd customer: [CC=44] -> [CNT=UK]\n"
@@ -83,6 +87,8 @@ common::Result<std::string> Session::Execute(std::string_view command_line) {
     return out.empty() ? std::string("(no relations)\n") : out;
   }
   if (verb == "load") return CmdLoad(args);
+  if (verb == "save") return CmdSave(args);
+  if (verb == "open") return CmdOpen(args);
   if (verb == "gen") return CmdGen(args);
   if (verb == "show") return CmdShow(args);
   if (verb == "cfd") return CmdCfd(line.substr(verb.size()));
@@ -109,6 +115,24 @@ common::Result<std::string> Session::CmdLoad(const std::vector<std::string>& arg
                             relational::LoadRelationCsv(args[0], args[1]));
   SEMANDAQ_RETURN_IF_ERROR(sys_.Connect(std::move(rel)));
   return "loaded " + args[0] + "\n";
+}
+
+common::Result<std::string> Session::CmdSave(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Status::InvalidArgument("usage: save REL PATH");
+  SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.SaveRelation(args[0], args[1]));
+  return "saved " + args[0] + " to " + args[1] + " (" +
+         std::to_string(stats.live_rows) + " tuples, " +
+         std::to_string(stats.num_columns) + " columns, " +
+         std::to_string(stats.file_bytes) + " bytes)\n";
+}
+
+common::Result<std::string> Session::CmdOpen(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Status::InvalidArgument("usage: open NAME PATH");
+  SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.OpenRelation(args[0], args[1]));
+  return "opened " + args[0] + " from " + args[1] + " (" +
+         std::to_string(stats.live_rows) + " tuples, " +
+         std::to_string(stats.num_columns) + " columns, +" +
+         std::to_string(stats.wal_records) + " wal record(s))\n";
 }
 
 common::Result<std::string> Session::CmdGen(const std::vector<std::string>& args) {

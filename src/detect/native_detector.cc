@@ -33,7 +33,7 @@ common::Result<ViolationTable> NativeDetector::Detect() {
       encoded_->InSync()) {
     return DetectEncoded(*encoded_);
   }
-  const EncodedRelation local(rel_);
+  const EncodedRelation local(rel_, pool_);
   return DetectEncoded(local);
 }
 
@@ -458,17 +458,23 @@ common::Result<ViolationTable> NativeDetector::DetectEncoded(
   ViolationTable table;
   const std::vector<TupleId> live = rel_->LiveIds();
 
-  // One shard plan and one worker pool for the whole CFD batch.
+  // One shard plan for the whole CFD batch. The worker pool is the
+  // facade-owned one when attached (reused across Detect calls); only a
+  // bare detector still builds a pool per call.
   const ShardPlan plan = PlanShards(options_.num_threads, live.size());
-  std::optional<common::ThreadPool> pool;
-  if (plan.sharded()) pool.emplace(plan.num_shards);
+  std::optional<common::ThreadPool> local_pool;
+  common::ThreadPool* pool = pool_;
+  if (plan.sharded() && pool == nullptr) {
+    local_pool.emplace(plan.num_shards);
+    pool = &*local_pool;
+  }
 
   const std::vector<EmbeddedFdGroup> groups = cfd::GroupByEmbeddedFd(cfds_);
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     GroupScan gs;
     if (!CompileGroup(enc, cfds_, groups[gi], gi, &gs)) continue;
     if (plan.sharded()) {
-      ScanGroupSharded(gs, live, plan, &*pool, &table);
+      ScanGroupSharded(gs, live, plan, pool, &table);
     } else {
       ScanGroupSerial(gs, live, &table);
     }

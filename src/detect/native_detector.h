@@ -10,6 +10,10 @@
 #include "relational/encoded_relation.h"
 #include "relational/relation.h"
 
+namespace semandaq::common {
+class ThreadPool;
+}  // namespace semandaq::common
+
 namespace semandaq::detect {
 
 struct DetectorOptions {
@@ -72,6 +76,16 @@ class NativeDetector {
     encoded_ = encoded;
   }
 
+  /// Attaches an externally owned worker pool reused across Detect calls
+  /// (Semandaq keeps one per facade), so repeated sharded detections skip
+  /// thread construction. The pool's lane count is independent of
+  /// DetectorOptions::num_threads — the shard plan still decides the task
+  /// count; a pool with fewer lanes just runs shards queued, with output
+  /// unchanged. Without one, a sharded Detect builds a pool per call (the
+  /// pre-reuse behavior); the cold encode pass also fans out over this pool
+  /// when present.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+
   /// Full-relation detection pass.
   common::Result<ViolationTable> Detect();
 
@@ -87,6 +101,7 @@ class NativeDetector {
   std::vector<cfd::Cfd> cfds_;
   DetectorOptions options_;
   const relational::EncodedRelation* encoded_ = nullptr;
+  common::ThreadPool* pool_ = nullptr;  // borrowed; nullptr = per-call pool
 };
 
 }  // namespace semandaq::detect

@@ -4,18 +4,14 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/hash.h"
+
 namespace semandaq::detect {
 
-/// Finalizer of splitmix64 — a cheap full-avalanche mix so that code keys
-/// that differ only in low bits still spread across shards. (Raw packed
-/// codes are dense small integers; `packed % num_shards` would put every
-/// key of one column value into the same shard.)
-inline uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+/// Shard hashing uses common::SplitMix64 — a cheap full-avalanche mix so
+/// that code keys that differ only in low bits still spread across shards.
+/// (Raw packed codes are dense small integers; `packed % num_shards` would
+/// put every key of one column value into the same shard.)
 
 /// A partition of the LHS code-key space for one detection pass.
 ///
@@ -30,8 +26,8 @@ inline uint64_t Mix64(uint64_t x) {
 ///  * dense (<= 2 LHS columns whose code product fits the dense index):
 ///    contiguous *ranges* of dense slots, so all shards can share one flat
 ///    slot->bucket array without ever touching the same element;
-///  * hashed (everything else): Mix64 of the packed/combined codes, reduced
-///    mod num_shards.
+///  * hashed (everything else): SplitMix64 of the packed/combined codes,
+///    reduced mod num_shards.
 struct ShardPlan {
   size_t num_shards = 1;
 
@@ -48,7 +44,7 @@ struct ShardPlan {
   /// Shard owning a hashed code key (`packed` is PackCodes for <= 2
   /// columns, a HashCombine chain for wide keys).
   size_t ShardOfHash(uint64_t packed) const {
-    return static_cast<size_t>(Mix64(packed) % num_shards);
+    return static_cast<size_t>(common::SplitMix64(packed) % num_shards);
   }
 };
 

@@ -6,6 +6,7 @@ namespace semandaq::relational {
 
 Code Dictionary::Encode(const Value& v) {
   if (v.is_null()) return kNullCode;
+  if (!hydrated_) Hydrate();
   auto it = codes_.find(v);
   if (it != codes_.end()) return it->second;
   assert(values_.size() < static_cast<size_t>(kAbsentCode));
@@ -17,6 +18,7 @@ Code Dictionary::Encode(const Value& v) {
 
 Code Dictionary::Lookup(const Value& v) const {
   if (v.is_null()) return kNullCode;
+  if (!hydrated_) Hydrate();
   auto it = codes_.find(v);
   return it == codes_.end() ? kAbsentCode : it->second;
 }
@@ -24,6 +26,31 @@ Code Dictionary::Lookup(const Value& v) const {
 const Value& Dictionary::Decode(Code code) const {
   assert(Contains(code));
   return values_[code];
+}
+
+void Dictionary::Hydrate() const {
+  codes_.reserve(values_.size() - 1);
+  for (Code code = 1; code < values_.size(); ++code) {
+    const bool fresh = codes_.emplace(values_[code], code).second;
+    assert(fresh && "snapshot dictionary holds duplicate values");
+    (void)fresh;
+  }
+  hydrated_ = true;
+}
+
+common::Result<Dictionary> Dictionary::FromDecodedValues(
+    std::vector<Value> nonnull_values) {
+  Dictionary dict;
+  dict.values_.reserve(nonnull_values.size() + 1);
+  for (Value& v : nonnull_values) {
+    if (v.is_null()) {
+      return common::Status::IoError(
+          "corrupted dictionary blob: NULL among the non-NULL values");
+    }
+    dict.values_.push_back(std::move(v));
+  }
+  dict.hydrated_ = false;
+  return dict;
 }
 
 }  // namespace semandaq::relational

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "relational/value.h"
 
 namespace semandaq::relational {
@@ -41,6 +42,10 @@ class Dictionary {
 
   /// Code of `v` without inserting; kAbsentCode when the value was never
   /// encoded (a pattern constant absent here can never match any tuple).
+  ///
+  /// Lazily hydrates the value->code map on a dictionary rebuilt by
+  /// FromDecodedValues (see there); like Encode, it must not race with
+  /// other Encode/Lookup calls on the same dictionary.
   Code Lookup(const Value& v) const;
 
   /// The value behind a code; Decode(kNullCode) is NULL. The code must have
@@ -53,8 +58,38 @@ class Dictionary {
   /// True when `code` was issued by this dictionary (or is the NULL code).
   bool Contains(Code code) const { return code < values_.size(); }
 
+  /// All decoded values in code order: values()[0] is NULL and values()[c]
+  /// decodes code c. This is the dictionary's serialization surface — the
+  /// storage layer persists exactly this vector (minus the NULL slot) and
+  /// rebuilds with FromDecodedValues.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Rebuilds a dictionary from its persisted value list: `nonnull_values`
+  /// holds the decoded values of codes 1..n in code order (the NULL slot is
+  /// implicit). Fails on a NULL entry — the blob was not produced by
+  /// Dictionary::values() then.
+  ///
+  /// The value->code hash map is NOT built here: decoding (what a loaded
+  /// snapshot is scanned through) needs only the value vector, and eagerly
+  /// hashing every distinct value would put the dominant cost of the cold
+  /// encode right back into the cold load. The map hydrates on the first
+  /// Encode/Lookup — i.e. the first pattern-constant compile or append
+  /// touching this column — which also performs the duplicate check that
+  /// eager construction would have done (duplicate = Internal error
+  /// surfaced by hydration's debug assert; codes of a well-formed snapshot
+  /// never alias because the writer emits values() of an injective map).
+  static common::Result<Dictionary> FromDecodedValues(
+      std::vector<Value> nonnull_values);
+
  private:
-  std::unordered_map<Value, Code, ValueHash> codes_;
+  /// Builds codes_ from values_ (the FromDecodedValues deferred half).
+  void Hydrate() const;
+
+  // Lazily hydrated (see FromDecodedValues); mutable so the logically
+  // const Lookup can hydrate. Not synchronized — matches Encode's
+  // single-writer contract.
+  mutable std::unordered_map<Value, Code, ValueHash> codes_;
+  mutable bool hydrated_ = true;
   std::vector<Value> values_;  // values_[0] = NULL; values_[c] decodes c
 };
 

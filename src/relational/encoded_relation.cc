@@ -2,10 +2,40 @@
 
 #include <cassert>
 
+#include "common/thread_pool.h"
+
 namespace semandaq::relational {
 
-EncodedRelation::EncodedRelation(const Relation* rel) : rel_(rel) {
+namespace {
+
+/// Below this many cells a rebuild is too small for fork-join dispatch to
+/// pay for itself; encode serially even when a pool is attached.
+constexpr uint64_t kParallelEncodeMinCells = uint64_t{1} << 14;
+
+}  // namespace
+
+EncodedRelation::EncodedRelation(const Relation* rel, common::ThreadPool* pool)
+    : rel_(rel), pool_(pool) {
   Rebuild();
+}
+
+EncodedRelation EncodedRelation::FromStorage(
+    const Relation* rel, std::vector<Dictionary> dicts,
+    std::vector<std::vector<Code>> columns) {
+  assert(rel != nullptr);
+  assert(dicts.size() == rel->schema().size());
+  assert(columns.size() == rel->schema().size());
+  EncodedRelation enc;
+  enc.rel_ = rel;
+  enc.dicts_ = std::move(dicts);
+  enc.columns_ = std::move(columns);
+  for (const auto& col : enc.columns_) {
+    assert(col.size() == static_cast<size_t>(rel->IdBound()));
+    (void)col;
+  }
+  enc.synced_version_ = rel->version();
+  enc.synced_overwrite_version_ = rel->overwrite_version();
+  return enc;
 }
 
 void EncodedRelation::Rebuild() {
@@ -35,12 +65,33 @@ void EncodedRelation::Sync() {
 }
 
 void EncodedRelation::EncodeRows(TupleId from, TupleId to) {
+  const size_t ncols = columns_.size();
+  if (to <= from || ncols == 0) return;
+  const uint64_t cells = static_cast<uint64_t>(to - from) * ncols;
+  if (pool_ != nullptr && ncols >= 2 && cells >= kParallelEncodeMinCells) {
+    // Per-column fan-out: each column owns its dictionary, and within one
+    // column codes are issued in row order serially or not — the parallel
+    // encode is byte-identical to the serial one. Hydrate lazily loaded
+    // rows on this thread first; workers must never race the materializer.
+    rel_->EnsureHydrated();
+    pool_->Run(ncols, [&](size_t c) { EncodeColumn(c, from, to); });
+    return;
+  }
   for (TupleId tid = from; tid < to; ++tid) {
     if (!rel_->IsLive(tid)) continue;
     const Row& row = rel_->row(tid);
-    for (size_t c = 0; c < columns_.size(); ++c) {
+    for (size_t c = 0; c < ncols; ++c) {
       columns_[c][static_cast<size_t>(tid)] = dicts_[c].Encode(row[c]);
     }
+  }
+}
+
+void EncodedRelation::EncodeColumn(size_t col, TupleId from, TupleId to) {
+  Dictionary& dict = dicts_[col];
+  std::vector<Code>& codes = columns_[col];
+  for (TupleId tid = from; tid < to; ++tid) {
+    if (!rel_->IsLive(tid)) continue;
+    codes[static_cast<size_t>(tid)] = dict.Encode(rel_->row(tid)[col]);
   }
 }
 

@@ -8,6 +8,10 @@
 #include "relational/dictionary.h"
 #include "relational/relation.h"
 
+namespace semandaq::common {
+class ThreadPool;
+}  // namespace semandaq::common
+
 namespace semandaq::relational {
 
 /// A dictionary-encoded columnar snapshot of a Relation: one flat
@@ -41,8 +45,31 @@ namespace semandaq::relational {
 /// update volume; a full Rebuild() (or a fresh snapshot) compacts.
 class EncodedRelation {
  public:
-  /// Builds the snapshot with one pass over the live tuples.
-  explicit EncodedRelation(const Relation* rel);
+  /// Builds the snapshot with one pass over the live tuples. With a pool,
+  /// the encode fans out per column (see set_thread_pool).
+  explicit EncodedRelation(const Relation* rel,
+                           common::ThreadPool* pool = nullptr);
+
+  /// Adopts already-encoded state instead of re-encoding — the storage
+  /// layer's load path (storage::SnapshotReader): `dicts` and `columns`
+  /// come straight off disk, `rel` is the relation they describe (same
+  /// column count; each column sized to rel->IdBound()). The snapshot is
+  /// marked in sync with the relation's *current* version counters, so
+  /// mutations applied to `rel` afterwards (e.g. a WAL tail) flow through
+  /// the ordinary Sync() append path. Shape mismatches are caller bugs and
+  /// assert in debug builds.
+  static EncodedRelation FromStorage(const Relation* rel,
+                                     std::vector<Dictionary> dicts,
+                                     std::vector<std::vector<Code>> columns);
+
+  /// Attaches a worker pool used to fan the encode passes (Rebuild and the
+  /// append path of Sync) out per column. Column dictionaries are
+  /// independent and codes are first-seen in row order within one column
+  /// either way, so the parallel result is byte-identical to the serial
+  /// one. The pool is borrowed, never owned; nullptr restores the serial
+  /// encode. Must not be a pool that is currently inside a Run call (the
+  /// pool is not reentrant).
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   const Relation& relation() const { return *rel_; }
   size_t num_columns() const { return columns_.size(); }
@@ -102,11 +129,15 @@ class EncodedRelation {
   }
 
  private:
-  void EncodeRows(TupleId from, TupleId to);
+  EncodedRelation() = default;  // for FromStorage
 
-  const Relation* rel_;
+  void EncodeRows(TupleId from, TupleId to);
+  void EncodeColumn(size_t col, TupleId from, TupleId to);
+
+  const Relation* rel_ = nullptr;
   std::vector<Dictionary> dicts_;          // one per column
   std::vector<std::vector<Code>> columns_; // [col][tid]
+  common::ThreadPool* pool_ = nullptr;     // borrowed; nullptr = serial encode
   uint64_t synced_version_ = 0;
   uint64_t synced_overwrite_version_ = 0;
 };

@@ -6,6 +6,29 @@
 
 namespace semandaq::relational {
 
+Relation Relation::FromStorage(std::string name, Schema schema,
+                               std::vector<bool> live, RowHydrator hydrator) {
+  Relation rel(std::move(name), std::move(schema));
+  rel.rows_.resize(live.size());  // empty placeholders until hydration
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (live[i]) ++rel.live_count_;
+  }
+  rel.live_ = std::move(live);
+  rel.hydrator_ = std::move(hydrator);
+  return rel;
+}
+
+void Relation::HydrateRows() const {
+  // Detach first so a buggy hydrator touching the relation cannot recurse.
+  RowHydrator hydrator = std::move(hydrator_);
+  hydrator_ = nullptr;
+  std::vector<Row> rows = hydrator();
+  // Appends after FromStorage may have grown the tail past the hydrated
+  // prefix; the hydrator only covers the ids it was installed for.
+  assert(rows.size() <= rows_.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows_[i] = std::move(rows[i]);
+}
+
 common::Result<TupleId> Relation::Insert(Row row) {
   if (row.size() != schema_.size()) {
     return common::Status::InvalidArgument(
@@ -53,6 +76,7 @@ common::Status Relation::Delete(TupleId tid) {
 common::Status Relation::SetCell(TupleId tid, size_t col, Value v) {
   SEMANDAQ_RETURN_IF_ERROR(CheckLive(tid, "update"));
   SEMANDAQ_RETURN_IF_ERROR(CheckColumn(col));
+  EnsureHydrated();
   rows_[static_cast<size_t>(tid)][col] = std::move(v);
   ++version_;
   ++overwrite_version_;
@@ -61,6 +85,7 @@ common::Status Relation::SetCell(TupleId tid, size_t col, Value v) {
 
 const Row& Relation::row(TupleId tid) const {
   assert(IsLive(tid));
+  EnsureHydrated();
   return rows_[static_cast<size_t>(tid)];
 }
 
@@ -82,6 +107,7 @@ Row Relation::Project(TupleId tid, const std::vector<size_t>& cols) const {
 }
 
 std::string Relation::ToAsciiTable(size_t max_rows) const {
+  EnsureHydrated();
   std::vector<std::string> headers = schema_.Names();
   std::vector<size_t> widths;
   widths.reserve(headers.size());

@@ -2,6 +2,7 @@
 #define SEMANDAQ_RELATIONAL_RELATION_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +29,24 @@ class Relation {
   Relation() = default;
   Relation(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  /// Produces the decoded rows for the ids a lazily loaded relation was
+  /// created with — the deferred half of Relation::FromStorage. Must be
+  /// pure (a Clone of an unhydrated relation re-runs it independently) and
+  /// infallible (the storage loader checksum-validates everything before
+  /// installing one; by hydration time there is nothing left to fail).
+  using RowHydrator = std::function<std::vector<Row>()>;
+
+  /// Bulk-load hook for the storage layer: adopts a liveness mask — the
+  /// positional index is the TupleId, so ids and tombstones of a persisted
+  /// relation come back exactly — and a deferred row materializer. Rows
+  /// stay unmaterialized until the first row access (EnsureHydrated), so a
+  /// load-then-detect path that scans encoded columns never pays the
+  /// per-cell decode at all; audit/repair/SQL hydrate transparently on
+  /// first touch. Version counters start at 0, as for a freshly built
+  /// relation.
+  static Relation FromStorage(std::string name, Schema schema,
+                              std::vector<bool> live, RowHydrator hydrator);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -66,6 +85,15 @@ class Relation {
   /// appends/deletes and can catch up without a full rebuild.
   uint64_t overwrite_version() const { return overwrite_version_; }
 
+  /// Materializes lazily loaded rows (no-op for every relation not built
+  /// by FromStorage, and after the first call). Every row accessor invokes
+  /// this automatically; it is public so parallel consumers (the encode
+  /// fan-out) can hydrate once up front instead of racing in their
+  /// workers — hydration, like all Relation mutation, is not thread-safe.
+  void EnsureHydrated() const {
+    if (hydrator_) HydrateRows();
+  }
+
   /// Appends a row; the row arity must match the schema.
   common::Result<TupleId> Insert(Row row);
 
@@ -90,6 +118,7 @@ class Relation {
   /// Invokes fn(tid, row) for every live tuple in id order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    EnsureHydrated();
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (live_[i]) fn(static_cast<TupleId>(i), rows_[i]);
     }
@@ -106,9 +135,16 @@ class Relation {
   std::string ToAsciiTable(size_t max_rows = 20) const;
 
  private:
+  /// Runs and discards the installed hydrator (see FromStorage).
+  void HydrateRows() const;
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  // Logically const row access may materialize lazily loaded rows, hence
+  // mutable; hydration replaces empty placeholders with equal-by-contract
+  // decoded rows, so observable state never changes.
+  mutable std::vector<Row> rows_;
+  mutable RowHydrator hydrator_;  // non-null = rows_ prefix pending
   std::vector<bool> live_;
   size_t live_count_ = 0;
   uint64_t version_ = 0;

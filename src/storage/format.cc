@@ -1,0 +1,125 @@
+#include "storage/format.h"
+
+#include "common/hash.h"
+
+namespace semandaq::storage {
+
+using common::Result;
+using common::SplitMix64;  // the per-lane mixer of Checksum64
+using common::Status;
+using relational::Value;
+
+uint64_t Checksum64(const void* data, size_t size, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = SplitMix64(seed ^ (0x53444153ULL + size));  // length-keyed start
+  size_t n = size;
+  while (n >= 8) {
+    uint64_t lane;
+    std::memcpy(&lane, p, 8);
+    h = SplitMix64(h ^ lane);
+    p += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  for (size_t i = 0; i < n; ++i) {
+    tail |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return SplitMix64(h ^ tail);
+}
+
+void ByteWriter::PutValue(const Value& v) {
+  switch (v.type()) {
+    case relational::DataType::kNull:
+      PutU8(0);
+      return;
+    case relational::DataType::kInt:
+      PutU8(1);
+      PutI64(v.AsInt());
+      return;
+    case relational::DataType::kDouble:
+      PutU8(2);
+      PutDouble(v.AsDouble());
+      return;
+    case relational::DataType::kString:
+      PutU8(3);
+      PutString(v.AsString());
+      return;
+  }
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  if (remaining() < 1) return Overrun("u8");
+  return *cur_++;
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  if (remaining() < 4) return Overrun("u32");
+  uint32_t v;
+  std::memcpy(&v, cur_, 4);
+  cur_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  if (remaining() < 8) return Overrun("u64");
+  uint64_t v;
+  std::memcpy(&v, cur_, 8);
+  cur_ += 8;
+  return v;
+}
+
+Result<int64_t> ByteReader::GetI64() {
+  if (remaining() < 8) return Overrun("i64");
+  int64_t v;
+  std::memcpy(&v, cur_, 8);
+  cur_ += 8;
+  return v;
+}
+
+Result<double> ByteReader::GetDouble() {
+  if (remaining() < 8) return Overrun("double");
+  double v;
+  std::memcpy(&v, cur_, 8);
+  cur_ += 8;
+  return v;
+}
+
+Result<std::string> ByteReader::GetString() {
+  SEMANDAQ_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (remaining() < len) return Overrun("string payload");
+  std::string s(reinterpret_cast<const char*>(cur_), len);
+  cur_ += len;
+  return s;
+}
+
+Result<Value> ByteReader::GetValue() {
+  SEMANDAQ_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+  switch (tag) {
+    case 0:
+      return Value::Null();
+    case 1: {
+      SEMANDAQ_ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return Value::Int(v);
+    }
+    case 2: {
+      SEMANDAQ_ASSIGN_OR_RETURN(double v, GetDouble());
+      return Value::Double(v);
+    }
+    case 3: {
+      SEMANDAQ_ASSIGN_OR_RETURN(std::string s, GetString());
+      return Value::String(std::move(s));
+    }
+    default:
+      return Status::IoError("corrupted " + context_ + ": unknown value tag " +
+                             std::to_string(tag));
+  }
+}
+
+Result<const uint8_t*> ByteReader::GetBytes(size_t n) {
+  if (remaining() < n) return Overrun("raw bytes");
+  const uint8_t* p = cur_;
+  cur_ += n;
+  return p;
+}
+
+}  // namespace semandaq::storage

@@ -1,0 +1,113 @@
+#ifndef SEMANDAQ_STORAGE_FORMAT_H_
+#define SEMANDAQ_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace semandaq::storage {
+
+/// The persistent columnar store's wire-level vocabulary: fixed magics, the
+/// checksum, and bounds-checked little-endian primitive/Value codecs shared
+/// by the snapshot writer/reader and the WAL. The byte-level layout built
+/// from these pieces is specified in docs/storage.md.
+
+/// Snapshot file magic, first 8 bytes of every snapshot ("SDQSNAP1").
+inline constexpr char kSnapshotMagic[8] = {'S', 'D', 'Q', 'S',
+                                           'N', 'A', 'P', '1'};
+
+/// WAL file magic ("SDQWAL01").
+inline constexpr char kWalMagic[8] = {'S', 'D', 'Q', 'W', 'A', 'L', '0', '1'};
+
+/// Stored as a uint32 right after the magic. A reader on a byte-order that
+/// disagrees with the writer sees the value reversed and refuses the file;
+/// the on-disk format is little-endian and this is the canary that enforces
+/// it (all mainstream deployment targets are little-endian; a big-endian
+/// port would add byte swapping at this seam).
+inline constexpr uint32_t kEndianCanary = 0x01020304u;
+
+/// Bumped on incompatible layout changes; readers reject other versions.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// 64-bit content checksum in the xxhash spirit: the input is consumed as
+/// 8-byte little-endian lanes (plus a byte-wise tail), each lane folded into
+/// the accumulator through a strong 64-bit finalizer (splitmix64), and the
+/// length is mixed in so a truncated prefix never collides with its whole.
+/// One pass, no allocation; quality is "detect corruption", not crypto.
+uint64_t Checksum64(const void* data, size_t size, uint64_t seed = 0);
+
+/// Append-only little-endian encoder over a std::string (sections are
+/// assembled in memory, checksummed, then written with one write syscall).
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  size_t size() const { return out_->size(); }
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof v); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof v); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof v); }
+  void PutDouble(double v) { PutFixed(&v, sizeof v); }
+  void PutBytes(const void* data, size_t n) {
+    out_->append(static_cast<const char*>(data), n);
+  }
+  /// u32 length followed by the raw bytes.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutBytes(s.data(), s.size());
+  }
+  /// Type-tagged Value: u8 tag (0 NULL, 1 INT, 2 DOUBLE, 3 STRING) + payload.
+  void PutValue(const relational::Value& v);
+
+ private:
+  void PutFixed(const void* v, size_t n) {
+    // Native stores on a little-endian host are already wire order; the
+    // endian canary rejects the file anywhere that assumption breaks.
+    out_->append(static_cast<const char*>(v), n);
+  }
+
+  std::string* out_;
+};
+
+/// Bounds-checked decoder over a byte range. Every getter reports overrun
+/// as an IoError naming `context` (e.g. "manifest"), so a truncated or
+/// corrupted region can never read out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size, std::string context)
+      : cur_(static_cast<const uint8_t*>(data)),
+        end_(static_cast<const uint8_t*>(data) + size),
+        context_(std::move(context)) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - cur_); }
+  bool exhausted() const { return cur_ == end_; }
+
+  common::Result<uint8_t> GetU8();
+  common::Result<uint32_t> GetU32();
+  common::Result<uint64_t> GetU64();
+  common::Result<int64_t> GetI64();
+  common::Result<double> GetDouble();
+  common::Result<std::string> GetString();
+  common::Result<relational::Value> GetValue();
+  /// Borrows `n` raw bytes from the stream (no copy).
+  common::Result<const uint8_t*> GetBytes(size_t n);
+
+ private:
+  common::Status Overrun(const char* what) const {
+    return common::Status::IoError("truncated " + context_ +
+                                   ": unexpected end while reading " + what);
+  }
+
+  const uint8_t* cur_;
+  const uint8_t* end_;
+  std::string context_;
+};
+
+}  // namespace semandaq::storage
+
+#endif  // SEMANDAQ_STORAGE_FORMAT_H_

@@ -1,0 +1,76 @@
+#ifndef SEMANDAQ_STORAGE_WAL_H_
+#define SEMANDAQ_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace semandaq::storage {
+
+/// Append-only write-ahead segment extending a snapshot: every mutation
+/// applied to a relation after its last snapshot appends one checksummed
+/// record here, and on load the records replay through Relation mutators so
+/// EncodedRelation::Sync() catches the encoded form up along its ordinary
+/// append path. The segment is stamped with the manifest checksum of the
+/// snapshot it extends — replaying a WAL against any other snapshot is
+/// refused, not silently merged. Record layout: docs/storage.md.
+///
+/// Crash discipline: records are length-prefixed and checksummed, so a torn
+/// final record (the only corruption an interrupted append can produce) is
+/// recognized and dropped; a checksum mismatch anywhere *before* the tail is
+/// real corruption and fails the load.
+class WalWriter {
+ public:
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Creates (or truncates) the segment at `path`, stamped with
+  /// `snapshot_checksum` (SnapshotStats::manifest_checksum).
+  static common::Result<WalWriter> Create(const std::string& path,
+                                          uint64_t snapshot_checksum);
+
+  /// Reopens an existing segment for appending: verifies the stamp against
+  /// `snapshot_checksum`, truncates a torn final record if the last append
+  /// was interrupted, and positions at the end.
+  static common::Result<WalWriter> OpenExisting(const std::string& path,
+                                                uint64_t snapshot_checksum);
+
+  /// Appends one mutation record (flushed before returning, so a record
+  /// either reaches the file intact or is recognizably torn).
+  common::Status AppendInsert(const relational::Row& row);
+  common::Status AppendDelete(relational::TupleId tid);
+  common::Status AppendSetCell(relational::TupleId tid, size_t col,
+                               const relational::Value& value);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, std::ofstream out)
+      : path_(std::move(path)), out_(std::move(out)) {}
+
+  common::Status AppendRecord(const std::string& payload);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Replays the WAL at `path` into `rel` through Insert/Delete/SetCell.
+/// Missing file = empty tail (0 records). A segment stamped for a
+/// different snapshot fails the load if it holds any record; record-free
+/// it is treated as the empty tail it is — that state is the one artifact
+/// a crash between SnapshotWriter's two publish renames can leave (the
+/// predecessor's empty sidecar beside the fresh snapshot). A torn final
+/// record is dropped silently (crash tail); any earlier corruption is an
+/// IoError. Returns the number of records applied — after it,
+/// EncodedRelation::Sync() brings a snapshot loaded via FromStorage up to
+/// date.
+common::Result<size_t> ReplayWal(const std::string& path,
+                                 uint64_t snapshot_checksum,
+                                 relational::Relation* rel);
+
+}  // namespace semandaq::storage
+
+#endif  // SEMANDAQ_STORAGE_WAL_H_

@@ -87,6 +87,29 @@ TEST(SessionTest, LoadCsvRoundTrip) {
   EXPECT_FALSE(s.Execute("load u /does/not/exist.csv").ok());
 }
 
+TEST(SessionTest, SaveOpenRoundTrip) {
+  Session s;
+  const std::string path = ::testing::TempDir() + "/session_snapshot.sdq";
+  Exec(&s, "gen customer 200 8");
+  Exec(&s, "cfd customer: [CNT=UK, ZIP=_] -> [STR=_]");
+  Exec(&s, "cfd customer: [CC] -> [CNT] { (44 | UK), (31 | NL), (1 | US) }");
+  const std::string before = Exec(&s, "detect customer");
+
+  EXPECT_NE(Exec(&s, "save customer " + path).find("saved customer"),
+            std::string::npos);
+  EXPECT_NE(Exec(&s, "open customer2 " + path).find("opened customer2"),
+            std::string::npos);
+  Exec(&s, "cfd customer2: [CNT=UK, ZIP=_] -> [STR=_]");
+  Exec(&s, "cfd customer2: [CC] -> [CNT] { (44 | UK), (31 | NL), (1 | US) }");
+  // Detection over the reloaded snapshot renders identically.
+  EXPECT_EQ(Exec(&s, "detect customer2"), before);
+
+  EXPECT_FALSE(s.Execute("save customer").ok());
+  EXPECT_FALSE(s.Execute("save missing " + path).ok());
+  EXPECT_FALSE(s.Execute("open customer " + path).ok());  // name taken
+  EXPECT_FALSE(s.Execute("open x /does/not/exist.sdq").ok());
+}
+
 TEST(SessionTest, BadArgumentsAreRejected) {
   Session s;
   EXPECT_FALSE(s.Execute("gen customer abc 5").ok());
