@@ -153,6 +153,51 @@ BENCHMARK(BM_NativeDetectSharded)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// SIMD kernel A/B over a warm snapshot: same blocked scan algorithm, the
+// second Arg forces the kernel tier (0 = the scalar dispatch floor, 1 =
+// SSE2, 2 = AVX2; tiers above the host's support clamp down — the
+// "simd_level" counter records what actually ran). The constant-tableau Σ
+// keeps the run kernel-bound (pattern match + liveness/NULL filtering +
+// RHS disagreement masks), which is exactly the layer the tiers differ
+// in; the mixed-workload scaling story stays with BM_NativeDetect. The
+// scalar-vs-vector ratio of this A/B is the acceptance number recorded in
+// BENCH_detect.json.
+void BM_NativeDetectSimd(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  const auto& wl = bench::CachedCustomer(tuples, kNoise);
+  relational::EncodedRelation encoded(&wl.dirty);
+  const auto cfds = bench::MustParseCfds(
+      "customer: [CC] -> [CNT] { (44 | UK), (31 | NL), (1 | US) }\n"
+      "customer: [CNT] -> [CC] { (UK | 44), (NL | 31), (US | 1) }\n"
+      "customer: [CITY] -> [AC] { (Edinburgh | 131), (London | 20), "
+      "(Glasgow | 141), (Amsterdam | 20), (Utrecht | 30), (NewYork | 212), "
+      "(Chicago | 312) }\n");
+  detect::DetectorOptions options;
+  options.simd_level =
+      static_cast<semandaq::common::simd::Level>(state.range(1));
+  int64_t total_vio = 0;
+  for (auto _ : state) {
+    detect::NativeDetector detector(&wl.dirty, cfds, options);
+    detector.set_encoded(&encoded);
+    auto table = detector.Detect();
+    benchmark::DoNotOptimize(table);
+    total_vio = table.ok() ? table->TotalVio() : -1;
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["total_vio"] = static_cast<double>(total_vio);
+  state.counters["simd_level"] = static_cast<double>(
+      semandaq::common::simd::KernelsFor(options.simd_level).level);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_NativeDetectSimd)
+    ->Args({64000, 0})
+    ->Args({64000, 1})
+    ->Args({64000, 2})
+    ->Args({256000, 0})
+    ->Args({256000, 2})
+    ->Unit(benchmark::kMillisecond);
+
 // The pre-columnar baseline: hash partitioning on projected Rows.
 void BM_NativeDetectRows(benchmark::State& state) {
   RunNativeDetect(state, detect::DetectorOptions{/*use_encoded=*/false},

@@ -105,6 +105,35 @@ void BM_PartitionBuildRows(benchmark::State& state) {
 BENCHMARK(BM_PartitionBuildRows)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// SIMD kernel A/B of the encoded partition build: range(0) selects the
+// attribute set as above, range(1) the kernel tier (0 = scalar floor,
+// 1 = SSE2, 2 = AVX2, clamped to host support — the "simd_level" counter
+// records the tier that ran). Same first-touch class assignment on every
+// tier; only the liveness/NULL masking and key packing differ.
+void BM_PartitionBuildSimd(benchmark::State& state) {
+  const auto& wl = bench::CachedCustomer(64000, 0.05);
+  const std::vector<size_t> cols = PartitionCols(static_cast<int>(state.range(0)));
+  const auto level =
+      static_cast<semandaq::common::simd::Level>(state.range(1));
+  relational::EncodedRelation encoded(&wl.dirty);
+  size_t classes = 0;
+  for (auto _ : state) {
+    auto p = discovery::Partition::Build(encoded, cols, level);
+    benchmark::DoNotOptimize(p);
+    classes = p.num_classes();
+  }
+  state.counters["lhs_size"] = static_cast<double>(cols.size());
+  state.counters["classes"] = static_cast<double>(classes);
+  state.counters["simd_level"] = static_cast<double>(
+      semandaq::common::simd::KernelsFor(level).level);
+}
+BENCHMARK(BM_PartitionBuildSimd)
+    ->Args({0, 0})
+    ->Args({0, 2})
+    ->Args({1, 0})
+    ->Args({1, 2})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FdDiscoveryByLhsDepth(benchmark::State& state) {
   const auto& wl = bench::CachedCustomer(4000, 0.0, /*seed=*/23);
   discovery::FdMinerOptions opts;

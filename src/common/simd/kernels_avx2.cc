@@ -1,0 +1,163 @@
+// AVX2 kernel tier: 8-lane uint32 compares, 32-lane byte compares. This TU
+// is the only one built with -mavx2 (see the per-source flags in the root
+// CMakeLists), so AVX2 instructions never leak into code that runs before
+// the CPUID dispatch check. Without compiler AVX2 support it degrades to a
+// nullptr table and the dispatcher tops out at SSE2.
+
+#include "common/simd/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace semandaq::common::simd {
+namespace {
+
+/// Equality bits of up to 64 lanes starting at d: bit b = (d[b] == c).
+/// Bits >= lanes are zero.
+inline uint64_t EqBits64(const uint32_t* d, uint32_t c, size_t lanes) {
+  const __m256i vc = _mm256_set1_epi32(static_cast<int>(c));
+  uint64_t bits = 0;
+  size_t b = 0;
+  for (; b + 8 <= lanes; b += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + b));
+    const int m =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, vc)));
+    bits |= static_cast<uint64_t>(static_cast<uint8_t>(m)) << b;
+  }
+  for (; b < lanes; ++b) bits |= static_cast<uint64_t>(d[b] == c) << b;
+  return bits;
+}
+
+/// Liveness bits of up to 64 lanes: bit b = (live[b] != 0).
+inline uint64_t LiveBits64(const uint8_t* live, size_t lanes) {
+  const __m256i zero = _mm256_setzero_si256();
+  uint64_t bits = 0;
+  size_t b = 0;
+  for (; b + 32 <= lanes; b += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(live + b));
+    const uint32_t dead = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    bits |= static_cast<uint64_t>(~dead) << b;
+  }
+  for (; b < lanes; ++b) bits |= static_cast<uint64_t>(live[b] != 0) << b;
+  return bits;
+}
+
+inline uint64_t LaneMask(size_t lanes) {
+  return lanes >= 64 ? ~uint64_t{0} : (uint64_t{1} << lanes) - 1;
+}
+
+size_t FilterEq32Avx2(const uint32_t* d, size_t n, uint32_t c, uint32_t base,
+                      uint32_t* out) {
+  size_t count = 0;
+  for (size_t w = 0; w * 64 < n; ++w) {
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    uint64_t m = EqBits64(d + w * 64, c, lanes);
+    while (m != 0) {
+      out[count++] = base + static_cast<uint32_t>(
+                                w * 64 + static_cast<size_t>(__builtin_ctzll(m)));
+      m &= m - 1;
+    }
+  }
+  return count;
+}
+
+void FilterEqMulti32Avx2(const uint32_t* const* cols, const uint32_t* consts,
+                         size_t ncols, size_t n, uint64_t* inout) {
+  for (size_t w = 0; w * 64 < n; ++w) {
+    uint64_t m = inout[w];
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    for (size_t k = 0; m != 0 && k < ncols; ++k) {
+      m &= EqBits64(cols[k] + w * 64, consts[k], lanes);
+    }
+    inout[w] = m;
+  }
+}
+
+void MaskNeAnd32Avx2(const uint32_t* d, size_t n, uint32_t c,
+                     uint64_t* inout) {
+  for (size_t w = 0; w * 64 < n; ++w) {
+    const uint64_t m = inout[w];
+    if (m == 0) continue;
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    inout[w] = m & ~EqBits64(d + w * 64, c, lanes) & LaneMask(lanes);
+  }
+}
+
+size_t MaskLiveAvx2(const uint8_t* live, const uint32_t* const* cols,
+                    size_t ncols, uint32_t null_code, size_t n,
+                    uint64_t* out) {
+  size_t popcount = 0;
+  for (size_t w = 0; w * 64 < n; ++w) {
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    uint64_t m = LiveBits64(live + w * 64, lanes);
+    for (size_t k = 0; m != 0 && k < ncols; ++k) {
+      m &= ~EqBits64(cols[k] + w * 64, null_code, lanes) & LaneMask(lanes);
+    }
+    out[w] = m;
+    popcount += static_cast<size_t>(__builtin_popcountll(m));
+  }
+  return popcount;
+}
+
+void PackKeys2x32Avx2(const uint32_t* hi, const uint32_t* lo, size_t n,
+                      uint64_t* out) {
+  const __m128i zero128 = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vhi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi + i));
+    const __m128i vlo =
+        lo == nullptr
+            ? zero128
+            : _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo + i));
+    const __m256i hi64 = _mm256_cvtepu32_epi64(vhi);
+    const __m256i lo64 = _mm256_cvtepu32_epi64(vlo);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_or_si256(_mm256_slli_epi64(hi64, 32), lo64));
+  }
+  for (; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(hi[i]) << 32) |
+             (lo == nullptr ? 0 : lo[i]);
+  }
+}
+
+size_t CountEq32Avx2(const uint32_t* d, size_t n, uint32_t c) {
+  const __m256i vc = _mm256_set1_epi32(static_cast<int>(c));
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+    count += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, vc))))));
+  }
+  for (; i < n; ++i) count += d[i] == c;
+  return count;
+}
+
+constexpr Kernels kAvx2Table = {
+    Level::kAvx2,      FilterEq32Avx2, FilterEqMulti32Avx2,
+    MaskNeAnd32Avx2,   MaskLiveAvx2,   PackKeys2x32Avx2,
+    CountEq32Avx2,
+};
+
+}  // namespace
+
+namespace internal {
+const Kernels* Avx2KernelsOrNull() { return &kAvx2Table; }
+}  // namespace internal
+
+}  // namespace semandaq::common::simd
+
+#else  // !defined(__AVX2__)
+
+namespace semandaq::common::simd::internal {
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+}  // namespace semandaq::common::simd::internal
+
+#endif

@@ -1,0 +1,101 @@
+// The dispatch-floor kernel tier: straight-line scalar implementations of
+// every contract in simd::Kernels. This TU is compiled with the project's
+// baseline flags on every target — it is the semantic reference the vector
+// tiers are property-tested against, and the table SEMANDAQ_SIMD=scalar
+// forces for A/B runs.
+
+#include "common/simd/simd.h"
+
+namespace semandaq::common::simd {
+namespace {
+
+size_t FilterEq32Scalar(const uint32_t* d, size_t n, uint32_t c,
+                        uint32_t base, uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (d[i] == c) out[count++] = base + static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+void FilterEqMulti32Scalar(const uint32_t* const* cols, const uint32_t* consts,
+                           size_t ncols, size_t n, uint64_t* inout) {
+  for (size_t k = 0; k < ncols; ++k) {
+    const uint32_t* d = cols[k];
+    const uint32_t c = consts[k];
+    for (size_t w = 0; w * 64 < n; ++w) {
+      uint64_t m = inout[w];
+      if (m == 0) continue;  // already empty; equality cannot widen it
+      const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+      uint64_t eq = 0;
+      for (size_t b = 0; b < lanes; ++b) {
+        eq |= static_cast<uint64_t>(d[w * 64 + b] == c) << b;
+      }
+      inout[w] = m & eq;
+    }
+  }
+}
+
+void MaskNeAnd32Scalar(const uint32_t* d, size_t n, uint32_t c,
+                       uint64_t* inout) {
+  for (size_t w = 0; w * 64 < n; ++w) {
+    uint64_t m = inout[w];
+    if (m == 0) continue;
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    uint64_t ne = 0;
+    for (size_t b = 0; b < lanes; ++b) {
+      ne |= static_cast<uint64_t>(d[w * 64 + b] != c) << b;
+    }
+    inout[w] = m & ne;
+  }
+}
+
+size_t MaskLiveScalar(const uint8_t* live, const uint32_t* const* cols,
+                      size_t ncols, uint32_t null_code, size_t n,
+                      uint64_t* out) {
+  size_t popcount = 0;
+  for (size_t w = 0; w * 64 < n; ++w) {
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    uint64_t m = 0;
+    for (size_t b = 0; b < lanes; ++b) {
+      const size_t i = w * 64 + b;
+      bool ok = live[i] != 0;
+      for (size_t k = 0; ok && k < ncols; ++k) ok = cols[k][i] != null_code;
+      m |= static_cast<uint64_t>(ok) << b;
+    }
+    out[w] = m;
+    popcount += static_cast<size_t>(__builtin_popcountll(m));
+  }
+  return popcount;
+}
+
+void PackKeys2x32Scalar(const uint32_t* hi, const uint32_t* lo, size_t n,
+                        uint64_t* out) {
+  if (lo == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint64_t>(hi[i]) << 32;
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(hi[i]) << 32) | lo[i];
+  }
+}
+
+size_t CountEq32Scalar(const uint32_t* d, size_t n, uint32_t c) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += d[i] == c;
+  return count;
+}
+
+constexpr Kernels kScalarTable = {
+    Level::kScalar,        FilterEq32Scalar, FilterEqMulti32Scalar,
+    MaskNeAnd32Scalar,     MaskLiveScalar,   PackKeys2x32Scalar,
+    CountEq32Scalar,
+};
+
+}  // namespace
+
+namespace internal {
+const Kernels& ScalarKernels() { return kScalarTable; }
+}  // namespace internal
+
+}  // namespace semandaq::common::simd

@@ -1,0 +1,162 @@
+// SSE2 kernel tier: 4-lane uint32 compares with movemask bit packing.
+// SSE2 is part of the x86-64 baseline ABI, so this TU needs no special
+// compile flags there; on non-x86 targets it compiles to a nullptr table
+// and the dispatcher stays on the scalar floor.
+
+#include "common/simd/simd.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace semandaq::common::simd {
+namespace {
+
+/// Equality bits of up to 64 lanes starting at d: bit b = (d[b] == c).
+/// Bits >= lanes are zero.
+inline uint64_t EqBits64(const uint32_t* d, uint32_t c, size_t lanes) {
+  const __m128i vc = _mm_set1_epi32(static_cast<int>(c));
+  uint64_t bits = 0;
+  size_t b = 0;
+  for (; b + 4 <= lanes; b += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(d + b));
+    const int m = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, vc)));
+    bits |= static_cast<uint64_t>(m) << b;
+  }
+  for (; b < lanes; ++b) bits |= static_cast<uint64_t>(d[b] == c) << b;
+  return bits;
+}
+
+/// Liveness bits of up to 64 lanes: bit b = (live[b] != 0). Bits >= lanes
+/// are zero.
+inline uint64_t LiveBits64(const uint8_t* live, size_t lanes) {
+  const __m128i zero = _mm_setzero_si128();
+  uint64_t bits = 0;
+  size_t b = 0;
+  for (; b + 16 <= lanes; b += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(live + b));
+    const int dead = _mm_movemask_epi8(_mm_cmpeq_epi8(v, zero));
+    bits |= static_cast<uint64_t>(static_cast<uint16_t>(~dead)) << b;
+  }
+  for (; b < lanes; ++b) bits |= static_cast<uint64_t>(live[b] != 0) << b;
+  return bits;
+}
+
+inline uint64_t LaneMask(size_t lanes) {
+  return lanes >= 64 ? ~uint64_t{0} : (uint64_t{1} << lanes) - 1;
+}
+
+size_t FilterEq32Sse2(const uint32_t* d, size_t n, uint32_t c, uint32_t base,
+                      uint32_t* out) {
+  size_t count = 0;
+  for (size_t w = 0; w * 64 < n; ++w) {
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    uint64_t m = EqBits64(d + w * 64, c, lanes);
+    while (m != 0) {
+      out[count++] = base + static_cast<uint32_t>(
+                                w * 64 + static_cast<size_t>(__builtin_ctzll(m)));
+      m &= m - 1;
+    }
+  }
+  return count;
+}
+
+void FilterEqMulti32Sse2(const uint32_t* const* cols, const uint32_t* consts,
+                         size_t ncols, size_t n, uint64_t* inout) {
+  for (size_t w = 0; w * 64 < n; ++w) {
+    uint64_t m = inout[w];
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    for (size_t k = 0; m != 0 && k < ncols; ++k) {
+      m &= EqBits64(cols[k] + w * 64, consts[k], lanes);
+    }
+    inout[w] = m;
+  }
+}
+
+void MaskNeAnd32Sse2(const uint32_t* d, size_t n, uint32_t c,
+                     uint64_t* inout) {
+  for (size_t w = 0; w * 64 < n; ++w) {
+    const uint64_t m = inout[w];
+    if (m == 0) continue;
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    inout[w] = m & ~EqBits64(d + w * 64, c, lanes) & LaneMask(lanes);
+  }
+}
+
+size_t MaskLiveSse2(const uint8_t* live, const uint32_t* const* cols,
+                    size_t ncols, uint32_t null_code, size_t n,
+                    uint64_t* out) {
+  size_t popcount = 0;
+  for (size_t w = 0; w * 64 < n; ++w) {
+    const size_t lanes = (n - w * 64 < 64) ? n - w * 64 : 64;
+    uint64_t m = LiveBits64(live + w * 64, lanes);
+    for (size_t k = 0; m != 0 && k < ncols; ++k) {
+      m &= ~EqBits64(cols[k] + w * 64, null_code, lanes) & LaneMask(lanes);
+    }
+    out[w] = m;
+    popcount += static_cast<size_t>(__builtin_popcountll(m));
+  }
+  return popcount;
+}
+
+void PackKeys2x32Sse2(const uint32_t* hi, const uint32_t* lo, size_t n,
+                      uint64_t* out) {
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vhi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi + i));
+    const __m128i vlo =
+        lo == nullptr
+            ? zero
+            : _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo + i));
+    // Interleaving (lo, hi) 32-bit lanes yields little-endian 64-bit keys
+    // (hi << 32) | lo, two per unpack half.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_unpacklo_epi32(vlo, vhi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 2),
+                     _mm_unpackhi_epi32(vlo, vhi));
+  }
+  for (; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(hi[i]) << 32) |
+             (lo == nullptr ? 0 : lo[i]);
+  }
+}
+
+size_t CountEq32Sse2(const uint32_t* d, size_t n, uint32_t c) {
+  const __m128i vc = _mm_set1_epi32(static_cast<int>(c));
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(d + i));
+    count += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, vc))))));
+  }
+  for (; i < n; ++i) count += d[i] == c;
+  return count;
+}
+
+constexpr Kernels kSse2Table = {
+    Level::kSse2,      FilterEq32Sse2, FilterEqMulti32Sse2,
+    MaskNeAnd32Sse2,   MaskLiveSse2,   PackKeys2x32Sse2,
+    CountEq32Sse2,
+};
+
+}  // namespace
+
+namespace internal {
+const Kernels* Sse2KernelsOrNull() { return &kSse2Table; }
+}  // namespace internal
+
+}  // namespace semandaq::common::simd
+
+#else  // !defined(__SSE2__)
+
+namespace semandaq::common::simd::internal {
+const Kernels* Sse2KernelsOrNull() { return nullptr; }
+}  // namespace semandaq::common::simd::internal
+
+#endif

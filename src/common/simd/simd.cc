@@ -1,0 +1,124 @@
+// Runtime dispatch over the kernel tiers: compile-time availability of the
+// per-ISA translation units ∩ CPUID at first use, clamped by the
+// SEMANDAQ_SIMD environment override. The resolved level is computed once
+// and cached — kernels are selected per Detect/Build call by table lookup,
+// never per tuple.
+
+#include "common/simd/simd.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace semandaq::common::simd {
+
+namespace {
+
+/// Best tier the hardware and the build both provide.
+Level ProbeMaxLevel() {
+  Level max = Level::kScalar;
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  if (internal::Sse2KernelsOrNull() != nullptr &&
+      __builtin_cpu_supports("sse2")) {
+    max = Level::kSse2;
+  }
+  if (internal::Avx2KernelsOrNull() != nullptr &&
+      __builtin_cpu_supports("avx2")) {
+    max = Level::kAvx2;
+  }
+#endif
+  return max;
+}
+
+/// SEMANDAQ_SIMD override, or kAuto when unset/unparseable.
+Level EnvOverride() {
+  const char* env = std::getenv("SEMANDAQ_SIMD");
+  if (env == nullptr || *env == '\0') return Level::kAuto;
+  Level parsed;
+  if (!ParseLevel(env, &parsed)) {
+    SEMANDAQ_LOG(Warning) << "ignoring unknown SEMANDAQ_SIMD value '" << env
+                          << "' (want scalar|sse2|avx2)";
+    return Level::kAuto;
+  }
+  return parsed;
+}
+
+Level ResolveActiveLevel() {
+  const Level max = ProbeMaxLevel();
+  const Level env = EnvOverride();
+  if (env == Level::kAuto) return max;
+  return env <= max ? env : max;
+}
+
+}  // namespace
+
+Level MaxSupportedLevel() {
+  static const Level max = ProbeMaxLevel();
+  return max;
+}
+
+bool Supported(Level level) {
+  return level == Level::kAuto || level <= MaxSupportedLevel();
+}
+
+Level ActiveLevel() {
+  static const Level active = ResolveActiveLevel();
+  return active;
+}
+
+const Kernels& KernelsFor(Level level) {
+  Level want = level == Level::kAuto ? ActiveLevel() : level;
+  if (want > MaxSupportedLevel()) want = MaxSupportedLevel();
+  switch (want) {
+    case Level::kAvx2: {
+      const Kernels* k = internal::Avx2KernelsOrNull();
+      if (k != nullptr) return *k;
+      [[fallthrough]];
+    }
+    case Level::kSse2: {
+      const Kernels* k = internal::Sse2KernelsOrNull();
+      if (k != nullptr) return *k;
+      [[fallthrough]];
+    }
+    default:
+      return internal::ScalarKernels();
+  }
+}
+
+std::string_view LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+bool ParseLevel(std::string_view text, Level* out) {
+  const std::string lower = ToLower(text);
+  if (lower == "scalar" || lower == "none" || lower == "off") {
+    *out = Level::kScalar;
+    return true;
+  }
+  if (lower == "sse2" || lower == "sse") {
+    *out = Level::kSse2;
+    return true;
+  }
+  if (lower == "avx2" || lower == "avx") {
+    *out = Level::kAvx2;
+    return true;
+  }
+  if (lower == "auto") {
+    *out = Level::kAuto;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace semandaq::common::simd

@@ -29,6 +29,7 @@ common::Result<size_t> ConstraintEngine::DiscoverFrom(
     const std::string& relation, discovery::CfdMinerOptions options) {
   SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
                             db_->GetRelation(relation));
+  if (options.pool == nullptr) options.pool = pool_;
   discovery::CfdMiner miner(rel, options);
   SEMANDAQ_ASSIGN_OR_RETURN(std::vector<cfd::Cfd> mined, miner.Mine());
   size_t added = 0;

@@ -11,6 +11,10 @@
 #include "discovery/cfd_miner.h"
 #include "relational/database.h"
 
+namespace semandaq::common {
+class ThreadPool;
+}  // namespace semandaq::common
+
 namespace semandaq::core {
 
 /// The constraint engine, "the core of SEMANDAQ" (paper §2): manages the
@@ -29,9 +33,16 @@ class ConstraintEngine {
   common::Status AddCfdsFromText(std::string_view text);
 
   /// Discovers CFDs from a (reference) relation and adds them to the set.
-  /// Returns how many were added.
+  /// Returns how many were added. When `options.pool` is unset, the miner
+  /// inherits the engine's attached pool (set_thread_pool) so its
+  /// independent base-partition builds fan out; mined output is identical
+  /// either way.
   common::Result<size_t> DiscoverFrom(const std::string& relation,
                                       discovery::CfdMinerOptions options = {});
+
+  /// Attaches a borrowed worker pool inherited by DiscoverFrom's miners
+  /// (the Semandaq facade wires its shared pool here once it exists).
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   /// Runs the consistency analysis over the CFDs targeting `relation` —
   /// "users are informed whether the specified set of CFDs makes sense".
@@ -62,6 +73,7 @@ class ConstraintEngine {
  private:
   relational::Database* db_;
   std::vector<cfd::Cfd> cfds_;
+  common::ThreadPool* pool_ = nullptr;  // borrowed; nullptr = serial mining
 };
 
 }  // namespace semandaq::core

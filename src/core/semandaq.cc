@@ -14,6 +14,9 @@ common::ThreadPool* Semandaq::PoolFor(size_t num_threads) {
   if (num_threads == 1) return nullptr;
   if (pool_ == nullptr) {
     pool_ = std::make_unique<common::ThreadPool>(common::ResolveThreadCount(0));
+    // Discovery shares the facade pool: once it exists, DiscoverFrom's
+    // independent base-partition builds fan out over it too.
+    engine_.set_thread_pool(pool_.get());
   }
   return pool_.get();
 }
@@ -36,6 +39,39 @@ relational::EncodedRelation* Semandaq::WarmSnapshot(
   const relational::Relation* rel = db_.FindRelation(relation);
   if (rel == nullptr) return nullptr;
   return FindWarm(relation, rel);
+}
+
+storage::WalAttachment* Semandaq::AttachedWal(const std::string& relation) {
+  const relational::Relation* rel = db_.FindRelation(relation);
+  if (rel == nullptr) return nullptr;
+  auto it = wals_.find(common::ToLower(relation));
+  if (it == wals_.end()) return nullptr;
+  // A replaced relation never fires the old attachment (copies drop the
+  // observer); report it gone rather than returning a zombie.
+  if (rel->observer() != it->second.get()) return nullptr;
+  return it->second.get();
+}
+
+common::Status Semandaq::AttachWal(const std::string& relation,
+                                   relational::Relation* rel,
+                                   const std::string& path,
+                                   uint64_t snapshot_checksum) {
+  auto att = storage::WalAttachment::Open(storage::WalPathFor(path),
+                                          snapshot_checksum);
+  if (!att.ok()) {
+    // Disarm any previous attachment rather than leaving it in place: the
+    // snapshot write just replaced the sidecar it was appending to, so
+    // further appends would land in the unlinked old file and vanish —
+    // a silent journal gap, the one failure mode the sticky-error
+    // discipline exists to prevent. With the observer detached and the
+    // entry gone, AttachedWal() truthfully reports "no live journal".
+    rel->set_observer(nullptr);
+    wals_.erase(common::ToLower(relation));
+    return att.status();
+  }
+  rel->set_observer(att->get());
+  wals_[common::ToLower(relation)] = std::move(*att);  // replaces any stale one
+  return Status::OK();
 }
 
 common::Result<detect::ViolationTable> Semandaq::DetectErrors(
@@ -62,8 +98,8 @@ common::Result<detect::ViolationTable> Semandaq::DetectErrors(
 
 common::Result<storage::SnapshotStats> Semandaq::SaveRelation(
     const std::string& relation, const std::string& path) {
-  SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
-                            db_.GetRelation(relation));
+  relational::Relation* rel = db_.FindMutableRelation(relation);
+  if (rel == nullptr) return Status::NotFound("no relation named " + relation);
   common::ThreadPool* pool = PoolFor(detector_options_.num_threads);
   relational::EncodedRelation* warm = FindWarm(relation, rel);
   if (warm == nullptr) {
@@ -74,7 +110,14 @@ common::Result<storage::SnapshotStats> Semandaq::SaveRelation(
     warm->set_thread_pool(pool);
     warm->Sync();
   }
-  return storage::SnapshotWriter::Write(*rel, *warm, path);
+  SEMANDAQ_ASSIGN_OR_RETURN(storage::SnapshotStats stats,
+                            storage::SnapshotWriter::Write(*rel, *warm, path));
+  // Arm the live journal: the write left a fresh, empty sidecar stamped
+  // with this snapshot; from here on every committed mutation appends to
+  // it, keeping the on-disk state one replay away from the live one.
+  SEMANDAQ_RETURN_IF_ERROR(
+      AttachWal(relation, rel, path, stats.manifest_checksum));
+  return stats;
 }
 
 common::Result<Semandaq::OpenStats> Semandaq::OpenRelation(
@@ -101,6 +144,15 @@ common::Result<Semandaq::OpenStats> Semandaq::OpenRelation(
   }
   enc->set_thread_pool(PoolFor(detector_options_.num_threads));
   enc->Sync();
+
+  // Arm the live journal AFTER the replay above — the replayed records are
+  // already in the sidecar; the attachment appends only new mutations.
+  const common::Status attached =
+      AttachWal(name, rel, path, snap.manifest_checksum);
+  if (!attached.ok()) {
+    (void)db_.DropRelation(name);
+    return attached;
+  }
 
   OpenStats stats;
   stats.live_rows = rel->size();

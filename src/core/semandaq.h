@@ -22,6 +22,7 @@
 #include "repair/cost_model.h"
 #include "repair/repair_review.h"
 #include "storage/snapshot.h"
+#include "storage/wal.h"
 
 namespace semandaq::core {
 
@@ -95,6 +96,16 @@ class Semandaq {
   /// when none exists yet (exposed for tests and benches).
   relational::EncodedRelation* WarmSnapshot(const std::string& relation);
 
+  /// The live WAL attachment journaling `relation`'s mutations into its
+  /// snapshot sidecar; nullptr when the relation has no attached snapshot
+  /// (never saved/opened, or replaced since). Armed by SaveRelation and
+  /// OpenRelation: from then on every mutation that commits through the
+  /// relation's mutators — monitor update batches, ApplyRepair, direct
+  /// Insert/Delete/SetCell — appends its record immediately, so a later
+  /// OpenRelation of the same path replays the relation to its exact
+  /// current state. Check status() on it for append failures (sticky).
+  storage::WalAttachment* AttachedWal(const std::string& relation);
+
   /// Runs the error detector over one relation with the CFDs registered for
   /// it. `options` only applies to the native detector; in particular
   /// DetectorOptions::num_threads >= 2 (or 0 = all hardware threads) turns
@@ -165,6 +176,12 @@ class Semandaq {
   relational::EncodedRelation* FindWarm(const std::string& relation,
                                         const relational::Relation* rel);
 
+  /// Opens the sidecar at WalPathFor(path) and installs it as `rel`'s
+  /// mutation observer, replacing any previous attachment for the name.
+  common::Status AttachWal(const std::string& relation,
+                           relational::Relation* rel, const std::string& path,
+                           uint64_t snapshot_checksum);
+
   relational::Database db_;
   ConstraintEngine engine_;
   detect::DetectorOptions detector_options_;
@@ -174,6 +191,14 @@ class Semandaq {
   /// SaveRelation/OpenRelation and consumed (and Sync'd) by DetectErrors.
   std::unordered_map<std::string, std::unique_ptr<relational::EncodedRelation>>
       warm_;
+
+  /// Live WAL attachments by lowercase relation name (see AttachedWal).
+  /// Declared after db_ so teardown destroys attachments while their
+  /// relations still exist; a dropped/replaced relation never fires its
+  /// observer again (copies don't inherit it), so a stale entry is inert
+  /// until the next save/open of that name overwrites it.
+  std::unordered_map<std::string, std::unique_ptr<storage::WalAttachment>>
+      wals_;
 
   // Kept alive for explorers handed out by Explore().
   std::vector<std::unique_ptr<std::vector<cfd::Cfd>>> explorer_cfds_;

@@ -57,9 +57,11 @@ std::string Session::Help() {
       "  cfd DEFINITION            e.g. cfd customer: [CC=44] -> [CNT=UK]\n"
       "  cfds                      list registered CFDs\n"
       "  validate REL              satisfiability analysis of Sigma(REL)\n"
-      "  detect REL [sql] [threads=N]  run the error detector (native or SQL\n"
+      "  detect REL [sql] [threads=N] [simd=scalar|sse2|avx2]\n"
+      "                            run the error detector (native or SQL\n"
       "                            path; threads=N shards the native scan,\n"
-      "                            0 = all hardware threads)\n"
+      "                            0 = all hardware threads; simd= forces a\n"
+      "                            kernel tier, default = best supported)\n"
       "  map REL [N]               tuple-level data quality map\n"
       "  report REL                data quality report\n"
       "  explore REL CFD# PAT#     drill-down tables for a pattern\n"
@@ -201,11 +203,12 @@ common::Result<std::string> Session::CmdValidate(
 
 common::Result<std::string> Session::CmdDetect(const std::vector<std::string>& args) {
   if (args.empty()) {
-    return Status::InvalidArgument("usage: detect REL [sql] [threads=N]");
+    return Status::InvalidArgument(
+        "usage: detect REL [sql] [threads=N] [simd=LEVEL]");
   }
   auto kind = Semandaq::DetectorKind::kNative;
   detect::DetectorOptions options = sys_.detector_options();
-  bool threads_given = false;
+  bool native_opts_given = false;
   for (size_t i = 1; i < args.size(); ++i) {
     if (common::EqualsIgnoreCase(args[i], "sql")) {
       kind = Semandaq::DetectorKind::kSql;
@@ -213,15 +216,23 @@ common::Result<std::string> Session::CmdDetect(const std::vector<std::string>& a
       SEMANDAQ_ASSIGN_OR_RETURN(
           size_t n, ParseCount(args[i].substr(std::string("threads=").size())));
       options.num_threads = n;  // 0 = all hardware threads, 1 = serial
-      threads_given = true;
+      native_opts_given = true;
+    } else if (common::StartsWith(common::ToLower(args[i]), "simd=")) {
+      const std::string text = args[i].substr(std::string("simd=").size());
+      if (!common::simd::ParseLevel(text, &options.simd_level)) {
+        return Status::InvalidArgument(
+            "unknown simd level '" + text + "' (want scalar|sse2|avx2|auto)");
+      }
+      native_opts_given = true;
     } else {
-      return Status::InvalidArgument("unknown detect option '" + args[i] +
-                                     "' (usage: detect REL [sql] [threads=N])");
+      return Status::InvalidArgument(
+          "unknown detect option '" + args[i] +
+          "' (usage: detect REL [sql] [threads=N] [simd=LEVEL])");
     }
   }
-  if (kind == Semandaq::DetectorKind::kSql && threads_given) {
+  if (kind == Semandaq::DetectorKind::kSql && native_opts_given) {
     return Status::InvalidArgument(
-        "threads= applies to the native detector only");
+        "threads=/simd= apply to the native detector only");
   }
   SEMANDAQ_ASSIGN_OR_RETURN(auto table, sys_.DetectErrors(args[0], kind, options));
   return table.Summary() + "\n";

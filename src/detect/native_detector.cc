@@ -1,11 +1,13 @@
 #include "detect/native_detector.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/simd/simd.h"
 #include "common/thread_pool.h"
 #include "detect/shard_plan.h"
 
@@ -25,6 +27,8 @@ using relational::RowEq;
 using relational::RowHash;
 using relational::TupleId;
 using relational::Value;
+
+namespace simd = common::simd;
 
 common::Result<ViolationTable> NativeDetector::Detect() {
   SEMANDAQ_RETURN_IF_ERROR(cfd::ResolveAll(&cfds_, rel_->schema()));
@@ -49,13 +53,6 @@ struct CompiledPattern {
   /// Required RHS code for constant-RHS rows; kAbsentCode when the constant
   /// never occurs in the column (every non-NULL RHS then disagrees).
   Code rhs_code = kAbsentCode;
-
-  bool MatchesLhs(const Code* const* lhs_cols, TupleId tid) const {
-    for (const auto& [pos, code] : lhs_consts) {
-      if (lhs_cols[pos][tid] != code) return false;
-    }
-    return true;
-  }
 };
 
 /// One multi-tuple candidate group: the tuples sharing an LHS code key.
@@ -84,12 +81,30 @@ constexpr uint64_t kDenseGroupLimit = uint64_t{1} << 21;
 
 constexpr uint32_t kNoBucket = UINT32_MAX;
 
+/// Kernel block size: the scan runs the SIMD kernels over contiguous
+/// tuple-id blocks of this many tuples, then emits per block in ascending
+/// tid order — which is exactly the serial live-list order, so blocking is
+/// invisible in the output (and shard stripes, being contiguous tid ranges,
+/// chunk the same way). 4096 tuples = 16 KiB of codes per column per pass:
+/// the working set of one block stays in L1/L2 across the mask passes.
+constexpr size_t kScanBlock = 4096;
+constexpr size_t kScanBlockWords = kScanBlock / 64;
+
+/// At or below this many members a violating bucket counts RHS agreement
+/// with CountEq32 over a gathered code array (linear passes over a tiny
+/// dense block); above it, the freq[] histogram pass is cheaper. Both
+/// produce identical counts.
+constexpr size_t kCountEqGroupLimit = 64;
+
 /// One embedded-FD group lowered for the encoded scan: tableau rows
-/// compiled to codes, raw column pointers, and the geometry of the dense
-/// slot index when the LHS is narrow enough to afford one. Built once per
-/// group and shared read-only by the serial and sharded scan bodies.
+/// compiled to codes, raw column pointers, the kernel table of the pass,
+/// and the geometry of the dense slot index when the LHS is narrow enough
+/// to afford one. Built once per group and shared read-only by the serial
+/// and sharded scan bodies.
 struct GroupScan {
   const EncodedRelation* enc = nullptr;
+  const simd::Kernels* kn = nullptr;
+  const uint8_t* live_bytes = nullptr;  // Relation::live_data()
   int gi = -1;
   size_t arity = 0;
   std::vector<size_t> lhs_cols;
@@ -104,9 +119,13 @@ struct GroupScan {
   const Code* const* lhs_ptrs() const { return lhs_ptr_storage.data(); }
 
   /// An all-wildcard variable row (the plain embedded FD) puts every tuple
-  /// in multi-tuple scope; the per-tuple pattern loop is skipped then.
+  /// in multi-tuple scope; the per-tuple pattern masks are skipped then.
   bool var_always = false;
   int var_always_cfd = -1;
+
+  /// Exactly one constant-RHS row constraining exactly one LHS column: the
+  /// FilterEq32 fast path (emit matching tuple ids directly, no masks).
+  bool single_const_filter = false;
 
   /// Dense slot-index geometry: codes are dense per column, so for one LHS
   /// column the code itself indexes a flat array, and for two the code
@@ -123,9 +142,12 @@ struct GroupScan {
 /// Compiles one embedded-FD group; false when no tableau row is feasible
 /// (the whole group then contributes nothing to the scan).
 bool CompileGroup(const EncodedRelation& enc, const std::vector<Cfd>& cfds,
-                  const EmbeddedFdGroup& g, size_t gi, GroupScan* gs) {
+                  const EmbeddedFdGroup& g, size_t gi,
+                  const simd::Kernels& kn, GroupScan* gs) {
   const Cfd& first = cfds[g.members.front().first];
   gs->enc = &enc;
+  gs->kn = &kn;
+  gs->live_bytes = enc.relation().live_data();
   gs->gi = static_cast<int>(gi);
   gs->lhs_cols = first.lhs_cols();
   gs->rhs_col = first.rhs_col();
@@ -173,6 +195,8 @@ bool CompileGroup(const EncodedRelation& enc, const std::vector<Cfd>& cfds,
 
   gs->var_always = !gs->var_rows.empty() && gs->var_rows.front().lhs_consts.empty();
   gs->var_always_cfd = gs->var_always ? gs->var_rows.front().ci : -1;
+  gs->single_const_filter =
+      gs->const_rows.size() == 1 && gs->const_rows[0].lhs_consts.size() == 1;
 
   gs->stride = gs->arity == 2 ? enc.dictionary(gs->lhs_cols[1]).size() + 1 : 0;
   if (gs->arity == 1) {
@@ -185,22 +209,196 @@ bool CompileGroup(const EncodedRelation& enc, const std::vector<Cfd>& cfds,
   return true;
 }
 
-/// The variable-RHS scope check for one tuple: the CFD index of the first
-/// matching variable row, or -1 when the tuple is out of scope.
-inline int VarScopeOf(const GroupScan& gs, TupleId tid) {
-  if (gs.var_always) return gs.var_always_cfd;
-  for (const CompiledPattern& cp : gs.var_rows) {
-    if (cp.MatchesLhs(gs.lhs_ptrs(), tid)) return cp.ci;
+/// Reusable per-lane mask/key scratch for the blocked kernel scan. One
+/// instance per scan body (serial) or per worker lane (sharded); nothing in
+/// it outlives a block.
+struct ScanScratch {
+  std::vector<uint64_t> live_bits;    // live-tuple bitmap of the block
+  std::vector<uint64_t> elig;         // live && every LHS code non-NULL
+  std::vector<uint64_t> scope;        // elig && some variable row matches
+  std::vector<uint64_t> single_rows;  // per-const-row violation masks
+  std::vector<uint64_t> var_rows;     // per-var-row match masks
+  std::vector<uint64_t> any;          // OR of single_rows
+  std::vector<uint64_t> packed;       // packed 64-bit group keys
+  std::vector<uint32_t> hits;         // FilterEq32 emission buffer
+  std::vector<const Code*> colptrs;   // kernel column-pointer arguments
+  std::vector<Code> consts;           // kernel constant arguments
+
+  void Prepare(const GroupScan& gs) {
+    live_bits.resize(kScanBlockWords);
+    elig.resize(kScanBlockWords);
+    scope.resize(kScanBlockWords);
+    any.resize(kScanBlockWords);
+    single_rows.resize(gs.const_rows.size() * kScanBlockWords);
+    var_rows.resize(gs.var_rows.size() * kScanBlockWords);
+    packed.resize(kScanBlock);
+    hits.resize(kScanBlock);
+    const size_t max_args = std::max<size_t>(gs.arity, 1);
+    colptrs.resize(max_args);
+    consts.resize(max_args);
   }
-  return -1;
+};
+
+/// Scans the contiguous tuple block [lo, hi) through the group's kernel
+/// table and emits, in exactly the serial per-tuple order:
+///  * on_single(tid, ci, pi) for every single-tuple violation (ascending
+///    tid; tableau-row order within a tid);
+///  * on_group(tid, var_cfd, packed_key) for every live tuple in
+///    multi-tuple scope whose LHS key is NULL-free (ascending tid).
+///    packed_key is (c0 << 32) | c1 for arity <= 2 (c1 = 0 when arity is
+///    1, matching PackCodes with kNullCode) and unspecified for wider
+///    keys — those re-read the codes, which the eligibility mask already
+///    proved non-NULL.
+template <typename SingleFn, typename GroupFn>
+void ScanBlock(const GroupScan& gs, TupleId lo, TupleId hi, ScanScratch* sc,
+               const SingleFn& on_single, const GroupFn& on_group) {
+  const simd::Kernels& kn = *gs.kn;
+  const size_t n = static_cast<size_t>(hi - lo);
+  const size_t words = simd::MaskWords(n);
+  const Code* const* lhs_ptrs = gs.lhs_ptrs();
+  const uint8_t* live = gs.live_bytes + lo;
+
+  // ---- Single-tuple violations (constant-RHS rows).
+  if (gs.single_const_filter) {
+    // One row, one LHS constant: emit candidate tuple ids directly and
+    // resolve liveness + RHS disagreement per hit — cheaper than three
+    // mask passes when the constant is selective (the common case).
+    const CompiledPattern& cp = gs.const_rows[0];
+    const Code* col = lhs_ptrs[cp.lhs_consts[0].first];
+    const size_t cnt =
+        kn.FilterEq32(col + lo, n, cp.lhs_consts[0].second,
+                      static_cast<uint32_t>(lo), sc->hits.data());
+    for (size_t h = 0; h < cnt; ++h) {
+      const TupleId tid = static_cast<TupleId>(sc->hits[h]);
+      if (gs.live_bytes[tid] == 0) continue;
+      const Code a = gs.rhs_ptr[tid];
+      if (a != kNullCode && a != cp.rhs_code) on_single(tid, cp.ci, cp.pi);
+    }
+  } else if (!gs.const_rows.empty()) {
+    // Every constant row shares the same precondition — the tuple is live
+    // and its RHS is non-NULL ("unknown, not wrong") — so that seed mask is
+    // fused once per block; per row only the LHS equalities and the
+    // disagreement with the row's own RHS constant remain.
+    const Code* rhs_block = gs.rhs_ptr + lo;
+    const size_t live_nonnull = kn.MaskLive(live, &rhs_block, 1, kNullCode,
+                                            n, sc->live_bits.data());
+    if (live_nonnull != 0) {
+      for (size_t r = 0; r < gs.const_rows.size(); ++r) {
+        const CompiledPattern& cp = gs.const_rows[r];
+        uint64_t* m = sc->single_rows.data() + r * kScanBlockWords;
+        std::memcpy(m, sc->live_bits.data(), words * sizeof(uint64_t));
+        if (!cp.lhs_consts.empty()) {
+          for (size_t j = 0; j < cp.lhs_consts.size(); ++j) {
+            sc->colptrs[j] = lhs_ptrs[cp.lhs_consts[j].first] + lo;
+            sc->consts[j] = cp.lhs_consts[j].second;
+          }
+          kn.FilterEqMulti32(sc->colptrs.data(), sc->consts.data(),
+                             cp.lhs_consts.size(), n, m);
+        }
+        kn.MaskNeAnd32(gs.rhs_ptr + lo, n, cp.rhs_code, m);
+      }
+    } else {
+      std::memset(sc->single_rows.data(), 0,
+                  gs.const_rows.size() * kScanBlockWords * sizeof(uint64_t));
+    }
+    if (gs.const_rows.size() == 1) {
+      simd::ForEachSetBit(sc->single_rows.data(), words, [&](size_t i) {
+        on_single(lo + static_cast<TupleId>(i), gs.const_rows[0].ci,
+                  gs.const_rows[0].pi);
+      });
+    } else {
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t acc = 0;
+        for (size_t r = 0; r < gs.const_rows.size(); ++r) {
+          acc |= sc->single_rows[r * kScanBlockWords + w];
+        }
+        sc->any[w] = acc;
+      }
+      simd::ForEachSetBit(sc->any.data(), words, [&](size_t i) {
+        for (size_t r = 0; r < gs.const_rows.size(); ++r) {
+          const uint64_t* m = sc->single_rows.data() + r * kScanBlockWords;
+          if ((m[i / 64] >> (i % 64)) & 1) {
+            on_single(lo + static_cast<TupleId>(i), gs.const_rows[r].ci,
+                      gs.const_rows[r].pi);
+          }
+        }
+      });
+    }
+  }
+
+  // ---- Multi-tuple scope (variable-RHS rows).
+  if (gs.var_rows.empty()) return;
+  for (size_t i = 0; i < gs.arity; ++i) sc->colptrs[i] = lhs_ptrs[i] + lo;
+  const size_t eligible = kn.MaskLive(live, sc->colptrs.data(), gs.arity,
+                                      kNullCode, n, sc->elig.data());
+  if (eligible == 0) return;
+
+  const uint64_t* scope = sc->elig.data();
+  if (!gs.var_always) {
+    for (size_t r = 0; r < gs.var_rows.size(); ++r) {
+      const CompiledPattern& vr = gs.var_rows[r];
+      uint64_t* m = sc->var_rows.data() + r * kScanBlockWords;
+      std::memcpy(m, sc->elig.data(), words * sizeof(uint64_t));
+      for (size_t j = 0; j < vr.lhs_consts.size(); ++j) {
+        sc->colptrs[j] = lhs_ptrs[vr.lhs_consts[j].first] + lo;
+        sc->consts[j] = vr.lhs_consts[j].second;
+      }
+      kn.FilterEqMulti32(sc->colptrs.data(), sc->consts.data(),
+                         vr.lhs_consts.size(), n, m);
+    }
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t acc = 0;
+      for (size_t r = 0; r < gs.var_rows.size(); ++r) {
+        acc |= sc->var_rows[r * kScanBlockWords + w];
+      }
+      sc->scope[w] = acc;
+    }
+    scope = sc->scope.data();
+  }
+
+  if (gs.arity <= 2) {
+    kn.PackKeys2x32(lhs_ptrs[0] + lo,
+                    gs.arity == 2 ? lhs_ptrs[1] + lo : nullptr, n,
+                    sc->packed.data());
+  }
+
+  simd::ForEachSetBit(scope, words, [&](size_t i) {
+    const TupleId tid = lo + static_cast<TupleId>(i);
+    int var_cfd = gs.var_always_cfd;
+    if (!gs.var_always) {
+      // First matching variable row, in tableau order — the serial scan's
+      // VarScopeOf choice, which decides a fresh bucket's first_cfd.
+      for (size_t r = 0; r < gs.var_rows.size(); ++r) {
+        const uint64_t* m = sc->var_rows.data() + r * kScanBlockWords;
+        if ((m[i / 64] >> (i % 64)) & 1) {
+          var_cfd = gs.var_rows[r].ci;
+          break;
+        }
+      }
+    }
+    on_group(tid, var_cfd, gs.arity <= 2 ? sc->packed[i] : 0);
+  });
 }
 
-/// Materializes one violating bucket as a ViolationGroup. `freq` is a
-/// caller-owned scratch array dense over the RHS dictionary (plus the NULL
-/// slot), zeroed on entry and re-zeroed before returning; partner counts on
-/// codes match exact Value equality because NULLs share kNullCode.
+/// Runs ScanBlock over [lo, hi) in kScanBlock chunks.
+template <typename SingleFn, typename GroupFn>
+void ScanRange(const GroupScan& gs, TupleId lo, TupleId hi, ScanScratch* sc,
+               const SingleFn& on_single, const GroupFn& on_group) {
+  for (TupleId b = lo; b < hi; b += static_cast<TupleId>(kScanBlock)) {
+    const TupleId e = std::min<TupleId>(hi, b + kScanBlock);
+    ScanBlock(gs, b, e, sc, on_single, on_group);
+  }
+}
+
+/// Materializes one violating bucket as a ViolationGroup. Partner counts on
+/// codes match exact Value equality because NULLs share kNullCode. Small
+/// buckets count agreement with CountEq32 over `rhs_scratch` (a gathered
+/// dense code block); larger ones use `freq`, a caller-owned scratch array
+/// dense over the RHS dictionary (plus the NULL slot), zeroed on entry and
+/// re-zeroed before returning.
 ViolationGroup MakeGroup(const GroupScan& gs, CodeBucket* b,
-                         std::vector<int64_t>* freq) {
+                         std::vector<int64_t>* freq,
+                         std::vector<Code>* rhs_scratch) {
   const EncodedRelation& enc = *gs.enc;
   ViolationGroup vg;
   vg.fd_group = gs.gi;
@@ -210,24 +408,33 @@ ViolationGroup MakeGroup(const GroupScan& gs, CodeBucket* b,
     vg.lhs_key.push_back(enc.Decode(gs.lhs_cols[i], b->key[i]));
   }
   const int64_t n = static_cast<int64_t>(b->members.size());
-  for (TupleId m : b->members) ++(*freq)[gs.rhs_ptr[m]];
   vg.member_partners.reserve(b->members.size());
   vg.member_rhs.reserve(b->members.size());
-  for (TupleId m : b->members) {
-    const Code c = gs.rhs_ptr[m];
-    vg.member_partners.push_back(n - (*freq)[c]);
-    vg.member_rhs.push_back(enc.Decode(gs.rhs_col, c));
+  if (b->members.size() <= kCountEqGroupLimit) {
+    rhs_scratch->clear();
+    for (TupleId m : b->members) rhs_scratch->push_back(gs.rhs_ptr[m]);
+    for (const Code c : *rhs_scratch) {
+      vg.member_partners.push_back(
+          n - static_cast<int64_t>(gs.kn->CountEq32(
+                  rhs_scratch->data(), rhs_scratch->size(), c)));
+      vg.member_rhs.push_back(enc.Decode(gs.rhs_col, c));
+    }
+  } else {
+    for (TupleId m : b->members) ++(*freq)[gs.rhs_ptr[m]];
+    for (TupleId m : b->members) {
+      const Code c = gs.rhs_ptr[m];
+      vg.member_partners.push_back(n - (*freq)[c]);
+      vg.member_rhs.push_back(enc.Decode(gs.rhs_col, c));
+    }
+    for (TupleId m : b->members) (*freq)[gs.rhs_ptr[m]] = 0;
   }
-  for (TupleId m : b->members) (*freq)[gs.rhs_ptr[m]] = 0;
   vg.members = std::move(b->members);
   return vg;
 }
 
-/// The original single-threaded scan body (the semantic reference for the
-/// sharded path): one pass over the live tuples, buckets in first-touch
-/// order.
-void ScanGroupSerial(const GroupScan& gs, const std::vector<TupleId>& live,
-                     ViolationTable* table) {
+/// The single-threaded scan body (the semantic reference for the sharded
+/// path): kernel blocks over [0, IdBound), buckets in first-touch order.
+void ScanGroupSerial(const GroupScan& gs, ViolationTable* table) {
   const EncodedRelation& enc = *gs.enc;
   const size_t arity = gs.arity;
   const Code* const* lhs_ptrs = gs.lhs_ptrs();
@@ -238,68 +445,56 @@ void ScanGroupSerial(const GroupScan& gs, const std::vector<TupleId>& live,
   std::unordered_map<uint64_t, uint32_t> narrow_index;
   std::unordered_map<std::vector<Code>, uint32_t, CodeVecHash> wide_index;
   std::vector<Code> scratch_key(arity);
+  ScanScratch sc;
+  sc.Prepare(gs);
 
-  for (const TupleId tid : live) {
-    for (const CompiledPattern& cp : gs.const_rows) {
-      if (!cp.MatchesLhs(lhs_ptrs, tid)) continue;
-      const Code a = gs.rhs_ptr[tid];
-      if (a != kNullCode && a != cp.rhs_code) {
-        table->AddSingle(SingleViolation{tid, cp.ci, cp.pi});
-      }
-    }
-    const int var_cfd = VarScopeOf(gs, tid);
-    if (var_cfd < 0) continue;
-    // Multi-tuple scope: NULL LHS values cannot witness equality.
-    uint32_t bi;
-    if (arity <= 2) {
-      const Code c0 = lhs_ptrs[0][tid];
-      if (c0 == kNullCode) continue;
-      const Code c1 = arity == 2 ? lhs_ptrs[1][tid] : kNullCode;
-      if (arity == 2 && c1 == kNullCode) continue;
-      if (gs.use_dense) {
-        uint32_t& entry = dense_index[gs.SlotOf(c0, c1)];
-        if (entry == kNoBucket) {
-          entry = static_cast<uint32_t>(buckets.size());
-          buckets.emplace_back();
+  ScanRange(
+      gs, 0, enc.IdBound(), &sc,
+      [&](TupleId tid, int ci, int pi) {
+        table->AddSingle(SingleViolation{tid, ci, pi});
+      },
+      [&](TupleId tid, int var_cfd, uint64_t packed) {
+        uint32_t bi;
+        if (arity <= 2) {
+          const Code c0 = static_cast<Code>(packed >> 32);
+          const Code c1 = static_cast<Code>(packed);
+          if (gs.use_dense) {
+            uint32_t& entry = dense_index[gs.SlotOf(c0, c1)];
+            if (entry == kNoBucket) {
+              entry = static_cast<uint32_t>(buckets.size());
+              buckets.emplace_back();
+            }
+            bi = entry;
+          } else {
+            auto [it, fresh] = narrow_index.emplace(
+                packed, static_cast<uint32_t>(buckets.size()));
+            if (fresh) buckets.emplace_back();
+            bi = it->second;
+          }
+          scratch_key[0] = c0;
+          if (arity == 2) scratch_key[1] = c1;
+        } else {
+          // Codes are non-NULL here: the eligibility mask proved it.
+          for (size_t i = 0; i < arity; ++i) scratch_key[i] = lhs_ptrs[i][tid];
+          auto [it, fresh] = wide_index.emplace(
+              scratch_key, static_cast<uint32_t>(buckets.size()));
+          if (fresh) buckets.emplace_back();
+          bi = it->second;
         }
-        bi = entry;
-      } else {
-        auto [it, fresh] = narrow_index.emplace(
-            PackCodes(c0, c1), static_cast<uint32_t>(buckets.size()));
-        if (fresh) buckets.emplace_back();
-        bi = it->second;
-      }
-      scratch_key[0] = c0;
-      if (arity == 2) scratch_key[1] = c1;
-    } else {
-      bool null_key = false;
-      for (size_t i = 0; i < arity; ++i) {
-        const Code c = lhs_ptrs[i][tid];
-        if (c == kNullCode) {
-          null_key = true;
-          break;
+        CodeBucket& b = buckets[bi];
+        if (b.first_cfd < 0) {
+          b.first_cfd = var_cfd;
+          b.key = scratch_key;
         }
-        scratch_key[i] = c;
-      }
-      if (null_key) continue;
-      auto [it, fresh] = wide_index.emplace(
-          scratch_key, static_cast<uint32_t>(buckets.size()));
-      if (fresh) buckets.emplace_back();
-      bi = it->second;
-    }
-    CodeBucket& b = buckets[bi];
-    if (b.first_cfd < 0) {
-      b.first_cfd = var_cfd;
-      b.key = scratch_key;
-    }
-    b.members.push_back(tid);
-    b.AddRhs(gs.rhs_ptr[tid]);
-  }
+        b.members.push_back(tid);
+        b.AddRhs(gs.rhs_ptr[tid]);
+      });
 
   std::vector<int64_t> freq(enc.dictionary(gs.rhs_col).size() + 1, 0);
+  std::vector<Code> rhs_scratch;
   for (CodeBucket& b : buckets) {
     if (!b.two_distinct) continue;
-    table->AddGroup(MakeGroup(gs, &b, &freq));
+    table->AddGroup(MakeGroup(gs, &b, &freq, &rhs_scratch));
   }
 }
 
@@ -315,10 +510,12 @@ struct ShardEntry {
 /// lanes, then a merge on the calling thread:
 ///
 ///   Phase A (partition): the live-tuple list is cut into contiguous
-///   stripes, one per lane. Each lane evaluates the compiled patterns for
-///   its stripe, collects its single-tuple violations (stripe-local, in
-///   tuple order), and routes every in-scope tuple to the shard owning its
-///   LHS code key (a pure function of the key — see ShardPlan).
+///   stripes, one per lane; each stripe becomes the contiguous tuple-id
+///   range [live[begin], live[end]) and is scanned in kernel blocks like
+///   the serial body. Each lane collects its single-tuple violations
+///   (stripe-local, in tuple order) and routes every in-scope tuple to the
+///   shard owning its LHS code key (a pure function of the key — see
+///   ShardPlan).
 ///
 ///   Phase B (build): lane w builds the buckets of shard w, consuming the
 ///   routed entries stripe by stripe so members accumulate in ascending
@@ -331,7 +528,8 @@ struct ShardEntry {
 ///   the serial path emits buckets in first-touch order, and a bucket's
 ///   first member IS its first toucher, so this reproduces the serial
 ///   order exactly. The result is byte-identical to ScanGroupSerial for
-///   every shard count: determinism is structural, not best-effort.
+///   every shard count AND every kernel tier: determinism is structural,
+///   not best-effort.
 void ScanGroupSharded(const GroupScan& gs, const std::vector<TupleId>& live,
                       const ShardPlan& plan, common::ThreadPool* pool,
                       ViolationTable* table) {
@@ -349,43 +547,38 @@ void ScanGroupSharded(const GroupScan& gs, const std::vector<TupleId>& live,
   pool->Run(num_shards, [&](size_t s) {
     const size_t begin = live.size() * s / num_shards;
     const size_t end = live.size() * (s + 1) / num_shards;
+    if (begin == end) return;
+    // The stripe's live tuples occupy the contiguous id range
+    // [live[begin], live[end]); dead ids inside it are masked out by the
+    // kernels, so scanning the range visits exactly the stripe's tuples.
+    const TupleId lo = live[begin];
+    const TupleId hi = end == live.size() ? enc.IdBound() : live[end];
     const Code* const* lhs_ptrs = gs.lhs_ptrs();
     std::vector<SingleViolation>& singles = stripe_singles[s];
     std::vector<std::vector<ShardEntry>>& out = routed[s];
     std::vector<Code> key(arity);
-    for (size_t li = begin; li < end; ++li) {
-      const TupleId tid = live[li];
-      for (const CompiledPattern& cp : gs.const_rows) {
-        if (!cp.MatchesLhs(lhs_ptrs, tid)) continue;
-        const Code a = gs.rhs_ptr[tid];
-        if (a != kNullCode && a != cp.rhs_code) {
-          singles.push_back(SingleViolation{tid, cp.ci, cp.pi});
-        }
-      }
-      const int var_cfd = VarScopeOf(gs, tid);
-      if (var_cfd < 0) continue;
-      bool null_key = false;
-      for (size_t i = 0; i < arity; ++i) {
-        const Code c = lhs_ptrs[i][tid];
-        if (c == kNullCode) {
-          null_key = true;
-          break;
-        }
-        key[i] = c;
-      }
-      if (null_key) continue;  // NULL LHS values cannot witness equality
-      size_t shard;
-      if (gs.use_dense) {
-        shard = plan.ShardOfSlot(gs.SlotOf(key[0], arity == 2 ? key[1] : 0),
-                                 gs.dense_slots);
-      } else if (arity <= 2) {
-        shard = plan.ShardOfHash(
-            PackCodes(key[0], arity == 2 ? key[1] : kNullCode));
-      } else {
-        shard = plan.ShardOfHash(CodeVecHash{}(key));
-      }
-      out[shard].push_back(ShardEntry{tid, var_cfd});
-    }
+    ScanScratch sc;
+    sc.Prepare(gs);
+    ScanRange(
+        gs, lo, hi, &sc,
+        [&](TupleId tid, int ci, int pi) {
+          singles.push_back(SingleViolation{tid, ci, pi});
+        },
+        [&](TupleId tid, int var_cfd, uint64_t packed) {
+          size_t shard;
+          if (gs.use_dense) {
+            shard = plan.ShardOfSlot(
+                gs.SlotOf(static_cast<Code>(packed >> 32),
+                          static_cast<Code>(packed)),
+                gs.dense_slots);
+          } else if (arity <= 2) {
+            shard = plan.ShardOfHash(packed);
+          } else {
+            for (size_t i = 0; i < arity; ++i) key[i] = lhs_ptrs[i][tid];
+            shard = plan.ShardOfHash(CodeVecHash{}(key));
+          }
+          out[shard].push_back(ShardEntry{tid, var_cfd});
+        });
   });
 
   std::vector<std::vector<ViolationGroup>> shard_groups(num_shards);
@@ -429,9 +622,10 @@ void ScanGroupSharded(const GroupScan& gs, const std::vector<TupleId>& live,
       }
     }
     std::vector<int64_t> freq(enc.dictionary(gs.rhs_col).size() + 1, 0);
+    std::vector<Code> rhs_scratch;
     for (CodeBucket& b : buckets) {
       if (!b.two_distinct) continue;
-      shard_groups[w].push_back(MakeGroup(gs, &b, &freq));
+      shard_groups[w].push_back(MakeGroup(gs, &b, &freq, &rhs_scratch));
     }
   });
 
@@ -456,12 +650,25 @@ void ScanGroupSharded(const GroupScan& gs, const std::vector<TupleId>& live,
 common::Result<ViolationTable> NativeDetector::DetectEncoded(
     const EncodedRelation& enc) {
   ViolationTable table;
-  const std::vector<TupleId> live = rel_->LiveIds();
+  // The kernel id-emission space is uint32 (simd::Kernels::FilterEq32
+  // takes a uint32 base). TupleId is int64 by design, but an encoded
+  // in-memory relation past 2^32 ids is outside this detector's envelope
+  // (codes are uint32 too); fail loudly instead of wrapping tuple ids.
+  if (static_cast<uint64_t>(enc.IdBound()) > UINT32_MAX) {
+    return common::Status::InvalidArgument(
+        "encoded detection supports at most 2^32 tuple ids; relation '" +
+        rel_->name() + "' has id bound " + std::to_string(enc.IdBound()));
+  }
+  const simd::Kernels& kn = simd::KernelsFor(options_.simd_level);
 
   // One shard plan for the whole CFD batch. The worker pool is the
   // facade-owned one when attached (reused across Detect calls); only a
-  // bare detector still builds a pool per call.
-  const ShardPlan plan = PlanShards(options_.num_threads, live.size());
+  // bare detector still builds a pool per call. The live-id list is only
+  // materialized when the plan actually shards (stripe boundaries need
+  // it); the serial kernels read the liveness bytes directly.
+  const ShardPlan plan = PlanShards(options_.num_threads, rel_->size());
+  std::vector<TupleId> live;
+  if (plan.sharded()) live = rel_->LiveIds();
   std::optional<common::ThreadPool> local_pool;
   common::ThreadPool* pool = pool_;
   if (plan.sharded() && pool == nullptr) {
@@ -472,11 +679,11 @@ common::Result<ViolationTable> NativeDetector::DetectEncoded(
   const std::vector<EmbeddedFdGroup> groups = cfd::GroupByEmbeddedFd(cfds_);
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     GroupScan gs;
-    if (!CompileGroup(enc, cfds_, groups[gi], gi, &gs)) continue;
+    if (!CompileGroup(enc, cfds_, groups[gi], gi, kn, &gs)) continue;
     if (plan.sharded()) {
       ScanGroupSharded(gs, live, plan, pool, &table);
     } else {
-      ScanGroupSerial(gs, live, &table);
+      ScanGroupSerial(gs, &table);
     }
   }
   return table;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cfd/cfd.h"
+#include "common/simd/simd.h"
 #include "common/status.h"
 #include "detect/violation.h"
 #include "relational/encoded_relation.h"
@@ -39,6 +40,15 @@ struct DetectorOptions {
   /// threads); the row path (use_encoded = false) ignores this knob
   /// entirely.
   size_t num_threads = 1;
+
+  /// Instruction-set tier of the encoded scan's kernels (pattern match,
+  /// liveness/NULL filtering, group-key packing — see docs/simd.md).
+  /// kAuto (the default) resolves to the best tier the host supports,
+  /// clamped by the SEMANDAQ_SIMD environment override; any explicit tier
+  /// is clamped to what the host can run. Every tier produces byte-identical
+  /// ViolationTables — this knob exists for A/B measurement and for forcing
+  /// the scalar dispatch floor in tests. The row path ignores it.
+  common::simd::Level simd_level = common::simd::Level::kAuto;
 };
 
 /// In-process CFD violation detector: one scan per embedded-FD group with

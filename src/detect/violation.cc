@@ -14,11 +14,7 @@ uint64_t PairKey(relational::TupleId tid, int cfd) {
 
 void ViolationTable::EnsureTid(relational::TupleId tid) {
   const size_t need = static_cast<size_t>(tid) + 1;
-  if (vio_.size() < need) {
-    vio_.resize(need, 0);
-    single_cfds_.resize(need);
-    group_membership_.resize(need);
-  }
+  if (vio_.size() < need) vio_.resize(need, 0);
 }
 
 void ViolationTable::AddVio(relational::TupleId tid, int64_t amount) {
@@ -30,18 +26,18 @@ void ViolationTable::AddVio(relational::TupleId tid, int64_t amount) {
 
 bool ViolationTable::AddSingle(SingleViolation v) {
   singles_.push_back(v);
+  drilldown_built_ = false;
   const bool fresh = counted_singles_.insert(PairKey(v.tid, v.cfd_index)).second;
   if (fresh) {
     EnsureTid(v.tid);
     AddVio(v.tid, 1);
-    single_cfds_[static_cast<size_t>(v.tid)].push_back(v.cfd_index);
   }
   return fresh;
 }
 
 void ViolationTable::AddGroup(ViolationGroup g) {
-  const int group_index = static_cast<int>(groups_.size());
   const int64_t n = static_cast<int64_t>(g.members.size());
+  drilldown_built_ = false;
   if (!g.members.empty()) {
     relational::TupleId max_tid = g.members.front();
     for (relational::TupleId tid : g.members) max_tid = std::max(max_tid, tid);
@@ -52,7 +48,6 @@ void ViolationTable::AddGroup(ViolationGroup g) {
     for (size_t i = 0; i < g.members.size(); ++i) {
       const int64_t partners = g.member_partners[i];
       if (partners > 0) AddVio(g.members[i], partners);
-      group_membership_[static_cast<size_t>(g.members[i])].push_back(group_index);
     }
   } else {
     // Partner count for member i is |G| - |{j : rhs_j == rhs_i}| (exact
@@ -63,10 +58,28 @@ void ViolationTable::AddGroup(ViolationGroup g) {
     for (size_t i = 0; i < g.members.size(); ++i) {
       const int64_t partners = n - freq[g.member_rhs[i]];
       if (partners > 0) AddVio(g.members[i], partners);
-      group_membership_[static_cast<size_t>(g.members[i])].push_back(group_index);
     }
   }
   groups_.push_back(std::move(g));
+}
+
+void ViolationTable::EnsureDrilldownIndex() const {
+  if (drilldown_built_) return;
+  single_cfds_.clear();
+  group_membership_.clear();
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(singles_.size());
+  for (const SingleViolation& v : singles_) {
+    if (seen.insert(PairKey(v.tid, v.cfd_index)).second) {
+      single_cfds_[v.tid].push_back(v.cfd_index);
+    }
+  }
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    for (relational::TupleId tid : groups_[gi].members) {
+      group_membership_[tid].push_back(static_cast<int>(gi));
+    }
+  }
+  drilldown_built_ = true;
 }
 
 int64_t ViolationTable::vio(relational::TupleId tid) const {
@@ -75,15 +88,15 @@ int64_t ViolationTable::vio(relational::TupleId tid) const {
 }
 
 std::vector<int> ViolationTable::SingleCfdsOf(relational::TupleId tid) const {
-  const size_t i = static_cast<size_t>(tid);
-  return tid >= 0 && i < single_cfds_.size() ? single_cfds_[i]
-                                             : std::vector<int>{};
+  EnsureDrilldownIndex();
+  const auto it = single_cfds_.find(tid);
+  return it != single_cfds_.end() ? it->second : std::vector<int>{};
 }
 
 std::vector<int> ViolationTable::GroupsOf(relational::TupleId tid) const {
-  const size_t i = static_cast<size_t>(tid);
-  return tid >= 0 && i < group_membership_.size() ? group_membership_[i]
-                                                  : std::vector<int>{};
+  EnsureDrilldownIndex();
+  const auto it = group_membership_.find(tid);
+  return it != group_membership_.end() ? it->second : std::vector<int>{};
 }
 
 std::vector<relational::TupleId> ViolationTable::ViolatingTuples() const {

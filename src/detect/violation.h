@@ -74,7 +74,9 @@ class ViolationTable {
   int64_t TotalVio() const { return total_; }
 
   /// CFD indices violated by `tid` (singles) plus fd-group indices of the
-  /// multi-tuple groups containing it, for the explorer drill-down.
+  /// multi-tuple groups containing it, for the explorer drill-down. The
+  /// index behind both is built lazily on first query (and rebuilt after
+  /// further Add* calls) — detection itself never pays for it.
   std::vector<int> SingleCfdsOf(relational::TupleId tid) const;
   std::vector<int> GroupsOf(relational::TupleId tid) const;
 
@@ -84,18 +86,30 @@ class ViolationTable {
   std::string Summary() const;
 
  private:
-  /// Grows the dense per-tuple arrays to cover `tid`.
+  /// Grows the dense per-tuple vio array to cover `tid`.
   void EnsureTid(relational::TupleId tid);
   /// Adds to vio(tid), maintaining the violating-tuple count.
   void AddVio(relational::TupleId tid, int64_t amount);
+  /// Builds the drill-down index from singles_/groups_ if stale.
+  void EnsureDrilldownIndex() const;
 
   std::vector<SingleViolation> singles_;
   std::vector<ViolationGroup> groups_;
-  // Dense per-tuple accounting, indexed by tid (tuple ids are dense by
-  // construction; hash maps here dominated emission cost at scale).
+  // Dense per-tuple vio counts, indexed by tid (tuple ids are dense by
+  // construction; a hash map here dominated emission cost at scale).
   std::vector<int64_t> vio_;
-  std::vector<std::vector<int>> single_cfds_;
-  std::vector<std::vector<int>> group_membership_;
+  // The explorer's drill-down index, derived from singles_/groups_ on
+  // first SingleCfdsOf/GroupsOf query. It used to be maintained eagerly as
+  // dense vector-of-vectors, whose grow-and-reallocate churn cost more
+  // than the entire kernel scan (gprof: ~2/3 of a warm Detect); per-member
+  // hash upkeep during emission is no better when variable-CFD groups span
+  // most of the relation. Deriving it on demand keeps emission pure array
+  // work and queries O(results).
+  mutable std::unordered_map<relational::TupleId, std::vector<int>>
+      single_cfds_;
+  mutable std::unordered_map<relational::TupleId, std::vector<int>>
+      group_membership_;
+  mutable bool drilldown_built_ = false;
   size_t num_violating_ = 0;
   // (tid, cfd) pairs already counted toward vio.
   std::unordered_set<uint64_t> counted_singles_;

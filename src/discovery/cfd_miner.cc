@@ -6,6 +6,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "discovery/fd_miner.h"
 #include "discovery/partition.h"
 #include "relational/encoded_relation.h"
@@ -97,6 +98,21 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
 
   // Shared partition cache.
   std::map<std::vector<size_t>, Partition> cache;
+
+  // Independent per-attribute base builds fan out over a borrowed pool
+  // (identical output to the lazy serial build — see FdMinerOptions::pool).
+  if (options_.pool != nullptr && options_.pool->num_threads() > 1 &&
+      ncols > 0) {
+    rel_->EnsureHydrated();  // hydration is not thread-safe; pay it once
+    std::vector<Partition> bases(ncols);
+    options_.pool->Run(ncols, [&](size_t c) {
+      bases[c] = encoded ? Partition::Build(*encoded, {c})
+                         : Partition::Build(*rel_, {c});
+    });
+    for (size_t c = 0; c < ncols; ++c) {
+      cache.emplace(std::vector<size_t>{c}, std::move(bases[c]));
+    }
+  }
   std::function<const Partition&(const std::vector<size_t>&)> partition_of =
       [&](const std::vector<size_t>& cols) -> const Partition& {
     auto it = cache.find(cols);
@@ -116,6 +132,7 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
   // redundant conditional forms).
   FdMinerOptions fd_opts;
   fd_opts.max_lhs = options_.max_lhs;
+  fd_opts.pool = options_.pool;
   FdMiner fd_miner(rel_, fd_opts);
   const std::vector<DiscoveredFd> global_fds = fd_miner.Mine();
   auto fd_holds_globally = [&](const std::vector<size_t>& lhs, size_t rhs) {

@@ -7,6 +7,10 @@
 #include "common/status.h"
 #include "relational/relation.h"
 
+namespace semandaq::common {
+class ThreadPool;
+}  // namespace semandaq::common
+
 namespace semandaq::discovery {
 
 struct CfdMinerOptions {
@@ -26,6 +30,10 @@ struct CfdMinerOptions {
   /// Run the partition and evidence passes over a dictionary-encoded
   /// snapshot (integer codes) instead of hashing Rows and Values.
   bool use_encoded = true;
+  /// Borrowed worker pool for the independent per-attribute base-partition
+  /// builds (shared with the embedded FdMiner run). Mined output is
+  /// identical to serial — see FdMinerOptions::pool. nullptr = serial.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// CTANE-style CFD discovery from reference data (paper §2, Constraint

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "relational/encoded_relation.h"
 
 namespace semandaq::discovery {
@@ -62,6 +63,25 @@ std::vector<DiscoveredFd> FdMiner::Mine() {
   // Partition cache keyed by the sorted column list; products are built from
   // the prefix partition and the last singleton (classic TANE recurrence).
   std::map<std::vector<size_t>, Partition> cache;
+
+  // Base-level fan-out: every singleton partition gets built by the sweep
+  // anyway, and the builds are mutually independent (each reads one code
+  // column of the shared snapshot, or one projection of the hydrated
+  // relation), so a borrowed pool builds them concurrently up front. Class
+  // ids are first-touch-ordered per partition, so the result is identical
+  // to the lazy serial build; only the wall clock changes.
+  if (options_.pool != nullptr && options_.pool->num_threads() > 1 &&
+      ncols > 0) {
+    rel_->EnsureHydrated();  // hydration is not thread-safe; pay it once
+    std::vector<Partition> bases(ncols);
+    options_.pool->Run(ncols, [&](size_t c) {
+      bases[c] = encoded ? Partition::Build(*encoded, {c})
+                         : Partition::Build(*rel_, {c});
+    });
+    for (size_t c = 0; c < ncols; ++c) {
+      cache.emplace(std::vector<size_t>{c}, std::move(bases[c]));
+    }
+  }
   std::function<const Partition&(const std::vector<size_t>&)> partition_of =
       [&](const std::vector<size_t>& cols) -> const Partition& {
     auto it = cache.find(cols);

@@ -6,6 +6,10 @@
 #include "discovery/partition.h"
 #include "relational/relation.h"
 
+namespace semandaq::common {
+class ThreadPool;
+}  // namespace semandaq::common
+
 namespace semandaq::discovery {
 
 /// A functional dependency X -> A discovered from data, by column ordinals.
@@ -20,6 +24,12 @@ struct FdMinerOptions {
   /// Build base partitions from a dictionary-encoded snapshot (one encode
   /// pass, then pure integer grouping) instead of hashing projected Rows.
   bool use_encoded = true;
+  /// Borrowed worker pool (e.g. the Semandaq facade's): the per-attribute
+  /// Partition::Build calls of the base level are independent, so Mine()
+  /// fans them out over the pool's lanes before the levelwise sweep.
+  /// Products are derived from the cached bases either way, so the mined
+  /// output is identical to the serial build. nullptr = serial.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// TANE-style levelwise FD discovery on stripped partitions: candidate

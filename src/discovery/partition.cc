@@ -41,9 +41,11 @@ Partition Partition::Build(const relational::Relation& rel,
 }
 
 Partition Partition::Build(const relational::EncodedRelation& enc,
-                           const std::vector<size_t>& cols) {
+                           const std::vector<size_t>& cols,
+                           common::simd::Level level) {
   using relational::Code;
   using relational::kNullCode;
+  namespace simd = common::simd;
 
   Partition p;
   const size_t bound = static_cast<size_t>(enc.IdBound());
@@ -59,47 +61,70 @@ Partition Partition::Build(const relational::EncodedRelation& enc,
     ++p.covered_;
   };
 
+  // The refinement pass runs in kernel blocks: MaskLive fuses the liveness
+  // filter with the per-column non-NULL test into one bitmap per block, and
+  // PackKeys2x32 pre-packs the two-column group keys — the scalar loop that
+  // remains is pure first-touch class placement over the surviving bits.
+  const simd::Kernels& kn = simd::KernelsFor(level);
+  const uint8_t* live = enc.relation().live_data();
+  constexpr size_t kBlock = 4096;
+  std::vector<uint64_t> elig(simd::MaskWords(kBlock));
+  std::vector<const Code*> colptrs(cols.size());
+  for (size_t k = 0; k < cols.size(); ++k) {
+    colptrs[k] = enc.column(cols[k]).data();
+  }
+
+  auto for_each_eligible = [&](const auto& fn) {
+    std::vector<const Code*> block_ptrs(cols.size());
+    for (size_t lo = 0; lo < bound; lo += kBlock) {
+      const size_t n = std::min(kBlock, bound - lo);
+      for (size_t k = 0; k < cols.size(); ++k) {
+        block_ptrs[k] = colptrs[k] + lo;
+      }
+      if (kn.MaskLive(live + lo, block_ptrs.data(), cols.size(), kNullCode,
+                      n, elig.data()) == 0) {
+        continue;
+      }
+      fn(lo, n);
+    }
+  };
+
   if (cols.size() == 1) {
     // Codes are dense 1..|dict|: the class of a tuple is a direct array
     // lookup, with ids renumbered in first-touch order to stay structurally
     // identical to the hash build.
-    const std::vector<Code>& codes = enc.column(cols[0]);
+    const Code* codes = colptrs[0];
     std::vector<int32_t> class_of_code(enc.dictionary(cols[0]).size() + 1, -1);
     int32_t next = 0;
-    enc.ForEachLive([&](TupleId tid) {
-      const Code c = codes[static_cast<size_t>(tid)];
-      if (c == kNullCode) return;  // NULL excluded from partitions
-      int32_t& cid = class_of_code[c];
-      if (cid < 0) cid = next++;
-      place(tid, cid);
+    for_each_eligible([&](size_t lo, size_t n) {
+      simd::ForEachSetBit(elig.data(), simd::MaskWords(n), [&](size_t i) {
+        int32_t& cid = class_of_code[codes[lo + i]];
+        if (cid < 0) cid = next++;
+        place(static_cast<TupleId>(lo + i), cid);
+      });
     });
     p.num_classes_ = static_cast<size_t>(next);
   } else if (cols.size() == 2) {
-    const std::vector<Code>& ca = enc.column(cols[0]);
-    const std::vector<Code>& cb = enc.column(cols[1]);
+    std::vector<uint64_t> packed(kBlock);
     std::unordered_map<uint64_t, int32_t> ids;
-    enc.ForEachLive([&](TupleId tid) {
-      const size_t i = static_cast<size_t>(tid);
-      if (ca[i] == kNullCode || cb[i] == kNullCode) return;
-      auto [it, fresh] = ids.emplace(relational::PackCodes(ca[i], cb[i]),
-                                     static_cast<int32_t>(ids.size()));
-      place(tid, it->second);
+    for_each_eligible([&](size_t lo, size_t n) {
+      kn.PackKeys2x32(colptrs[0] + lo, colptrs[1] + lo, n, packed.data());
+      simd::ForEachSetBit(elig.data(), simd::MaskWords(n), [&](size_t i) {
+        auto [it, fresh] =
+            ids.emplace(packed[i], static_cast<int32_t>(ids.size()));
+        place(static_cast<TupleId>(lo + i), it->second);
+      });
     });
     p.num_classes_ = ids.size();
   } else {
-    std::vector<const Code*> ptrs;
-    ptrs.reserve(cols.size());
-    for (size_t c : cols) ptrs.push_back(enc.column(c).data());
     std::unordered_map<std::vector<Code>, int32_t, relational::CodeVecHash> ids;
     std::vector<Code> key(cols.size());
-    enc.ForEachLive([&](TupleId tid) {
-      const size_t i = static_cast<size_t>(tid);
-      for (size_t k = 0; k < ptrs.size(); ++k) {
-        key[k] = ptrs[k][i];
-        if (key[k] == kNullCode) return;
-      }
-      auto [it, fresh] = ids.emplace(key, static_cast<int32_t>(ids.size()));
-      place(tid, it->second);
+    for_each_eligible([&](size_t lo, size_t n) {
+      simd::ForEachSetBit(elig.data(), simd::MaskWords(n), [&](size_t i) {
+        for (size_t k = 0; k < cols.size(); ++k) key[k] = colptrs[k][lo + i];
+        auto [it, fresh] = ids.emplace(key, static_cast<int32_t>(ids.size()));
+        place(static_cast<TupleId>(lo + i), it->second);
+      });
     });
     p.num_classes_ = ids.size();
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd/simd.h"
 #include "relational/encoded_relation.h"
 #include "relational/relation.h"
 
@@ -25,8 +26,14 @@ class Partition {
   /// (no hash table at all); wider sets group on packed code keys. Class
   /// ids are assigned in first-touch (tuple id) order, so the result is
   /// structurally identical to the row-hash Build.
+  ///
+  /// The liveness + non-NULL filter and the two-column key packing run on
+  /// the common::simd kernel tier `level` (kAuto = the host's best; see
+  /// docs/simd.md) — every tier builds the identical partition; the knob
+  /// exists for A/B benches and the scalar-floor equivalence tests.
   static Partition Build(const relational::EncodedRelation& enc,
-                         const std::vector<size_t>& cols);
+                         const std::vector<size_t>& cols,
+                         common::simd::Level level = common::simd::Level::kAuto);
 
   /// Product partition Π_{X ∪ Y} = Π_X · Π_Y from the class ids of both.
   static Partition Intersect(const Partition& a, const Partition& b);

@@ -6,12 +6,40 @@
 
 namespace semandaq::relational {
 
+Relation::Relation(const Relation& other)
+    : name_(other.name_),
+      schema_(other.schema_),
+      rows_(other.rows_),
+      hydrator_(other.hydrator_),
+      live_(other.live_),
+      live_count_(other.live_count_),
+      version_(other.version_),
+      overwrite_version_(other.overwrite_version_) {
+  // observer_ stays nullptr: a copy is a new, unwatched relation — a WAL
+  // attachment must journal exactly the relation it was attached to.
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  schema_ = other.schema_;
+  rows_ = other.rows_;
+  hydrator_ = other.hydrator_;
+  live_ = other.live_;
+  live_count_ = other.live_count_;
+  version_ = other.version_;
+  overwrite_version_ = other.overwrite_version_;
+  observer_ = nullptr;
+  return *this;
+}
+
 Relation Relation::FromStorage(std::string name, Schema schema,
-                               std::vector<bool> live, RowHydrator hydrator) {
+                               std::vector<uint8_t> live,
+                               RowHydrator hydrator) {
   Relation rel(std::move(name), std::move(schema));
   rel.rows_.resize(live.size());  // empty placeholders until hydration
   for (size_t i = 0; i < live.size(); ++i) {
-    if (live[i]) ++rel.live_count_;
+    if (live[i] != 0) ++rel.live_count_;
   }
   rel.live_ = std::move(live);
   rel.hydrator_ = std::move(hydrator);
@@ -36,10 +64,12 @@ common::Result<TupleId> Relation::Insert(Row row) {
         std::to_string(schema_.size()) + " of relation " + name_);
   }
   rows_.push_back(std::move(row));
-  live_.push_back(true);
+  live_.push_back(1);
   ++live_count_;
   ++version_;
-  return static_cast<TupleId>(rows_.size() - 1);
+  const TupleId tid = static_cast<TupleId>(rows_.size() - 1);
+  if (observer_ != nullptr) observer_->OnInsert(tid, rows_.back());
+  return tid;
 }
 
 TupleId Relation::MustInsert(Row row) {
@@ -67,9 +97,10 @@ common::Status Relation::CheckColumn(size_t col) const {
 
 common::Status Relation::Delete(TupleId tid) {
   SEMANDAQ_RETURN_IF_ERROR(CheckLive(tid, "delete"));
-  live_[static_cast<size_t>(tid)] = false;
+  live_[static_cast<size_t>(tid)] = 0;
   --live_count_;
   ++version_;
+  if (observer_ != nullptr) observer_->OnDelete(tid);
   return common::Status::OK();
 }
 
@@ -80,6 +111,9 @@ common::Status Relation::SetCell(TupleId tid, size_t col, Value v) {
   rows_[static_cast<size_t>(tid)][col] = std::move(v);
   ++version_;
   ++overwrite_version_;
+  if (observer_ != nullptr) {
+    observer_->OnSetCell(tid, col, rows_[static_cast<size_t>(tid)][col]);
+  }
   return common::Status::OK();
 }
 

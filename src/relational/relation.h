@@ -19,6 +19,20 @@ namespace semandaq::relational {
 /// by TupleId, so stability across updates is essential.
 using TupleId = int64_t;
 
+/// Observer of one relation's successful mutations, notified synchronously
+/// after each Insert/Delete/SetCell commits. This is the hook the storage
+/// layer's live WAL attachment hangs off: every mutation path — monitor
+/// update batches, repairs, any future SQL DML — funnels through the three
+/// Relation mutators, so observing here covers them all by construction.
+/// Observers must not mutate the relation re-entrantly.
+class MutationObserver {
+ public:
+  virtual ~MutationObserver() = default;
+  virtual void OnInsert(TupleId tid, const Row& row) = 0;
+  virtual void OnDelete(TupleId tid) = 0;
+  virtual void OnSetCell(TupleId tid, size_t col, const Value& value) = 0;
+};
+
 /// An in-memory relation: a schema plus a bag of rows with stable ids.
 ///
 /// This is the storage substrate standing in for the RDBMS layer of the
@@ -30,6 +44,13 @@ class Relation {
   Relation(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
+  /// Copies duplicate the data but NOT the observer: a clone is a new,
+  /// unwatched relation (a WAL attachment journals exactly one relation).
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
   /// Produces the decoded rows for the ids a lazily loaded relation was
   /// created with — the deferred half of Relation::FromStorage. Must be
   /// pure (a Clone of an unhydrated relation re-runs it independently) and
@@ -37,16 +58,17 @@ class Relation {
   /// installing one; by hydration time there is nothing left to fail).
   using RowHydrator = std::function<std::vector<Row>()>;
 
-  /// Bulk-load hook for the storage layer: adopts a liveness mask — the
-  /// positional index is the TupleId, so ids and tombstones of a persisted
-  /// relation come back exactly — and a deferred row materializer. Rows
+  /// Bulk-load hook for the storage layer: adopts a liveness mask (one
+  /// byte per id; nonzero = live) — the positional index is the TupleId, so
+  /// ids and tombstones of a persisted relation come back exactly — and a
+  /// deferred row materializer. Rows
   /// stay unmaterialized until the first row access (EnsureHydrated), so a
   /// load-then-detect path that scans encoded columns never pays the
   /// per-cell decode at all; audit/repair/SQL hydrate transparently on
   /// first touch. Version counters start at 0, as for a freshly built
   /// relation.
   static Relation FromStorage(std::string name, Schema schema,
-                              std::vector<bool> live, RowHydrator hydrator);
+                              std::vector<uint8_t> live, RowHydrator hydrator);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -61,8 +83,15 @@ class Relation {
   TupleId IdBound() const { return static_cast<TupleId>(rows_.size()); }
 
   bool IsLive(TupleId tid) const {
-    return tid >= 0 && tid < IdBound() && live_[static_cast<size_t>(tid)];
+    return tid >= 0 && tid < IdBound() && live_[static_cast<size_t>(tid)] != 0;
   }
+
+  /// The liveness byte array, indexed by TupleId over [0, IdBound()):
+  /// nonzero = live. This is the raw-pointer form the SIMD scan kernels
+  /// consume (common::simd::Kernels::MaskLive) — one byte per tuple so a
+  /// vector compare can test 16/32 tuples per instruction; no alignment is
+  /// guaranteed (kernels use unaligned loads).
+  const uint8_t* live_data() const { return live_.data(); }
 
   /// Status form of IsLive: OutOfRange (naming `verb`, e.g. "delete") when
   /// `tid` is dead or unknown. Shared by the mutators and by pre-flight
@@ -124,8 +153,15 @@ class Relation {
     }
   }
 
-  /// Deep copy with the same ids (tombstones preserved).
+  /// Deep copy with the same ids (tombstones preserved). The observer is
+  /// not copied (see the copy constructor).
   Relation Clone() const { return *this; }
+
+  /// Attaches (or with nullptr detaches) the mutation observer. Borrowed,
+  /// never owned; at most one per relation. The caller must guarantee the
+  /// observer outlives the relation or is detached first.
+  void set_observer(MutationObserver* observer) { observer_ = observer; }
+  MutationObserver* observer() const { return observer_; }
 
   /// Projects the given columns of a live tuple into a fresh row.
   Row Project(TupleId tid, const std::vector<size_t>& cols) const;
@@ -145,10 +181,14 @@ class Relation {
   // decoded rows, so observable state never changes.
   mutable std::vector<Row> rows_;
   mutable RowHydrator hydrator_;  // non-null = rows_ prefix pending
-  std::vector<bool> live_;
+  // One byte per id (nonzero = live), not vector<bool>: the SIMD liveness
+  // kernels need a raw byte pointer, and byte loads beat bit extraction in
+  // the scalar paths too.
+  std::vector<uint8_t> live_;
   size_t live_count_ = 0;
   uint64_t version_ = 0;
   uint64_t overwrite_version_ = 0;
+  MutationObserver* observer_ = nullptr;  // borrowed; never copied
 };
 
 }  // namespace semandaq::relational

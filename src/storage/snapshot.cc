@@ -53,7 +53,7 @@ void PatchU64(std::string* buf, size_t at, uint64_t v) {
 /// hydrator was installed, so hydration itself cannot fail.
 struct HydrationSource {
   std::string file;
-  std::vector<bool> live;
+  std::vector<uint8_t> live;  // one byte per id, nonzero = live
   uint64_t id_bound = 0;
   std::vector<ColumnExtent> extents;  // dict blob + code array per column
 };
@@ -406,11 +406,11 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
   // retained file buffer on first row access (Relation::FromStorage), so
   // load-then-detect never pays it.
   Schema schema(std::move(attrs));
-  std::vector<bool> live(static_cast<size_t>(id_bound), false);
+  std::vector<uint8_t> live(static_cast<size_t>(id_bound), 0);
   uint64_t live_seen = 0;
   for (uint64_t tid = 0; tid < id_bound; ++tid) {
     if ((live_bits[tid / 8] >> (tid % 8)) & 1) {
-      live[static_cast<size_t>(tid)] = true;
+      live[static_cast<size_t>(tid)] = 1;
       ++live_seen;
     }
   }

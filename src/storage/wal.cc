@@ -246,4 +246,30 @@ Result<size_t> ReplayWal(const std::string& path, uint64_t snapshot_checksum,
   return applied;
 }
 
+Result<std::unique_ptr<WalAttachment>> WalAttachment::Open(
+    const std::string& wal_path, uint64_t snapshot_checksum) {
+  SEMANDAQ_ASSIGN_OR_RETURN(
+      WalWriter writer, WalWriter::OpenExisting(wal_path, snapshot_checksum));
+  return std::unique_ptr<WalAttachment>(new WalAttachment(std::move(writer)));
+}
+
+void WalAttachment::OnInsert(TupleId tid, const Row& row) {
+  (void)tid;  // replay re-issues the same ids by append order
+  if (!status_.ok()) return;
+  status_ = writer_.AppendInsert(row);
+  if (status_.ok()) ++records_appended_;
+}
+
+void WalAttachment::OnDelete(TupleId tid) {
+  if (!status_.ok()) return;
+  status_ = writer_.AppendDelete(tid);
+  if (status_.ok()) ++records_appended_;
+}
+
+void WalAttachment::OnSetCell(TupleId tid, size_t col, const Value& value) {
+  if (!status_.ok()) return;
+  status_ = writer_.AppendSetCell(tid, col, value);
+  if (status_.ok()) ++records_appended_;
+}
+
 }  // namespace semandaq::storage

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -55,6 +56,49 @@ class WalWriter {
 
   std::string path_;
   std::ofstream out_;
+};
+
+/// Live journaling of a relation's mutations into its snapshot's WAL
+/// sidecar: a relational::MutationObserver that appends one record per
+/// committed Insert/Delete/SetCell. Attach it (Relation::set_observer)
+/// after a save or an open+replay and every subsequent mutation — monitor
+/// update batches, applied repairs, any future SQL DML — reaches the
+/// sidecar the moment it commits, so the next OpenRelation replays the
+/// relation back to its exact live state.
+///
+/// Error discipline: the first failed append latches into status() and
+/// disables further appends — a sidecar with a silent gap would replay a
+/// *wrong* relation, which is worse than a sidecar that visibly stopped at
+/// a known record. The next SaveRelation writes a fresh snapshot + empty
+/// sidecar and re-arms a clean attachment.
+class WalAttachment : public relational::MutationObserver {
+ public:
+  /// Opens the sidecar at `wal_path` for appending (WalWriter::OpenExisting
+  /// semantics: stamp verified, torn tail truncated). The caller wires the
+  /// result to the relation with set_observer and must detach (or destroy
+  /// the relation) before destroying the attachment.
+  static common::Result<std::unique_ptr<WalAttachment>> Open(
+      const std::string& wal_path, uint64_t snapshot_checksum);
+
+  void OnInsert(relational::TupleId tid, const relational::Row& row) override;
+  void OnDelete(relational::TupleId tid) override;
+  void OnSetCell(relational::TupleId tid, size_t col,
+                 const relational::Value& value) override;
+
+  /// OK until the first append failure; sticky afterwards.
+  const common::Status& status() const { return status_; }
+
+  /// Mutation records appended through this attachment (for tests/ops).
+  size_t records_appended() const { return records_appended_; }
+
+  const std::string& path() const { return writer_.path(); }
+
+ private:
+  explicit WalAttachment(WalWriter writer) : writer_(std::move(writer)) {}
+
+  WalWriter writer_;
+  common::Status status_ = common::Status::OK();
+  size_t records_appended_ = 0;
 };
 
 /// Replays the WAL at `path` into `rel` through Insert/Delete/SetCell.

@@ -1,0 +1,216 @@
+// Kernel-level property sweep for the common::simd dispatch tiers: every
+// vector tier must match the scalar reference bit-for-bit on every kernel,
+// for arbitrary lengths (vector-width remainders included), misaligned
+// base pointers, NULL-heavy data, and degenerate inputs (n = 0) — the
+// contracts of docs/simd.md, checked directly rather than through the
+// detector.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/simd/simd.h"
+#include "test_util.h"
+
+namespace semandaq::common::simd {
+namespace {
+
+/// The sizes that historically break SIMD tails: zero, sub-width, exact
+/// widths, one over/under a word, and block-scale.
+const size_t kSizes[] = {0, 1, 3, 7, 8, 15, 16, 63, 64, 65, 127, 128, 1000, 4096, 4101};
+
+/// Every tier; KernelsFor clamps to what the host supports, so the sweep
+/// is safe everywhere (on a non-AVX2 host the kAvx2 request re-tests the
+/// best available tier, which is harmless).
+const Level kLevels[] = {Level::kScalar, Level::kSse2, Level::kAvx2};
+
+std::vector<uint32_t> RandomCodes(common::Rng* rng, size_t n, uint32_t card) {
+  std::vector<uint32_t> v(n);
+  for (auto& x : v) x = static_cast<uint32_t>(rng->NextBelow(card));
+  return v;
+}
+
+std::vector<uint8_t> RandomLive(common::Rng* rng, size_t n) {
+  std::vector<uint8_t> v(n);
+  for (auto& x : v) x = rng->NextBelow(4) != 0 ? 1 : 0;
+  return v;
+}
+
+void ExpectMasksEqual(const std::vector<uint64_t>& ref,
+                      const std::vector<uint64_t>& got, size_t n,
+                      const std::string& what) {
+  for (size_t w = 0; w < MaskWords(n); ++w) {
+    ASSERT_EQ(ref[w], got[w]) << what << " word " << w << " of n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, DispatchResolvesAndClampToSupported) {
+  EXPECT_TRUE(Supported(Level::kScalar));
+  EXPECT_TRUE(Supported(Level::kAuto));
+  const Kernels& active = KernelsFor(Level::kAuto);
+  EXPECT_LE(active.level, MaxSupportedLevel());
+  // An explicit over-ask clamps instead of crashing.
+  const Kernels& avx2 = KernelsFor(Level::kAvx2);
+  EXPECT_LE(avx2.level, MaxSupportedLevel());
+  EXPECT_EQ(KernelsFor(Level::kScalar).level, Level::kScalar);
+}
+
+TEST(SimdKernelTest, LevelNamesRoundTrip) {
+  for (const Level l :
+       {Level::kScalar, Level::kSse2, Level::kAvx2, Level::kAuto}) {
+    Level parsed;
+    ASSERT_TRUE(ParseLevel(LevelName(l), &parsed));
+    EXPECT_EQ(parsed, l);
+  }
+  Level ignored;
+  EXPECT_FALSE(ParseLevel("avx512", &ignored));
+  EXPECT_FALSE(ParseLevel("", &ignored));
+}
+
+TEST(SimdKernelTest, FilterEq32MatchesScalar) {
+  common::Rng rng(11);
+  const Kernels& ref = internal::ScalarKernels();
+  for (const size_t n : kSizes) {
+    // +1 slack so the misaligned variant can start at data() + 1.
+    const auto data = RandomCodes(&rng, n + 1, 5);
+    const uint32_t c = static_cast<uint32_t>(rng.NextBelow(5));
+    std::vector<uint32_t> want(n + 1), got(n + 1);
+    const size_t want_n = ref.FilterEq32(data.data(), n, c, 100, want.data());
+    for (const Level level : kLevels) {
+      const Kernels& kn = KernelsFor(level);
+      for (const size_t off : {size_t{0}, size_t{1}}) {
+        if (off > n) continue;
+        const size_t ref_n =
+            ref.FilterEq32(data.data() + off, n - off, c, 100, want.data());
+        const size_t got_n =
+            kn.FilterEq32(data.data() + off, n - off, c, 100, got.data());
+        ASSERT_EQ(ref_n, got_n) << LevelName(kn.level) << " n=" << n;
+        for (size_t i = 0; i < ref_n; ++i) {
+          ASSERT_EQ(want[i], got[i]) << LevelName(kn.level) << " n=" << n;
+        }
+      }
+    }
+    (void)want_n;
+  }
+}
+
+TEST(SimdKernelTest, FilterEqMulti32AndMaskNeMatchScalar) {
+  common::Rng rng(22);
+  const Kernels& ref = internal::ScalarKernels();
+  for (const size_t n : kSizes) {
+    const auto a = RandomCodes(&rng, n + 1, 4);
+    const auto b = RandomCodes(&rng, n + 1, 3);
+    const uint32_t ca = 1, cb = 2;
+    for (const size_t off : {size_t{0}, size_t{1}}) {
+      if (off > n) continue;
+      const size_t m = n - off;
+      const uint32_t* cols[2] = {a.data() + off, b.data() + off};
+      const uint32_t consts[2] = {ca, cb};
+      // Seed masks all-ones over m bits (tail zeroed) so the conjunction
+      // result is fully kernel-produced.
+      std::vector<uint64_t> seed(MaskWords(m) + 1, 0);
+      for (size_t i = 0; i < m; ++i) seed[i / 64] |= uint64_t{1} << (i % 64);
+      for (const Level level : kLevels) {
+        const Kernels& kn = KernelsFor(level);
+        std::vector<uint64_t> want = seed, got = seed;
+        ref.FilterEqMulti32(cols, consts, 2, m, want.data());
+        kn.FilterEqMulti32(cols, consts, 2, m, got.data());
+        ExpectMasksEqual(want, got, m,
+                         std::string("FilterEqMulti32/") +
+                             std::string(LevelName(kn.level)));
+        ref.MaskNeAnd32(cols[0], m, 0, want.data());
+        kn.MaskNeAnd32(cols[0], m, 0, got.data());
+        ExpectMasksEqual(want, got, m,
+                         std::string("MaskNeAnd32/") +
+                             std::string(LevelName(kn.level)));
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, MaskLiveMatchesScalarAndZeroesTail) {
+  common::Rng rng(33);
+  const Kernels& ref = internal::ScalarKernels();
+  for (const size_t n : kSizes) {
+    const auto live = RandomLive(&rng, n + 1);
+    const auto a = RandomCodes(&rng, n + 1, 3);  // card 3 => plenty of code 0
+    const auto b = RandomCodes(&rng, n + 1, 2);
+    for (const size_t off : {size_t{0}, size_t{1}}) {
+      if (off > n) continue;
+      const size_t m = n - off;
+      const uint32_t* cols[2] = {a.data() + off, b.data() + off};
+      for (const size_t ncols : {size_t{0}, size_t{1}, size_t{2}}) {
+        std::vector<uint64_t> want(MaskWords(m) + 1, ~uint64_t{0});
+        std::vector<uint64_t> got(MaskWords(m) + 1, ~uint64_t{0});
+        const size_t want_pop =
+            ref.MaskLive(live.data() + off, cols, ncols, 0, m, want.data());
+        for (const Level level : kLevels) {
+          const Kernels& kn = KernelsFor(level);
+          const size_t got_pop =
+              kn.MaskLive(live.data() + off, cols, ncols, 0, m, got.data());
+          ASSERT_EQ(want_pop, got_pop)
+              << LevelName(kn.level) << " n=" << m << " ncols=" << ncols;
+          ExpectMasksEqual(want, got, m,
+                           std::string("MaskLive/") +
+                               std::string(LevelName(kn.level)));
+          // Tail bits beyond m must be zero (produce semantics).
+          if (m % 64 != 0 && MaskWords(m) > 0) {
+            const uint64_t tail = got[MaskWords(m) - 1] >> (m % 64);
+            ASSERT_EQ(tail, 0u) << LevelName(kn.level) << " n=" << m;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, PackKeys2x32MatchesScalar) {
+  common::Rng rng(44);
+  const Kernels& ref = internal::ScalarKernels();
+  for (const size_t n : kSizes) {
+    const auto hi = RandomCodes(&rng, n + 1, 1u << 30);
+    const auto lo = RandomCodes(&rng, n + 1, 1u << 30);
+    for (const size_t off : {size_t{0}, size_t{1}}) {
+      if (off > n) continue;
+      const size_t m = n - off;
+      std::vector<uint64_t> want(m + 1, 0), got(m + 1, 0);
+      for (const uint32_t* low : {lo.data() + off, (const uint32_t*)nullptr}) {
+        ref.PackKeys2x32(hi.data() + off, low, m, want.data());
+        for (const Level level : kLevels) {
+          const Kernels& kn = KernelsFor(level);
+          kn.PackKeys2x32(hi.data() + off, low, m, got.data());
+          for (size_t i = 0; i < m; ++i) {
+            ASSERT_EQ(want[i], got[i])
+                << LevelName(kn.level) << " n=" << m << " i=" << i
+                << " lo_null=" << (low == nullptr);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, CountEq32MatchesScalar) {
+  common::Rng rng(55);
+  const Kernels& ref = internal::ScalarKernels();
+  for (const size_t n : kSizes) {
+    const auto data = RandomCodes(&rng, n + 1, 3);
+    for (const size_t off : {size_t{0}, size_t{1}}) {
+      if (off > n) continue;
+      const size_t m = n - off;
+      for (const uint32_t c : {0u, 1u, 2u, 9u}) {
+        const size_t want = ref.CountEq32(data.data() + off, m, c);
+        for (const Level level : kLevels) {
+          const Kernels& kn = KernelsFor(level);
+          ASSERT_EQ(want, kn.CountEq32(data.data() + off, m, c))
+              << LevelName(kn.level) << " n=" << m << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semandaq::common::simd
