@@ -134,6 +134,94 @@ BENCHMARK(BM_PartitionBuildSimd)
     ->Args({1, 2})
     ->Unit(benchmark::kMillisecond);
 
+// The parallel levelwise sweep A/B (PR 5): full FdMiner::Mine over clean
+// customer data. range(0) = tuples, range(1) = num_threads (1 = serial
+// sweep), range(2) = kernel tier request (0 = scalar floor, 2 = AVX2,
+// clamped to host support — the "simd_level" counter records what ran).
+// Mined output is byte-identical across all configurations; only the wall
+// clock moves. tools/bench_discovery_ratio.py digests the serial-vs-
+// parallel and scalar-vs-vector ratios into BENCH_discovery.json.
+// NOTE: on a single-core build host the thread sweep shows pool overhead,
+// not speedup — multi-core CI is where the parallel ratio materializes
+// (same caveat as BM_NativeDetectSharded).
+void BM_FdMine(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  const auto& wl = bench::CachedCustomer(tuples, 0.0, /*seed=*/24);
+  discovery::FdMinerOptions opts;
+  opts.max_lhs = 3;
+  opts.num_threads = static_cast<size_t>(state.range(1));
+  opts.simd_level = static_cast<semandaq::common::simd::Level>(state.range(2));
+  size_t found = 0;
+  for (auto _ : state) {
+    discovery::FdMiner miner(&wl.clean, opts);
+    auto fds = miner.Mine();
+    benchmark::DoNotOptimize(fds);
+    found = fds.size();
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["fds_found"] = static_cast<double>(found);
+  state.counters["simd_level"] = static_cast<double>(
+      semandaq::common::simd::KernelsFor(opts.simd_level).level);
+}
+BENCHMARK(BM_FdMine)
+    ->Args({64000, 1, 0})
+    ->Args({64000, 1, 2})
+    ->Args({64000, 2, 2})
+    ->Args({64000, 4, 2})
+    ->Unit(benchmark::kMillisecond);
+
+// Single-thread A/B of the e(X) == e(X∪A) early-exit: the same serial
+// sweep with the error test disabled, deciding every candidate by the
+// stripped-class walk. Compare against BM_FdMine/64000/1/<tier>.
+void BM_FdMineClassWalk(benchmark::State& state) {
+  const auto& wl = bench::CachedCustomer(64000, 0.0, /*seed=*/24);
+  discovery::FdMinerOptions opts;
+  opts.max_lhs = 3;
+  opts.use_error_exit = false;
+  opts.simd_level = static_cast<semandaq::common::simd::Level>(state.range(0));
+  for (auto _ : state) {
+    discovery::FdMiner miner(&wl.clean, opts);
+    auto fds = miner.Mine();
+    benchmark::DoNotOptimize(fds);
+  }
+  state.counters["simd_level"] = static_cast<double>(
+      semandaq::common::simd::KernelsFor(opts.simd_level).level);
+}
+BENCHMARK(BM_FdMineClassWalk)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// Full CfdMiner::Mine (constant + variable CFDs, embedded FD run) over the
+// same axes: range(0) = tuples, range(1) = num_threads, range(2) = kernel
+// tier. The evidence scans are what the tier moves; the candidate fan-out
+// is what the thread count moves.
+void BM_CfdMine(benchmark::State& state) {
+  const size_t tuples = static_cast<size_t>(state.range(0));
+  const auto& wl = bench::CachedCustomer(tuples, 0.0, /*seed=*/24);
+  discovery::CfdMinerOptions opts;
+  opts.max_lhs = 2;
+  opts.min_support = 3;
+  opts.num_threads = static_cast<size_t>(state.range(1));
+  opts.simd_level = static_cast<semandaq::common::simd::Level>(state.range(2));
+  size_t found = 0;
+  for (auto _ : state) {
+    discovery::CfdMiner miner(&wl.clean, opts);
+    auto mined = miner.Mine();
+    benchmark::DoNotOptimize(mined);
+    if (mined.ok()) found = mined->size();
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["cfds_found"] = static_cast<double>(found);
+  state.counters["simd_level"] = static_cast<double>(
+      semandaq::common::simd::KernelsFor(opts.simd_level).level);
+}
+BENCHMARK(BM_CfdMine)
+    ->Args({64000, 1, 0})
+    ->Args({64000, 1, 2})
+    ->Args({64000, 2, 2})
+    ->Args({64000, 4, 2})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FdDiscoveryByLhsDepth(benchmark::State& state) {
   const auto& wl = bench::CachedCustomer(4000, 0.0, /*seed=*/23);
   discovery::FdMinerOptions opts;

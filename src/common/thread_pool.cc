@@ -8,6 +8,15 @@ size_t ResolveThreadCount(size_t requested) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+ThreadPool* ResolvePool(ThreadPool* attached, size_t num_threads,
+                        std::unique_ptr<ThreadPool>* owned) {
+  if (attached != nullptr) return attached;
+  const size_t lanes = num_threads == 1 ? 1 : ResolveThreadCount(num_threads);
+  if (lanes <= 1) return nullptr;  // serial — don't build a pool to ignore
+  *owned = std::make_unique<ThreadPool>(lanes);
+  return owned->get();
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t lanes = num_threads == 0 ? 1 : num_threads;
   workers_.reserve(lanes - 1);

@@ -6,16 +6,28 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace semandaq::common {
 
+class ThreadPool;
+
 /// Resolves a user-facing thread-count knob: 0 means "one lane per hardware
 /// thread", anything else is taken literally. Never returns 0 (a host that
 /// reports unknown concurrency resolves to 1).
 size_t ResolveThreadCount(size_t requested);
+
+/// Resolves the miners' lane source: an explicitly attached (borrowed) pool
+/// always wins; otherwise num_threads == 1 means serial (returns nullptr)
+/// and any other value spins up a private pool in *owned with exactly
+/// ResolveThreadCount(num_threads) lanes — so `threads=N` really runs N
+/// lanes, it is not rounded up to a wider shared pool. The caller keeps
+/// *owned alive for as long as the returned pool is used.
+ThreadPool* ResolvePool(ThreadPool* attached, size_t num_threads,
+                        std::unique_ptr<ThreadPool>* owned);
 
 /// A fixed-size worker pool for fork-join parallelism: Run(n, fn) invokes
 /// fn(0) .. fn(n-1), distributing the calls over the lanes, and returns only

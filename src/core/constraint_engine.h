@@ -33,15 +33,20 @@ class ConstraintEngine {
   common::Status AddCfdsFromText(std::string_view text);
 
   /// Discovers CFDs from a (reference) relation and adds them to the set.
-  /// Returns how many were added. When `options.pool` is unset, the miner
-  /// inherits the engine's attached pool (set_thread_pool) so its
-  /// independent base-partition builds fan out; mined output is identical
-  /// either way.
+  /// Returns how many were added. When `options.pool` is unset, the lanes
+  /// follow `options.num_threads`: 1 (default) mines serially, 0 inherits
+  /// the engine's attached hardware-width pool (set_thread_pool), N >= 2
+  /// runs a private N-lane pool inside the miner — and the levelwise
+  /// sweep fans out per candidate; mined output is byte-identical either
+  /// way (docs/discovery.md).
   common::Result<size_t> DiscoverFrom(const std::string& relation,
                                       discovery::CfdMinerOptions options = {});
 
-  /// Attaches a borrowed worker pool inherited by DiscoverFrom's miners
-  /// (the Semandaq facade wires its shared pool here once it exists).
+  /// Attaches a borrowed hardware-width worker pool for DiscoverFrom's
+  /// miners (the Semandaq facade wires its shared pool here once it
+  /// exists). Since PR 5 the pool is only used when a DiscoverFrom call
+  /// asks for it with options.num_threads == 0 — the default (1) mines
+  /// serially, matching the detector's 1=serial convention.
   void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   /// Runs the consistency analysis over the CFDs targeting `relation` —

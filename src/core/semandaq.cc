@@ -14,8 +14,10 @@ common::ThreadPool* Semandaq::PoolFor(size_t num_threads) {
   if (num_threads == 1) return nullptr;
   if (pool_ == nullptr) {
     pool_ = std::make_unique<common::ThreadPool>(common::ResolveThreadCount(0));
-    // Discovery shares the facade pool: once it exists, DiscoverFrom's
-    // independent base-partition builds fan out over it too.
+    // Discovery can share the facade pool: once it exists, Discover /
+    // DiscoverFrom calls with num_threads == 0 fan their levelwise sweep
+    // out over it (explicit N >= 2 runs a private N-lane pool instead,
+    // and the default of 1 mines serially).
     engine_.set_thread_pool(pool_.get());
   }
   return pool_.get();
@@ -72,6 +74,19 @@ common::Status Semandaq::AttachWal(const std::string& relation,
   rel->set_observer(att->get());
   wals_[common::ToLower(relation)] = std::move(*att);  // replaces any stale one
   return Status::OK();
+}
+
+common::Result<size_t> Semandaq::Discover(const std::string& relation,
+                                          discovery::CfdMinerOptions options) {
+  // Only num_threads == 0 ("all hardware threads") borrows the shared
+  // hardware-width pool; an explicit N >= 2 is left for the miner to
+  // honor with a private N-lane pool (mirroring the detect path, where
+  // threads=N really runs N shards), and 1 stays serial. Output is
+  // identical for every lane count.
+  if (options.pool == nullptr && options.num_threads == 0) {
+    options.pool = PoolFor(options.num_threads);
+  }
+  return engine_.DiscoverFrom(relation, options);
 }
 
 common::Result<detect::ViolationTable> Semandaq::DetectErrors(

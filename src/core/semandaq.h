@@ -106,6 +106,18 @@ class Semandaq {
   /// current state. Check status() on it for append failures (sticky).
   storage::WalAttachment* AttachedWal(const std::string& relation);
 
+  /// Discovers CFDs from `relation` (reference data) into the constraint
+  /// set, returning how many were added. CfdMinerOptions::num_threads
+  /// selects the parallel levelwise sweep: 1 (the default) mines serially,
+  /// 0 fans each lattice level's candidates out over the shared
+  /// hardware-width facade pool, and N >= 2 runs exactly N lanes (a
+  /// private pool inside the miner, mirroring how detect's threads=N runs
+  /// N shards) — mined output is byte-identical for every thread count
+  /// and SIMD tier (docs/discovery.md). This is what the Session CLI's
+  /// `mine REL threads=N` runs.
+  common::Result<size_t> Discover(const std::string& relation,
+                                  discovery::CfdMinerOptions options = {});
+
   /// Runs the error detector over one relation with the CFDs registered for
   /// it. `options` only applies to the native detector; in particular
   /// DetectorOptions::num_threads >= 2 (or 0 = all hardware threads) turns

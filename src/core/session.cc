@@ -41,6 +41,32 @@ Result<size_t> ParseCount(const std::string& text) {
   return static_cast<size_t>(n);
 }
 
+/// Parses one `threads=N` / `simd=LEVEL` option word (shared by the mine
+/// and detect commands) into the given slots. *matched reports whether the
+/// word was one of the two forms; malformed values are errors.
+common::Status ParseSweepOption(const std::string& arg, size_t* num_threads,
+                                common::simd::Level* simd_level,
+                                bool* matched) {
+  *matched = false;
+  const std::string lower = common::ToLower(arg);
+  if (common::StartsWith(lower, "threads=")) {
+    SEMANDAQ_ASSIGN_OR_RETURN(
+        *num_threads, ParseCount(arg.substr(std::string("threads=").size())));
+    *matched = true;  // 0 = all hardware threads, 1 = serial
+    return Status::OK();
+  }
+  if (common::StartsWith(lower, "simd=")) {
+    const std::string text = arg.substr(std::string("simd=").size());
+    if (!common::simd::ParseLevel(text, simd_level)) {
+      return Status::InvalidArgument(
+          "unknown simd level '" + text + "' (want scalar|sse2|avx2|auto)");
+    }
+    *matched = true;
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string Session::Help() {
@@ -57,6 +83,11 @@ std::string Session::Help() {
       "  cfd DEFINITION            e.g. cfd customer: [CC=44] -> [CNT=UK]\n"
       "  cfds                      list registered CFDs\n"
       "  validate REL              satisfiability analysis of Sigma(REL)\n"
+      "  mine REL [threads=N] [simd=LEVEL]\n"
+      "                            discover CFDs from REL into Sigma\n"
+      "                            (threads=N fans the levelwise sweep out,\n"
+      "                            0 = all hardware threads; mined output is\n"
+      "                            identical for every thread count and tier)\n"
       "  detect REL [sql] [threads=N] [simd=scalar|sse2|avx2]\n"
       "                            run the error detector (native or SQL\n"
       "                            path; threads=N shards the native scan,\n"
@@ -100,6 +131,7 @@ common::Result<std::string> Session::Execute(std::string_view command_line) {
     return out.empty() ? std::string("(no CFDs)\n") : out;
   }
   if (verb == "validate") return CmdValidate(args);
+  if (verb == "mine") return CmdMine(args);
   if (verb == "detect") return CmdDetect(args);
   if (verb == "map") return CmdMap(args);
   if (verb == "report") return CmdReport(args);
@@ -201,6 +233,27 @@ common::Result<std::string> Session::CmdValidate(
   return out;
 }
 
+common::Result<std::string> Session::CmdMine(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument("usage: mine REL [threads=N] [simd=LEVEL]");
+  }
+  discovery::CfdMinerOptions options;
+  for (size_t i = 1; i < args.size(); ++i) {
+    bool matched = false;
+    SEMANDAQ_RETURN_IF_ERROR(ParseSweepOption(
+        args[i], &options.num_threads, &options.simd_level, &matched));
+    if (!matched) {
+      return Status::InvalidArgument(
+          "unknown mine option '" + args[i] +
+          "' (usage: mine REL [threads=N] [simd=LEVEL])");
+    }
+  }
+  SEMANDAQ_ASSIGN_OR_RETURN(size_t added, sys_.Discover(args[0], options));
+  return "mined " + std::to_string(added) + " CFD(s) from " + args[0] +
+         "; Sigma now has " + std::to_string(sys_.constraints().size()) +
+         " CFD(s)\n";
+}
+
 common::Result<std::string> Session::CmdDetect(const std::vector<std::string>& args) {
   if (args.empty()) {
     return Status::InvalidArgument(
@@ -212,23 +265,17 @@ common::Result<std::string> Session::CmdDetect(const std::vector<std::string>& a
   for (size_t i = 1; i < args.size(); ++i) {
     if (common::EqualsIgnoreCase(args[i], "sql")) {
       kind = Semandaq::DetectorKind::kSql;
-    } else if (common::StartsWith(common::ToLower(args[i]), "threads=")) {
-      SEMANDAQ_ASSIGN_OR_RETURN(
-          size_t n, ParseCount(args[i].substr(std::string("threads=").size())));
-      options.num_threads = n;  // 0 = all hardware threads, 1 = serial
-      native_opts_given = true;
-    } else if (common::StartsWith(common::ToLower(args[i]), "simd=")) {
-      const std::string text = args[i].substr(std::string("simd=").size());
-      if (!common::simd::ParseLevel(text, &options.simd_level)) {
-        return Status::InvalidArgument(
-            "unknown simd level '" + text + "' (want scalar|sse2|avx2|auto)");
-      }
-      native_opts_given = true;
-    } else {
+      continue;
+    }
+    bool matched = false;
+    SEMANDAQ_RETURN_IF_ERROR(ParseSweepOption(
+        args[i], &options.num_threads, &options.simd_level, &matched));
+    if (!matched) {
       return Status::InvalidArgument(
           "unknown detect option '" + args[i] +
           "' (usage: detect REL [sql] [threads=N] [simd=LEVEL])");
     }
+    native_opts_given = true;
   }
   if (kind == Semandaq::DetectorKind::kSql && native_opts_given) {
     return Status::InvalidArgument(

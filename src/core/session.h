@@ -33,6 +33,10 @@ namespace semandaq::core {
 ///   cfd DEFINITION                add one CFD (parser notation)
 ///   cfds                          list registered CFDs
 ///   validate REL                  satisfiability analysis
+///   mine REL [threads=N]          discover CFDs from REL into Sigma;
+///                                 threads=N fans the levelwise sweep out
+///                                 (0 = all hardware threads) with mined
+///                                 output identical to the serial sweep
 ///   detect REL [sql] [threads=N]  run the error detector; threads=N shards
 ///                                 the native scan over N worker lanes
 ///                                 (0 = all hardware threads) with output
@@ -67,6 +71,7 @@ class Session {
   common::Result<std::string> CmdShow(const std::vector<std::string>& args);
   common::Result<std::string> CmdCfd(std::string_view rest);
   common::Result<std::string> CmdValidate(const std::vector<std::string>& args);
+  common::Result<std::string> CmdMine(const std::vector<std::string>& args);
   common::Result<std::string> CmdDetect(const std::vector<std::string>& args);
   common::Result<std::string> CmdMap(const std::vector<std::string>& args);
   common::Result<std::string> CmdReport(const std::vector<std::string>& args);

@@ -79,9 +79,136 @@ common::Status IncrementalDetector::Initialize() {
     groups_.push_back(std::move(gs));
   }
 
-  rel_->ForEach([&](TupleId tid, const Row&) { EnterTuple(tid); });
+  BulkEnter();
   initialized_ = true;
   return Status::OK();
+}
+
+void IncrementalDetector::BulkEnter() {
+  namespace simd = common::simd;
+  const simd::Kernels& kn = simd::KernelsFor(simd_level_);
+  const size_t bound = static_cast<size_t>(rel_->IdBound());
+  if (bound == 0) return;
+  const uint8_t* live = rel_->live_data();
+  constexpr size_t kBlock = 4096;
+  const size_t max_words = simd::MaskWords(kBlock);
+  std::vector<uint64_t> livemask(max_words);  // liveness only
+  std::vector<uint64_t> rowmask(max_words);   // one compiled row's matches
+  std::vector<uint64_t> scope(max_words);     // union of var-row matches
+  std::vector<uint64_t> elig(max_words);      // live ∧ LHS non-NULL
+  std::vector<uint64_t> packed(kBlock);
+
+  // One compiled row's constant filter as flat kernel inputs.
+  struct RowFilter {
+    std::vector<const Code*> cols;
+    std::vector<Code> consts;
+  };
+
+  for (GroupState& gs : groups_) {
+    const size_t nlhs = gs.lhs_cols.size();
+    std::vector<const Code*> lhs_ptrs(nlhs);
+    for (size_t k = 0; k < nlhs; ++k) {
+      lhs_ptrs[k] = enc_->column(gs.lhs_cols[k]).data();
+    }
+    const Code* rhs_ptr = enc_->column(gs.rhs_col).data();
+    auto compile = [&](const std::vector<CompiledRow>& rows) {
+      std::vector<RowFilter> out(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        for (const auto& [pos, code] : rows[i].lhs_consts) {
+          out[i].cols.push_back(lhs_ptrs[pos]);
+          out[i].consts.push_back(code);
+        }
+      }
+      return out;
+    };
+    const std::vector<RowFilter> const_filters = compile(gs.compiled_const);
+    const std::vector<RowFilter> var_filters = compile(gs.compiled_var);
+
+    // Packed-key handle cache for narrow LHS: one uint64 hash probe per
+    // placement instead of hashing a code vector (Bucket addresses are
+    // node-stable under unordered_map growth). The vector-keyed gs.buckets
+    // stays the canonical state either way.
+    std::unordered_map<uint64_t, Bucket*> packed_buckets;
+    std::vector<Code> key;
+    std::vector<const Code*> shifted;
+    std::vector<const Code*> lhs_shifted(nlhs);
+
+    for (size_t lo = 0; lo < bound; lo += kBlock) {
+      const size_t n = std::min(kBlock, bound - lo);
+      const size_t nwords = simd::MaskWords(n);
+      if (kn.MaskLive(live + lo, nullptr, 0, kNullCode, n, livemask.data()) ==
+          0) {
+        continue;
+      }
+
+      // Single-tuple violations against constant-RHS rows: live ∧ LHS
+      // constants match ∧ RHS non-NULL ∧ RHS differs from the pattern.
+      for (size_t ri = 0; ri < const_filters.size(); ++ri) {
+        const RowFilter& f = const_filters[ri];
+        std::copy_n(livemask.data(), nwords, rowmask.data());
+        shifted.assign(f.cols.size(), nullptr);
+        for (size_t k = 0; k < f.cols.size(); ++k) shifted[k] = f.cols[k] + lo;
+        kn.FilterEqMulti32(shifted.data(), f.consts.data(), f.cols.size(), n,
+                           rowmask.data());
+        kn.MaskNeAnd32(rhs_ptr + lo, n, kNullCode, rowmask.data());
+        kn.MaskNeAnd32(rhs_ptr + lo, n, gs.compiled_const[ri].rhs_code,
+                       rowmask.data());
+        simd::ForEachSetBit(rowmask.data(), nwords, [&](size_t i) {
+          singles_[static_cast<TupleId>(lo + i)].emplace_back(
+              gs.compiled_const[ri].ci, gs.compiled_const[ri].pi);
+        });
+      }
+
+      // Variable-RHS scope membership: union of the var rows' filters,
+      // then the groupability mask (live ∧ every LHS attribute non-NULL).
+      if (var_filters.empty()) continue;
+      std::fill_n(scope.data(), nwords, uint64_t{0});
+      for (const RowFilter& f : var_filters) {
+        std::copy_n(livemask.data(), nwords, rowmask.data());
+        shifted.assign(f.cols.size(), nullptr);
+        for (size_t k = 0; k < f.cols.size(); ++k) shifted[k] = f.cols[k] + lo;
+        kn.FilterEqMulti32(shifted.data(), f.consts.data(), f.cols.size(), n,
+                           rowmask.data());
+        for (size_t w = 0; w < nwords; ++w) scope[w] |= rowmask[w];
+      }
+      for (size_t k = 0; k < nlhs; ++k) lhs_shifted[k] = lhs_ptrs[k] + lo;
+      if (kn.MaskLive(live + lo, lhs_shifted.data(), nlhs, kNullCode, n,
+                      elig.data()) == 0) {
+        continue;
+      }
+      bool any = false;
+      for (size_t w = 0; w < nwords; ++w) {
+        scope[w] &= elig[w];
+        any |= scope[w] != 0;
+      }
+      if (!any) continue;
+
+      auto place = [&](TupleId tid, Bucket& b, size_t i) {
+        b.members.push_back(tid);
+        b.AddRhs(enc_->Decode(gs.rhs_col, rhs_ptr[lo + i]));
+        ++buckets_touched_;
+      };
+      if (nlhs >= 1 && nlhs <= 2) {
+        kn.PackKeys2x32(lhs_shifted[0], nlhs == 2 ? lhs_shifted[1] : nullptr,
+                        n, packed.data());
+        simd::ForEachSetBit(scope.data(), nwords, [&](size_t i) {
+          auto [it, fresh] = packed_buckets.emplace(packed[i], nullptr);
+          if (fresh) {
+            key.clear();
+            for (size_t k = 0; k < nlhs; ++k) key.push_back(lhs_shifted[k][i]);
+            it->second = &gs.buckets[key];
+          }
+          place(static_cast<TupleId>(lo + i), *it->second, i);
+        });
+      } else {
+        simd::ForEachSetBit(scope.data(), nwords, [&](size_t i) {
+          key.clear();
+          for (size_t k = 0; k < nlhs; ++k) key.push_back(lhs_shifted[k][i]);
+          place(static_cast<TupleId>(lo + i), gs.buckets[key], i);
+        });
+      }
+    }
+  }
 }
 
 bool IncrementalDetector::LhsKeyOf(const GroupState& gs, TupleId tid,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cfd/cfd.h"
+#include "common/simd/simd.h"
 #include "common/status.h"
 #include "detect/violation.h"
 #include "relational/encoded_relation.h"
@@ -38,12 +39,20 @@ namespace semandaq::detect {
 /// never drift from the data: route all mutations through ApplyAndDetect.
 class IncrementalDetector {
  public:
-  /// `cfds` are resolved internally against rel's schema.
-  IncrementalDetector(relational::Relation* rel, std::vector<cfd::Cfd> cfds)
-      : rel_(rel), cfds_(std::move(cfds)) {}
+  /// `cfds` are resolved internally against rel's schema. `simd_level`
+  /// selects the kernel tier of Initialize()'s bulk bucket build (kAuto =
+  /// the host's best); every tier builds byte-identical bucket state.
+  IncrementalDetector(relational::Relation* rel, std::vector<cfd::Cfd> cfds,
+                      common::simd::Level simd_level =
+                          common::simd::Level::kAuto)
+      : rel_(rel), cfds_(std::move(cfds)), simd_level_(simd_level) {}
 
-  /// Builds the initial state with one full pass. Must be called once
-  /// before ApplyAndDetect.
+  /// Builds the initial state with one full pass. The pass runs in SIMD
+  /// kernel blocks (MaskLive liveness/non-NULL masks, FilterEqMulti32
+  /// pattern-constant narrowing, PackKeys2x32 packed bucket keys) instead
+  /// of tuple-at-a-time EnterTuple calls; the resulting buckets, singles,
+  /// and counters are identical to the per-tuple build on every tier.
+  /// Must be called once before ApplyAndDetect.
   common::Status Initialize();
 
   /// Applies the batch to the relation and updates violation state.
@@ -125,9 +134,13 @@ class IncrementalDetector {
   void EnterTuple(relational::TupleId tid);
   /// Unregisters a live tuple (must run before the row changes/dies).
   void LeaveTuple(relational::TupleId tid);
+  /// Kernel-block twin of calling EnterTuple for every live tuple — the
+  /// Initialize() bulk path.
+  void BulkEnter();
 
   relational::Relation* rel_;
   std::vector<cfd::Cfd> cfds_;
+  common::simd::Level simd_level_ = common::simd::Level::kAuto;
   std::vector<GroupState> groups_;
   /// Columnar code mirror of *rel_, kept warm by the delta hooks.
   std::optional<relational::EncodedRelation> enc_;

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "discovery/fd_miner.h"
@@ -15,9 +16,13 @@ namespace semandaq::discovery {
 
 namespace {
 
+namespace simd = common::simd;
+
 using cfd::Cfd;
 using cfd::PatternTuple;
 using cfd::PatternValue;
+using relational::Code;
+using relational::kNullCode;
 using relational::Row;
 using relational::TupleId;
 using relational::Value;
@@ -62,25 +67,179 @@ bool ConstantOn(const relational::Relation& rel, const std::vector<TupleId>& tid
   return !first;
 }
 
-/// Code-space twin of ConstantOn: one integer compare per tuple.
+/// Gather block size for the evidence scans: big enough to amortize the
+/// kernel dispatch, small enough that a candidate failing on its first
+/// tuples stops after one block (the scalar walk's first-conflict early
+/// exit, recovered at block granularity).
+constexpr size_t kGatherBlock = 1024;
+
+/// Code-space twin of ConstantOn, in kernel blocks: the class members' RHS
+/// codes gather blockwise into a dense scratch array and a CountEq32 pass
+/// per block decides "all equal to the first code" (which also rejects
+/// NULLs, since the first code must be non-NULL itself); the first
+/// disagreeing block exits.
 bool ConstantOnEncoded(const relational::EncodedRelation& enc,
+                       const simd::Kernels& kn,
                        const std::vector<TupleId>& tids, size_t rhs,
-                       Value* value) {
-  using relational::Code;
+                       Value* value, std::vector<Code>* scratch) {
   const std::vector<Code>& codes = enc.column(rhs);
-  Code shared = relational::kNullCode;
-  for (TupleId tid : tids) {
-    const Code c = codes[static_cast<size_t>(tid)];
-    if (c == relational::kNullCode) return false;
-    if (shared == relational::kNullCode) {
-      shared = c;
-    } else if (c != shared) {
-      return false;
+  const size_t n = tids.size();
+  if (n == 0) return false;
+  const Code shared = codes[static_cast<size_t>(tids[0])];
+  if (shared == kNullCode) return false;
+  scratch->resize(std::min(n, kGatherBlock));
+  Code* buf = scratch->data();
+  for (size_t lo = 0; lo < n; lo += kGatherBlock) {
+    const size_t m = std::min(kGatherBlock, n - lo);
+    for (size_t i = 0; i < m; ++i) {
+      buf[i] = codes[static_cast<size_t>(tids[lo + i])];
     }
+    if (kn.CountEq32(buf, m, shared) != m) return false;
   }
-  if (shared == relational::kNullCode) return false;
   *value = enc.Decode(rhs, shared);
   return true;
+}
+
+/// Reused gather/mask buffers for one candidate task's evidence scans.
+struct EvidenceScratch {
+  std::vector<std::vector<Code>> lhs_cols;  // gathered LHS code columns
+  std::vector<Code> rhs;                    // gathered RHS codes
+  std::vector<Code> constant;               // ConstantOnEncoded's buffer
+  std::vector<uint64_t> mask;
+  std::vector<uint64_t> packed;
+};
+
+/// Does X -> A hold within the conditioning class `cls`, and over how much
+/// evidence (tuples in X-groups of size >= 2)? The encoded variable-CFD
+/// scan: class members' X and A codes gather into dense scratch columns,
+/// MaskNeAnd32 builds the non-NULL eligibility mask, and for |X| == 2
+/// PackKeys2x32 pre-packs the group keys so the hash grouping runs on one
+/// uint64 per tuple. Identical outcome to the scalar tuple walk: the walk
+/// breaks at the first RHS conflict, but (holds, evidence) — the only
+/// outputs — do not depend on where the conflict was seen, and evidence is
+/// only consumed when no conflict exists at all.
+void VariableEvidenceEncoded(const relational::EncodedRelation& enc,
+                             const simd::Kernels& kn,
+                             const std::vector<TupleId>& cls,
+                             const std::vector<size_t>& lhs, size_t rhs,
+                             EvidenceScratch* s, bool* holds,
+                             size_t* evidence) {
+  const size_t n = cls.size();
+  const size_t nlhs = lhs.size();
+  *holds = true;
+  *evidence = 0;
+  if (n == 0) return;
+
+  const size_t block = std::min(n, kGatherBlock);
+  if (s->lhs_cols.size() < nlhs) s->lhs_cols.resize(nlhs);
+  for (size_t k = 0; k < nlhs; ++k) s->lhs_cols[k].resize(block);
+  s->rhs.resize(block);
+  s->mask.resize(simd::MaskWords(block));
+  if (nlhs == 2) s->packed.resize(block);
+  const std::vector<Code>& rhs_col = enc.column(rhs);
+
+  std::unordered_map<uint64_t, std::pair<Code, int>> groups2;
+  std::unordered_map<std::vector<Code>, std::pair<Code, int>,
+                     relational::CodeVecHash>
+      groups_wide;
+  std::vector<Code> key(nlhs);
+
+  // Blockwise: gather this block's X and A codes into dense scratch
+  // columns, fold the scalar walk's NULL skips into one bitmap with
+  // MaskNeAnd32, and group; the block after a conflict exits, so a
+  // failing candidate does O(block) work like the scalar walk's
+  // first-conflict break did.
+  for (size_t lo = 0; lo < n && *holds; lo += kGatherBlock) {
+    const size_t m = std::min(kGatherBlock, n - lo);
+    for (size_t k = 0; k < nlhs; ++k) {
+      const std::vector<Code>& col = enc.column(lhs[k]);
+      for (size_t i = 0; i < m; ++i) {
+        s->lhs_cols[k][i] = col[static_cast<size_t>(cls[lo + i])];
+      }
+    }
+    for (size_t i = 0; i < m; ++i) {
+      s->rhs[i] = rhs_col[static_cast<size_t>(cls[lo + i])];
+    }
+    const size_t mwords = simd::MaskWords(m);
+    std::fill_n(s->mask.data(), mwords, ~uint64_t{0});
+    if (m % 64 != 0) s->mask[mwords - 1] = ~uint64_t{0} >> (64 - m % 64);
+    for (size_t k = 0; k < nlhs; ++k) {
+      kn.MaskNeAnd32(s->lhs_cols[k].data(), m, kNullCode, s->mask.data());
+    }
+    kn.MaskNeAnd32(s->rhs.data(), m, kNullCode, s->mask.data());
+
+    if (nlhs == 2) {
+      kn.PackKeys2x32(s->lhs_cols[0].data(), s->lhs_cols[1].data(), m,
+                      s->packed.data());
+      simd::ForEachSetBit(s->mask.data(), mwords, [&](size_t i) {
+        if (!*holds) return;
+        auto [it, fresh] =
+            groups2.emplace(s->packed[i], std::make_pair(s->rhs[i], 0));
+        if (!fresh && it->second.first != s->rhs[i]) {
+          *holds = false;
+          return;
+        }
+        ++it->second.second;
+      });
+    } else {
+      simd::ForEachSetBit(s->mask.data(), mwords, [&](size_t i) {
+        if (!*holds) return;
+        for (size_t k = 0; k < nlhs; ++k) key[k] = s->lhs_cols[k][i];
+        auto [it, fresh] = groups_wide.emplace(key, std::make_pair(s->rhs[i], 0));
+        if (!fresh && it->second.first != s->rhs[i]) {
+          *holds = false;
+          return;
+        }
+        ++it->second.second;
+      });
+    }
+  }
+  if (!*holds) return;
+  // Evidence = tuples in groups of size >= 2 (identical to the scalar
+  // walk's incremental +2/+1 counting).
+  for (const auto& [k2, g] : groups2) {
+    if (g.second >= 2) *evidence += static_cast<size_t>(g.second);
+  }
+  for (const auto& [k2, g] : groups_wide) {
+    if (g.second >= 2) *evidence += static_cast<size_t>(g.second);
+  }
+}
+
+/// Row-space fallback of VariableEvidenceEncoded (use_encoded = false).
+void VariableEvidenceRows(const relational::Relation& rel,
+                          const std::vector<TupleId>& cls,
+                          const std::vector<size_t>& lhs, size_t rhs,
+                          bool* holds, size_t* evidence) {
+  *holds = true;
+  *evidence = 0;
+  std::unordered_map<Row, Value, relational::RowHash, relational::RowEq>
+      group_rhs;
+  std::unordered_map<Row, int, relational::RowHash, relational::RowEq>
+      group_size;
+  for (TupleId tid : cls) {
+    const Row& row = rel.row(tid);
+    Row key;
+    bool skip = false;
+    for (size_t c : lhs) {
+      if (row[c].is_null()) {
+        skip = true;
+        break;
+      }
+      key.push_back(row[c]);
+    }
+    if (skip || row[rhs].is_null()) continue;
+    auto [it, fresh] = group_rhs.emplace(key, row[rhs]);
+    if (!fresh && !(it->second == row[rhs])) {
+      *holds = false;
+      return;
+    }
+    const int n = ++group_size[key];
+    if (n == 2) {
+      *evidence += 2;  // the group just became nontrivial
+    } else if (n > 2) {
+      ++*evidence;
+    }
+  }
 }
 
 }  // namespace
@@ -96,45 +255,32 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
     encoded = std::make_unique<relational::EncodedRelation>(rel_);
   }
 
-  // Shared partition cache.
-  std::map<std::vector<size_t>, Partition> cache;
+  // Lane resolution is shared with the embedded FdMiner run below.
+  std::unique_ptr<common::ThreadPool> local_pool;
+  common::ThreadPool* pool =
+      common::ResolvePool(options_.pool, options_.num_threads, &local_pool);
+  const bool parallel = pool != nullptr && pool->num_threads() > 1 && ncols > 0;
 
-  // Independent per-attribute base builds fan out over a borrowed pool
-  // (identical output to the lazy serial build — see FdMinerOptions::pool).
-  if (options_.pool != nullptr && options_.pool->num_threads() > 1 &&
-      ncols > 0) {
-    rel_->EnsureHydrated();  // hydration is not thread-safe; pay it once
-    std::vector<Partition> bases(ncols);
-    options_.pool->Run(ncols, [&](size_t c) {
-      bases[c] = encoded ? Partition::Build(*encoded, {c})
-                         : Partition::Build(*rel_, {c});
-    });
-    for (size_t c = 0; c < ncols; ++c) {
-      cache.emplace(std::vector<size_t>{c}, std::move(bases[c]));
-    }
-  }
-  std::function<const Partition&(const std::vector<size_t>&)> partition_of =
-      [&](const std::vector<size_t>& cols) -> const Partition& {
-    auto it = cache.find(cols);
-    if (it != cache.end()) return it->second;
-    Partition p;
-    if (cols.size() <= 1) {
-      p = encoded ? Partition::Build(*encoded, cols)
-                  : Partition::Build(*rel_, cols);
-    } else {
-      std::vector<size_t> prefix(cols.begin(), cols.end() - 1);
-      p = Partition::Intersect(partition_of(prefix), partition_of({cols.back()}));
-    }
-    return cache.emplace(cols, std::move(p)).first->second;
-  };
+  // Two-generation partition memory (bases pinned): at level k the
+  // candidates fill the current generation from the previous one's
+  // prefixes, and the left-reduction's (k-1)-subsets all sit in the
+  // previous generation, so Rotate() after each level keeps residency
+  // bounded without forcing rebuilds.
+  PartitionCache cache(rel_, encoded.get(), options_.simd_level);
+  // BuildBases also pays row hydration once before any fan-out (the
+  // candidate tasks below read rows for pattern constants, and lazy
+  // hydration is not thread-safe).
+  if (parallel) cache.BuildBases(ncols, pool);
+  const simd::Kernels& kn = simd::KernelsFor(options_.simd_level);
 
   // Global minimal FDs first (they both seed all-wildcard CFDs and prune
-  // redundant conditional forms).
+  // redundant conditional forms). The embedded run shares this miner's
+  // encode pass, partition cache, and lanes — one encode, one set of
+  // bases, not two.
   FdMinerOptions fd_opts;
   fd_opts.max_lhs = options_.max_lhs;
-  fd_opts.pool = options_.pool;
   FdMiner fd_miner(rel_, fd_opts);
-  const std::vector<DiscoveredFd> global_fds = fd_miner.Mine();
+  const std::vector<DiscoveredFd> global_fds = fd_miner.Mine(&cache, pool);
   auto fd_holds_globally = [&](const std::vector<size_t>& lhs, size_t rhs) {
     for (const DiscoveredFd& fd : global_fds) {
       if (fd.rhs_col != rhs) continue;
@@ -164,164 +310,137 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
     }
   }
 
-  for (size_t level = 1; level <= options_.max_lhs && level < ncols; ++level) {
-    ForEachSubset(ncols, level, [&](const std::vector<size_t>& lhs) {
-      const Partition& px = partition_of(lhs);
-      for (size_t rhs = 0; rhs < ncols; ++rhs) {
-        if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
-        const bool global = fd_holds_globally(lhs, rhs);
+  // Mines every constant and variable CFD for one candidate LHS into
+  // `local`, in the serial sweep's (rhs-ascending, constant-then-variable)
+  // emission order. Pure function of the candidate plus read-only shared
+  // state (partitions are deterministic, the cache is thread-safe), so
+  // candidates fan out freely.
+  auto mine_candidate = [&](const std::vector<size_t>& lhs,
+                            std::vector<Cfd>* local) {
+    const Partition& px = cache.Get(lhs);
+    EvidenceScratch scratch;
+    for (size_t rhs = 0; rhs < ncols; ++rhs) {
+      if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
+      const bool global = fd_holds_globally(lhs, rhs);
 
-        // ---- Constant CFDs: per class of Π_X with support, A constant.
-        if (options_.mine_constant && !global) {
-          std::vector<PatternTuple> rows;
-          for (const auto& cls : px.classes()) {
-            if (cls.size() < options_.min_support) continue;
-            Value shared;
-            if (encoded ? !ConstantOnEncoded(*encoded, cls, rhs, &shared)
-                        : !ConstantOn(*rel_, cls, rhs, &shared)) {
-              continue;
-            }
-            // Left-reduction: skip when dropping any one LHS attribute
-            // still yields a constant class with the same value.
-            bool reducible = false;
-            if (lhs.size() > 1) {
-              for (size_t drop = 0; drop < lhs.size() && !reducible; ++drop) {
-                std::vector<size_t> sub;
-                for (size_t i = 0; i < lhs.size(); ++i) {
-                  if (i != drop) sub.push_back(lhs[i]);
+      // ---- Constant CFDs: per class of Π_X with support, A constant.
+      if (options_.mine_constant && !global) {
+        std::vector<PatternTuple> rows;
+        for (const auto& cls : px.classes()) {
+          if (cls.size() < options_.min_support) continue;
+          Value shared;
+          if (encoded ? !ConstantOnEncoded(*encoded, kn, cls, rhs, &shared,
+                                           &scratch.constant)
+                      : !ConstantOn(*rel_, cls, rhs, &shared)) {
+            continue;
+          }
+          // Left-reduction: skip when dropping any one LHS attribute
+          // still yields a constant class with the same value.
+          bool reducible = false;
+          if (lhs.size() > 1) {
+            for (size_t drop = 0; drop < lhs.size() && !reducible; ++drop) {
+              std::vector<size_t> sub;
+              for (size_t i = 0; i < lhs.size(); ++i) {
+                if (i != drop) sub.push_back(lhs[i]);
+              }
+              const Partition& psub = cache.Get(sub);
+              const int32_t cid = psub.ClassOf(cls.front());
+              if (cid < 0) continue;
+              // Find the materialized class (non-singleton) with this id.
+              for (const auto& sup : psub.classes()) {
+                if (psub.ClassOf(sup.front()) != cid) continue;
+                Value sub_shared;
+                if (sup.size() >= options_.min_support &&
+                    (encoded ? ConstantOnEncoded(*encoded, kn, sup, rhs,
+                                                 &sub_shared,
+                                                 &scratch.constant)
+                             : ConstantOn(*rel_, sup, rhs, &sub_shared)) &&
+                    sub_shared == shared) {
+                  reducible = true;
                 }
-                const Partition& psub = partition_of(sub);
-                const int32_t cid = psub.ClassOf(cls.front());
-                if (cid < 0) continue;
-                // Find the materialized class (non-singleton) with this id.
-                for (const auto& sup : psub.classes()) {
-                  if (psub.ClassOf(sup.front()) != cid) continue;
-                  Value sub_shared;
-                  if (sup.size() >= options_.min_support &&
-                      (encoded ? ConstantOnEncoded(*encoded, sup, rhs, &sub_shared)
-                               : ConstantOn(*rel_, sup, rhs, &sub_shared)) &&
-                      sub_shared == shared) {
-                    reducible = true;
-                  }
-                  break;
-                }
+                break;
               }
             }
-            if (reducible) continue;
+          }
+          if (reducible) continue;
+          PatternTuple pt;
+          const Row& sample = rel_->row(cls.front());
+          for (size_t c : lhs) pt.lhs.push_back(PatternValue::Constant(sample[c]));
+          pt.rhs = PatternValue::Constant(shared);
+          rows.push_back(std::move(pt));
+          if (rows.size() >= options_.max_patterns_per_fd) break;
+        }
+        if (!rows.empty()) {
+          local->emplace_back(rel_->name(), attr_names(lhs),
+                              schema.attr(rhs).name, std::move(rows));
+        }
+      }
+
+      // ---- Variable CFDs: condition one LHS attribute on a constant.
+      if (options_.mine_variable && !global && lhs.size() >= 2) {
+        std::vector<PatternTuple> rows;
+        for (size_t cond = 0; cond < lhs.size() && rows.size() <
+                                                      options_.max_patterns_per_fd;
+             ++cond) {
+          const Partition& pc = cache.Get({lhs[cond]});
+          for (const auto& cls : pc.classes()) {
+            if (cls.size() < options_.min_support) continue;
+            // Does X -> A hold within σ_{C=c}? Group the class members by
+            // their full X projection and require constant A per group.
+            // Evidence = tuples sitting in X-groups of size >= 2, i.e. the
+            // tuples the conditioned FD actually constrains. Requiring
+            // min_support *evidence* (not just a populous conditioning
+            // class) is what separates domain rules from sampling
+            // coincidences.
+            bool holds = true;
+            size_t evidence = 0;
+            if (encoded) {
+              VariableEvidenceEncoded(*encoded, kn, cls, lhs, rhs, &scratch,
+                                      &holds, &evidence);
+            } else {
+              VariableEvidenceRows(*rel_, cls, lhs, rhs, &holds, &evidence);
+            }
+            if (!holds || evidence < options_.min_support) continue;
             PatternTuple pt;
-            const Row& sample = rel_->row(cls.front());
-            for (size_t c : lhs) pt.lhs.push_back(PatternValue::Constant(sample[c]));
-            pt.rhs = PatternValue::Constant(shared);
+            const Value& c_value = rel_->cell(cls.front(), lhs[cond]);
+            for (size_t i = 0; i < lhs.size(); ++i) {
+              pt.lhs.push_back(i == cond ? PatternValue::Constant(c_value)
+                                         : PatternValue::Wildcard());
+            }
+            pt.rhs = PatternValue::Wildcard();
             rows.push_back(std::move(pt));
             if (rows.size() >= options_.max_patterns_per_fd) break;
           }
-          if (!rows.empty()) {
-            out.emplace_back(rel_->name(), attr_names(lhs), schema.attr(rhs).name,
-                             std::move(rows));
-          }
         }
-
-        // ---- Variable CFDs: condition one LHS attribute on a constant.
-        if (options_.mine_variable && !global && lhs.size() >= 2) {
-          std::vector<PatternTuple> rows;
-          for (size_t cond = 0; cond < lhs.size() && rows.size() <
-                                                        options_.max_patterns_per_fd;
-               ++cond) {
-            const Partition& pc = partition_of({lhs[cond]});
-            for (const auto& cls : pc.classes()) {
-              if (cls.size() < options_.min_support) continue;
-              // Does X -> A hold within σ_{C=c}? Group the class members by
-              // their full X projection and require constant A per group.
-              bool holds = true;
-              // Evidence = tuples sitting in X-groups of size >= 2, i.e. the
-              // tuples the conditioned FD actually constrains. Requiring
-              // min_support *evidence* (not just a populous conditioning
-              // class) is what separates domain rules from sampling
-              // coincidences.
-              size_t evidence = 0;
-              if (encoded) {
-                // Code-space grouping: (rhs code, group size) per X code key.
-                using relational::Code;
-                std::unordered_map<std::vector<Code>, std::pair<Code, int>,
-                                   relational::CodeVecHash>
-                    groups;
-                std::vector<Code> key(lhs.size());
-                for (TupleId tid : cls) {
-                  bool skip = false;
-                  for (size_t i = 0; i < lhs.size(); ++i) {
-                    key[i] = encoded->code(tid, lhs[i]);
-                    if (key[i] == relational::kNullCode) {
-                      skip = true;
-                      break;
-                    }
-                  }
-                  const Code a = encoded->code(tid, rhs);
-                  if (skip || a == relational::kNullCode) continue;
-                  auto [it, fresh] = groups.emplace(key, std::make_pair(a, 0));
-                  if (!fresh && it->second.first != a) {
-                    holds = false;
-                    break;
-                  }
-                  const int n = ++it->second.second;
-                  if (n == 2) {
-                    evidence += 2;  // the group just became nontrivial
-                  } else if (n > 2) {
-                    ++evidence;
-                  }
-                }
-              } else {
-                std::unordered_map<Row, Value, relational::RowHash,
-                                   relational::RowEq>
-                    group_rhs;
-                std::unordered_map<Row, int, relational::RowHash,
-                                   relational::RowEq>
-                    group_size;
-                for (TupleId tid : cls) {
-                  const Row& row = rel_->row(tid);
-                  Row key;
-                  bool skip = false;
-                  for (size_t c : lhs) {
-                    if (row[c].is_null()) {
-                      skip = true;
-                      break;
-                    }
-                    key.push_back(row[c]);
-                  }
-                  if (skip || row[rhs].is_null()) continue;
-                  auto [it, fresh] = group_rhs.emplace(key, row[rhs]);
-                  if (!fresh) {
-                    if (!(it->second == row[rhs])) {
-                      holds = false;
-                      break;
-                    }
-                  }
-                  const int n = ++group_size[key];
-                  if (n == 2) {
-                    evidence += 2;  // the group just became nontrivial
-                  } else if (n > 2) {
-                    ++evidence;
-                  }
-                }
-              }
-              if (!holds || evidence < options_.min_support) continue;
-              PatternTuple pt;
-              const Value& c_value = rel_->cell(cls.front(), lhs[cond]);
-              for (size_t i = 0; i < lhs.size(); ++i) {
-                pt.lhs.push_back(i == cond ? PatternValue::Constant(c_value)
-                                           : PatternValue::Wildcard());
-              }
-              pt.rhs = PatternValue::Wildcard();
-              rows.push_back(std::move(pt));
-              if (rows.size() >= options_.max_patterns_per_fd) break;
-            }
-          }
-          if (!rows.empty()) {
-            out.emplace_back(rel_->name(), attr_names(lhs), schema.attr(rhs).name,
-                             std::move(rows));
-          }
+        if (!rows.empty()) {
+          local->emplace_back(rel_->name(), attr_names(lhs),
+                              schema.attr(rhs).name, std::move(rows));
         }
       }
-    });
+    }
+  };
+
+  for (size_t level = 1; level <= options_.max_lhs && level < ncols; ++level) {
+    // Materialize this level's candidates in lexicographic order and mine
+    // them into per-candidate slots; emission below replays the slots in
+    // order, so the output is byte-identical to the serial sweep for every
+    // thread count.
+    std::vector<std::vector<size_t>> cands;
+    ForEachSubset(ncols, level,
+                  [&](const std::vector<size_t>& lhs) { cands.push_back(lhs); });
+    std::vector<std::vector<Cfd>> slots(cands.size());
+    if (parallel) {
+      pool->Run(cands.size(),
+                [&](size_t i) { mine_candidate(cands[i], &slots[i]); });
+    } else {
+      for (size_t i = 0; i < cands.size(); ++i) {
+        mine_candidate(cands[i], &slots[i]);
+      }
+    }
+    for (std::vector<Cfd>& slot : slots) {
+      for (Cfd& c : slot) out.push_back(std::move(c));
+    }
+    cache.Rotate();
   }
   return out;
 }

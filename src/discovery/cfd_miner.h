@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cfd/cfd.h"
+#include "common/simd/simd.h"
 #include "common/status.h"
 #include "relational/relation.h"
 
@@ -30,10 +31,21 @@ struct CfdMinerOptions {
   /// Run the partition and evidence passes over a dictionary-encoded
   /// snapshot (integer codes) instead of hashing Rows and Values.
   bool use_encoded = true;
-  /// Borrowed worker pool for the independent per-attribute base-partition
-  /// builds (shared with the embedded FdMiner run). Mined output is
-  /// identical to serial — see FdMinerOptions::pool. nullptr = serial.
+  /// Lanes for the per-level candidate fan-out (and the embedded FdMiner
+  /// run): 1 = serial sweep (the default), 0 = one lane per hardware
+  /// thread, N = N lanes. Without a borrowed `pool`, the miner spins up
+  /// its own pool for the Mine() call. Mined output is byte-identical for
+  /// every thread count — see FdMinerOptions::num_threads.
+  size_t num_threads = 1;
+  /// Borrowed worker pool (e.g. the Semandaq facade's, shared with the
+  /// embedded FdMiner run). When attached with more than one lane it
+  /// powers the base-partition builds and the candidate fan-out,
+  /// overriding `num_threads`. Mined output is identical to serial.
   common::ThreadPool* pool = nullptr;
+  /// Kernel tier for partition builds, intersects, and the constant/
+  /// variable evidence scans (kAuto = the host's best). Every tier mines
+  /// the identical output.
+  common::simd::Level simd_level = common::simd::Level::kAuto;
 };
 
 /// CTANE-style CFD discovery from reference data (paper §2, Constraint
@@ -51,6 +63,12 @@ struct CfdMinerOptions {
 ///
 /// Every emitted CFD holds on the mined instance by construction (the test
 /// suite re-verifies with the detector).
+///
+/// Like the FD miner, the sweep fans each level's candidate LHS sets out
+/// over a thread pool (one task per candidate, per-candidate result slots,
+/// serial lexicographic emission) and the evidence scans run on the
+/// common::simd kernel tier — output is byte-identical across thread
+/// counts and tiers (tests/parallel_discovery_test).
 class CfdMiner {
  public:
   explicit CfdMiner(const relational::Relation* rel, CfdMinerOptions options = {})

@@ -38,20 +38,22 @@ void ForEachSubset(size_t n, size_t k,
 }  // namespace
 
 bool FdMiner::Holds(const relational::Relation& rel, const std::vector<size_t>& lhs,
-                    size_t rhs) {
-  const Partition px = Partition::Build(rel, lhs);
+                    size_t rhs, bool use_encoded) {
   std::vector<size_t> xa = lhs;
   xa.push_back(rhs);
+  std::sort(xa.begin(), xa.end());
+  if (use_encoded) {
+    const relational::EncodedRelation encoded(&rel);
+    const Partition px = Partition::Build(encoded, lhs);
+    const Partition pxa = Partition::Build(encoded, xa);
+    return RefinesForFd(px, pxa);
+  }
+  const Partition px = Partition::Build(rel, lhs);
   const Partition pxa = Partition::Build(rel, xa);
-  return px.Refines(pxa);
+  return RefinesForFd(px, pxa);
 }
 
 std::vector<DiscoveredFd> FdMiner::Mine() {
-  const size_t ncols = rel_->schema().size();
-  std::vector<DiscoveredFd> found;
-  // rhs -> list of minimal LHS sets found so far.
-  std::map<size_t, std::vector<std::vector<size_t>>> minimal_lhs;
-
   // Base partitions come from the dictionary-encoded snapshot when enabled:
   // singletons then cost one dense code->class array pass each, with the
   // array sized directly from the dictionary cardinality.
@@ -59,45 +61,28 @@ std::vector<DiscoveredFd> FdMiner::Mine() {
   if (options_.use_encoded) {
     encoded = std::make_unique<relational::EncodedRelation>(rel_);
   }
+  std::unique_ptr<common::ThreadPool> local_pool;
+  common::ThreadPool* pool =
+      common::ResolvePool(options_.pool, options_.num_threads, &local_pool);
+  // Two-generation partition memory: bases pinned, level k-1 products kept
+  // for the intersect recurrence, level k products filling. Rotate() after
+  // each level evicts everything older (rebuilt on demand if a pruning
+  // path asks again).
+  PartitionCache cache(rel_, encoded.get(), options_.simd_level);
+  return Mine(&cache, pool);
+}
 
-  // Partition cache keyed by the sorted column list; products are built from
-  // the prefix partition and the last singleton (classic TANE recurrence).
-  std::map<std::vector<size_t>, Partition> cache;
+std::vector<DiscoveredFd> FdMiner::Mine(PartitionCache* cache,
+                                        common::ThreadPool* pool) {
+  const size_t ncols = rel_->schema().size();
+  std::vector<DiscoveredFd> found;
+  // rhs -> list of minimal LHS sets found so far.
+  std::map<size_t, std::vector<std::vector<size_t>>> minimal_lhs;
 
-  // Base-level fan-out: every singleton partition gets built by the sweep
-  // anyway, and the builds are mutually independent (each reads one code
-  // column of the shared snapshot, or one projection of the hydrated
-  // relation), so a borrowed pool builds them concurrently up front. Class
-  // ids are first-touch-ordered per partition, so the result is identical
-  // to the lazy serial build; only the wall clock changes.
-  if (options_.pool != nullptr && options_.pool->num_threads() > 1 &&
-      ncols > 0) {
-    rel_->EnsureHydrated();  // hydration is not thread-safe; pay it once
-    std::vector<Partition> bases(ncols);
-    options_.pool->Run(ncols, [&](size_t c) {
-      bases[c] = encoded ? Partition::Build(*encoded, {c})
-                         : Partition::Build(*rel_, {c});
-    });
-    for (size_t c = 0; c < ncols; ++c) {
-      cache.emplace(std::vector<size_t>{c}, std::move(bases[c]));
-    }
-  }
-  std::function<const Partition&(const std::vector<size_t>&)> partition_of =
-      [&](const std::vector<size_t>& cols) -> const Partition& {
-    auto it = cache.find(cols);
-    if (it != cache.end()) return it->second;
-    Partition p;
-    if (cols.size() <= 1) {
-      p = encoded ? Partition::Build(*encoded, cols)
-                  : Partition::Build(*rel_, cols);
-    } else {
-      std::vector<size_t> prefix(cols.begin(), cols.end() - 1);
-      const Partition& pa = partition_of(prefix);
-      const Partition& pb = partition_of({cols.back()});
-      p = Partition::Intersect(pa, pb);
-    }
-    return cache.emplace(cols, std::move(p)).first->second;
-  };
+  const bool parallel = pool != nullptr && pool->num_threads() > 1 && ncols > 0;
+  // BuildBases also pays row hydration once before the fan-out (it is not
+  // thread-safe lazily) — a no-op when the CFD miner primed the cache.
+  if (parallel) cache->BuildBases(ncols, pool);
 
   auto has_subset_fd = [&](const std::vector<size_t>& lhs, size_t rhs) {
     auto it = minimal_lhs.find(rhs);
@@ -109,21 +94,65 @@ std::vector<DiscoveredFd> FdMiner::Mine() {
   };
 
   for (size_t level = 1; level <= options_.max_lhs && level < ncols; ++level) {
-    ForEachSubset(ncols, level, [&](const std::vector<size_t>& lhs) {
-      const Partition& px = partition_of(lhs);
+    // Materialize this level's candidates up front, in the lexicographic
+    // order the serial sweep visits them.
+    std::vector<std::vector<size_t>> cands;
+    ForEachSubset(ncols, level,
+                  [&](const std::vector<size_t>& lhs) { cands.push_back(lhs); });
+
+    // Per-candidate work lists. Minimality pruning only depends on FDs from
+    // strictly smaller levels (two same-size LHS sets never contain one
+    // another), so the skip set is fixed before the fan-out and candidates
+    // are mutually independent.
+    struct Slot {
+      std::vector<size_t> rhs;     // RHS columns to validate, ascending
+      std::vector<uint8_t> holds;  // parallel to rhs
+    };
+    std::vector<Slot> slots(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+      const std::vector<size_t>& lhs = cands[i];
       for (size_t rhs = 0; rhs < ncols; ++rhs) {
         if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
         if (has_subset_fd(lhs, rhs)) continue;  // not minimal
-        std::vector<size_t> xa = lhs;
-        xa.push_back(rhs);
-        std::sort(xa.begin(), xa.end());
-        const Partition& pxa = partition_of(xa);
-        if (px.Refines(pxa)) {
-          found.push_back(DiscoveredFd{lhs, rhs});
-          minimal_lhs[rhs].push_back(lhs);
-        }
+        slots[i].rhs.push_back(rhs);
       }
-    });
+      slots[i].holds.assign(slots[i].rhs.size(), 0);
+    }
+
+    // Validate: one task per candidate, results into its slot. Every
+    // Refines/error-test outcome is a pure function of the (deterministic)
+    // partitions, so the fan-out cannot perturb the mined set.
+    auto validate = [&](size_t i) {
+      const std::vector<size_t>& lhs = cands[i];
+      Slot& slot = slots[i];
+      if (slot.rhs.empty()) return;
+      const Partition& px = cache->Get(lhs);
+      std::vector<size_t> xa(lhs.size() + 1);
+      for (size_t j = 0; j < slot.rhs.size(); ++j) {
+        xa.assign(lhs.begin(), lhs.end());
+        xa.push_back(slot.rhs[j]);
+        std::sort(xa.begin(), xa.end());
+        const Partition& pxa = cache->Get(xa);
+        slot.holds[j] = options_.use_error_exit ? RefinesForFd(px, pxa)
+                                                : px.Refines(pxa);
+      }
+    };
+    if (parallel) {
+      pool->Run(cands.size(), validate);
+    } else {
+      for (size_t i = 0; i < cands.size(); ++i) validate(i);
+    }
+
+    // Emit in the serial sweep's exact order: candidates lexicographic,
+    // RHS ascending within each.
+    for (size_t i = 0; i < cands.size(); ++i) {
+      for (size_t j = 0; j < slots[i].rhs.size(); ++j) {
+        if (!slots[i].holds[j]) continue;
+        found.push_back(DiscoveredFd{cands[i], slots[i].rhs[j]});
+        minimal_lhs[slots[i].rhs[j]].push_back(cands[i]);
+      }
+    }
+    cache->Rotate();
   }
   return found;
 }

@@ -24,17 +24,38 @@ struct FdMinerOptions {
   /// Build base partitions from a dictionary-encoded snapshot (one encode
   /// pass, then pure integer grouping) instead of hashing projected Rows.
   bool use_encoded = true;
-  /// Borrowed worker pool (e.g. the Semandaq facade's): the per-attribute
-  /// Partition::Build calls of the base level are independent, so Mine()
-  /// fans them out over the pool's lanes before the levelwise sweep.
-  /// Products are derived from the cached bases either way, so the mined
-  /// output is identical to the serial build. nullptr = serial.
+  /// Lanes for the per-level candidate fan-out: 1 = serial sweep (the
+  /// default), 0 = one lane per hardware thread, N = N lanes. When no
+  /// borrowed `pool` is attached, the miner spins up its own pool for the
+  /// Mine() call. Mined output is byte-identical for every thread count —
+  /// candidates are validated into per-candidate slots and emitted in the
+  /// serial sweep's exact lexicographic order.
+  size_t num_threads = 1;
+  /// Borrowed worker pool (e.g. the Semandaq facade's). When attached with
+  /// more than one lane it powers both the base-partition builds and the
+  /// per-level candidate fan-out, overriding `num_threads`. nullptr =
+  /// honor `num_threads`.
   common::ThreadPool* pool = nullptr;
+  /// Kernel tier for the partition builds, intersect probe loops, and
+  /// evidence scans (kAuto = the host's best; see docs/simd.md). Every
+  /// tier mines the identical output.
+  common::simd::Level simd_level = common::simd::Level::kAuto;
+  /// Decide candidates by the O(1) stripped-partition error test
+  /// e(X) == e(X∪A) when the covers match, instead of walking classes
+  /// (see RefinesForFd). Output is identical either way; the knob exists
+  /// for the A/B bench.
+  bool use_error_exit = true;
 };
 
 /// TANE-style levelwise FD discovery on stripped partitions: candidate
 /// X -> A is valid iff Π_X refines Π_{X∪{A}}. Only minimal FDs are emitted
 /// (no discovered FD's LHS contains another's for the same RHS).
+///
+/// The sweep fans each level's candidates out over a thread pool (one task
+/// per candidate LHS; see FdMinerOptions::num_threads) and keeps partition
+/// memory level-scoped through a two-generation PartitionCache. Mined
+/// output is byte-identical to the serial sweep for every thread count and
+/// kernel tier.
 ///
 /// This is both a substrate of the CFD miner and the classical baseline the
 /// constraint engine falls back to when no conditioning helps.
@@ -45,9 +66,22 @@ class FdMiner {
 
   std::vector<DiscoveredFd> Mine();
 
-  /// Checks one FD directly (exposed for tests and the CFD miner).
+  /// Mines through a caller-provided partition cache and lanes — the CFD
+  /// miner shares its encode pass and PartitionCache with this embedded
+  /// run instead of paying both twice. The cache is populated and
+  /// Rotate()d by the sweep (call between your own levels only);
+  /// `pool` may be null (serial sweep). Only `max_lhs` and
+  /// `use_error_exit` of the options apply — the cache already fixes the
+  /// encode path and kernel tier. Output is identical to Mine().
+  std::vector<DiscoveredFd> Mine(PartitionCache* cache,
+                                 common::ThreadPool* pool);
+
+  /// Checks one FD directly (exposed for tests and the CFD miner). With
+  /// `use_encoded` (the default) both partitions come off one dictionary
+  /// encode pass — the same build path Mine() uses — instead of hashing
+  /// projected Rows.
   static bool Holds(const relational::Relation& rel, const std::vector<size_t>& lhs,
-                    size_t rhs);
+                    size_t rhs, bool use_encoded = true);
 
  private:
   const relational::Relation* rel_;

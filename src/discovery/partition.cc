@@ -1,8 +1,10 @@
 #include "discovery/partition.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 
 namespace semandaq::discovery {
 
@@ -135,30 +137,143 @@ Partition Partition::Build(const relational::EncodedRelation& enc,
   return p;
 }
 
-Partition Partition::Intersect(const Partition& a, const Partition& b) {
+Partition Partition::Intersect(const Partition& a, const Partition& b,
+                               common::simd::Level level) {
+  namespace simd = common::simd;
   Partition p;
   const size_t bound = std::max(a.class_of_.size(), b.class_of_.size());
   p.class_of_.assign(bound, -1);
   std::unordered_map<uint64_t, int32_t> ids;
   std::vector<std::vector<TupleId>> members;
-  for (size_t i = 0; i < bound; ++i) {
-    const int32_t ca = i < a.class_of_.size() ? a.class_of_[i] : -1;
-    const int32_t cb = i < b.class_of_.size() ? b.class_of_[i] : -1;
-    if (ca < 0 || cb < 0) continue;
-    const uint64_t key =
-        (static_cast<uint64_t>(static_cast<uint32_t>(ca)) << 32) |
-        static_cast<uint32_t>(cb);
-    auto [it, fresh] = ids.emplace(key, static_cast<int32_t>(ids.size()));
-    if (fresh) members.emplace_back();
-    members[static_cast<size_t>(it->second)].push_back(static_cast<TupleId>(i));
-    p.class_of_[i] = it->second;
-    ++p.covered_;
+
+  // Beyond the shorter class_of_ array one side is uncovered, so only the
+  // common prefix can contribute. The probe loop runs in kernel blocks:
+  // the int32 class ids reinterpret as uint32 columns (-1 = 0xFFFFFFFF),
+  // MaskNeAnd32 drops the not-covered tuples of either side, and
+  // PackKeys2x32 packs the surviving (class_a, class_b) pairs into the
+  // same 64-bit keys the scalar loop built — first-touch class ids over
+  // the ascending bit order make every tier's result identical.
+  const size_t common_bound = std::min(a.class_of_.size(), b.class_of_.size());
+  const auto* ca = reinterpret_cast<const uint32_t*>(a.class_of_.data());
+  const auto* cb = reinterpret_cast<const uint32_t*>(b.class_of_.data());
+  constexpr uint32_t kNotCovered = 0xFFFFFFFFu;  // bit pattern of int32 -1
+  constexpr size_t kBlock = 4096;
+  const simd::Kernels& kn = simd::KernelsFor(level);
+  std::vector<uint64_t> mask(simd::MaskWords(kBlock));
+  std::vector<uint64_t> packed(kBlock);
+  for (size_t lo = 0; lo < common_bound; lo += kBlock) {
+    const size_t n = std::min(kBlock, common_bound - lo);
+    const size_t nwords = simd::MaskWords(n);
+    std::fill(mask.begin(), mask.begin() + nwords, ~uint64_t{0});
+    if (n % 64 != 0) mask[nwords - 1] = ~uint64_t{0} >> (64 - n % 64);
+    kn.MaskNeAnd32(ca + lo, n, kNotCovered, mask.data());
+    kn.MaskNeAnd32(cb + lo, n, kNotCovered, mask.data());
+    kn.PackKeys2x32(ca + lo, cb + lo, n, packed.data());
+    simd::ForEachSetBit(mask.data(), nwords, [&](size_t i) {
+      auto [it, fresh] =
+          ids.emplace(packed[i], static_cast<int32_t>(ids.size()));
+      if (fresh) members.emplace_back();
+      members[static_cast<size_t>(it->second)].push_back(
+          static_cast<TupleId>(lo + i));
+      p.class_of_[lo + i] = it->second;
+      ++p.covered_;
+    });
   }
   p.num_classes_ = ids.size();
   for (auto& m : members) {
     if (m.size() >= 2) p.classes_.push_back(std::move(m));
   }
   return p;
+}
+
+namespace {
+
+/// Releases a PartitionCache build claim on scope exit — also on unwind,
+/// so a throwing build (OOM) cannot leave waiters parked forever.
+template <typename Set, typename Key>
+class ClaimGuard {
+ public:
+  ClaimGuard(std::mutex* mu, std::condition_variable* cv, Set* set, Key key)
+      : mu_(mu), cv_(cv), set_(set), key_(std::move(key)) {}
+  ~ClaimGuard() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    set_->erase(key_);
+    cv_->notify_all();
+  }
+  ClaimGuard(const ClaimGuard&) = delete;
+  ClaimGuard& operator=(const ClaimGuard&) = delete;
+
+ private:
+  std::mutex* mu_;
+  std::condition_variable* cv_;
+  Set* set_;
+  Key key_;
+};
+
+}  // namespace
+
+const Partition& PartitionCache::Get(const std::vector<size_t>& cols) {
+  // Builds run outside the lock; the building_* sets claim a key so that
+  // concurrent lanes wanting the same set wait for the one builder
+  // instead of redoing the work (same-level candidates always share
+  // products, so the stampede would be the common case, not a rare
+  // race). Waits cannot cycle: a build only recurses into strict subsets.
+  if (cols.size() <= 1) {
+    const size_t col = cols.empty() ? SIZE_MAX : cols[0];
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (true) {
+        auto it = bases_.find(col);
+        if (it != bases_.end()) return it->second;
+        if (building_bases_.count(col) == 0) {
+          building_bases_.insert(col);
+          break;
+        }
+        built_cv_.wait(lock);
+      }
+    }
+    ClaimGuard<std::set<size_t>, size_t> guard(&mu_, &built_cv_,
+                                               &building_bases_, col);
+    Partition p = enc_ != nullptr ? Partition::Build(*enc_, cols, level_)
+                                  : Partition::Build(*rel_, cols);
+    std::lock_guard<std::mutex> lock(mu_);
+    return bases_.try_emplace(col, std::move(p)).first->second;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (auto it = cur_.find(cols); it != cur_.end()) return it->second;
+      if (auto it = prev_.find(cols); it != prev_.end()) return it->second;
+      if (building_.count(cols) == 0) {
+        building_.insert(cols);
+        break;
+      }
+      built_cv_.wait(lock);
+    }
+  }
+  ClaimGuard<std::set<std::vector<size_t>>, std::vector<size_t>> guard(
+      &mu_, &built_cv_, &building_, cols);
+  std::vector<size_t> prefix(cols.begin(), cols.end() - 1);
+  const Partition& pa = Get(prefix);
+  const Partition& pb = Get({cols.back()});
+  Partition p = Partition::Intersect(pa, pb, level_);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++builds_;
+  return cur_.try_emplace(cols, std::move(p)).first->second;
+}
+
+void PartitionCache::BuildBases(size_t ncols, common::ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1 || ncols == 0) {
+    for (size_t c = 0; c < ncols; ++c) Get({c});
+    return;
+  }
+  if (rel_ != nullptr) rel_->EnsureHydrated();  // hydration is not thread-safe
+  pool->Run(ncols, [this](size_t c) { Get({c}); });
+}
+
+void PartitionCache::Rotate() {
+  prev_ = std::move(cur_);
+  cur_.clear();
 }
 
 bool Partition::Refines(const Partition& other) const {

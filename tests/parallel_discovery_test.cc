@@ -1,18 +1,25 @@
-// Parallel discovery partition builds (FdMinerOptions::pool /
-// CfdMinerOptions::pool): the per-attribute base Partition::Build calls
-// fan out over a borrowed ThreadPool, and the mined output must be
-// IDENTICAL to the serial run — same FDs/CFDs in the same order — because
-// class ids are first-touch-ordered per partition and the levelwise sweep
-// itself stays deterministic.
+// Parallel level-wise discovery: FdMiner/CfdMiner fan each lattice level's
+// candidates out over a ThreadPool (FdMinerOptions::num_threads / ::pool)
+// and run their partition builds, intersects, and evidence scans on a SIMD
+// kernel tier — and the mined output must be IDENTICAL to the serial
+// scalar run — same FDs/CFDs in the same order — for every thread count ×
+// tier combination, because candidates are validated into per-candidate
+// slots and emitted in the serial sweep's exact lexicographic order.
+// Also covers the two-generation PartitionCache (level-scoped residency,
+// rebuild-on-demand after eviction, never stale).
 
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/simd/simd.h"
 #include "common/thread_pool.h"
+#include "core/session.h"
 #include "discovery/cfd_miner.h"
 #include "discovery/fd_miner.h"
+#include "discovery/partition.h"
+#include "relational/encoded_relation.h"
 #include "test_util.h"
 #include "workload/customer_gen.h"
 #include "workload/hospital_gen.h"
@@ -20,8 +27,13 @@
 namespace semandaq::discovery {
 namespace {
 
+namespace simd = common::simd;
 using relational::Relation;
 using relational::TupleId;
+
+const simd::Level kLevels[] = {simd::Level::kScalar, simd::Level::kSse2,
+                               simd::Level::kAvx2};
+const size_t kThreadCounts[] = {1, 2, 4, 0};  // 0 = all hardware threads
 
 std::string FdToString(const DiscoveredFd& fd) {
   std::string s = "[";
@@ -30,47 +42,75 @@ std::string FdToString(const DiscoveredFd& fd) {
   return s;
 }
 
-void ExpectIdenticalMining(const Relation& rel) {
-  common::ThreadPool pool(4);
+/// One line per mined FD, in emission order — the byte-identity surface.
+std::string FdSignature(const std::vector<DiscoveredFd>& fds) {
+  std::string s;
+  for (const auto& fd : fds) s += FdToString(fd) + "\n";
+  return s;
+}
 
-  // FD miner: serial vs pooled.
+/// One line per mined CFD (full tableau text), in emission order.
+std::string CfdSignature(const Relation& rel, const CfdMinerOptions& opts) {
+  auto mined = CfdMiner(&rel, opts).Mine();
+  EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+  std::string s;
+  if (mined.ok()) {
+    for (const auto& c : *mined) s += c.ToString() + "\n";
+  }
+  return s;
+}
+
+/// Mined FD and CFD output must be byte-identical to the serial scalar
+/// sweep for every thread count × kernel tier (tiers above the host's
+/// support clamp down, so the sweep is safe everywhere).
+void ExpectIdenticalMining(const Relation& rel) {
   FdMinerOptions serial_fd;
+  serial_fd.simd_level = simd::Level::kScalar;
+  const std::string fd_base = FdSignature(FdMiner(&rel, serial_fd).Mine());
+
+  CfdMinerOptions serial_cfd;
+  serial_cfd.simd_level = simd::Level::kScalar;
+  const std::string cfd_base = CfdSignature(rel, serial_cfd);
+
+  for (size_t threads : kThreadCounts) {
+    for (simd::Level level : kLevels) {
+      SCOPED_TRACE(std::string("threads=") + std::to_string(threads) +
+                   " level=" + std::string(simd::LevelName(level)));
+      FdMinerOptions fo;
+      fo.num_threads = threads;
+      fo.simd_level = level;
+      EXPECT_EQ(fd_base, FdSignature(FdMiner(&rel, fo).Mine()));
+
+      CfdMinerOptions co;
+      co.num_threads = threads;
+      co.simd_level = level;
+      EXPECT_EQ(cfd_base, CfdSignature(rel, co));
+    }
+  }
+
+  // A borrowed pool must behave exactly like num_threads (the facade path).
+  common::ThreadPool pool(4);
   FdMinerOptions pooled_fd;
   pooled_fd.pool = &pool;
-  const auto serial_fds = FdMiner(&rel, serial_fd).Mine();
-  const auto pooled_fds = FdMiner(&rel, pooled_fd).Mine();
-  ASSERT_EQ(serial_fds.size(), pooled_fds.size());
-  for (size_t i = 0; i < serial_fds.size(); ++i) {
-    EXPECT_EQ(serial_fds[i].lhs_cols, pooled_fds[i].lhs_cols)
-        << "fd " << i << ": " << FdToString(serial_fds[i]) << " vs "
-        << FdToString(pooled_fds[i]);
-    EXPECT_EQ(serial_fds[i].rhs_col, pooled_fds[i].rhs_col) << "fd " << i;
-  }
-
-  // CFD miner: serial vs pooled, exact tableau text equality.
-  CfdMinerOptions serial_cfd;
+  EXPECT_EQ(fd_base, FdSignature(FdMiner(&rel, pooled_fd).Mine()));
   CfdMinerOptions pooled_cfd;
   pooled_cfd.pool = &pool;
-  auto serial_mined = CfdMiner(&rel, serial_cfd).Mine();
-  auto pooled_mined = CfdMiner(&rel, pooled_cfd).Mine();
-  ASSERT_TRUE(serial_mined.ok()) << serial_mined.status().ToString();
-  ASSERT_TRUE(pooled_mined.ok()) << pooled_mined.status().ToString();
-  ASSERT_EQ(serial_mined->size(), pooled_mined->size());
-  for (size_t i = 0; i < serial_mined->size(); ++i) {
-    EXPECT_EQ((*serial_mined)[i].ToString(), (*pooled_mined)[i].ToString())
-        << "cfd " << i;
-  }
+  EXPECT_EQ(cfd_base, CfdSignature(rel, pooled_cfd));
 
   // The row-hash fallback path must fan out identically too.
-  FdMinerOptions pooled_rows;
-  pooled_rows.pool = &pool;
-  pooled_rows.use_encoded = false;
-  const auto row_fds = FdMiner(&rel, pooled_rows).Mine();
-  ASSERT_EQ(serial_fds.size(), row_fds.size());
-  for (size_t i = 0; i < serial_fds.size(); ++i) {
-    EXPECT_EQ(serial_fds[i].lhs_cols, row_fds[i].lhs_cols) << "fd " << i;
-    EXPECT_EQ(serial_fds[i].rhs_col, row_fds[i].rhs_col) << "fd " << i;
-  }
+  FdMinerOptions rows_fd;
+  rows_fd.use_encoded = false;
+  rows_fd.num_threads = 4;
+  EXPECT_EQ(fd_base, FdSignature(FdMiner(&rel, rows_fd).Mine()));
+  CfdMinerOptions rows_cfd;
+  rows_cfd.use_encoded = false;
+  rows_cfd.num_threads = 4;
+  EXPECT_EQ(cfd_base, CfdSignature(rel, rows_cfd));
+
+  // The e(X) == e(X∪A) early-exit is an optimization, never a semantic.
+  FdMinerOptions no_exit;
+  no_exit.use_error_exit = false;
+  EXPECT_EQ(fd_base, FdSignature(FdMiner(&rel, no_exit).Mine()));
 }
 
 TEST(ParallelDiscoveryTest, PaperCustomerIdentical) {
@@ -97,6 +137,30 @@ TEST(ParallelDiscoveryTest, HospitalIdentical) {
   ExpectIdenticalMining(wl.clean);
 }
 
+TEST(ParallelDiscoveryTest, EmptyRelationIdentical) {
+  Relation empty("empty", relational::Schema::AllStrings({"A", "B", "C"}));
+  ExpectIdenticalMining(empty);
+}
+
+TEST(ParallelDiscoveryTest, NullHeavyIdentical) {
+  // NULLs drop tuples out of partitions and evidence scans (a NULL cannot
+  // witness equality), so a NULL-heavy relation exercises every mask path.
+  ExpectIdenticalMining(semandaq::testing::MakeStringRelation(
+      "nullish", {"A", "B", "C", "D"},
+      {
+          {"a", "", "x", "1"},
+          {"a", "b", "", "1"},
+          {"", "b", "x", "2"},
+          {"a", "b", "x", ""},
+          {"a", "", "x", "1"},
+          {"c", "b", "", ""},
+          {"", "", "", ""},
+          {"a", "b", "x", "1"},
+          {"c", "d", "y", "2"},
+          {"c", "d", "y", "2"},
+      }));
+}
+
 TEST(ParallelDiscoveryTest, SingleLanePoolAndEmptyRelation) {
   // Degenerate shapes: a 1-lane pool (fan-out disabled by the lane check)
   // and an empty relation (nothing to partition).
@@ -111,6 +175,147 @@ TEST(ParallelDiscoveryTest, SingleLanePoolAndEmptyRelation) {
   common::ThreadPool four(4);
   opts.pool = &four;
   EXPECT_EQ(serial.size(), FdMiner(&empty, opts).Mine().size());
+}
+
+TEST(ParallelDiscoveryTest, FacadeMineCommandMatchesSerial) {
+  // The CLI surface: `mine REL threads=N` must add the same CFDs in the
+  // same order as the serial `mine REL` (and report the same count).
+  auto run = [](const std::string& mine_cmd) {
+    core::Session session;
+    auto gen = session.Execute("gen customer 200 5");
+    EXPECT_TRUE(gen.ok()) << gen.status().ToString();
+    auto mined = session.Execute(mine_cmd);
+    EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+    std::string listing;
+    for (const auto& c : session.system().constraints().cfds()) {
+      listing += c.ToString() + "\n";
+    }
+    return (mined.ok() ? *mined : std::string()) + listing;
+  };
+  const std::string serial = run("mine customer_gold");
+  EXPECT_EQ(serial, run("mine customer_gold threads=2"));
+  EXPECT_EQ(serial, run("mine customer_gold threads=0 simd=scalar"));
+}
+
+// ---------------------------------------------------------------------------
+// PartitionCache: two-generation, level-scoped partition memory.
+
+void ExpectSamePartition(const Partition& a, const Partition& b) {
+  EXPECT_EQ(a.num_classes(), b.num_classes());
+  EXPECT_EQ(a.num_tuples(), b.num_tuples());
+  EXPECT_EQ(a.Error(), b.Error());
+  ASSERT_EQ(a.classes().size(), b.classes().size());
+  for (size_t i = 0; i < a.classes().size(); ++i) {
+    EXPECT_EQ(a.classes()[i], b.classes()[i]) << "class " << i;
+  }
+}
+
+TEST(PartitionCacheTest, EvictedPartitionsRebuildOnDemandNeverStale) {
+  Relation rel = semandaq::testing::PaperCustomerRelation();
+  relational::EncodedRelation enc(&rel);
+  PartitionCache cache(&rel, &enc);
+
+  const Partition& first = cache.Get({1, 3});
+  const Partition reference = Partition::Intersect(
+      Partition::Build(enc, {1}), Partition::Build(enc, {3}));
+  ExpectSamePartition(reference, first);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.resident(), 1u);
+  EXPECT_EQ(cache.resident_bases(), 2u);  // singletons pin forever
+
+  // Cached in the current generation, then in the previous one.
+  cache.Get({1, 3});
+  EXPECT_EQ(cache.builds(), 1u);
+  cache.Rotate();
+  cache.Get({1, 3});
+  EXPECT_EQ(cache.builds(), 1u) << "previous generation must still serve";
+
+  // Requests during the next level land in the new current generation;
+  // the second rotate evicts the old product.
+  cache.Rotate();
+  EXPECT_EQ(cache.resident(), 0u);
+  EXPECT_EQ(cache.resident_bases(), 2u);
+
+  const Partition& rebuilt = cache.Get({1, 3});
+  EXPECT_EQ(cache.builds(), 2u) << "evicted set must rebuild on demand";
+  ExpectSamePartition(reference, rebuilt);
+}
+
+TEST(PartitionCacheTest, ResidencyStaysLevelScoped) {
+  // Simulate the FD sweep's access pattern over 4 attributes: level k gets
+  // its candidates (prefix products from the previous generation) plus the
+  // level-(k+1) X∪A products, then rotates. Residency must never exceed
+  // two lattice levels' worth of products.
+  Relation rel = semandaq::testing::PaperCustomerRelation();
+  relational::EncodedRelation enc(&rel);
+  PartitionCache cache(&rel, &enc);
+  const size_t ncols = 4;
+
+  // Level 1: candidates are pinned bases; products of size 2 get built.
+  for (size_t a = 0; a < ncols; ++a) {
+    cache.Get({a});
+    for (size_t b = a + 1; b < ncols; ++b) cache.Get({a, b});
+  }
+  EXPECT_EQ(cache.resident(), 6u);  // C(4,2)
+  cache.Rotate();
+
+  // Level 2: candidates hit the previous generation (no rebuilds);
+  // size-3 products fill the current one.
+  const size_t builds_before = cache.builds();
+  for (size_t a = 0; a < ncols; ++a) {
+    for (size_t b = a + 1; b < ncols; ++b) {
+      cache.Get({a, b});
+      for (size_t c = b + 1; c < ncols; ++c) cache.Get({a, b, c});
+    }
+  }
+  EXPECT_EQ(cache.builds() - builds_before, 4u);  // only the C(4,3) triples
+  EXPECT_EQ(cache.resident(), 10u);               // C(4,2) + C(4,3)
+  cache.Rotate();
+  EXPECT_EQ(cache.resident(), 4u);  // level-2 products evicted
+}
+
+TEST(PartitionCacheTest, ConcurrentGetsAreSafeAndDeterministic) {
+  workload::CustomerWorkloadOptions wopts;
+  wopts.num_tuples = 400;
+  wopts.noise_rate = 0.1;
+  wopts.seed = 11;
+  auto wl = workload::CustomerGenerator::Generate(wopts);
+  relational::EncodedRelation enc(&wl.dirty);
+  const size_t ncols = wl.dirty.schema().size();
+
+  // Reference partitions, serially.
+  std::vector<Partition> reference;
+  for (size_t a = 0; a < ncols; ++a) {
+    for (size_t b = a + 1; b < ncols; ++b) {
+      reference.push_back(Partition::Intersect(Partition::Build(enc, {a}),
+                                               Partition::Build(enc, {b})));
+    }
+  }
+
+  common::ThreadPool pool(4);
+  PartitionCache cache(&wl.dirty, &enc);
+  std::vector<std::vector<size_t>> wanted;
+  for (size_t a = 0; a < ncols; ++a) {
+    for (size_t b = a + 1; b < ncols; ++b) wanted.push_back({a, b});
+  }
+  std::vector<const Partition*> got(wanted.size());
+  pool.Run(wanted.size(), [&](size_t i) { got[i] = &cache.Get(wanted[i]); });
+  for (size_t i = 0; i < wanted.size(); ++i) {
+    SCOPED_TRACE("pair " + std::to_string(i));
+    ExpectSamePartition(reference[i], *got[i]);
+  }
+}
+
+TEST(FdMinerTest, HoldsMatchesEncodedAndRowPaths) {
+  const Relation rel = semandaq::testing::PaperCustomerRelation();
+  for (size_t rhs = 0; rhs < rel.schema().size(); ++rhs) {
+    for (size_t lhs = 0; lhs < rel.schema().size(); ++lhs) {
+      if (lhs == rhs) continue;
+      EXPECT_EQ(FdMiner::Holds(rel, {lhs}, rhs, /*use_encoded=*/true),
+                FdMiner::Holds(rel, {lhs}, rhs, /*use_encoded=*/false))
+          << "lhs=" << lhs << " rhs=" << rhs;
+    }
+  }
 }
 
 }  // namespace

@@ -1,7 +1,15 @@
 #!/usr/bin/env python3
 """Records the scalar-vs-vector SIMD kernel ratios in the bench artifact.
 
-Usage: bench_simd_ratio.py BENCH_detect.json [BENCH_partition_simd.json]
+Usage: bench_simd_ratio.py [--semandaq-build-type=TYPE] \\
+           BENCH_detect.json [BENCH_partition_simd.json]
+
+--semandaq-build-type stamps the semandaq library's CMAKE_BUILD_TYPE into
+the artifact context as "semandaq_build_type". The benchmark-emitted
+"library_build_type" field describes how *libbenchmark itself* was
+compiled (the Debian/Ubuntu package ships without NDEBUG, so it reports
+"debug" no matter how this repo is configured); the explicit stamp records
+the build type that actually governs the measured code.
 
 Reads the BM_NativeDetectSimd A/B runs (second benchmark arg = requested
 kernel tier; the "simd_level" counter is the tier that actually ran after
@@ -47,15 +55,25 @@ def ratios(benchmarks, prefix):
 
 
 def main(argv):
-    if len(argv) < 2:
+    build_type = None
+    args = []
+    for a in argv[1:]:
+        if a.startswith("--semandaq-build-type="):
+            build_type = a.split("=", 1)[1]
+        else:
+            args.append(a)
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
-    detect_path = argv[1]
+    detect_path = args[0]
     with open(detect_path) as f:
         detect = json.load(f)
+    if build_type:
+        detect.setdefault("context", {})["semandaq_build_type"] = \
+            build_type.lower()
 
-    if len(argv) > 2:
-        with open(argv[2]) as f:
+    if len(args) > 1:
+        with open(args[1]) as f:
             partition = json.load(f)
         detect.setdefault("benchmarks", []).extend(
             partition.get("benchmarks", []))
