@@ -1,0 +1,86 @@
+// EXP-R3 — the code-columnar repair A/B: BatchRepair with the detect ->
+// repair -> audit loop routed through one warm dictionary-encoded snapshot
+// (kernel-blocked re-detection, CountEq32 group tallies, coded cost fast
+// paths, parallel candidate evaluation) versus the row-hash serial
+// baseline it replaced. Axes: range(0) = tuples, range(1) = worker lanes
+// (0 = all hardware threads), range(2) = requested kernel tier. The
+// RepairResult is byte-identical across every configuration (gated by
+// tests/parallel_repair_test.cc) — only the wall clock may differ.
+// Acceptance (recorded in BENCH_repair.json by tools/bench_repair_ratio.py):
+// BM_Repair/64000 at hardware threads >= 3x over BM_RepairRows/64000.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "repair/batch_repair.h"
+
+namespace semandaq {
+namespace {
+
+void RunRepairBench(benchmark::State& state, const repair::RepairOptions& opts,
+                    size_t tuples) {
+  const auto& wl = bench::CachedCustomer(tuples, 0.05, /*seed=*/9);
+  const auto cfds = bench::MustParseCfds(workload::CustomerGenerator::PaperCfds());
+  repair::CostModel cm(wl.dirty.schema());
+
+  size_t changes = 0;
+  int iterations = 0;
+  for (auto _ : state) {
+    repair::BatchRepair repair(&wl.dirty, cfds, cm, opts);
+    auto result = repair.Run();
+    benchmark::DoNotOptimize(result);
+    if (result.ok()) {
+      changes = result->changes.size();
+      iterations = result->iterations;
+    }
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["threads"] = static_cast<double>(opts.num_threads);
+  state.counters["changed_cells"] = static_cast<double>(changes);
+  state.counters["rounds"] = static_cast<double>(iterations);
+  state.counters["simd_level"] = static_cast<double>(
+      common::simd::KernelsFor(opts.simd_level).level);
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// The encoded path: one warm snapshot across rounds, candidate costs on
+/// dictionary codes, per-round evaluation fanned out over the lanes.
+void BM_Repair(benchmark::State& state) {
+  repair::RepairOptions opts;
+  opts.use_encoded = true;
+  opts.num_threads = static_cast<size_t>(state.range(1));
+  opts.simd_level = static_cast<common::simd::Level>(state.range(2));
+  RunRepairBench(state, opts, static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_Repair)
+    ->Args({16000, 1, 2})
+    ->Args({64000, 1, 0})
+    ->Args({64000, 1, 2})
+    ->Args({64000, 2, 2})
+    ->Args({64000, 4, 2})
+    ->Args({64000, 0, 2})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The baseline: serial row-hash detection and Value-keyed group
+/// resolution (use_encoded = false), the engine's semantics reference.
+void BM_RepairRows(benchmark::State& state) {
+  repair::RepairOptions opts;
+  opts.use_encoded = false;
+  opts.num_threads = 1;
+  opts.simd_level = common::simd::Level::kScalar;
+  RunRepairBench(state, opts, static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_RepairRows)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace semandaq
+
+BENCHMARK_MAIN();

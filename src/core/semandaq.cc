@@ -205,6 +205,13 @@ common::Result<repair::RepairResult> Semandaq::Clean(const std::string& relation
                                                      repair::CostModelOptions cost) {
   SEMANDAQ_ASSIGN_OR_RETURN(const relational::Relation* rel,
                             db_.GetRelation(relation));
+  // Same lane policy as Discover: only num_threads == 0 borrows the shared
+  // hardware-width pool; an explicit N >= 2 gets a private N-lane pool from
+  // the repair engine itself, and 1 repairs serially. The RepairResult is
+  // byte-identical for every lane count.
+  if (options.pool == nullptr && options.num_threads == 0) {
+    options.pool = PoolFor(options.num_threads);
+  }
   repair::CostModel model(rel->schema(), std::move(cost));
   repair::BatchRepair cleaner(rel, engine_.CfdsFor(relation), std::move(model),
                               std::move(options));

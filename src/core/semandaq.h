@@ -150,7 +150,12 @@ class Semandaq {
                                          size_t max_rows = 40);
 
   /// Runs the data cleanser; the database is not modified (review first,
-  /// then ApplyRepair).
+  /// then ApplyRepair). RepairOptions::num_threads selects the parallel
+  /// candidate-evaluation and sharded re-detection path: 1 (the default)
+  /// repairs serially, 0 borrows the shared hardware-width facade pool,
+  /// and N >= 2 runs exactly N private lanes — the RepairResult is
+  /// byte-identical for every thread count and SIMD tier (docs/repair.md).
+  /// This is what the Session CLI's `clean REL threads=N` runs.
   common::Result<repair::RepairResult> Clean(const std::string& relation,
                                              repair::RepairOptions options = {},
                                              repair::CostModelOptions cost = {});

@@ -96,7 +96,12 @@ std::string Session::Help() {
       "  map REL [N]               tuple-level data quality map\n"
       "  report REL                data quality report\n"
       "  explore REL CFD# PAT#     drill-down tables for a pattern\n"
-      "  clean REL                 compute a candidate repair (pending)\n"
+      "  clean REL [threads=N] [simd=LEVEL]\n"
+      "                            compute a candidate repair (pending);\n"
+      "                            threads=N fans the per-round candidate\n"
+      "                            evaluation and re-detection out, 0 = all\n"
+      "                            hardware threads; the repair is identical\n"
+      "                            for every thread count and tier\n"
       "  diff                      show the pending repair\n"
       "  apply                     write the pending repair back\n"
       "  sql QUERY                 run a SELECT statement\n";
@@ -319,8 +324,21 @@ common::Result<std::string> Session::CmdExplore(const std::vector<std::string>& 
 }
 
 common::Result<std::string> Session::CmdClean(const std::vector<std::string>& args) {
-  if (args.size() != 1) return Status::InvalidArgument("usage: clean REL");
-  SEMANDAQ_ASSIGN_OR_RETURN(auto repair, sys_.Clean(args[0]));
+  if (args.empty()) {
+    return Status::InvalidArgument("usage: clean REL [threads=N] [simd=LEVEL]");
+  }
+  repair::RepairOptions options;
+  for (size_t i = 1; i < args.size(); ++i) {
+    bool matched = false;
+    SEMANDAQ_RETURN_IF_ERROR(ParseSweepOption(
+        args[i], &options.num_threads, &options.simd_level, &matched));
+    if (!matched) {
+      return Status::InvalidArgument(
+          "unknown clean option '" + args[i] +
+          "' (usage: clean REL [threads=N] [simd=LEVEL])");
+    }
+  }
+  SEMANDAQ_ASSIGN_OR_RETURN(auto repair, sys_.Clean(args[0], options));
   std::ostringstream out;
   out << "candidate repair: " << repair.changes.size() << " cell(s), cost "
       << repair.total_cost << ", " << repair.iterations << " round(s), "
@@ -367,6 +385,14 @@ common::Result<std::string> Session::CmdApply() {
 
 common::Result<std::string> Session::CmdSql(std::string_view query) {
   sql::Engine engine(&sys_.database());
+  // Queries over relations with a warm encoded snapshot (saved/opened ones)
+  // get the code-compiled scan/join/group fast paths; the executor
+  // re-validates freshness itself, so a stale snapshot just falls back.
+  engine.set_encoded_provider(
+      [this](const relational::Relation* rel)
+          -> const relational::EncodedRelation* {
+        return sys_.WarmSnapshot(rel->name());
+      });
   SEMANDAQ_ASSIGN_OR_RETURN(relational::Relation result,
                             engine.Query(common::Trim(query)));
   return result.ToAsciiTable(50);

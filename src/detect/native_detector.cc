@@ -127,6 +127,11 @@ struct GroupScan {
   /// FilterEq32 fast path (emit matching tuple ids directly, no masks).
   bool single_const_filter = false;
 
+  /// Decode member RHS values into ViolationGroup::member_rhs
+  /// (DetectorOptions::materialize_group_rhs). Partner counts are computed
+  /// on codes regardless.
+  bool want_rhs = true;
+
   /// Dense slot-index geometry: codes are dense per column, so for one LHS
   /// column the code itself indexes a flat array, and for two the code
   /// *product* does whenever it fits; hashing is the fallback.
@@ -409,7 +414,7 @@ ViolationGroup MakeGroup(const GroupScan& gs, CodeBucket* b,
   }
   const int64_t n = static_cast<int64_t>(b->members.size());
   vg.member_partners.reserve(b->members.size());
-  vg.member_rhs.reserve(b->members.size());
+  if (gs.want_rhs) vg.member_rhs.reserve(b->members.size());
   if (b->members.size() <= kCountEqGroupLimit) {
     rhs_scratch->clear();
     for (TupleId m : b->members) rhs_scratch->push_back(gs.rhs_ptr[m]);
@@ -417,14 +422,14 @@ ViolationGroup MakeGroup(const GroupScan& gs, CodeBucket* b,
       vg.member_partners.push_back(
           n - static_cast<int64_t>(gs.kn->CountEq32(
                   rhs_scratch->data(), rhs_scratch->size(), c)));
-      vg.member_rhs.push_back(enc.Decode(gs.rhs_col, c));
+      if (gs.want_rhs) vg.member_rhs.push_back(enc.Decode(gs.rhs_col, c));
     }
   } else {
     for (TupleId m : b->members) ++(*freq)[gs.rhs_ptr[m]];
     for (TupleId m : b->members) {
       const Code c = gs.rhs_ptr[m];
       vg.member_partners.push_back(n - (*freq)[c]);
-      vg.member_rhs.push_back(enc.Decode(gs.rhs_col, c));
+      if (gs.want_rhs) vg.member_rhs.push_back(enc.Decode(gs.rhs_col, c));
     }
     for (TupleId m : b->members) (*freq)[gs.rhs_ptr[m]] = 0;
   }
@@ -680,6 +685,7 @@ common::Result<ViolationTable> NativeDetector::DetectEncoded(
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     GroupScan gs;
     if (!CompileGroup(enc, cfds_, groups[gi], gi, kn, &gs)) continue;
+    gs.want_rhs = options_.materialize_group_rhs;
     if (plan.sharded()) {
       ScanGroupSharded(gs, live, plan, pool, &table);
     } else {
@@ -756,7 +762,19 @@ common::Result<ViolationTable> NativeDetector::DetectRows() {
       vg.cfd_index = b.first_cfd;
       vg.lhs_key = key;
       vg.members = std::move(b.members);
-      vg.member_rhs = std::move(b.rhs);
+      if (options_.materialize_group_rhs) {
+        vg.member_rhs = std::move(b.rhs);
+      } else {
+        // Partner counts up front (the same exact-equality math AddGroup
+        // would derive from member_rhs), so the table's vio totals are
+        // identical with the member values dropped.
+        const int64_t n = static_cast<int64_t>(b.rhs.size());
+        std::unordered_map<Value, int64_t, relational::ValueHash> freq;
+        freq.reserve(b.rhs.size());
+        for (const Value& v : b.rhs) ++freq[v];
+        vg.member_partners.reserve(b.rhs.size());
+        for (const Value& v : b.rhs) vg.member_partners.push_back(n - freq[v]);
+      }
       table.AddGroup(std::move(vg));
     }
   }

@@ -49,6 +49,14 @@ struct DetectorOptions {
   /// ViolationTables — this knob exists for A/B measurement and for forcing
   /// the scalar dispatch floor in tests. The row path ignores it.
   common::simd::Level simd_level = common::simd::Level::kAuto;
+
+  /// Fill ViolationGroup::member_rhs with a decoded Value per group member.
+  /// Consumers that only need tuple ids and exact vio accounting (the batch
+  /// repair engine reads current cells itself) turn this off: the mega
+  /// groups of low-cardinality LHS keys would otherwise cost one Value copy
+  /// per member per Detect. member_partners is always populated when this
+  /// is off, so ViolationTable totals are byte-identical either way.
+  bool materialize_group_rhs = true;
 };
 
 /// In-process CFD violation detector: one scan per embedded-FD group with

@@ -32,7 +32,10 @@ struct ViolationGroup {
   relational::Row lhs_key;
   std::vector<relational::TupleId> members;
   /// RHS value of each member, parallel to `members` (kept so auditing can
-  /// judge "bulk agreement" without re-reading the relation).
+  /// judge "bulk agreement" without re-reading the relation). Empty when
+  /// the producer was asked not to materialize it
+  /// (DetectorOptions::materialize_group_rhs = false) — member_partners is
+  /// always present then, so vio accounting never depends on it.
   std::vector<relational::Value> member_rhs;
   /// Optional producer hint, parallel to `members`: the number of group
   /// members whose RHS disagrees with this member's. Detectors that group

@@ -273,14 +273,12 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
   if (parallel) cache.BuildBases(ncols, pool);
   const simd::Kernels& kn = simd::KernelsFor(options_.simd_level);
 
-  // Global minimal FDs first (they both seed all-wildcard CFDs and prune
-  // redundant conditional forms). The embedded run shares this miner's
-  // encode pass, partition cache, and lanes — one encode, one set of
-  // bases, not two.
-  FdMinerOptions fd_opts;
-  fd_opts.max_lhs = options_.max_lhs;
-  FdMiner fd_miner(rel_, fd_opts);
-  const std::vector<DiscoveredFd> global_fds = fd_miner.Mine(&cache, pool);
+  // During the interleaved sweep below this holds every minimal FD from
+  // levels <= the one being mined — exactly the set that can prune a
+  // level-k conditional candidate, since a larger FD's LHS is never a
+  // subset of a same-or-smaller candidate's. After the sweep it is the
+  // complete list.
+  std::vector<DiscoveredFd> global_fds;
   auto fd_holds_globally = [&](const std::vector<size_t>& lhs, size_t rhs) {
     for (const DiscoveredFd& fd : global_fds) {
       if (fd.rhs_col != rhs) continue;
@@ -298,17 +296,6 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
     for (size_t c : cols) names.push_back(schema.attr(c).name);
     return names;
   };
-
-  if (options_.include_global_fds) {
-    for (const DiscoveredFd& fd : global_fds) {
-      PatternTuple pt;
-      pt.lhs.assign(fd.lhs_cols.size(), PatternValue::Wildcard());
-      pt.rhs = PatternValue::Wildcard();
-      out.emplace_back(rel_->name(), attr_names(fd.lhs_cols),
-                       schema.attr(fd.rhs_col).name,
-                       std::vector<PatternTuple>{std::move(pt)});
-    }
-  }
 
   // Mines every constant and variable CFD for one candidate LHS into
   // `local`, in the serial sweep's (rhs-ascending, constant-then-variable)
@@ -420,11 +407,12 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
     }
   };
 
-  for (size_t level = 1; level <= options_.max_lhs && level < ncols; ++level) {
-    // Materialize this level's candidates in lexicographic order and mine
-    // them into per-candidate slots; emission below replays the slots in
-    // order, so the output is byte-identical to the serial sweep for every
-    // thread count.
+  // Mines one lattice level: candidates materialize in lexicographic order
+  // into per-candidate slots (fanned out when parallel) and the slots replay
+  // in order into the level's buffer — byte-identical to the serial sweep
+  // for every thread count.
+  std::vector<std::vector<Cfd>> level_cfds(options_.max_lhs + 1);
+  auto run_level = [&](size_t level) {
     std::vector<std::vector<size_t>> cands;
     ForEachSubset(ncols, level,
                   [&](const std::vector<size_t>& lhs) { cands.push_back(lhs); });
@@ -438,9 +426,42 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
       }
     }
     for (std::vector<Cfd>& slot : slots) {
-      for (Cfd& c : slot) out.push_back(std::move(c));
+      for (Cfd& c : slot) level_cfds[level].push_back(std::move(c));
     }
-    cache.Rotate();
+  };
+
+  // The embedded FD run shares this miner's encode pass, partition cache,
+  // and lanes — and its after-level hook runs the conditional sweep for
+  // level k while the level-k partitions the FD validation just used are
+  // still resident (level k in the cache's previous generation, singleton
+  // bases pinned). The old back-to-back sweeps rebuilt every level's
+  // partitions a second time after the FD rotations evicted them; the
+  // interleaved sweep pays only the left-reduction's (k-1)-subset rebuilds
+  // at k >= 3. Global FDs both seed all-wildcard CFDs and prune redundant
+  // conditional forms.
+  FdMinerOptions fd_opts;
+  fd_opts.max_lhs = options_.max_lhs;
+  FdMiner fd_miner(rel_, fd_opts);
+  global_fds = fd_miner.Mine(
+      &cache, pool, [&](size_t level, const std::vector<DiscoveredFd>& found) {
+        global_fds = found;
+        run_level(level);
+      });
+
+  // Assemble in the historical order: all-wildcard global FDs first, then
+  // the buffered conditional levels ascending.
+  if (options_.include_global_fds) {
+    for (const DiscoveredFd& fd : global_fds) {
+      PatternTuple pt;
+      pt.lhs.assign(fd.lhs_cols.size(), PatternValue::Wildcard());
+      pt.rhs = PatternValue::Wildcard();
+      out.emplace_back(rel_->name(), attr_names(fd.lhs_cols),
+                       schema.attr(fd.rhs_col).name,
+                       std::vector<PatternTuple>{std::move(pt)});
+    }
+  }
+  for (std::vector<Cfd>& buffered : level_cfds) {
+    for (Cfd& c : buffered) out.push_back(std::move(c));
   }
   return out;
 }

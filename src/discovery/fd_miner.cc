@@ -73,7 +73,8 @@ std::vector<DiscoveredFd> FdMiner::Mine() {
 }
 
 std::vector<DiscoveredFd> FdMiner::Mine(PartitionCache* cache,
-                                        common::ThreadPool* pool) {
+                                        common::ThreadPool* pool,
+                                        const LevelHook& after_level) {
   const size_t ncols = rel_->schema().size();
   std::vector<DiscoveredFd> found;
   // rhs -> list of minimal LHS sets found so far.
@@ -152,6 +153,9 @@ std::vector<DiscoveredFd> FdMiner::Mine(PartitionCache* cache,
         minimal_lhs[slots[i].rhs[j]].push_back(cands[i]);
       }
     }
+    // The hook runs while this level's partitions are still resident —
+    // only then does Rotate() retire them.
+    if (after_level) after_level(level, found);
     cache->Rotate();
   }
   return found;

@@ -1,6 +1,7 @@
 #ifndef SEMANDAQ_DISCOVERY_FD_MINER_H_
 #define SEMANDAQ_DISCOVERY_FD_MINER_H_
 
+#include <functional>
 #include <vector>
 
 #include "discovery/partition.h"
@@ -66,6 +67,17 @@ class FdMiner {
 
   std::vector<DiscoveredFd> Mine();
 
+  /// Invoked after each lattice level's minimal FDs are emitted and
+  /// *before* the cache rotates past that level: `found` is every FD from
+  /// levels 1..`level`. At that moment the level-k candidate partitions
+  /// are still resident (level k in the previous generation, the freshly
+  /// built level-(k+1) products in the current one, singleton bases
+  /// pinned), so a caller piggybacking its own level-k pass — the CFD
+  /// miner's conditional sweep — reads them out of the shared cache
+  /// instead of rebuilding them after the FD run rotated them away.
+  using LevelHook =
+      std::function<void(size_t level, const std::vector<DiscoveredFd>& found)>;
+
   /// Mines through a caller-provided partition cache and lanes — the CFD
   /// miner shares its encode pass and PartitionCache with this embedded
   /// run instead of paying both twice. The cache is populated and
@@ -74,7 +86,8 @@ class FdMiner {
   /// `use_error_exit` of the options apply — the cache already fixes the
   /// encode path and kernel tier. Output is identical to Mine().
   std::vector<DiscoveredFd> Mine(PartitionCache* cache,
-                                 common::ThreadPool* pool);
+                                 common::ThreadPool* pool,
+                                 const LevelHook& after_level = {});
 
   /// Checks one FD directly (exposed for tests and the CFD miner). With
   /// `use_encoded` (the default) both partitions come off one dictionary

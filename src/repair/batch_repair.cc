@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "detect/native_detector.h"
+#include "relational/encoded_relation.h"
+#include "repair/equivalence.h"
 
 namespace semandaq::repair {
 
@@ -17,6 +21,9 @@ using common::Status;
 using detect::SingleViolation;
 using detect::ViolationGroup;
 using detect::ViolationTable;
+using relational::Code;
+using relational::EncodedRelation;
+using relational::kNullCode;
 using relational::Relation;
 using relational::Row;
 using relational::TupleId;
@@ -26,6 +33,45 @@ using relational::Value;
 struct Candidate {
   Value value;
   double cost = 0;
+};
+
+/// Phase-A output for one single-tuple violation: the resolution decided
+/// against the round-start state, not yet applied.
+struct SingleEval {
+  bool actionable = false;
+  double rhs_cost = 0;
+  /// Best LHS break, when one exists (< 0 = none considered/found).
+  double lhs_cost = -1;
+  size_t lhs_col = 0;
+  Value lhs_value;
+  std::vector<std::pair<Value, double>> alts;
+};
+
+/// One live group member at round start. `label` is a uint32 stand-in for
+/// the member's RHS value — the dictionary code in encoded mode, a
+/// first-occurrence ordinal in the row fallback — with 0 (kNullCode)
+/// reserved for NULL in both. Label equality means value equality either
+/// way, which is what lets the apply phase and the equivalence classes run
+/// on integers.
+struct GroupMember {
+  TupleId tid = -1;
+  uint32_t label = 0;
+  bool is_mutable = true;
+};
+
+/// Phase-A output for one multi-tuple violation group.
+struct GroupEval {
+  bool actionable = false;
+  /// Immutable members disagree among themselves: the RHS cannot be
+  /// repaired at all, mutable members leave via an LHS break.
+  bool frozen_conflict = false;
+  std::vector<GroupMember> members;
+  Value best;
+  uint32_t best_label = 0;
+  double best_cost = 0;
+  double escape_cost = 0;
+  std::vector<size_t> escapees;  ///< indices into `members`
+  std::vector<std::pair<Value, double>> alts;
 };
 
 class RepairEngine {
@@ -40,23 +86,36 @@ class RepairEngine {
 
   Result<RepairResult> Run() {
     SEMANDAQ_RETURN_IF_ERROR(cfd::ResolveAll(&cfds_, work_.schema()));
+    work_.EnsureHydrated();  // Phase A reads rows from worker lanes
+    pool_ = common::ResolvePool(options_.pool, options_.num_threads, &owned_pool_);
+    if (options_.use_encoded) {
+      enc_ = std::make_unique<EncodedRelation>(&work_, pool_);
+    }
+    kernels_ = &common::simd::KernelsFor(options_.simd_level);
     ComputeFrequentValues();
+
+    // One detector for the whole run: the encoded snapshot attached here is
+    // kept warm through every applied edit (ApplyChange re-encodes exactly
+    // the touched cell), so each round's re-detection is a warm kernel scan
+    // instead of a cold per-round re-encode.
+    detect::DetectorOptions dopts;
+    dopts.use_encoded = options_.use_encoded;
+    dopts.num_threads = options_.num_threads;
+    dopts.simd_level = options_.simd_level;
+    // The engine reads current cells (or codes) itself; decoding a Value
+    // per group member per round would dominate re-detection on the mega
+    // groups low-cardinality LHS keys produce.
+    dopts.materialize_group_rhs = false;
+    detect::NativeDetector detector(&work_, cfds_, dopts);
+    detector.set_thread_pool(pool_);
+    if (enc_) detector.set_encoded(enc_.get());
 
     RepairResult result;
     int it = 0;
     for (; it < options_.max_iterations; ++it) {
-      detect::NativeDetector detector(&work_, cfds_);
       SEMANDAQ_ASSIGN_OR_RETURN(ViolationTable table, detector.Detect());
       if (table.TotalVio() == 0) break;
-      touched_this_round_.clear();
-      pending_targets_.clear();
-      size_t edits = 0;
-      for (const SingleViolation& sv : table.singles()) {
-        edits += ResolveSingle(sv, &result);
-      }
-      for (const ViolationGroup& vg : table.groups()) {
-        edits += ResolveGroup(vg, &result);
-      }
+      const size_t edits = ResolveRound(table, &result);
       if (edits == 0) break;  // stuck: defer to the escape pass
     }
     result.iterations = it;
@@ -66,45 +125,13 @@ class RepairEngine {
     // treatment of [VLDB'07] — but surgically: only the cells that actually
     // disagree with their group's majority, never whole groups.
     {
-      detect::NativeDetector detector(&work_, cfds_);
       SEMANDAQ_ASSIGN_OR_RETURN(ViolationTable table, detector.Detect());
-      if (table.TotalVio() > 0) {
-        for (const SingleViolation& sv : table.singles()) {
-          const Cfd& c = cfds_[static_cast<size_t>(sv.cfd_index)];
-          if (!Mutable(sv.tid)) continue;
-          ApplyChange(sv.tid, c.rhs_col(), Value::Null(), {});
-          ++result.null_escapes;
-        }
-        for (const ViolationGroup& vg : table.groups()) {
-          const Cfd& c = cfds_[static_cast<size_t>(vg.cfd_index)];
-          std::unordered_map<Value, int64_t, relational::ValueHash> freq;
-          for (const Value& v : vg.member_rhs) {
-            if (!v.is_null()) ++freq[v];
-          }
-          const Value* majority = nullptr;
-          int64_t best_n = 0;
-          for (const auto& [v, n] : freq) {
-            if (n > best_n) {
-              best_n = n;
-              majority = &v;
-            }
-          }
-          for (size_t i = 0; i < vg.members.size(); ++i) {
-            if (!Mutable(vg.members[i])) continue;
-            const Value& rhs = work_.cell(vg.members[i], c.rhs_col());
-            if (rhs.is_null()) continue;
-            if (majority != nullptr && rhs == *majority) continue;
-            ApplyChange(vg.members[i], c.rhs_col(), Value::Null(), {});
-            ++result.null_escapes;
-          }
-        }
-      }
+      if (table.TotalVio() > 0) EscapePass(table, &result);
     }
 
     // Final audit of what is left (non-zero only when frozen tuples pin
     // irreconcilable values).
     {
-      detect::NativeDetector detector(&work_, cfds_);
       SEMANDAQ_ASSIGN_OR_RETURN(ViolationTable table, detector.Detect());
       result.remaining_violations = static_cast<size_t>(table.TotalVio());
     }
@@ -128,6 +155,7 @@ class RepairEngine {
               [](const CellChange& a, const CellChange& b) {
                 return a.tid != b.tid ? a.tid < b.tid : a.col < b.col;
               });
+    result.merged_classes = eq_.NumMergedClasses();
     result.repaired = std::move(work_);
     return result;
   }
@@ -141,23 +169,484 @@ class RepairEngine {
     return !options_.restrict_to_mutable || options_.mutable_tids.count(tid) > 0;
   }
 
+  /// One repair round over a fresh violation table, in two phases.
+  ///
+  /// Phase A evaluates every violation's resolution against the round-start
+  /// state only — each slot is a pure function of (table, work_ at round
+  /// start, frequent_, cost model), so the slots fan out over the worker
+  /// pool and land byte-identical for every thread count. Phase B then
+  /// applies the decisions serially in one canonical order (singles by
+  /// (cfd, pattern, tid), then groups by (fd group, first member)), with
+  /// the pending-target/touched-cell conflict machinery arbitrating cells
+  /// claimed by more than one violation. The canonical order also erases
+  /// the emission-order difference between the encoded and row detectors,
+  /// which is what makes encoded/row runs repair identically.
+  size_t ResolveRound(const ViolationTable& table, RepairResult* result) {
+    touched_this_round_.clear();
+    pending_targets_.clear();
+
+    std::vector<const SingleViolation*> singles;
+    singles.reserve(table.singles().size());
+    for (const SingleViolation& sv : table.singles()) singles.push_back(&sv);
+    std::sort(singles.begin(), singles.end(),
+              [](const SingleViolation* a, const SingleViolation* b) {
+                if (a->cfd_index != b->cfd_index) return a->cfd_index < b->cfd_index;
+                if (a->pattern_index != b->pattern_index)
+                  return a->pattern_index < b->pattern_index;
+                return a->tid < b->tid;
+              });
+    std::vector<const ViolationGroup*> groups;
+    groups.reserve(table.groups().size());
+    for (const ViolationGroup& vg : table.groups()) groups.push_back(&vg);
+    std::sort(groups.begin(), groups.end(),
+              [](const ViolationGroup* a, const ViolationGroup* b) {
+                if (a->fd_group != b->fd_group) return a->fd_group < b->fd_group;
+                const TupleId ta = a->members.empty() ? -1 : a->members.front();
+                const TupleId tb = b->members.empty() ? -1 : b->members.front();
+                return ta < tb;
+              });
+
+    // Phase A: evaluate.
+    std::vector<SingleEval> single_evals(singles.size());
+    std::vector<GroupEval> group_evals(groups.size());
+    const size_t n_slots = singles.size() + groups.size();
+    auto eval_slot = [&](size_t i) {
+      if (i < singles.size()) {
+        EvalSingle(*singles[i], &single_evals[i]);
+      } else {
+        EvalGroup(*groups[i - singles.size()], &group_evals[i - singles.size()]);
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->Run(n_slots, eval_slot);
+    } else {
+      for (size_t i = 0; i < n_slots; ++i) eval_slot(i);
+    }
+
+    // Phase B: apply in canonical order.
+    size_t edits = 0;
+    for (size_t i = 0; i < singles.size(); ++i) {
+      edits += ApplySingle(*singles[i], single_evals[i], result);
+    }
+    for (size_t i = 0; i < groups.size(); ++i) {
+      edits += ApplyGroup(*groups[i], group_evals[i], result);
+    }
+    return edits;
+  }
+
+  void EvalSingle(const SingleViolation& sv, SingleEval* out) const {
+    const Cfd& c = cfds_[static_cast<size_t>(sv.cfd_index)];
+    const PatternTuple& pt = c.tableau()[static_cast<size_t>(sv.pattern_index)];
+    if (!work_.IsLive(sv.tid) || !Mutable(sv.tid)) return;
+    const Row& row = work_.row(sv.tid);
+    for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+      if (!pt.lhs[i].Matches(row[c.lhs_cols()[i]])) return;
+    }
+    const Value& cur = row[c.rhs_col()];
+    if (cur.is_null() || cur == pt.rhs.constant()) return;
+
+    out->actionable = true;
+    out->rhs_cost = cost_model_.CellChangeCost(c.rhs_col(), cur, pt.rhs.constant());
+    out->alts = RankAlternatives({{pt.rhs.constant(), out->rhs_cost}});
+
+    // Option B: break the LHS match at a constant-pattern position.
+    // Candidate replacement values: frequent column values that differ from
+    // the pattern constant, and the NULL escape.
+    if (!options_.enable_lhs_repairs) return;
+    for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+      if (!pt.lhs[i].is_constant()) continue;  // wildcard matches any value
+      const size_t col = c.lhs_cols()[i];
+      for (const Value& v : frequent_[col]) {
+        if (v == pt.lhs[i].constant()) continue;
+        const double cost = cost_model_.CellChangeCost(col, row[col], v);
+        if (out->lhs_cost < 0 || cost < out->lhs_cost) {
+          out->lhs_cost = cost;
+          out->lhs_col = col;
+          out->lhs_value = v;
+        }
+      }
+      const double null_cost =
+          cost_model_.CellChangeCost(col, row[col], Value::Null());
+      if (out->lhs_cost < 0 || null_cost < out->lhs_cost) {
+        out->lhs_cost = null_cost;
+        out->lhs_col = col;
+        out->lhs_value = Value::Null();
+      }
+    }
+  }
+
+  /// Returns the number of edits applied (0 when skipped/stale).
+  size_t ApplySingle(const SingleViolation& sv, const SingleEval& e,
+                     RepairResult* result) {
+    if (!e.actionable) return 0;
+    const Cfd& c = cfds_[static_cast<size_t>(sv.cfd_index)];
+    const PatternTuple& pt = c.tableau()[static_cast<size_t>(sv.pattern_index)];
+    const size_t rhs_col = c.rhs_col();
+    if (const Value* pending = PendingTarget(sv.tid, rhs_col)) {
+      if (*pending == pt.rhs.constant()) return 0;  // already decided our way
+      // Conflicting demand on the RHS cell: detach the tuple from this
+      // pattern via a constant-LHS position instead of flip-flopping.
+      if (options_.enable_lhs_repairs) {
+        for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
+          if (!pt.lhs[i].is_constant()) continue;
+          ApplyChange(sv.tid, c.lhs_cols()[i], Value::Null(), {});
+          ++result->null_escapes;
+          return 1;
+        }
+      }
+      return 0;  // all-wildcard LHS: leave it to the escape pass
+    }
+    if (touched_this_round_.count(CellKey(sv.tid, rhs_col)) > 0) return 0;
+    if (e.lhs_cost >= 0 && e.lhs_cost < e.rhs_cost &&
+        touched_this_round_.count(CellKey(sv.tid, e.lhs_col)) == 0) {
+      ApplyChange(sv.tid, e.lhs_col, e.lhs_value, {});
+      return 1;
+    }
+    ApplyChange(sv.tid, rhs_col, pt.rhs.constant(), e.alts);
+    return 1;
+  }
+
+  /// Round-start RHS label of a live member: the dictionary code in encoded
+  /// mode; in the row fallback an ordinal assigned per group by first
+  /// occurrence (via `ords`, the group-local value->ordinal map).
+  uint32_t MemberLabel(
+      TupleId tid, size_t rhs_col,
+      std::unordered_map<Value, uint32_t, relational::ValueHash>* ords) const {
+    if (enc_) return enc_->code(tid, rhs_col);
+    const Value& v = work_.cell(tid, rhs_col);
+    if (v.is_null()) return kNullCode;
+    return ords->emplace(v, static_cast<uint32_t>(ords->size()) + 1).first->second;
+  }
+
+  const Value& LabelValue(size_t rhs_col, uint32_t label, TupleId carrier) const {
+    if (enc_) return enc_->Decode(rhs_col, label);
+    return work_.cell(carrier, rhs_col);
+  }
+
+  void EvalGroup(const ViolationGroup& vg, GroupEval* out) const {
+    if (vg.cfd_index < 0) return;
+    const Cfd& c = cfds_[static_cast<size_t>(vg.cfd_index)];
+    const size_t rhs_col = c.rhs_col();
+
+    std::unordered_map<Value, uint32_t, relational::ValueHash> ords;
+    out->members.reserve(vg.members.size());
+    for (TupleId tid : vg.members) {
+      if (!work_.IsLive(tid)) continue;
+      out->members.push_back({tid, MemberLabel(tid, rhs_col, &ords), Mutable(tid)});
+    }
+
+    // Distinct non-NULL RHS labels in first-occurrence order, with a
+    // carrier tid per label so the row fallback can read the value back.
+    // Counting runs on integers: the encoded path gathers the member codes
+    // into a scratch column and lets CountEq32 tally each distinct code,
+    // which is the same kernel pass the detector's partner counts use.
+    std::vector<uint32_t> distinct;
+    std::vector<TupleId> carrier;
+    std::vector<Code> codes;  // the gathered scratch column (all members)
+    std::vector<Code> mut_codes;
+    codes.reserve(out->members.size());
+    mut_codes.reserve(out->members.size());
+    int64_t mut_nulls = 0;
+    for (const GroupMember& m : out->members) {
+      codes.push_back(m.label);
+      if (m.is_mutable) {
+        mut_codes.push_back(m.label);
+        if (m.label == kNullCode) ++mut_nulls;
+      }
+      if (m.label == kNullCode) continue;
+      if (std::find(distinct.begin(), distinct.end(), m.label) == distinct.end()) {
+        distinct.push_back(m.label);
+        carrier.push_back(m.tid);
+      }
+    }
+    if (distinct.size() < 2) return;  // already resolved
+
+    std::vector<int64_t> mut_counts(distinct.size());
+    for (size_t d = 0; d < distinct.size(); ++d) {
+      mut_counts[d] = static_cast<int64_t>(
+          kernels_->CountEq32(mut_codes.data(), mut_codes.size(), distinct[d]));
+    }
+
+    // Frozen members pin the target: if they disagree among themselves the
+    // group cannot be repaired on the RHS at all.
+    std::vector<uint32_t> frozen;
+    for (const GroupMember& m : out->members) {
+      if (m.is_mutable || m.label == kNullCode) continue;
+      if (std::find(frozen.begin(), frozen.end(), m.label) == frozen.end()) {
+        frozen.push_back(m.label);
+      }
+    }
+    if (frozen.size() > 1) {
+      out->actionable = true;
+      out->frozen_conflict = true;
+      return;
+    }
+
+    // Candidate targets with total weighted rewrite cost over the mutable
+    // members, summed per distinct label (count x per-value cost — one
+    // CellChangeCost per (label, candidate) pair instead of one per member).
+    auto total_cost = [&](uint32_t target, const Value& target_v) {
+      double cost = 0;
+      for (size_t d = 0; d < distinct.size(); ++d) {
+        if (mut_counts[d] == 0) continue;
+        cost += static_cast<double>(mut_counts[d]) *
+                (enc_ ? cost_model_.CellChangeCostCoded(
+                            rhs_col, distinct[d], target, enc_->dictionary(rhs_col))
+                      : cost_model_.CellChangeCost(
+                            rhs_col, LabelValue(rhs_col, distinct[d], carrier[d]),
+                            target_v));
+      }
+      if (mut_nulls > 0) {
+        cost += static_cast<double>(mut_nulls) *
+                cost_model_.CellChangeCost(rhs_col, Value::Null(), target_v);
+      }
+      return cost;
+    };
+
+    std::vector<Candidate> candidates;
+    std::vector<uint32_t> candidate_labels;
+    if (frozen.size() == 1) {
+      size_t d = 0;
+      while (distinct[d] != frozen.front()) ++d;
+      candidates.push_back(
+          {LabelValue(rhs_col, frozen.front(), carrier[d]),
+           total_cost(frozen.front(), LabelValue(rhs_col, frozen.front(), carrier[d]))});
+      candidate_labels.push_back(frozen.front());
+    } else {
+      candidates.reserve(distinct.size());
+      candidate_labels.reserve(distinct.size());
+      std::vector<size_t> order(distinct.size());
+      for (size_t d = 0; d < distinct.size(); ++d) order[d] = d;
+      std::vector<double> costs(distinct.size());
+      for (size_t d = 0; d < distinct.size(); ++d) {
+        costs[d] = total_cost(distinct[d], LabelValue(rhs_col, distinct[d], carrier[d]));
+      }
+      // Ties break to the first-occurring value — stable under every thread
+      // count and both detector paths, unlike the old unstable sort.
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) { return costs[a] < costs[b]; });
+      for (size_t d : order) {
+        candidates.push_back({LabelValue(rhs_col, distinct[d], carrier[d]), costs[d]});
+        candidate_labels.push_back(distinct[d]);
+      }
+    }
+    out->actionable = true;
+    out->best = candidates.front().value;
+    out->best_label = candidate_labels.front();
+    out->best_cost = candidates.front().cost;
+    out->alts = RankAlternatives(candidates);
+
+    // Alternative resolution (the attribute-modification option of
+    // [VLDB'07]): move the disagreeing members out of the group by breaking
+    // the LHS key instead of rewriting their RHS. Wins when the RHS carries
+    // far more weight than the LHS.
+    if (options_.enable_lhs_repairs) {
+      const size_t escape_col = c.lhs_cols().back();
+      for (size_t i = 0; i < out->members.size(); ++i) {
+        const GroupMember& m = out->members[i];
+        if (!m.is_mutable || m.label == out->best_label) continue;
+        out->escapees.push_back(i);
+        out->escape_cost += cost_model_.CellChangeCost(
+            escape_col, work_.cell(m.tid, escape_col), Value::Null());
+      }
+    }
+  }
+
+  /// Returns the number of edits applied.
+  size_t ApplyGroup(const ViolationGroup& vg, const GroupEval& e,
+                    RepairResult* result) {
+    if (!e.actionable) return 0;
+    const Cfd& c = cfds_[static_cast<size_t>(vg.cfd_index)];
+    const size_t rhs_col = c.rhs_col();
+    const size_t escape_col = c.lhs_cols().back();
+
+    if (e.frozen_conflict) {
+      // Move mutable members out of the group by breaking the LHS key.
+      size_t edits = 0;
+      if (options_.enable_lhs_repairs) {
+        for (const GroupMember& m : e.members) {
+          if (!m.is_mutable) continue;
+          ApplyChange(m.tid, escape_col, Value::Null(), {});
+          ++result->null_escapes;
+          ++edits;
+        }
+      }
+      return edits;
+    }
+
+    if (options_.enable_lhs_repairs && !e.escapees.empty() &&
+        e.escape_cost < e.best_cost) {
+      size_t edits = 0;
+      for (size_t i : e.escapees) {
+        const GroupMember& m = e.members[i];
+        if (touched_this_round_.count(CellKey(m.tid, escape_col)) > 0) continue;
+        ApplyChange(m.tid, escape_col, Value::Null(), {});
+        ++result->null_escapes;
+        ++edits;
+      }
+      if (edits > 0) return edits;
+    }
+
+    size_t edits = 0;
+    std::vector<TupleId> aligned;  // members whose RHS cell ends at e.best
+    aligned.reserve(e.members.size());
+    for (const GroupMember& m : e.members) {
+      if (m.label == e.best_label) {
+        aligned.push_back(m.tid);
+        continue;
+      }
+      if (!m.is_mutable) continue;
+      if (const Value* pending = PendingTarget(m.tid, rhs_col)) {
+        if (*pending == e.best) {
+          aligned.push_back(m.tid);
+          continue;
+        }
+        // Another FD group already claimed this cell with a different
+        // value: the tuple's LHS attributes are mutually inconsistent
+        // (e.g. a Denver city with a Phoenix zip). Detach it from THIS
+        // group by clearing the group's key attribute.
+        if (options_.enable_lhs_repairs) {
+          ApplyChange(m.tid, escape_col, Value::Null(), {});
+          ++result->null_escapes;
+          ++edits;
+        }
+        continue;
+      }
+      if (touched_this_round_.count(CellKey(m.tid, rhs_col)) > 0) continue;
+      ApplyChange(m.tid, rhs_col, e.best, e.alts);
+      aligned.push_back(m.tid);
+      ++edits;
+    }
+    // The resolved members' RHS cells now agree in any extension of this
+    // repair: one equivalence class, bulk-linked on the integer label (the
+    // [SIGMOD'05] bookkeeping, without a single Value hash — groups run
+    // into the thousands of members, so the per-member union walk was the
+    // apply phase's hot path).
+    if (aligned.size() > 1) {
+      eq_.MergeUniform(aligned, rhs_col);
+      eq_.SetTarget({aligned.front(), rhs_col}, e.best);
+    }
+    return edits;
+  }
+
+  /// The surgical NULL pass over whatever detection still flags, in the
+  /// same canonical violation order as the rounds.
+  void EscapePass(const ViolationTable& table, RepairResult* result) {
+    std::vector<const SingleViolation*> singles;
+    for (const SingleViolation& sv : table.singles()) singles.push_back(&sv);
+    std::sort(singles.begin(), singles.end(),
+              [](const SingleViolation* a, const SingleViolation* b) {
+                if (a->cfd_index != b->cfd_index) return a->cfd_index < b->cfd_index;
+                if (a->pattern_index != b->pattern_index)
+                  return a->pattern_index < b->pattern_index;
+                return a->tid < b->tid;
+              });
+    std::vector<const ViolationGroup*> groups;
+    for (const ViolationGroup& vg : table.groups()) groups.push_back(&vg);
+    std::sort(groups.begin(), groups.end(),
+              [](const ViolationGroup* a, const ViolationGroup* b) {
+                if (a->fd_group != b->fd_group) return a->fd_group < b->fd_group;
+                const TupleId ta = a->members.empty() ? -1 : a->members.front();
+                const TupleId tb = b->members.empty() ? -1 : b->members.front();
+                return ta < tb;
+              });
+
+    // Detect-time RHS snapshot per group, taken before ANY escape edit:
+    // the detector no longer materializes member_rhs for this engine, and
+    // the majorities below must not see edits this very pass applies.
+    std::vector<std::vector<Value>> group_rhs(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const Cfd& c = cfds_[static_cast<size_t>(groups[g]->cfd_index)];
+      group_rhs[g].reserve(groups[g]->members.size());
+      for (TupleId tid : groups[g]->members) {
+        group_rhs[g].push_back(work_.cell(tid, c.rhs_col()));
+      }
+    }
+
+    for (const SingleViolation* sv : singles) {
+      const Cfd& c = cfds_[static_cast<size_t>(sv->cfd_index)];
+      if (!Mutable(sv->tid)) continue;
+      ApplyChange(sv->tid, c.rhs_col(), Value::Null(), {});
+      ++result->null_escapes;
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const ViolationGroup* vg = groups[g];
+      const Cfd& c = cfds_[static_cast<size_t>(vg->cfd_index)];
+      // Deterministic majority: max count, ties to the first-occurring
+      // value (the old hash-iteration pick was tie-unstable).
+      std::vector<const Value*> distinct;
+      std::vector<int64_t> counts;
+      for (const Value& v : group_rhs[g]) {
+        if (v.is_null()) continue;
+        size_t d = 0;
+        while (d < distinct.size() && !(*distinct[d] == v)) ++d;
+        if (d == distinct.size()) {
+          distinct.push_back(&v);
+          counts.push_back(0);
+        }
+        ++counts[d];
+      }
+      const Value* majority = nullptr;
+      int64_t best_n = 0;
+      for (size_t d = 0; d < distinct.size(); ++d) {
+        if (counts[d] > best_n) {
+          best_n = counts[d];
+          majority = distinct[d];
+        }
+      }
+      for (size_t i = 0; i < vg->members.size(); ++i) {
+        if (!Mutable(vg->members[i])) continue;
+        const Value& rhs = work_.cell(vg->members[i], c.rhs_col());
+        if (rhs.is_null()) continue;
+        if (majority != nullptr && rhs == *majority) continue;
+        ApplyChange(vg->members[i], c.rhs_col(), Value::Null(), {});
+        ++result->null_escapes;
+      }
+    }
+  }
+
+  /// Per-column frequent values from one histogram pass. In encoded mode
+  /// the pass counts dictionary codes over the live code column — integer
+  /// increments, no Value hashing; the row fallback counts values in the
+  /// same first-occurrence-over-live order, so both paths produce the same
+  /// list (count descending, ties to first occurrence).
   void ComputeFrequentValues() {
     const size_t ncols = work_.schema().size();
-    std::vector<std::unordered_map<Value, int64_t, relational::ValueHash>> counts(
-        ncols);
+    frequent_.resize(ncols);
+    if (enc_) {
+      for (size_t col = 0; col < ncols; ++col) {
+        const std::vector<Code>& codes = enc_->column(col);
+        std::vector<int64_t> counts(enc_->dictionary(col).size() + 1, 0);
+        std::vector<Code> order;
+        enc_->ForEachLive([&](TupleId tid) {
+          const Code code = codes[static_cast<size_t>(tid)];
+          if (code == kNullCode) return;
+          if (counts[code]++ == 0) order.push_back(code);
+        });
+        std::stable_sort(order.begin(), order.end(),
+                         [&](Code a, Code b) { return counts[a] > counts[b]; });
+        const size_t keep = std::min<size_t>(order.size(), 4);
+        for (size_t i = 0; i < keep; ++i) {
+          frequent_[col].push_back(enc_->Decode(col, order[i]));
+        }
+      }
+      return;
+    }
+    std::vector<std::unordered_map<Value, size_t, relational::ValueHash>> slot(ncols);
+    std::vector<std::vector<std::pair<Value, int64_t>>> items(ncols);
     work_.ForEach([&](TupleId, const Row& row) {
       for (size_t c = 0; c < ncols; ++c) {
-        if (!row[c].is_null()) ++counts[c][row[c]];
+        if (row[c].is_null()) continue;
+        auto [it, fresh] = slot[c].emplace(row[c], items[c].size());
+        if (fresh) items[c].emplace_back(row[c], 0);
+        ++items[c][it->second].second;
       }
     });
-    frequent_.resize(ncols);
     for (size_t c = 0; c < ncols; ++c) {
-      std::vector<std::pair<Value, int64_t>> items(counts[c].begin(), counts[c].end());
-      std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
-        return a.second > b.second;
-      });
-      const size_t keep = std::min<size_t>(items.size(), 4);
-      for (size_t i = 0; i < keep; ++i) frequent_[c].push_back(items[i].first);
+      std::stable_sort(items[c].begin(), items[c].end(),
+                       [](const auto& a, const auto& b) { return a.second > b.second; });
+      const size_t keep = std::min<size_t>(items[c].size(), 4);
+      for (size_t i = 0; i < keep; ++i) frequent_[c].push_back(items[c][i].first);
     }
   }
 
@@ -165,6 +654,7 @@ class RepairEngine {
                    std::vector<std::pair<Value, double>> alternatives) {
     pending_targets_[CellKey(tid, col)] = v;
     (void)work_.SetCell(tid, col, std::move(v));
+    if (enc_) enc_->ApplyCell(tid, col);  // keep the snapshot warm
     touched_this_round_.insert(CellKey(tid, col));
     auto& slot = change_alternatives_[CellKey(tid, col)];
     if (!alternatives.empty() || slot.empty()) slot = std::move(alternatives);
@@ -184,205 +674,10 @@ class RepairEngine {
     std::vector<std::pair<Value, double>> out;
     out.reserve(cands.size());
     for (const Candidate& c : cands) out.emplace_back(c.value, c.cost);
-    std::sort(out.begin(), out.end(),
-              [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::stable_sort(out.begin(), out.end(),
+                     [](const auto& a, const auto& b) { return a.second < b.second; });
     if (out.size() > options_.alternatives_k) out.resize(options_.alternatives_k);
     return out;
-  }
-
-  /// Returns the number of edits applied (0 when skipped/stale).
-  size_t ResolveSingle(const SingleViolation& sv, RepairResult* result) {
-    const Cfd& c = cfds_[static_cast<size_t>(sv.cfd_index)];
-    const PatternTuple& pt = c.tableau()[static_cast<size_t>(sv.pattern_index)];
-    if (!work_.IsLive(sv.tid) || !Mutable(sv.tid)) return 0;
-    const Row& row = work_.row(sv.tid);
-
-    // Staleness check: earlier edits this round may have fixed it already.
-    for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
-      if (!pt.lhs[i].Matches(row[c.lhs_cols()[i]])) return 0;
-    }
-    const Value& cur = row[c.rhs_col()];
-    if (cur.is_null() || cur == pt.rhs.constant()) return 0;
-    if (const Value* pending = PendingTarget(sv.tid, c.rhs_col())) {
-      if (*pending == pt.rhs.constant()) return 0;  // already decided our way
-      // Conflicting demand on the RHS cell: detach the tuple from this
-      // pattern via a constant-LHS position instead of flip-flopping.
-      if (options_.enable_lhs_repairs) {
-        for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
-          if (!pt.lhs[i].is_constant()) continue;
-          ApplyChange(sv.tid, c.lhs_cols()[i], Value::Null(), {});
-          ++result->null_escapes;
-          return 1;
-        }
-      }
-      return 0;  // all-wildcard LHS: leave it to the escape pass
-    }
-    if (touched_this_round_.count(CellKey(sv.tid, c.rhs_col())) > 0) return 0;
-
-    std::vector<Candidate> rhs_cands;
-    rhs_cands.push_back(
-        {pt.rhs.constant(),
-         cost_model_.CellChangeCost(c.rhs_col(), cur, pt.rhs.constant())});
-
-    // Option B: break the LHS match at a constant-pattern position.
-    double best_lhs_cost = -1;
-    size_t best_lhs_col = 0;
-    Value best_lhs_value;
-    if (options_.enable_lhs_repairs) {
-      for (size_t i = 0; i < c.lhs_cols().size(); ++i) {
-        if (!pt.lhs[i].is_constant()) continue;  // wildcard matches any value
-        const size_t col = c.lhs_cols()[i];
-        if (touched_this_round_.count(CellKey(sv.tid, col)) > 0) continue;
-        // Candidate replacement values: frequent column values that differ
-        // from the pattern constant, and the NULL escape.
-        for (const Value& v : frequent_[col]) {
-          if (v == pt.lhs[i].constant()) continue;
-          const double cost = cost_model_.CellChangeCost(col, row[col], v);
-          if (best_lhs_cost < 0 || cost < best_lhs_cost) {
-            best_lhs_cost = cost;
-            best_lhs_col = col;
-            best_lhs_value = v;
-          }
-        }
-        const double null_cost = cost_model_.CellChangeCost(col, row[col], Value::Null());
-        if (best_lhs_cost < 0 || null_cost < best_lhs_cost) {
-          best_lhs_cost = null_cost;
-          best_lhs_col = col;
-          best_lhs_value = Value::Null();
-        }
-      }
-    }
-
-    const double rhs_cost = rhs_cands.front().cost;
-    if (best_lhs_cost >= 0 && best_lhs_cost < rhs_cost) {
-      ApplyChange(sv.tid, best_lhs_col, best_lhs_value, {});
-      return 1;
-    }
-    ApplyChange(sv.tid, c.rhs_col(), pt.rhs.constant(), RankAlternatives(rhs_cands));
-    return 1;
-  }
-
-  /// Returns the number of edits applied.
-  size_t ResolveGroup(const ViolationGroup& vg, RepairResult* result) {
-    if (vg.cfd_index < 0) return 0;
-    const Cfd& c = cfds_[static_cast<size_t>(vg.cfd_index)];
-    const size_t rhs_col = c.rhs_col();
-
-    // Re-read current member values (earlier edits may have resolved or
-    // reshaped the group).
-    struct MemberState {
-      TupleId tid;
-      Value rhs;
-      bool is_mutable;
-    };
-    std::vector<MemberState> members;
-    members.reserve(vg.members.size());
-    for (TupleId tid : vg.members) {
-      if (!work_.IsLive(tid)) continue;
-      members.push_back({tid, work_.cell(tid, rhs_col), Mutable(tid)});
-    }
-
-    // Distinct non-null values with weighted change costs.
-    std::unordered_map<Value, int64_t, relational::ValueHash> freq;
-    for (const MemberState& m : members) {
-      if (!m.rhs.is_null()) ++freq[m.rhs];
-    }
-    if (freq.size() < 2) return 0;  // already resolved
-
-    // Frozen members pin the target: if they disagree among themselves the
-    // group cannot be repaired on the RHS at all.
-    std::unordered_map<Value, int64_t, relational::ValueHash> frozen_values;
-    for (const MemberState& m : members) {
-      if (!m.is_mutable && !m.rhs.is_null()) ++frozen_values[m.rhs];
-    }
-    if (frozen_values.size() > 1) {
-      // Move mutable members out of the group by breaking the LHS key.
-      size_t edits = 0;
-      if (options_.enable_lhs_repairs) {
-        const size_t escape_col = c.lhs_cols().back();
-        for (const MemberState& m : members) {
-          if (!m.is_mutable) continue;
-          ApplyChange(m.tid, escape_col, Value::Null(), {});
-          ++result->null_escapes;
-          ++edits;
-        }
-      }
-      return edits;
-    }
-
-    std::vector<Candidate> candidates;
-    if (frozen_values.size() == 1) {
-      candidates.push_back({frozen_values.begin()->first, 0});
-      candidates.back().cost = TotalRhsCost(members, rhs_col, candidates.back().value);
-    } else {
-      candidates.reserve(freq.size());
-      for (const auto& [v, n] : freq) {
-        candidates.push_back({v, TotalRhsCost(members, rhs_col, v)});
-      }
-      std::sort(candidates.begin(), candidates.end(),
-                [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
-    }
-    const Candidate& best = candidates.front();
-
-    // Alternative resolution (the attribute-modification option of
-    // [VLDB'07]): move the disagreeing members out of the group by breaking
-    // the LHS key instead of rewriting their RHS. Wins when the RHS carries
-    // far more weight than the LHS.
-    double escape_cost = 0;
-    std::vector<const MemberState*> escapees;
-    if (options_.enable_lhs_repairs) {
-      const size_t escape_col = c.lhs_cols().back();
-      for (const MemberState& m : members) {
-        if (!m.is_mutable || m.rhs == best.value) continue;
-        escapees.push_back(&m);
-        escape_cost += cost_model_.CellChangeCost(escape_col, work_.cell(m.tid, escape_col),
-                                                  Value::Null());
-      }
-      if (!escapees.empty() && escape_cost < best.cost) {
-        size_t edits = 0;
-        for (const MemberState* m : escapees) {
-          if (touched_this_round_.count(CellKey(m->tid, escape_col)) > 0) continue;
-          ApplyChange(m->tid, escape_col, Value::Null(), {});
-          ++result->null_escapes;
-          ++edits;
-        }
-        if (edits > 0) return edits;
-      }
-    }
-
-    size_t edits = 0;
-    for (const MemberState& m : members) {
-      if (!m.is_mutable) continue;
-      if (m.rhs == best.value) continue;
-      if (const Value* pending = PendingTarget(m.tid, rhs_col)) {
-        if (*pending == best.value) continue;
-        // Another FD group already claimed this cell with a different
-        // value: the tuple's LHS attributes are mutually inconsistent
-        // (e.g. a Denver city with a Phoenix zip). Detach it from THIS
-        // group by clearing the group's key attribute.
-        if (options_.enable_lhs_repairs) {
-          const size_t escape_col = c.lhs_cols().back();
-          ApplyChange(m.tid, escape_col, Value::Null(), {});
-          ++result->null_escapes;
-          ++edits;
-        }
-        continue;
-      }
-      if (touched_this_round_.count(CellKey(m.tid, rhs_col)) > 0) continue;
-      ApplyChange(m.tid, rhs_col, best.value, RankAlternatives(candidates));
-      ++edits;
-    }
-    return edits;
-  }
-
-  template <typename MemberVec>
-  double TotalRhsCost(const MemberVec& members, size_t rhs_col, const Value& target) {
-    double cost = 0;
-    for (const auto& m : members) {
-      if (!m.is_mutable) continue;
-      cost += cost_model_.CellChangeCost(rhs_col, m.rhs, target);
-    }
-    return cost;
   }
 
   const Relation* original_;
@@ -390,6 +685,12 @@ class RepairEngine {
   std::vector<Cfd> cfds_;
   CostModel cost_model_;
   RepairOptions options_;
+
+  std::unique_ptr<common::ThreadPool> owned_pool_;
+  common::ThreadPool* pool_ = nullptr;                 // resolved lane source
+  std::unique_ptr<EncodedRelation> enc_;               // warm across rounds
+  const common::simd::Kernels* kernels_ = nullptr;
+  EquivalenceClasses eq_;
 
   std::vector<std::vector<Value>> frequent_;  // per column, most frequent first
   std::unordered_set<uint64_t> touched_this_round_;

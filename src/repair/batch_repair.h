@@ -6,10 +6,15 @@
 #include <vector>
 
 #include "cfd/cfd.h"
+#include "common/simd/simd.h"
 #include "common/status.h"
 #include "detect/violation.h"
 #include "relational/relation.h"
 #include "repair/cost_model.h"
+
+namespace semandaq::common {
+class ThreadPool;
+}  // namespace semandaq::common
 
 namespace semandaq::repair {
 
@@ -31,6 +36,32 @@ struct RepairOptions {
   /// existing clean data is immutable, only the delta is repaired).
   std::unordered_set<relational::TupleId> mutable_tids;
   bool restrict_to_mutable = false;
+
+  /// Route the per-round re-detection and candidate-cost evaluation through
+  /// one dictionary-encoded snapshot of the working relation, kept warm
+  /// across rounds via the delta hooks (every applied cell edit re-encodes
+  /// exactly that cell). Off = the original row-hash walk, kept for A/B
+  /// measurement and as the semantic reference; the computed RepairResult
+  /// is byte-identical either way.
+  bool use_encoded = true;
+
+  /// Worker lanes for the per-round candidate evaluation and the sharded
+  /// re-detection scans: 1 (default) = serial, 0 = one lane per hardware
+  /// thread, N >= 2 = exactly N lanes. Each round evaluates all violation
+  /// resolutions against the round-start state into per-violation slots
+  /// (fanned out over the lanes) and then applies them serially in a
+  /// canonical order, so the RepairResult — changes, alternatives, costs,
+  /// null escapes — is byte-identical for every thread count.
+  size_t num_threads = 1;
+
+  /// Kernel tier of the encoded scans (see docs/simd.md); every tier
+  /// repairs identically. The row path ignores it.
+  common::simd::Level simd_level = common::simd::Level::kAuto;
+
+  /// Borrowed worker pool (e.g. the Semandaq facade's shared one). nullptr
+  /// = the engine resolves `num_threads` itself, spinning up a private pool
+  /// for N >= 2.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// One cell edit made by the cleanser, with its ranked alternatives.
@@ -56,6 +87,10 @@ struct RepairResult {
   size_t remaining_violations = 0;
   /// Number of cells forced to NULL by the termination escape.
   size_t null_escapes = 0;
+  /// Number of multi-cell equivalence classes the resolved groups merged
+  /// (repair::EquivalenceClasses over the RHS code columns) — the
+  /// repair-complexity statistic of the [SIGMOD'05] framework.
+  size_t merged_classes = 0;
 };
 
 /// The cost-based heuristic repair algorithm of Cong et al. [VLDB'07]

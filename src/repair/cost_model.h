@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "relational/dictionary.h"
+#include "relational/encoded_relation.h"
 #include "relational/schema.h"
 #include "relational/value.h"
 
@@ -35,8 +37,23 @@ class CostModel {
   double CellChangeCost(size_t col, const relational::Value& from,
                         const relational::Value& to) const;
 
+  /// Code-level fast path of CellChangeCost through one column's shared
+  /// dictionary: equal codes are equal values (dictionaries are injective),
+  /// so the zero-cost case needs no decode at all; unequal codes decode
+  /// once and fall into the value path. Both codes must have been issued by
+  /// `dict` (or be kNullCode).
+  double CellChangeCostCoded(size_t col, relational::Code from,
+                             relational::Code to,
+                             const relational::Dictionary& dict) const;
+
   /// Sum of per-cell change costs between two rows of this schema.
   double RowDistance(const relational::Row& a, const relational::Row& b) const;
+
+  /// Code-level fast path of RowDistance over a dictionary-encoded
+  /// snapshot: cells of `a` and `b` with equal codes short-circuit to zero
+  /// cost without hydrating either row; only disagreeing cells decode.
+  double RowDistance(const relational::EncodedRelation& enc,
+                     relational::TupleId a, relational::TupleId b) const;
 
   double weight(size_t col) const {
     return col < options_.attr_weights.size() ? options_.attr_weights[col]

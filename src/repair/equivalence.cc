@@ -1,5 +1,7 @@
 #include "repair/equivalence.h"
 
+#include <algorithm>
+
 namespace semandaq::repair {
 
 uint64_t EquivalenceClasses::FindRoot(uint64_t key) {
@@ -39,6 +41,86 @@ void EquivalenceClasses::Union(CellId a, CellId b) {
     if (targets_.find(ra) == targets_.end()) targets_[ra] = tb->second;
     targets_.erase(tb);
   }
+}
+
+size_t EquivalenceClasses::MergeColumn(const std::vector<relational::TupleId>& tids,
+                                       size_t col,
+                                       const std::vector<uint32_t>& labels) {
+  // label -> first cell seen with it; later cells union into that class.
+  std::unordered_map<uint32_t, CellId> first;
+  first.reserve(labels.size());
+  size_t unions = 0;
+  const size_t n = std::min(tids.size(), labels.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] == 0) continue;  // kNullCode: NULL never merges cells
+    const CellId cell{tids[i], col};
+    auto [it, fresh] = first.emplace(labels[i], cell);
+    if (fresh) continue;
+    Union(it->second, cell);
+    ++unions;
+  }
+  return unions;
+}
+
+size_t EquivalenceClasses::MergeUniform(const std::vector<relational::TupleId>& tids,
+                                        size_t col) {
+  if (tids.size() < 2) return 0;
+  // Split the cells into fresh ones (no class yet) and the distinct roots of
+  // cells already classed in an earlier round.
+  std::vector<uint64_t> fresh;
+  fresh.reserve(tids.size());
+  std::vector<uint64_t> roots;
+  for (relational::TupleId tid : tids) {
+    const uint64_t key = Key({tid, col});
+    if (parent_.find(key) == parent_.end()) {
+      fresh.push_back(key);
+    } else {
+      const uint64_t root = FindRoot(key);
+      if (std::find(roots.begin(), roots.end(), root) == roots.end()) {
+        roots.push_back(root);
+      }
+    }
+  }
+
+  // Absorb into the largest existing class; with none, the first fresh cell
+  // founds the class (matching MergeColumn's first-cell anchoring).
+  uint64_t absorb;
+  if (!roots.empty()) {
+    absorb = roots.front();
+    for (uint64_t r : roots) {
+      if (members_[r].size() > members_[absorb].size()) absorb = r;
+    }
+  } else {
+    absorb = fresh.front();
+    parent_[absorb] = absorb;
+    members_[absorb] = {};
+  }
+
+  auto& ma = members_[absorb];
+  ma.reserve(ma.size() + fresh.size());
+  size_t joined = 0;
+  for (uint64_t key : fresh) {
+    if (key != absorb) {
+      parent_[key] = absorb;
+      ++joined;
+    }
+    ma.push_back(key);
+  }
+  for (uint64_t r : roots) {
+    if (r == absorb) continue;
+    auto& mb = members_[r];
+    joined += mb.size();
+    ma.insert(ma.end(), mb.begin(), mb.end());
+    parent_[r] = absorb;
+    members_.erase(r);
+    auto tb = targets_.find(r);
+    if (tb != targets_.end()) {
+      // Keep the absorbing class's target when both exist.
+      if (targets_.find(absorb) == targets_.end()) targets_[absorb] = tb->second;
+      targets_.erase(tb);
+    }
+  }
+  return joined;
 }
 
 std::vector<CellId> EquivalenceClasses::Members(CellId cell) {

@@ -37,6 +37,26 @@ class EquivalenceClasses {
   /// of `a`'s class if both had one.
   void Union(CellId a, CellId b);
 
+  /// Bulk merge over one code column: cells (tids[i], col) sharing a label
+  /// merge into one class. Labels are uint32 dictionary codes in the
+  /// encoded repair engine (relational::Code) and distinct-value ordinals
+  /// in the row fallback — any uint32 space where label equality means
+  /// value equality works. Label 0 (relational::kNullCode) marks a NULL
+  /// cell and is skipped: NULL never pins cells together. One pass, one
+  /// integer-keyed map — no Value hashing. Returns the number of Union
+  /// operations performed.
+  size_t MergeColumn(const std::vector<relational::TupleId>& tids, size_t col,
+                     const std::vector<uint32_t>& labels);
+
+  /// Merges the cells (tids[i], col) — all known to share one label — into
+  /// a single class. Produces the same partition as MergeColumn with a
+  /// uniform label vector, but cells not yet in any class are linked to the
+  /// absorbing root directly: one hash find + one insert each, instead of
+  /// the find-make-singleton-then-union walk. Repair groups run into the
+  /// thousands of members, which makes this the apply phase's hot path.
+  /// Returns the number of cells newly joined to the class.
+  size_t MergeUniform(const std::vector<relational::TupleId>& tids, size_t col);
+
   /// All cells in the class of `cell` (including `cell` itself).
   std::vector<CellId> Members(CellId cell);
 

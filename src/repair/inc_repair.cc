@@ -1,7 +1,8 @@
 #include "repair/inc_repair.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
+#include <vector>
 
 namespace semandaq::repair {
 
@@ -133,14 +134,22 @@ common::Result<size_t> IncRepairEngine::RepairTuple(TupleId tid,
     if (views.empty()) break;
     const auto& view = views.front();
 
-    // Frozen = members outside the delta.
-    std::map<std::string, std::pair<Value, int64_t>> frozen;  // display -> (v, n)
+    // Frozen = members outside the delta. Tallied by exact value equality
+    // in member order (a display-keyed map would conflate distinct values
+    // that render alike, e.g. the int 1 and the string "1", and misread a
+    // disagreeing frozen group as unanimous).
+    std::vector<std::pair<Value, int64_t>> frozen;  // first-occurrence order
     for (TupleId member : *view.members) {
       if (delta_.count(member) > 0) continue;
       const Value& v = rel_->cell(member, view.rhs_col);
       if (v.is_null()) continue;
-      auto [it, fresh] = frozen.emplace(v.ToDisplayString(), std::make_pair(v, 0));
-      ++it->second.second;
+      auto it = std::find_if(frozen.begin(), frozen.end(),
+                             [&](const auto& f) { return f.first == v; });
+      if (it == frozen.end()) {
+        frozen.emplace_back(v, 1);
+      } else {
+        ++it->second;
+      }
     }
 
     const Value original_rhs = rel_->cell(tid, view.rhs_col);
@@ -159,12 +168,25 @@ common::Result<size_t> IncRepairEngine::RepairTuple(TupleId tid,
     Value target;
     std::vector<std::pair<Value, double>> alternatives;
     if (frozen.size() == 1) {
-      target = frozen.begin()->second.first;
+      target = frozen.front().first;
     } else {
       // Group is all-delta: pick the cheapest consensus value by weighted
-      // change cost, exactly as BatchRepair does.
+      // change cost, exactly as BatchRepair does. The candidates come out
+      // of the detector's unordered tally, so order them first — cost ties
+      // must break the same way on every platform and run.
+      std::vector<Value> candidates;
+      candidates.reserve(view.rhs_counts->size());
+      for (const auto& [v, n] : *view.rhs_counts) candidates.push_back(v);
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Value& a, const Value& b) {
+                  const int c = a.Compare(b);
+                  if (c != 0) return c < 0;
+                  // Compare coerces numerics (1 == 1.0); fall back to the
+                  // rendering for a total order over distinct values.
+                  return a.ToDisplayString() < b.ToDisplayString();
+                });
       double best_cost = -1;
-      for (const auto& [v, n] : *view.rhs_counts) {
+      for (const Value& v : candidates) {
         double cost = 0;
         for (TupleId member : *view.members) {
           if (delta_.count(member) == 0) continue;
@@ -177,8 +199,8 @@ common::Result<size_t> IncRepairEngine::RepairTuple(TupleId tid,
           target = v;
         }
       }
-      std::sort(alternatives.begin(), alternatives.end(),
-                [](const auto& a, const auto& b) { return a.second < b.second; });
+      std::stable_sort(alternatives.begin(), alternatives.end(),
+                       [](const auto& a, const auto& b) { return a.second < b.second; });
       if (alternatives.size() > options_.alternatives_k) {
         alternatives.resize(options_.alternatives_k);
       }

@@ -38,6 +38,13 @@ struct IncBatchResult {
 /// costs O(|Δ|) — violations of delta tuples are read directly from the
 /// detector's buckets, never by re-scanning the relation. This is the
 /// |Δ|-vs-|D| separation the companion paper's IncRepair experiment shows.
+///
+/// Unlike BatchRepair, this path stays row-based and serial: the per-batch
+/// work is already delta-local, so the encoded/SIMD/parallel stack (see
+/// docs/repair.md) has nothing to amortize here. Of RepairOptions only
+/// `max_iterations` and `alternatives_k` apply. Every decision is
+/// deterministic — consensus candidates are Compare-ordered before cost
+/// ties break first-wins, matching the batch engine's guarantee.
 class IncRepairEngine {
  public:
   /// The relation must outlive the engine; all mutations must go through

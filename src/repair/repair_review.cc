@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 namespace semandaq::repair {
 
@@ -68,7 +69,26 @@ std::string RepairReview::RenderDiff(size_t max_rows) const {
   const auto& schema = original_->schema();
   std::ostringstream out;
   out << "Cleansing review (" << result_.changes.size() << " modified cell(s), cost "
-      << result_.total_cost << ")\n";
+      << result_.total_cost;
+  if (result_.merged_classes > 0) {
+    out << ", " << result_.merged_classes << " merged class(es)";
+  }
+  if (result_.null_escapes > 0) {
+    out << ", " << result_.null_escapes << " null escape(s)";
+  }
+  out << ")\n";
+
+  // One pass over the change log instead of an O(|changes|) FindChange per
+  // rendered cell — diffs of wide repairs stay linear.
+  std::unordered_map<uint64_t, const CellChange*> by_cell;
+  by_cell.reserve(result_.changes.size());
+  for (const CellChange& ch : result_.changes) {
+    by_cell.emplace((static_cast<uint64_t>(ch.tid) << 16) | ch.col, &ch);
+  }
+  auto change_at = [&](TupleId tid, size_t c) -> const CellChange* {
+    auto it = by_cell.find((static_cast<uint64_t>(tid) << 16) | c);
+    return it == by_cell.end() ? nullptr : it->second;
+  };
 
   // Column headers.
   out << "tid";
@@ -81,7 +101,7 @@ std::string RepairReview::RenderDiff(size_t max_rows) const {
     if (!result_.repaired.IsLive(tid)) return;
     bool any_change = false;
     for (size_t c = 0; c < schema.size(); ++c) {
-      if (FindChange(tid, c) != nullptr) {
+      if (change_at(tid, c) != nullptr) {
         any_change = true;
         break;
       }
@@ -91,7 +111,7 @@ std::string RepairReview::RenderDiff(size_t max_rows) const {
     out << "#" << tid;
     for (size_t c = 0; c < schema.size(); ++c) {
       out << " | ";
-      const CellChange* ch = FindChange(tid, c);
+      const CellChange* ch = change_at(tid, c);
       if (ch != nullptr && !(ch->original == ch->repaired)) {
         out << "[" << ch->original.ToDisplayString() << " -> "
             << ch->repaired.ToDisplayString() << "]";

@@ -31,6 +31,12 @@ class RepairReview {
   const relational::Relation& repaired() const { return result_.repaired; }
   const std::vector<CellChange>& changes() const { return result_.changes; }
 
+  /// The full repair under review, including the audit counters
+  /// (remaining_violations, null_escapes, merged_classes — see
+  /// RepairResult). Overrides applied through OverrideCell are reflected
+  /// in its change log.
+  const RepairResult& result() const { return result_; }
+
   /// The change record for a cell, or nullptr when the cleanser left it
   /// untouched.
   const CellChange* FindChange(relational::TupleId tid, size_t col) const;

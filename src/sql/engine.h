@@ -2,10 +2,12 @@
 #define SEMANDAQ_SQL_ENGINE_H_
 
 #include <string_view>
+#include <utility>
 
 #include "common/status.h"
 #include "relational/database.h"
 #include "relational/relation.h"
+#include "sql/executor.h"
 
 namespace semandaq::sql {
 
@@ -18,12 +20,21 @@ class Engine {
   /// The database must outlive the engine. Not owned.
   explicit Engine(const relational::Database* db) : db_(db) {}
 
+  /// Attaches the warm-snapshot resolver enabling the executor's
+  /// code-compiled fast paths (see sql::Execute): string-equality scans,
+  /// shared-dictionary hash joins, and GROUP BY on dictionary codes.
+  /// Results are identical with or without it.
+  void set_encoded_provider(EncodedProvider provider) {
+    provider_ = std::move(provider);
+  }
+
   /// Runs one SELECT and materializes the result relation.
   common::Result<relational::Relation> Query(
       std::string_view sql, std::string_view result_name = "result") const;
 
  private:
   const relational::Database* db_;
+  EncodedProvider provider_;
 };
 
 }  // namespace semandaq::sql

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/simd/simd.h"
 #include "common/string_util.h"
 
 namespace semandaq::sql {
@@ -14,7 +16,10 @@ namespace {
 
 using common::Result;
 using common::Status;
+using relational::Code;
 using relational::DataType;
+using relational::EncodedRelation;
+using relational::kNullCode;
 using relational::Relation;
 using relational::Row;
 using relational::RowEq;
@@ -72,7 +77,8 @@ struct EvalContext {
 
 class ExecutorImpl {
  public:
-  explicit ExecutorImpl(const BoundQuery& q) : q_(q) {}
+  ExecutorImpl(const BoundQuery& q, const EncodedProvider& encoded)
+      : q_(q), provider_(encoded) {}
 
   Result<Relation> Run(std::string_view result_name) {
     SEMANDAQ_ASSIGN_OR_RETURN(std::vector<JoinedRow> rows, BuildJoin());
@@ -299,6 +305,128 @@ class ExecutorImpl {
     return mask;
   }
 
+  /// The table's warm encoded snapshot, if the provider has one that is in
+  /// sync and shape-matching; nullptr disables the code fast paths for it.
+  /// Resolved once per table index (validation included) and cached.
+  const EncodedRelation* EncodedFor(size_t t) {
+    if (!provider_) return nullptr;
+    if (enc_.empty()) {
+      enc_.assign(q_.tables.size(), nullptr);
+      enc_resolved_.assign(q_.tables.size(), false);
+    }
+    if (!enc_resolved_[t]) {
+      enc_resolved_[t] = true;
+      const Relation* rel = q_.tables[t];
+      const EncodedRelation* e = provider_(rel);
+      if (e != nullptr && e->InSync() && e->IdBound() == rel->IdBound() &&
+          e->num_columns() == rel->schema().size()) {
+        enc_[t] = e;
+      }
+    }
+    return enc_[t];
+  }
+
+  /// True when conjunct `e` is `col = 'string literal'` (either side order)
+  /// over table t's real columns — the shape that compiles to one
+  /// dictionary lookup plus a code-column equality kernel. Restricted to
+  /// non-NULL *string* literals: a numeric literal can cross-type equal a
+  /// differently-coded cell (Compare treats Int(2) and Double(2.0) as
+  /// equal), which code equality cannot express; string-vs-anything-else
+  /// never compares equal, so exact code equality is the whole predicate.
+  static bool IsCodeEq(const Expr& e, size_t t, const Expr** col,
+                       const Expr** lit) {
+    if (e.kind != ExprKind::kBinary || e.bin_op != BinOp::kEq) return false;
+    const Expr* a = e.left.get();
+    const Expr* b = e.right.get();
+    if (a->kind == ExprKind::kColumnRef && b->kind == ExprKind::kLiteral) {
+      *col = a;
+      *lit = b;
+    } else if (b->kind == ExprKind::kColumnRef && a->kind == ExprKind::kLiteral) {
+      *col = b;
+      *lit = a;
+    } else {
+      return false;
+    }
+    if ((*col)->bound_table != static_cast<int>(t) || (*col)->bound_col < 0) {
+      return false;
+    }
+    const Value& v = (*lit)->literal;
+    return !v.is_null() && v.type() == DataType::kString;
+  }
+
+  /// Scans table t into (tid, row) pairs, applying the single-table
+  /// conjuncts. With an encoded snapshot, `col = 'lit'` conjuncts become
+  /// one MaskLive + FilterEqMulti32 kernel pass over the code columns (a
+  /// literal absent from the dictionary yields the empty scan for free);
+  /// residual conjuncts evaluate row-at-a-time over the surviving bits.
+  /// Emission is ascending-tid either way, so both paths produce the same
+  /// scan in the same order.
+  Status ScanTable(size_t t, const std::vector<Expr*>& local,
+                   std::vector<std::pair<TupleId, const Row*>>* scan) {
+    const size_t n = q_.tables.size();
+    const Relation* rel = q_.tables[t];
+    std::vector<const uint32_t*> cols;
+    std::vector<uint32_t> consts;
+    std::vector<Expr*> residual;
+    const EncodedRelation* enc = EncodedFor(t);
+    if (enc != nullptr) {
+      for (Expr* c : local) {
+        const Expr* col = nullptr;
+        const Expr* lit = nullptr;
+        if (IsCodeEq(*c, t, &col, &lit)) {
+          // kAbsentCode (literal never encoded) matches no cell: the
+          // kernel then clears the whole mask, which is the right answer.
+          cols.push_back(enc->column(static_cast<size_t>(col->bound_col)).data());
+          consts.push_back(
+              enc->dictionary(static_cast<size_t>(col->bound_col)).Lookup(lit->literal));
+        } else {
+          residual.push_back(c);
+        }
+      }
+    } else {
+      residual = local;
+    }
+
+    Status scan_status;
+    auto probe_row = [&](TupleId tid, const Row& row) {
+      if (!scan_status.ok()) return;
+      JoinedRow probe;
+      probe.rows.assign(n, nullptr);
+      probe.tids.assign(n, -1);
+      probe.rows[t] = &row;
+      probe.tids[t] = tid;
+      EvalContext ctx{.row = &probe, .agg_values = nullptr};
+      for (Expr* c : residual) {
+        auto v = Eval(*c, ctx);
+        if (!v.ok()) {
+          scan_status = v.status();
+          return;
+        }
+        Status st;
+        if (ValueToTri(*v, &st) != TriBool::kTrue) {
+          if (!st.ok()) scan_status = st;
+          return;
+        }
+      }
+      scan->emplace_back(tid, &row);
+    };
+    if (!cols.empty()) {
+      const size_t bound = static_cast<size_t>(rel->IdBound());
+      std::vector<uint64_t> mask(common::simd::MaskWords(bound));
+      const common::simd::Kernels& k = common::simd::KernelsFor();
+      k.MaskLive(rel->live_data(), nullptr, 0, kNullCode, bound, mask.data());
+      k.FilterEqMulti32(cols.data(), consts.data(), cols.size(), bound,
+                        mask.data());
+      common::simd::ForEachSetBit(mask.data(), mask.size(), [&](size_t i) {
+        const TupleId tid = static_cast<TupleId>(i);
+        probe_row(tid, rel->row(tid));
+      });
+    } else {
+      rel->ForEach(probe_row);
+    }
+    return scan_status;
+  }
+
   Result<std::vector<JoinedRow>> BuildJoin() {
     const size_t n = q_.tables.size();
     std::vector<Expr*> conjuncts;
@@ -320,32 +448,7 @@ class ExecutorImpl {
         }
       }
       std::vector<std::pair<TupleId, const Row*>> scan;
-      {
-        Status scan_status;
-        q_.tables[t]->ForEach([&](TupleId tid, const Row& row) {
-          if (!scan_status.ok()) return;
-          JoinedRow probe;
-          probe.rows.assign(n, nullptr);
-          probe.tids.assign(n, -1);
-          probe.rows[t] = &row;
-          probe.tids[t] = tid;
-          EvalContext ctx{.row = &probe, .agg_values = nullptr};
-          for (Expr* c : local) {
-            auto v = Eval(*c, ctx);
-            if (!v.ok()) {
-              scan_status = v.status();
-              return;
-            }
-            Status st;
-            if (ValueToTri(*v, &st) != TriBool::kTrue) {
-              if (!st.ok()) scan_status = st;
-              return;
-            }
-          }
-          scan.emplace_back(tid, &row);
-        });
-        SEMANDAQ_RETURN_IF_ERROR(scan_status);
-      }
+      SEMANDAQ_RETURN_IF_ERROR(ScanTable(t, local, &scan));
 
       if (t == 0) {
         acc.reserve(scan.size());
@@ -379,7 +482,62 @@ class ExecutorImpl {
         }
 
         std::vector<JoinedRow> next;
-        if (!keys.empty()) {
+        // A key pair comparing one relation's column to itself (the
+        // self-join shape of detection queries) shares a dictionary on both
+        // sides, so exact-equality hash keys can be uint32 codes instead of
+        // hashed Values. The Row-keyed join below already uses exact
+        // equality (never numeric coercion), so the code join is not just
+        // faster but identical, NULL-skips included.
+        bool code_join = !keys.empty();
+        for (auto& [pl, pt] : keys) {
+          if (pl->kind != ExprKind::kColumnRef || pt->kind != ExprKind::kColumnRef ||
+              pl->bound_col < 0 || pt->bound_col < 0 ||
+              pl->bound_col != pt->bound_col ||
+              q_.tables[static_cast<size_t>(pl->bound_table)] !=
+                  q_.tables[static_cast<size_t>(pt->bound_table)] ||
+              EncodedFor(static_cast<size_t>(pt->bound_table)) == nullptr) {
+            code_join = false;
+            break;
+          }
+        }
+        if (code_join) {
+          auto code_key = [&](const std::vector<TupleId>& tids,
+                              bool probe_side) -> std::optional<std::vector<Code>> {
+            std::vector<Code> key;
+            key.reserve(keys.size());
+            for (auto& [pl, pt] : keys) {
+              const Expr* side = probe_side ? pt : pl;
+              const size_t st = static_cast<size_t>(side->bound_table);
+              const Code c = EncodedFor(st)->code(
+                  tids[st], static_cast<size_t>(side->bound_col));
+              if (c == kNullCode) return std::nullopt;  // NULL never joins
+              key.push_back(c);
+            }
+            return key;
+          };
+          std::unordered_map<std::vector<Code>, std::vector<size_t>,
+                             relational::CodeVecHash>
+              ht;
+          std::vector<TupleId> probe_tids(n, -1);
+          for (size_t si = 0; si < scan.size(); ++si) {
+            probe_tids[t] = scan[si].first;
+            if (auto key = code_key(probe_tids, /*probe_side=*/true)) {
+              ht[std::move(*key)].push_back(si);
+            }
+          }
+          for (JoinedRow& jr : acc) {
+            auto key = code_key(jr.tids, /*probe_side=*/false);
+            if (!key) continue;
+            auto it = ht.find(*key);
+            if (it == ht.end()) continue;
+            for (size_t si : it->second) {
+              JoinedRow ext = jr;
+              ext.rows[t] = scan[si].second;
+              ext.tids[t] = scan[si].first;
+              next.push_back(std::move(ext));
+            }
+          }
+        } else if (!keys.empty()) {
           // Hash the new table side.
           std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> ht;
           for (size_t si = 0; si < scan.size(); ++si) {
@@ -510,20 +668,59 @@ class ExecutorImpl {
 
   Status RunAggregate(const std::vector<JoinedRow>& rows, std::vector<Row>* produced,
                       std::vector<Row>* sort_keys) {
+    // GROUP BY over plain column refs of encoded tables keys the group
+    // hash on uint32 codes. Code equality is exact Value equality — the
+    // same grouping the Row-keyed path computes (NULLs all carry
+    // kNullCode, matching Row keys' exact NULL equality) — without
+    // hashing a Value per row per key column.
+    bool code_keys = !q_.stmt.group_by.empty();
+    for (const auto& g : q_.stmt.group_by) {
+      if (g->kind != ExprKind::kColumnRef || g->bound_col < 0 ||
+          EncodedFor(static_cast<size_t>(g->bound_table)) == nullptr) {
+        code_keys = false;
+        break;
+      }
+    }
+    if (code_keys) {
+      auto make_key = [&](const JoinedRow& jr, std::vector<Code>* key) -> Status {
+        key->reserve(q_.stmt.group_by.size());
+        for (const auto& g : q_.stmt.group_by) {
+          const size_t gt = static_cast<size_t>(g->bound_table);
+          key->push_back(EncodedFor(gt)->code(jr.tids[gt],
+                                              static_cast<size_t>(g->bound_col)));
+        }
+        return Status::OK();
+      };
+      return RunAggregateKeyed<std::vector<Code>, relational::CodeVecHash,
+                               std::equal_to<std::vector<Code>>>(
+          rows, make_key, produced, sort_keys);
+    }
+    auto make_key = [&](const JoinedRow& jr, Row* key) -> Status {
+      EvalContext ctx{.row = &jr, .agg_values = nullptr};
+      key->reserve(q_.stmt.group_by.size());
+      for (const auto& g : q_.stmt.group_by) {
+        SEMANDAQ_ASSIGN_OR_RETURN(Value v, Eval(*g, ctx));
+        key->push_back(std::move(v));
+      }
+      return Status::OK();
+    };
+    return RunAggregateKeyed<Row, RowHash, RowEq>(rows, make_key, produced,
+                                                  sort_keys);
+  }
+
+  template <typename Key, typename Hash, typename Eq, typename KeyFn>
+  Status RunAggregateKeyed(const std::vector<JoinedRow>& rows, const KeyFn& make_key,
+                           std::vector<Row>* produced, std::vector<Row>* sort_keys) {
     struct Group {
       std::vector<AggState> states;
       const JoinedRow* representative = nullptr;
     };
-    std::unordered_map<Row, Group, RowHash, RowEq> groups;
+    std::unordered_map<Key, Group, Hash, Eq> groups;
 
     for (const JoinedRow& jr : rows) {
       EvalContext ctx{.row = &jr, .agg_values = nullptr};
-      Row key;
-      key.reserve(q_.stmt.group_by.size());
-      for (const auto& g : q_.stmt.group_by) {
-        SEMANDAQ_ASSIGN_OR_RETURN(Value v, Eval(*g, ctx));
-        key.push_back(std::move(v));
-      }
+      Key key;
+      SEMANDAQ_RETURN_IF_ERROR(make_key(jr, &key));
       Group& grp = groups[key];
       if (grp.states.empty()) {
         grp.states.resize(q_.aggregates.size());
@@ -535,7 +732,7 @@ class ExecutorImpl {
     }
     // Global aggregate over empty input still yields one group.
     if (groups.empty() && q_.stmt.group_by.empty()) {
-      groups[Row{}] = Group{std::vector<AggState>(q_.aggregates.size()), nullptr};
+      groups[Key{}] = Group{std::vector<AggState>(q_.aggregates.size()), nullptr};
     }
 
     for (auto& [key, grp] : groups) {
@@ -641,13 +838,19 @@ class ExecutorImpl {
   }
 
   const BoundQuery& q_;
+  const EncodedProvider& provider_;
+  /// Per-FROM-table resolved encoded snapshots (see EncodedFor); lazily
+  /// filled, nullptr = fall back to the value paths for that table.
+  std::vector<const EncodedRelation*> enc_;
+  std::vector<bool> enc_resolved_;
 };
 
 }  // namespace
 
 common::Result<relational::Relation> Execute(const BoundQuery& query,
-                                             std::string_view result_name) {
-  ExecutorImpl impl(query);
+                                             std::string_view result_name,
+                                             const EncodedProvider& encoded) {
+  ExecutorImpl impl(query, encoded);
   return impl.Run(result_name);
 }
 

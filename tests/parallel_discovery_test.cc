@@ -274,6 +274,76 @@ TEST(PartitionCacheTest, ResidencyStaysLevelScoped) {
   EXPECT_EQ(cache.resident(), 4u);  // level-2 products evicted
 }
 
+TEST(PartitionCacheTest, AfterLevelHookSharesLevelPartitionsWithCfdSweep) {
+  // The CFD miner rides FdMiner::Mine's after-level hook so its level-k
+  // conditional sweep reads the level-k partitions the FD validation just
+  // used out of the shared cache. Simulate both schedules over one
+  // workload: the old back-to-back walk (FD sweep, then a second level
+  // walk) must rebuild every level the FD rotations evicted, while inside
+  // the hook the level's candidate partitions are still resident and cost
+  // zero extra builds.
+  workload::CustomerWorkloadOptions wopts;
+  wopts.num_tuples = 300;
+  wopts.noise_rate = 0.05;
+  wopts.seed = 7;
+  auto wl = workload::CustomerGenerator::Generate(wopts);
+  const size_t ncols = wl.dirty.schema().size();
+  constexpr size_t kMaxLhs = 3;
+  FdMinerOptions opts;
+  opts.max_lhs = kMaxLhs;
+  FdMiner miner(&wl.dirty, opts);
+
+  // The CFD sweep's per-level access: every level-k candidate partition.
+  auto touch_level = [&](PartitionCache* cache, size_t level) {
+    for (size_t a = 0; a < ncols; ++a) {
+      if (level == 1) {
+        cache->Get({a});
+        continue;
+      }
+      for (size_t b = a + 1; b < ncols; ++b) {
+        if (level == 2) {
+          cache->Get({a, b});
+          continue;
+        }
+        for (size_t c = b + 1; c < ncols; ++c) cache->Get({a, b, c});
+      }
+    }
+  };
+
+  // Old schedule: full FD run, then a separate level walk with its own
+  // rotations (what CfdMiner::Mine did before the hook existed).
+  relational::EncodedRelation enc_a(&wl.dirty);
+  PartitionCache cache_a(&wl.dirty, &enc_a);
+  const auto fds_a = miner.Mine(&cache_a, nullptr);
+  for (size_t level = 1; level <= kMaxLhs && level < ncols; ++level) {
+    touch_level(&cache_a, level);
+    cache_a.Rotate();
+  }
+  const size_t sequential_builds = cache_a.builds();
+
+  // Interleaved schedule: the same accesses inside the hook are all
+  // resident hits.
+  relational::EncodedRelation enc_b(&wl.dirty);
+  PartitionCache cache_b(&wl.dirty, &enc_b);
+  std::vector<size_t> hook_levels;
+  const auto fds_b = miner.Mine(
+      &cache_b, nullptr,
+      [&](size_t level, const std::vector<DiscoveredFd>& found) {
+        hook_levels.push_back(level);
+        EXPECT_LE(found.size(), fds_a.size());
+        const size_t before = cache_b.builds();
+        touch_level(&cache_b, level);
+        EXPECT_EQ(cache_b.builds(), before)
+            << "level-" << level << " partitions must be resident in the hook";
+      });
+
+  EXPECT_EQ(FdSignature(fds_a), FdSignature(fds_b))
+      << "the hook must not perturb the mined FDs";
+  EXPECT_EQ(hook_levels, (std::vector<size_t>{1, 2, 3}));
+  EXPECT_LT(cache_b.builds(), sequential_builds)
+      << "interleaving must save the second sweep's rebuilds";
+}
+
 TEST(PartitionCacheTest, ConcurrentGetsAreSafeAndDeterministic) {
   workload::CustomerWorkloadOptions wopts;
   wopts.num_tuples = 400;
