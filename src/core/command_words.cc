@@ -1,0 +1,56 @@
+#include "core/command_words.h"
+
+#include "common/string_util.h"
+
+namespace semandaq::core {
+
+using common::Result;
+using common::Status;
+
+std::vector<std::string> Words(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+Result<size_t> ParseCount(const std::string& text) {
+  int64_t n = 0;
+  if (!common::ParseInt64(text, &n) || n < 0) {
+    return Status::InvalidArgument("not a count: " + text);
+  }
+  return static_cast<size_t>(n);
+}
+
+common::Status ParseSweepOption(const std::string& arg, size_t* num_threads,
+                                common::simd::Level* simd_level,
+                                bool* matched) {
+  *matched = false;
+  const std::string lower = common::ToLower(arg);
+  if (common::StartsWith(lower, "threads=")) {
+    SEMANDAQ_ASSIGN_OR_RETURN(
+        *num_threads, ParseCount(arg.substr(std::string("threads=").size())));
+    *matched = true;  // 0 = all hardware threads, 1 = serial
+    return Status::OK();
+  }
+  if (common::StartsWith(lower, "simd=")) {
+    const std::string text = arg.substr(std::string("simd=").size());
+    if (!common::simd::ParseLevel(text, simd_level)) {
+      return Status::InvalidArgument(
+          "unknown simd level '" + text + "' (want scalar|sse2|avx2|auto)");
+    }
+    *matched = true;
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace semandaq::core

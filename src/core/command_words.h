@@ -1,0 +1,34 @@
+#ifndef SEMANDAQ_CORE_COMMAND_WORDS_H_
+#define SEMANDAQ_CORE_COMMAND_WORDS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/simd/simd.h"
+#include "common/status.h"
+
+namespace semandaq::core {
+
+/// The lexical layer shared by every text-command surface over the facade:
+/// the single-process core::Session and the server's SemandaqService speak
+/// the same grammar, so they split lines and parse option words with the
+/// same helpers (a `detect REL threads=N` frame sent over the wire means
+/// exactly what the same line means at the CLI).
+
+/// Splits a command line on whitespace (no quoting; the `cfd` and `sql`
+/// commands take the raw remainder instead).
+std::vector<std::string> Words(std::string_view line);
+
+/// Parses a non-negative integer ("not a count" otherwise).
+common::Result<size_t> ParseCount(const std::string& text);
+
+/// Parses one `threads=N` / `simd=LEVEL` option word (shared by the mine,
+/// detect, and clean commands) into the given slots. *matched reports
+/// whether the word was one of the two forms; malformed values are errors.
+common::Status ParseSweepOption(const std::string& arg, size_t* num_threads,
+                                common::simd::Level* simd_level, bool* matched);
+
+}  // namespace semandaq::core
+
+#endif  // SEMANDAQ_CORE_COMMAND_WORDS_H_

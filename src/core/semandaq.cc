@@ -4,6 +4,7 @@
 #include "common/string_util.h"
 #include "detect/native_detector.h"
 #include "detect/sql_detector.h"
+#include "storage/catalog.h"
 #include "storage/wal.h"
 
 namespace semandaq::core {
@@ -41,6 +42,22 @@ relational::EncodedRelation* Semandaq::WarmSnapshot(
   const relational::Relation* rel = db_.FindRelation(relation);
   if (rel == nullptr) return nullptr;
   return FindWarm(relation, rel);
+}
+
+relational::EncodedRelation* Semandaq::WarmOrEncode(const std::string& relation) {
+  relational::Relation* rel = db_.FindMutableRelation(relation);
+  if (rel == nullptr) return nullptr;
+  common::ThreadPool* pool = PoolFor(detector_options_.num_threads);
+  relational::EncodedRelation* warm = FindWarm(relation, rel);
+  if (warm == nullptr) {
+    auto enc = std::make_unique<relational::EncodedRelation>(rel, pool);
+    warm = enc.get();
+    warm_[common::ToLower(relation)] = std::move(enc);
+  } else {
+    warm->set_thread_pool(pool);
+    warm->Sync();
+  }
+  return warm;
 }
 
 storage::WalAttachment* Semandaq::AttachedWal(const std::string& relation) {
@@ -112,19 +129,11 @@ common::Result<detect::ViolationTable> Semandaq::DetectErrors(
 }
 
 common::Result<storage::SnapshotStats> Semandaq::SaveRelation(
-    const std::string& relation, const std::string& path) {
+    const std::string& relation, const std::string& path,
+    size_t compact_after) {
   relational::Relation* rel = db_.FindMutableRelation(relation);
   if (rel == nullptr) return Status::NotFound("no relation named " + relation);
-  common::ThreadPool* pool = PoolFor(detector_options_.num_threads);
-  relational::EncodedRelation* warm = FindWarm(relation, rel);
-  if (warm == nullptr) {
-    auto enc = std::make_unique<relational::EncodedRelation>(rel, pool);
-    warm = enc.get();
-    warm_[common::ToLower(relation)] = std::move(enc);
-  } else {
-    warm->set_thread_pool(pool);
-    warm->Sync();
-  }
+  relational::EncodedRelation* warm = WarmOrEncode(relation);
   SEMANDAQ_ASSIGN_OR_RETURN(storage::SnapshotStats stats,
                             storage::SnapshotWriter::Write(*rel, *warm, path));
   // Arm the live journal: the write left a fresh, empty sidecar stamped
@@ -132,6 +141,78 @@ common::Result<storage::SnapshotStats> Semandaq::SaveRelation(
   // it, keeping the on-disk state one replay away from the live one.
   SEMANDAQ_RETURN_IF_ERROR(
       AttachWal(relation, rel, path, stats.manifest_checksum));
+  save_policies_[common::ToLower(relation)] = SavePolicy{path, compact_after};
+  return stats;
+}
+
+common::Result<bool> Semandaq::CompactIfDue(const std::string& relation) {
+  auto it = save_policies_.find(common::ToLower(relation));
+  if (it == save_policies_.end() || it->second.compact_after == 0) {
+    return false;
+  }
+  storage::WalAttachment* wal = AttachedWal(relation);
+  if (wal == nullptr || wal->records_appended() < it->second.compact_after) {
+    return false;
+  }
+  // Re-saving rewrites the snapshot with the journaled mutations folded in
+  // and re-arms a fresh, empty sidecar — the attachment's record count
+  // restarts at zero, so the policy naturally re-triggers every
+  // `compact_after` further mutations.
+  const SavePolicy policy = it->second;
+  SEMANDAQ_RETURN_IF_ERROR(
+      SaveRelation(relation, policy.path, policy.compact_after).status());
+  return true;
+}
+
+common::Result<Semandaq::SaveDbStats> Semandaq::SaveDatabase(
+    const std::string& dir) {
+  SEMANDAQ_RETURN_IF_ERROR(storage::EnsureDirectory(dir));
+  std::vector<storage::CatalogEntry> entries;
+  for (const std::string& key : db_.RelationNames()) {
+    const relational::Relation* rel = db_.FindRelation(key);
+    storage::CatalogEntry entry;
+    entry.name = rel->name();
+    entry.file = storage::SanitizeFileStem(rel->name()) + ".sdq";
+    // Keep a previously armed compaction threshold; the policy's path
+    // moves with the database directory.
+    size_t compact_after = 0;
+    auto pit = save_policies_.find(common::ToLower(entry.name));
+    if (pit != save_policies_.end()) compact_after = pit->second.compact_after;
+    SEMANDAQ_ASSIGN_OR_RETURN(
+        storage::SnapshotStats stats,
+        SaveRelation(entry.name, dir + "/" + entry.file, compact_after));
+    entry.snapshot_checksum = stats.manifest_checksum;
+    entries.push_back(std::move(entry));
+  }
+  SEMANDAQ_RETURN_IF_ERROR(storage::WriteCatalog(dir, entries));
+  SaveDbStats stats;
+  stats.relations = entries.size();
+  stats.manifest_path = dir + "/" + storage::kCatalogFileName;
+  return stats;
+}
+
+common::Result<Semandaq::OpenDbStats> Semandaq::OpenDatabase(
+    const std::string& dir) {
+  SEMANDAQ_ASSIGN_OR_RETURN(std::vector<storage::CatalogEntry> entries,
+                            storage::ReadCatalog(dir));
+  for (const storage::CatalogEntry& e : entries) {
+    if (db_.HasRelation(e.name)) {
+      return Status::AlreadyExists("relation already connected: " + e.name);
+    }
+  }
+  OpenDbStats stats;
+  std::vector<std::string> opened;
+  for (const storage::CatalogEntry& e : entries) {
+    auto one = OpenRelation(e.name, dir + "/" + e.file);
+    if (!one.ok()) {
+      for (const std::string& name : opened) (void)db_.DropRelation(name);
+      return one.status();
+    }
+    opened.push_back(e.name);
+    stats.live_rows += one->live_rows;
+    stats.wal_records += one->wal_records;
+  }
+  stats.relations = entries.size();
   return stats;
 }
 

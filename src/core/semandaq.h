@@ -74,8 +74,52 @@ class Semandaq {
   /// fresh WAL sidecar at `path + ".wal"`), using — and warming — the
   /// facade's encoded snapshot of the relation, so a save also primes
   /// subsequent detections. See docs/storage.md for the format.
+  ///
+  /// `compact_after` arms the relation's compaction policy: once more than
+  /// that many mutation records have accumulated in the WAL sidecar,
+  /// CompactIfDue() folds them into a fresh snapshot at the same path
+  /// (0 = disarmed, the default). The policy sticks to the relation name
+  /// until the next save of it overwrites it.
   common::Result<storage::SnapshotStats> SaveRelation(
-      const std::string& relation, const std::string& path);
+      const std::string& relation, const std::string& path,
+      size_t compact_after = 0);
+
+  /// Rewrites `relation`'s snapshot in place (same path, same policy) when
+  /// its armed compaction policy is due — the WAL sidecar holds at least
+  /// `compact_after` records. Returns whether a compaction ran. A relation
+  /// without an armed policy (or without a live WAL attachment) is never
+  /// due. Mutating callers (apply paths, the server's write commands) call
+  /// this after committing a batch so snapshots stay one short replay away
+  /// from the live state instead of accreting unbounded WAL tails.
+  common::Result<bool> CompactIfDue(const std::string& relation);
+
+  /// What SaveDatabase reports back.
+  struct SaveDbStats {
+    size_t relations = 0;
+    std::string manifest_path;
+  };
+
+  /// Persists every connected relation into `dir` (created if missing):
+  /// one snapshot file + WAL sidecar per relation, named by a sanitized
+  /// form of the relation name, plus the checksummed catalog manifest
+  /// (storage/catalog.h) that OpenDatabase restores from. Per-relation
+  /// compaction policies already armed keep their thresholds; the save
+  /// path they compact to moves into `dir`.
+  common::Result<SaveDbStats> SaveDatabase(const std::string& dir);
+
+  /// What OpenDatabase reports back.
+  struct OpenDbStats {
+    size_t relations = 0;
+    uint64_t live_rows = 0;
+    size_t wal_records = 0;  ///< total mutations replayed across relations
+  };
+
+  /// Restores a database saved by SaveDatabase: reads the catalog manifest
+  /// in `dir` and opens every listed relation (snapshot + WAL replay, warm
+  /// encoded snapshots adopted — the server restart path). Fails without
+  /// side effects when any listed name is already connected or any file is
+  /// corrupt: relations opened earlier in the same call are dropped again.
+  common::Result<OpenDbStats> OpenDatabase(const std::string& dir);
 
   /// What OpenRelation reports back.
   struct OpenStats {
@@ -95,6 +139,12 @@ class Semandaq {
   /// The warm encoded snapshot DetectErrors uses for `relation`; nullptr
   /// when none exists yet (exposed for tests and benches).
   relational::EncodedRelation* WarmSnapshot(const std::string& relation);
+
+  /// The warm encoded snapshot for `relation`, built (and cached) on the
+  /// spot when none exists yet, and Sync'd either way — the server's
+  /// publication path uses this so every pinned epoch freezes off one
+  /// warm, in-sync encoded form. nullptr when the relation is unknown.
+  relational::EncodedRelation* WarmOrEncode(const std::string& relation);
 
   /// The live WAL attachment journaling `relation`'s mutations into its
   /// snapshot sidecar; nullptr when the relation has no attached snapshot
@@ -208,6 +258,14 @@ class Semandaq {
   /// SaveRelation/OpenRelation and consumed (and Sync'd) by DetectErrors.
   std::unordered_map<std::string, std::unique_ptr<relational::EncodedRelation>>
       warm_;
+
+  /// Snapshot path + compaction threshold armed by the last SaveRelation
+  /// of each (lowercase) relation name; consulted by CompactIfDue.
+  struct SavePolicy {
+    std::string path;
+    size_t compact_after = 0;  ///< 0 = never compact automatically
+  };
+  std::unordered_map<std::string, SavePolicy> save_policies_;
 
   /// Live WAL attachments by lowercase relation name (see AttachedWal).
   /// Declared after db_ so teardown destroys attachments while their

@@ -4,6 +4,7 @@
 
 #include "audit/render.h"
 #include "common/string_util.h"
+#include "core/command_words.h"
 #include "relational/csv_io.h"
 #include "sql/engine.h"
 #include "workload/customer_gen.h"
@@ -14,70 +15,21 @@ namespace semandaq::core {
 using common::Result;
 using common::Status;
 
-namespace {
-
-/// Splits a command line on whitespace (no quoting; the `cfd` and `sql`
-/// commands take the raw remainder instead).
-std::vector<std::string> Words(std::string_view line) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char c : line) {
-    if (c == ' ' || c == '\t') {
-      if (!cur.empty()) out.push_back(std::move(cur));
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) out.push_back(std::move(cur));
-  return out;
-}
-
-Result<size_t> ParseCount(const std::string& text) {
-  int64_t n = 0;
-  if (!common::ParseInt64(text, &n) || n < 0) {
-    return Status::InvalidArgument("not a count: " + text);
-  }
-  return static_cast<size_t>(n);
-}
-
-/// Parses one `threads=N` / `simd=LEVEL` option word (shared by the mine
-/// and detect commands) into the given slots. *matched reports whether the
-/// word was one of the two forms; malformed values are errors.
-common::Status ParseSweepOption(const std::string& arg, size_t* num_threads,
-                                common::simd::Level* simd_level,
-                                bool* matched) {
-  *matched = false;
-  const std::string lower = common::ToLower(arg);
-  if (common::StartsWith(lower, "threads=")) {
-    SEMANDAQ_ASSIGN_OR_RETURN(
-        *num_threads, ParseCount(arg.substr(std::string("threads=").size())));
-    *matched = true;  // 0 = all hardware threads, 1 = serial
-    return Status::OK();
-  }
-  if (common::StartsWith(lower, "simd=")) {
-    const std::string text = arg.substr(std::string("simd=").size());
-    if (!common::simd::ParseLevel(text, simd_level)) {
-      return Status::InvalidArgument(
-          "unknown simd level '" + text + "' (want scalar|sse2|avx2|auto)");
-    }
-    *matched = true;
-    return Status::OK();
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 std::string Session::Help() {
   return
       "commands:\n"
       "  help | ls\n"
       "  load NAME PATH            import CSV as relation NAME\n"
-      "  save REL PATH             persist REL as a binary columnar snapshot\n"
-      "                            (WAL sidecar at PATH.wal)\n"
+      "  save REL PATH [compact=N] persist REL as a binary columnar snapshot\n"
+      "                            (WAL sidecar at PATH.wal); compact=N folds\n"
+      "                            the sidecar back into the snapshot once it\n"
+      "                            holds N mutation records\n"
       "  open NAME PATH            load a snapshot (+ WAL tail) as NAME;\n"
       "                            detect/mine need no re-encode afterwards\n"
+      "  savedb DIR                persist every relation into DIR plus a\n"
+      "                            catalog manifest (whole-database save)\n"
+      "  opendb DIR                reopen a savedb directory (snapshots +\n"
+      "                            WAL tails; warm restart)\n"
       "  gen customer|hospital N NOISE%   generate a workload (dirty + gold)\n"
       "  show REL [N]              print up to N tuples (default 10)\n"
       "  cfd DEFINITION            e.g. cfd customer: [CC=44] -> [CNT=UK]\n"
@@ -127,6 +79,8 @@ common::Result<std::string> Session::Execute(std::string_view command_line) {
   if (verb == "load") return CmdLoad(args);
   if (verb == "save") return CmdSave(args);
   if (verb == "open") return CmdOpen(args);
+  if (verb == "savedb") return CmdSaveDb(args);
+  if (verb == "opendb") return CmdOpenDb(args);
   if (verb == "gen") return CmdGen(args);
   if (verb == "show") return CmdShow(args);
   if (verb == "cfd") return CmdCfd(line.substr(verb.size()));
@@ -157,12 +111,47 @@ common::Result<std::string> Session::CmdLoad(const std::vector<std::string>& arg
 }
 
 common::Result<std::string> Session::CmdSave(const std::vector<std::string>& args) {
-  if (args.size() != 2) return Status::InvalidArgument("usage: save REL PATH");
-  SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.SaveRelation(args[0], args[1]));
-  return "saved " + args[0] + " to " + args[1] + " (" +
-         std::to_string(stats.live_rows) + " tuples, " +
-         std::to_string(stats.num_columns) + " columns, " +
-         std::to_string(stats.file_bytes) + " bytes)\n";
+  if (args.size() < 2 || args.size() > 3) {
+    return Status::InvalidArgument("usage: save REL PATH [compact=N]");
+  }
+  size_t compact_after = 0;
+  if (args.size() == 3) {
+    const std::string lower = common::ToLower(args[2]);
+    if (!common::StartsWith(lower, "compact=")) {
+      return Status::InvalidArgument("usage: save REL PATH [compact=N]");
+    }
+    SEMANDAQ_ASSIGN_OR_RETURN(
+        compact_after,
+        ParseCount(args[2].substr(std::string("compact=").size())));
+  }
+  SEMANDAQ_ASSIGN_OR_RETURN(auto stats,
+                            sys_.SaveRelation(args[0], args[1], compact_after));
+  std::string out = "saved " + args[0] + " to " + args[1] + " (" +
+                    std::to_string(stats.live_rows) + " tuples, " +
+                    std::to_string(stats.num_columns) + " columns, " +
+                    std::to_string(stats.file_bytes) + " bytes)";
+  if (compact_after > 0) {
+    out += "; compaction armed at " + std::to_string(compact_after) +
+           " WAL record(s)";
+  }
+  return out + "\n";
+}
+
+common::Result<std::string> Session::CmdSaveDb(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("usage: savedb DIR");
+  SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.SaveDatabase(args[0]));
+  return "saved " + std::to_string(stats.relations) + " relation(s) to " +
+         args[0] + " (manifest " + stats.manifest_path + ")\n";
+}
+
+common::Result<std::string> Session::CmdOpenDb(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("usage: opendb DIR");
+  SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.OpenDatabase(args[0]));
+  return "opened " + std::to_string(stats.relations) + " relation(s) from " +
+         args[0] + " (" + std::to_string(stats.live_rows) + " tuples, +" +
+         std::to_string(stats.wal_records) + " wal record(s))\n";
 }
 
 common::Result<std::string> Session::CmdOpen(const std::vector<std::string>& args) {
@@ -380,7 +369,11 @@ common::Result<std::string> Session::CmdApply() {
   SEMANDAQ_RETURN_IF_ERROR(sys_.ApplyRepair(pending_relation_, *pending_repair_));
   const size_t n = pending_repair_->changes.size();
   pending_repair_.reset();
-  return "applied " + std::to_string(n) + " change(s) to " + pending_relation_ + "\n";
+  std::string out =
+      "applied " + std::to_string(n) + " change(s) to " + pending_relation_;
+  SEMANDAQ_ASSIGN_OR_RETURN(bool compacted, sys_.CompactIfDue(pending_relation_));
+  if (compacted) out += " (snapshot compacted)";
+  return out + "\n";
 }
 
 common::Result<std::string> Session::CmdSql(std::string_view query) {

@@ -23,11 +23,14 @@ namespace semandaq::core {
 ///   help                          this text
 ///   ls                            list relations
 ///   load NAME PATH                import a CSV file as relation NAME
-///   save REL PATH                 persist REL as a binary columnar snapshot
-///                                 (+ WAL sidecar at PATH.wal)
+///   save REL PATH [compact=N]     persist REL as a binary columnar snapshot
+///                                 (+ WAL sidecar at PATH.wal); compact=N
+///                                 arms auto-compaction of the sidecar
 ///   open NAME PATH                load a snapshot (+ WAL tail) as NAME;
 ///                                 detection runs on the loaded columns
 ///                                 with no re-encode
+///   savedb DIR                    persist every relation + catalog manifest
+///   opendb DIR                    reopen a savedb directory (warm restart)
 ///   gen customer|hospital N NOISE generate a synthetic workload
 ///   show REL [N]                  print up to N tuples
 ///   cfd DEFINITION                add one CFD (parser notation)
@@ -67,6 +70,8 @@ class Session {
   common::Result<std::string> CmdLoad(const std::vector<std::string>& args);
   common::Result<std::string> CmdSave(const std::vector<std::string>& args);
   common::Result<std::string> CmdOpen(const std::vector<std::string>& args);
+  common::Result<std::string> CmdSaveDb(const std::vector<std::string>& args);
+  common::Result<std::string> CmdOpenDb(const std::vector<std::string>& args);
   common::Result<std::string> CmdGen(const std::vector<std::string>& args);
   common::Result<std::string> CmdShow(const std::vector<std::string>& args);
   common::Result<std::string> CmdCfd(std::string_view rest);

@@ -82,7 +82,7 @@ bool ConstantOnEncoded(const relational::EncodedRelation& enc,
                        const simd::Kernels& kn,
                        const std::vector<TupleId>& tids, size_t rhs,
                        Value* value, std::vector<Code>* scratch) {
-  const std::vector<Code>& codes = enc.column(rhs);
+  const relational::CodeColumn& codes = enc.column(rhs);
   const size_t n = tids.size();
   if (n == 0) return false;
   const Code shared = codes[static_cast<size_t>(tids[0])];
@@ -136,7 +136,7 @@ void VariableEvidenceEncoded(const relational::EncodedRelation& enc,
   s->rhs.resize(block);
   s->mask.resize(simd::MaskWords(block));
   if (nlhs == 2) s->packed.resize(block);
-  const std::vector<Code>& rhs_col = enc.column(rhs);
+  const relational::CodeColumn& rhs_col = enc.column(rhs);
 
   std::unordered_map<uint64_t, std::pair<Code, int>> groups2;
   std::unordered_map<std::vector<Code>, std::pair<Code, int>,
@@ -152,7 +152,7 @@ void VariableEvidenceEncoded(const relational::EncodedRelation& enc,
   for (size_t lo = 0; lo < n && *holds; lo += kGatherBlock) {
     const size_t m = std::min(kGatherBlock, n - lo);
     for (size_t k = 0; k < nlhs; ++k) {
-      const std::vector<Code>& col = enc.column(lhs[k]);
+      const relational::CodeColumn& col = enc.column(lhs[k]);
       for (size_t i = 0; i < m; ++i) {
         s->lhs_cols[k][i] = col[static_cast<size_t>(cls[lo + i])];
       }

@@ -4,9 +4,40 @@
 
 namespace semandaq::relational {
 
+Dictionary::Dictionary(const Dictionary& other)
+    : codes_(other.codes_),
+      hydrated_(other.hydrated_.load(std::memory_order_acquire)),
+      hydrate_mu_(std::make_unique<std::mutex>()),
+      values_(other.values_) {}
+
+Dictionary& Dictionary::operator=(const Dictionary& other) {
+  if (this == &other) return *this;
+  codes_ = other.codes_;
+  hydrated_.store(other.hydrated_.load(std::memory_order_acquire),
+                  std::memory_order_release);
+  values_ = other.values_;
+  return *this;
+}
+
+Dictionary::Dictionary(Dictionary&& other) noexcept
+    : codes_(std::move(other.codes_)),
+      hydrated_(other.hydrated_.load(std::memory_order_acquire)),
+      hydrate_mu_(std::move(other.hydrate_mu_)),
+      values_(std::move(other.values_)) {}
+
+Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
+  if (this == &other) return *this;
+  codes_ = std::move(other.codes_);
+  hydrated_.store(other.hydrated_.load(std::memory_order_acquire),
+                  std::memory_order_release);
+  hydrate_mu_ = std::move(other.hydrate_mu_);
+  values_ = std::move(other.values_);
+  return *this;
+}
+
 Code Dictionary::Encode(const Value& v) {
   if (v.is_null()) return kNullCode;
-  if (!hydrated_) Hydrate();
+  EnsureHydrated();
   auto it = codes_.find(v);
   if (it != codes_.end()) return it->second;
   assert(values_.size() < static_cast<size_t>(kAbsentCode));
@@ -18,7 +49,7 @@ Code Dictionary::Encode(const Value& v) {
 
 Code Dictionary::Lookup(const Value& v) const {
   if (v.is_null()) return kNullCode;
-  if (!hydrated_) Hydrate();
+  EnsureHydrated();
   auto it = codes_.find(v);
   return it == codes_.end() ? kAbsentCode : it->second;
 }
@@ -49,7 +80,7 @@ common::Result<Dictionary> Dictionary::FromDecodedValues(
     }
     dict.values_.push_back(std::move(v));
   }
-  dict.hydrated_ = false;
+  dict.hydrated_.store(false, std::memory_order_release);
   return dict;
 }
 

@@ -1,7 +1,10 @@
 #ifndef SEMANDAQ_RELATIONAL_DICTIONARY_H_
 #define SEMANDAQ_RELATIONAL_DICTIONARY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -34,18 +37,33 @@ inline constexpr Code kAbsentCode = UINT32_MAX;
 /// per *distinct* value at encode time instead of one per tuple per scan.
 class Dictionary {
  public:
-  Dictionary() { values_.push_back(Value::Null()); }
+  Dictionary() : hydrate_mu_(std::make_unique<std::mutex>()) {
+    values_.push_back(Value::Null());
+  }
+
+  // Copies duplicate the mapping with a fresh hydration mutex; moves steal
+  // everything. (Spelled out because the atomic hydration flag and the
+  // mutex have no implicit copies.)
+  Dictionary(const Dictionary& other);
+  Dictionary& operator=(const Dictionary& other);
+  Dictionary(Dictionary&& other) noexcept;
+  Dictionary& operator=(Dictionary&& other) noexcept;
 
   /// Code of `v`, inserting it on first sight. NULL always maps to
-  /// kNullCode without touching the hash table.
+  /// kNullCode without touching the hash table. Single-writer: must not
+  /// run concurrently with any other call on the same dictionary (the
+  /// encoded-relation COW discipline detaches shared dictionaries before
+  /// the writer encodes into them).
   Code Encode(const Value& v);
 
   /// Code of `v` without inserting; kAbsentCode when the value was never
   /// encoded (a pattern constant absent here can never match any tuple).
   ///
   /// Lazily hydrates the value->code map on a dictionary rebuilt by
-  /// FromDecodedValues (see there); like Encode, it must not race with
-  /// other Encode/Lookup calls on the same dictionary.
+  /// FromDecodedValues (see there). Safe to call concurrently with other
+  /// Lookup/Decode calls — hydration is double-checked under an internal
+  /// mutex, so readers of a shared snapshot dictionary never race — but
+  /// not with Encode (single-writer, see above).
   Code Lookup(const Value& v) const;
 
   /// The value behind a code; Decode(kNullCode) is NULL. The code must have
@@ -85,11 +103,23 @@ class Dictionary {
   /// Builds codes_ from values_ (the FromDecodedValues deferred half).
   void Hydrate() const;
 
+  /// Hydrates at most once, double-checked under hydrate_mu_ so concurrent
+  /// const readers (Lookup on a shared snapshot dictionary) never race.
+  void EnsureHydrated() const {
+    if (!hydrated_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(*hydrate_mu_);
+      if (!hydrated_.load(std::memory_order_relaxed)) {
+        Hydrate();
+        hydrated_.store(true, std::memory_order_release);
+      }
+    }
+  }
+
   // Lazily hydrated (see FromDecodedValues); mutable so the logically
-  // const Lookup can hydrate. Not synchronized — matches Encode's
-  // single-writer contract.
+  // const Lookup can hydrate.
   mutable std::unordered_map<Value, Code, ValueHash> codes_;
-  mutable bool hydrated_ = true;
+  mutable std::atomic<bool> hydrated_{true};
+  mutable std::unique_ptr<std::mutex> hydrate_mu_;
   std::vector<Value> values_;  // values_[0] = NULL; values_[c] decodes c
 };
 

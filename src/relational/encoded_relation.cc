@@ -1,6 +1,8 @@
 #include "relational/encoded_relation.h"
 
 #include <cassert>
+#include <memory>
+#include <utility>
 
 #include "common/thread_pool.h"
 
@@ -20,8 +22,8 @@ EncodedRelation::EncodedRelation(const Relation* rel, common::ThreadPool* pool)
 }
 
 EncodedRelation EncodedRelation::FromStorage(
-    const Relation* rel, std::vector<Dictionary> dicts,
-    std::vector<std::vector<Code>> columns) {
+    const Relation* rel, std::vector<std::shared_ptr<Dictionary>> dicts,
+    std::vector<CodeColumn> columns) {
   assert(rel != nullptr);
   assert(dicts.size() == rel->schema().size());
   assert(columns.size() == rel->schema().size());
@@ -38,12 +40,39 @@ EncodedRelation EncodedRelation::FromStorage(
   return enc;
 }
 
+EncodedRelation EncodedRelation::Freeze(const Relation* view_rel) const {
+  assert(view_rel != nullptr);
+  assert(view_rel->schema().size() == columns_.size());
+  assert(static_cast<size_t>(view_rel->IdBound()) ==
+         static_cast<size_t>(IdBound()));
+  EncodedRelation out;
+  out.rel_ = view_rel;
+  out.dicts_ = dicts_;  // shared by refcount; writer detaches before mutating
+  out.columns_.reserve(columns_.size());
+  for (const auto& col : columns_) out.columns_.push_back(col.ShareFrozen());
+  out.synced_version_ = view_rel->version();
+  out.synced_overwrite_version_ = view_rel->overwrite_version();
+  return out;
+}
+
+Dictionary& EncodedRelation::MutableDict(size_t col) {
+  std::shared_ptr<Dictionary>& dict = dicts_[col];
+  if (dict.use_count() > 1) dict = std::make_shared<Dictionary>(*dict);
+  return *dict;
+}
+
 void EncodedRelation::Rebuild() {
   const size_t ncols = rel_->schema().size();
-  dicts_.assign(ncols, Dictionary());
-  columns_.assign(ncols, {});
+  dicts_.clear();
+  dicts_.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    dicts_.push_back(std::make_shared<Dictionary>());
+  }
+  columns_.resize(ncols);
   const size_t bound = static_cast<size_t>(rel_->IdBound());
-  for (auto& col : columns_) col.assign(bound, kNullCode);
+  // AssignFill detaches any chunk shared with a frozen view, so a rebuild
+  // under pinned readers writes into fresh storage.
+  for (auto& col : columns_) col.AssignFill(bound, kNullCode);
   EncodeRows(0, static_cast<TupleId>(bound));
   synced_version_ = rel_->version();
   synced_overwrite_version_ = rel_->overwrite_version();
@@ -56,10 +85,15 @@ void EncodedRelation::Sync() {
     return;
   }
   // Appends and/or deletes only: encode the fresh id range. Dead tuples in
-  // the old range keep their codes (scans skip them via liveness).
+  // the old range keep their codes (scans skip them via liveness). The
+  // extension writes only past every frozen view's size, so pinned readers
+  // are unaffected (the chunk relocates if it must grow, which leaves their
+  // old chunk alive via its refcount).
   const TupleId from = IdBound();
   const TupleId to = rel_->IdBound();
-  for (auto& col : columns_) col.resize(static_cast<size_t>(to), kNullCode);
+  for (auto& col : columns_) {
+    col.ExtendFill(static_cast<size_t>(to), kNullCode);
+  }
   EncodeRows(from, to);
   synced_version_ = rel_->version();
 }
@@ -67,6 +101,10 @@ void EncodedRelation::Sync() {
 void EncodedRelation::EncodeRows(TupleId from, TupleId to) {
   const size_t ncols = columns_.size();
   if (to <= from || ncols == 0) return;
+  // Detach dictionaries shared with frozen views up front, on this thread:
+  // the per-column workers below must never swap a shared_ptr another
+  // reader could be copying.
+  for (size_t c = 0; c < ncols; ++c) MutableDict(c);
   const uint64_t cells = static_cast<uint64_t>(to - from) * ncols;
   if (pool_ != nullptr && ncols >= 2 && cells >= kParallelEncodeMinCells) {
     // Per-column fan-out: each column owns its dictionary, and within one
@@ -81,24 +119,24 @@ void EncodedRelation::EncodeRows(TupleId from, TupleId to) {
     if (!rel_->IsLive(tid)) continue;
     const Row& row = rel_->row(tid);
     for (size_t c = 0; c < ncols; ++c) {
-      columns_[c][static_cast<size_t>(tid)] = dicts_[c].Encode(row[c]);
+      columns_[c].Set(static_cast<size_t>(tid), dicts_[c]->Encode(row[c]));
     }
   }
 }
 
 void EncodedRelation::EncodeColumn(size_t col, TupleId from, TupleId to) {
-  Dictionary& dict = dicts_[col];
-  std::vector<Code>& codes = columns_[col];
+  Dictionary& dict = *dicts_[col];  // detached by EncodeRows already
+  CodeColumn& codes = columns_[col];
   for (TupleId tid = from; tid < to; ++tid) {
     if (!rel_->IsLive(tid)) continue;
-    codes[static_cast<size_t>(tid)] = dict.Encode(rel_->row(tid)[col]);
+    codes.Set(static_cast<size_t>(tid), dict.Encode(rel_->row(tid)[col]));
   }
 }
 
 void EncodedRelation::ApplyInsert(TupleId tid) {
   assert(tid == IdBound());
   for (auto& col : columns_) {
-    col.resize(static_cast<size_t>(tid) + 1, kNullCode);
+    col.ExtendFill(static_cast<size_t>(tid) + 1, kNullCode);
   }
   EncodeRows(tid, tid + 1);
   synced_version_ = rel_->version();
@@ -106,8 +144,10 @@ void EncodedRelation::ApplyInsert(TupleId tid) {
 
 void EncodedRelation::ApplyCell(TupleId tid, size_t col) {
   assert(tid >= 0 && tid < IdBound() && col < columns_.size());
-  columns_[col][static_cast<size_t>(tid)] =
-      dicts_[col].Encode(rel_->cell(tid, col));
+  // Set() below the frozen watermark detaches the chunk copy-on-write;
+  // MutableDict does the same for the dictionary.
+  columns_[col].Set(static_cast<size_t>(tid),
+                    MutableDict(col).Encode(rel_->cell(tid, col)));
   synced_version_ = rel_->version();
   synced_overwrite_version_ = rel_->overwrite_version();
 }

@@ -2,9 +2,11 @@
 #define SEMANDAQ_RELATIONAL_ENCODED_RELATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/hash.h"
+#include "relational/column_chunk.h"
 #include "relational/dictionary.h"
 #include "relational/relation.h"
 
@@ -14,9 +16,11 @@ class ThreadPool;
 
 namespace semandaq::relational {
 
-/// A dictionary-encoded columnar snapshot of a Relation: one flat
-/// std::vector<Code> per column, indexed by TupleId, plus the per-column
-/// Dictionary that issued the codes.
+/// A dictionary-encoded columnar snapshot of a Relation: one flat,
+/// refcounted code chunk per column (relational::CodeColumn), indexed by
+/// TupleId, plus the per-column Dictionary that issued the codes —
+/// dictionaries are refcounted too, shared with frozen snapshot views and
+/// detached copy-on-write before the writer mutates them.
 ///
 /// This is the substrate of the detection/discovery fast paths: equality of
 /// cells becomes equality of 32-bit codes, group-by keys become packed
@@ -43,6 +47,15 @@ namespace semandaq::relational {
 /// value no longer occurs live. That is deliberate — code stability is what
 /// keeps precompiled pattern codes valid across deltas — and bounded by
 /// update volume; a full Rebuild() (or a fresh snapshot) compacts.
+///
+/// Sharing protocol (the server's epoch-published snapshots, docs/server.md).
+/// Freeze() captures an immutable view of the current encoded state in O(1)
+/// per column: frozen views share the chunks and dictionaries by refcount.
+/// Afterwards the writer may keep mutating this object freely — appends land
+/// past every frozen view's size, and overwrites (Rebuild, ApplyCell after a
+/// SetCell) detach the touched chunk/dictionary copy-on-write first — so a
+/// frozen view's bytes are stable for its whole lifetime and readers never
+/// block on the writer.
 class EncodedRelation {
  public:
   /// Builds the snapshot with one pass over the live tuples. With a pool,
@@ -56,11 +69,23 @@ class EncodedRelation {
   /// column count; each column sized to rel->IdBound()). The snapshot is
   /// marked in sync with the relation's *current* version counters, so
   /// mutations applied to `rel` afterwards (e.g. a WAL tail) flow through
-  /// the ordinary Sync() append path. Shape mismatches are caller bugs and
-  /// assert in debug builds.
-  static EncodedRelation FromStorage(const Relation* rel,
-                                     std::vector<Dictionary> dicts,
-                                     std::vector<std::vector<Code>> columns);
+  /// the ordinary Sync() append path. The dictionaries and chunks arrive
+  /// refcounted, so the loader's deferred row hydrator shares them instead
+  /// of retaining a second copy of the file. Shape mismatches are caller
+  /// bugs and assert in debug builds.
+  static EncodedRelation FromStorage(
+      const Relation* rel, std::vector<std::shared_ptr<Dictionary>> dicts,
+      std::vector<CodeColumn> columns);
+
+  /// An immutable view of the current encoded state for `view_rel` — a
+  /// frozen materialization of the same tuples this snapshot describes
+  /// (the server's epoch publication copies liveness into a fresh Relation
+  /// and pairs it with this). O(1) per column: chunks and dictionaries are
+  /// shared by refcount, and the writer detaches copy-on-write before any
+  /// in-place rewrite, so the view's contents never change. The view is
+  /// marked in sync with `view_rel`'s current counters; since a frozen
+  /// view's relation never mutates, its Sync() stays a no-op forever.
+  EncodedRelation Freeze(const Relation* view_rel) const;
 
   /// Attaches a worker pool used to fan the encode passes (Rebuild and the
   /// append path of Sync) out per column. Column dictionaries are
@@ -104,19 +129,31 @@ class EncodedRelation {
   void NoteDelete() { synced_version_ = rel_->version(); }
 
   /// The whole code column, indexed by TupleId (dead tuples keep their last
-  /// codes; filter with relation().IsLive or ForEachLive).
-  const std::vector<Code>& column(size_t col) const { return columns_[col]; }
+  /// codes; filter with relation().IsLive or ForEachLive). The returned
+  /// CodeColumn is contiguous — data()/size() feed the SIMD kernels
+  /// exactly like the flat vectors it replaced.
+  const CodeColumn& column(size_t col) const { return columns_[col]; }
 
   Code code(TupleId tid, size_t col) const {
     return columns_[col][static_cast<size_t>(tid)];
   }
 
-  const Dictionary& dictionary(size_t col) const { return dicts_[col]; }
-  Dictionary& mutable_dictionary(size_t col) { return dicts_[col]; }
+  const Dictionary& dictionary(size_t col) const { return *dicts_[col]; }
+
+  /// Writer-side dictionary access: detaches a dictionary shared with
+  /// frozen views (copy-on-write) before exposing it mutable, so encodes
+  /// of new pattern constants or appended values never disturb readers of
+  /// a published snapshot.
+  Dictionary& mutable_dictionary(size_t col) { return MutableDict(col); }
+
+  /// The refcounted dictionary itself (shared with frozen views).
+  const std::shared_ptr<Dictionary>& shared_dictionary(size_t col) const {
+    return dicts_[col];
+  }
 
   /// Decoded value of a cell (NULL for kNullCode).
   const Value& Decode(size_t col, Code code) const {
-    return dicts_[col].Decode(code);
+    return dicts_[col]->Decode(code);
   }
 
   /// Invokes fn(tid) for every live encoded tuple in id order.
@@ -129,15 +166,19 @@ class EncodedRelation {
   }
 
  private:
-  EncodedRelation() = default;  // for FromStorage
+  EncodedRelation() = default;  // for FromStorage/Freeze
 
   void EncodeRows(TupleId from, TupleId to);
   void EncodeColumn(size_t col, TupleId from, TupleId to);
 
+  /// Detaches dicts_[col] if it is shared with a frozen view (COW), then
+  /// returns it mutable.
+  Dictionary& MutableDict(size_t col);
+
   const Relation* rel_ = nullptr;
-  std::vector<Dictionary> dicts_;          // one per column
-  std::vector<std::vector<Code>> columns_; // [col][tid]
-  common::ThreadPool* pool_ = nullptr;     // borrowed; nullptr = serial encode
+  std::vector<std::shared_ptr<Dictionary>> dicts_;  // one per column, COW
+  std::vector<CodeColumn> columns_;                 // [col][tid], chunked COW
+  common::ThreadPool* pool_ = nullptr;  // borrowed; nullptr = serial encode
   uint64_t synced_version_ = 0;
   uint64_t synced_overwrite_version_ = 0;
 };

@@ -11,12 +11,15 @@ Relation::Relation(const Relation& other)
       schema_(other.schema_),
       rows_(other.rows_),
       hydrator_(other.hydrator_),
+      needs_hydration_(other.needs_hydration_.load(std::memory_order_acquire)),
       live_(other.live_),
       live_count_(other.live_count_),
       version_(other.version_),
       overwrite_version_(other.overwrite_version_) {
   // observer_ stays nullptr: a copy is a new, unwatched relation — a WAL
   // attachment must journal exactly the relation it was attached to.
+  // A copy of an unhydrated relation re-runs the (pure) hydrator
+  // independently, under its own fresh mutex.
 }
 
 Relation& Relation::operator=(const Relation& other) {
@@ -25,11 +28,52 @@ Relation& Relation::operator=(const Relation& other) {
   schema_ = other.schema_;
   rows_ = other.rows_;
   hydrator_ = other.hydrator_;
+  needs_hydration_.store(other.needs_hydration_.load(std::memory_order_acquire),
+                         std::memory_order_release);
+  // A moved-from shell being reused as an assignment target lost its mutex.
+  if (hydrate_mu_ == nullptr) hydrate_mu_ = std::make_unique<std::mutex>();
   live_ = other.live_;
   live_count_ = other.live_count_;
   version_ = other.version_;
   overwrite_version_ = other.overwrite_version_;
   observer_ = nullptr;
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : name_(std::move(other.name_)),
+      schema_(std::move(other.schema_)),
+      rows_(std::move(other.rows_)),
+      hydrator_(std::move(other.hydrator_)),
+      needs_hydration_(other.needs_hydration_.load(std::memory_order_acquire)),
+      hydrate_mu_(std::move(other.hydrate_mu_)),
+      live_(std::move(other.live_)),
+      live_count_(other.live_count_),
+      version_(other.version_),
+      overwrite_version_(other.overwrite_version_),
+      observer_(other.observer_) {
+  other.observer_ = nullptr;
+  // The moved-from shell has neither hydrator nor mutex left; make sure it
+  // can never try to hydrate.
+  other.needs_hydration_.store(false, std::memory_order_release);
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  schema_ = std::move(other.schema_);
+  rows_ = std::move(other.rows_);
+  hydrator_ = std::move(other.hydrator_);
+  needs_hydration_.store(other.needs_hydration_.load(std::memory_order_acquire),
+                         std::memory_order_release);
+  hydrate_mu_ = std::move(other.hydrate_mu_);
+  live_ = std::move(other.live_);
+  live_count_ = other.live_count_;
+  version_ = other.version_;
+  overwrite_version_ = other.overwrite_version_;
+  observer_ = other.observer_;
+  other.observer_ = nullptr;
+  other.needs_hydration_.store(false, std::memory_order_release);
   return *this;
 }
 
@@ -43,6 +87,7 @@ Relation Relation::FromStorage(std::string name, Schema schema,
   }
   rel.live_ = std::move(live);
   rel.hydrator_ = std::move(hydrator);
+  rel.needs_hydration_.store(true, std::memory_order_release);
   return rel;
 }
 

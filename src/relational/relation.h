@@ -1,8 +1,11 @@
 #ifndef SEMANDAQ_RELATIONAL_RELATION_H_
 #define SEMANDAQ_RELATIONAL_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,8 +51,8 @@ class Relation {
   /// unwatched relation (a WAL attachment journals exactly one relation).
   Relation(const Relation& other);
   Relation& operator=(const Relation& other);
-  Relation(Relation&&) = default;
-  Relation& operator=(Relation&&) = default;
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   /// Produces the decoded rows for the ids a lazily loaded relation was
   /// created with — the deferred half of Relation::FromStorage. Must be
@@ -116,11 +119,19 @@ class Relation {
 
   /// Materializes lazily loaded rows (no-op for every relation not built
   /// by FromStorage, and after the first call). Every row accessor invokes
-  /// this automatically; it is public so parallel consumers (the encode
-  /// fan-out) can hydrate once up front instead of racing in their
-  /// workers — hydration, like all Relation mutation, is not thread-safe.
+  /// this automatically. Hydration itself is thread-safe (double-checked
+  /// under an internal mutex), so concurrent *readers* of an immutable
+  /// relation — e.g. server sessions sharing one pinned snapshot — may
+  /// race to the first row access safely; concurrent *mutation* remains
+  /// the caller's problem, as for every other mutator.
   void EnsureHydrated() const {
-    if (hydrator_) HydrateRows();
+    if (needs_hydration_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(*hydrate_mu_);
+      if (needs_hydration_.load(std::memory_order_relaxed)) {
+        HydrateRows();
+        needs_hydration_.store(false, std::memory_order_release);
+      }
+    }
   }
 
   /// Appends a row; the row arity must match the schema.
@@ -181,6 +192,9 @@ class Relation {
   // decoded rows, so observable state never changes.
   mutable std::vector<Row> rows_;
   mutable RowHydrator hydrator_;  // non-null = rows_ prefix pending
+  mutable std::atomic<bool> needs_hydration_{false};
+  mutable std::unique_ptr<std::mutex> hydrate_mu_ =
+      std::make_unique<std::mutex>();
   // One byte per id (nonzero = live), not vector<bool>: the SIMD liveness
   // kernels need a raw byte pointer, and byte loads beat bit extraction in
   // the scalar paths too.

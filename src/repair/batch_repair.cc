@@ -615,7 +615,7 @@ class RepairEngine {
     frequent_.resize(ncols);
     if (enc_) {
       for (size_t col = 0; col < ncols; ++col) {
-        const std::vector<Code>& codes = enc_->column(col);
+        const relational::CodeColumn& codes = enc_->column(col);
         std::vector<int64_t> counts(enc_->dictionary(col).size() + 1, 0);
         std::vector<Code> order;
         enc_->ForEachLive([&](TupleId tid) {

@@ -1,0 +1,42 @@
+#ifndef SEMANDAQ_SERVER_CLIENT_H_
+#define SEMANDAQ_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace semandaq::server {
+
+/// A blocking client for the semandaq server: one TCP connection, one
+/// in-flight command at a time (Call = one request frame, one response
+/// frame). Sessions are per-connection on the server, so a clean/diff/
+/// apply sequence must run over one Client.
+class Client {
+ public:
+  static common::Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Executes one command line on the server. A returned WireResponse with
+  /// ok = false carries the server-side error text; a non-OK Result is a
+  /// transport failure.
+  common::Result<WireResponse> Call(std::string_view command);
+
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace semandaq::server
+
+#endif  // SEMANDAQ_SERVER_CLIENT_H_

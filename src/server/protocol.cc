@@ -1,0 +1,110 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace semandaq::server {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Writes exactly `n` bytes (EINTR-safe); sockets may take the buffer in
+/// pieces. MSG_NOSIGNAL turns a peer-closed socket into EPIPE instead of
+/// a process-killing SIGPIPE.
+Status WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket write failed: ") +
+                             std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `n` bytes. *eof is set only when EOF arrives before the
+/// first byte (a clean close); EOF mid-buffer is a torn frame.
+Result<bool> ReadAll(int fd, void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket read failed: ") +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a boundary
+      return Status::IoError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+common::Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  std::memcpy(prefix, &len, sizeof len);  // little-endian hosts only,
+                                          // matching the storage format
+  SEMANDAQ_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof prefix));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+common::Result<bool> ReadFrame(int fd, std::string* payload) {
+  char prefix[4];
+  SEMANDAQ_ASSIGN_OR_RETURN(bool got_prefix, ReadAll(fd, prefix, sizeof prefix));
+  if (!got_prefix) return false;
+  uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof len);
+  if (len > kMaxFrameBytes) {
+    return Status::IoError("oversized frame: " + std::to_string(len) +
+                           " bytes (max " + std::to_string(kMaxFrameBytes) +
+                           ")");
+  }
+  payload->resize(len);
+  if (len > 0) {
+    SEMANDAQ_ASSIGN_OR_RETURN(bool got_body, ReadAll(fd, &(*payload)[0], len));
+    if (!got_body) return Status::IoError("connection closed mid-frame");
+  }
+  return true;
+}
+
+std::string EncodeResponse(bool ok, std::string_view text) {
+  std::string payload;
+  payload.reserve(text.size() + 1);
+  payload.push_back(ok ? '\0' : '\1');
+  payload.append(text.data(), text.size());
+  return payload;
+}
+
+common::Result<WireResponse> DecodeResponse(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::IoError("empty response frame (missing status byte)");
+  }
+  if (payload[0] != '\0' && payload[0] != '\1') {
+    return Status::IoError("unknown response status byte");
+  }
+  WireResponse resp;
+  resp.ok = payload[0] == '\0';
+  resp.text.assign(payload.data() + 1, payload.size() - 1);
+  return resp;
+}
+
+}  // namespace semandaq::server

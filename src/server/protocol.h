@@ -1,0 +1,52 @@
+#ifndef SEMANDAQ_SERVER_PROTOCOL_H_
+#define SEMANDAQ_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace semandaq::server {
+
+/// The length-prefixed binary framing semandaq_server and semandaq_client
+/// speak (docs/server.md, Wire protocol):
+///
+///   frame    := u32-LE payload length | payload bytes
+///   request  := one command line of the Session grammar (UTF-8 text)
+///   response := u8 status (0 = ok, 1 = error) | result text
+///
+/// One request frame yields exactly one response frame, in order, per
+/// connection. The length prefix is bounded by kMaxFrameBytes on both
+/// sides, so a corrupt or hostile prefix can never trigger an unbounded
+/// allocation. Framing is transport-level only: command syntax errors come
+/// back as status-1 *responses*, never as broken frames.
+
+/// Upper bound on one frame's payload (64 MiB — a full quality map of a
+/// large relation fits; a corrupt length prefix does not).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one frame (length prefix + payload) to `fd`, handling partial
+/// writes and EINTR.
+common::Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame from `fd` into `*payload`. Returns false (and OK
+/// status semantics) on clean EOF at a frame boundary; IoError on a torn
+/// frame, oversized length, or socket error.
+common::Result<bool> ReadFrame(int fd, std::string* payload);
+
+/// A decoded response frame.
+struct WireResponse {
+  bool ok = false;
+  std::string text;
+};
+
+/// Encodes a response payload (status byte + text).
+std::string EncodeResponse(bool ok, std::string_view text);
+
+/// Decodes a response payload (the inverse of EncodeResponse).
+common::Result<WireResponse> DecodeResponse(std::string_view payload);
+
+}  // namespace semandaq::server
+
+#endif  // SEMANDAQ_SERVER_PROTOCOL_H_

@@ -1,0 +1,78 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace semandaq::server {
+
+ThreadLease::ThreadLease(ThreadLease&& other) noexcept
+    : scheduler_(other.scheduler_),
+      workers_(other.workers_),
+      pool_(std::move(other.pool_)) {
+  other.scheduler_ = nullptr;
+  other.workers_ = 0;
+}
+
+ThreadLease& ThreadLease::operator=(ThreadLease&& other) noexcept {
+  if (this != &other) {
+    if (scheduler_ != nullptr && workers_ > 0) {
+      scheduler_->Release(workers_, std::move(pool_));
+    }
+    scheduler_ = other.scheduler_;
+    workers_ = other.workers_;
+    pool_ = std::move(other.pool_);
+    other.scheduler_ = nullptr;
+    other.workers_ = 0;
+  }
+  return *this;
+}
+
+ThreadLease::~ThreadLease() {
+  if (scheduler_ != nullptr && workers_ > 0) {
+    scheduler_->Release(workers_, std::move(pool_));
+  }
+}
+
+RequestScheduler::RequestScheduler(size_t total_lanes)
+    : total_lanes_(common::ResolveThreadCount(total_lanes)),
+      available_(total_lanes_) {}
+
+ThreadLease RequestScheduler::Acquire(size_t requested_threads) {
+  const size_t resolved = common::ResolveThreadCount(requested_threads);
+  if (resolved <= 1) return ThreadLease(this, 0, nullptr);
+
+  size_t workers = 0;
+  std::unique_ptr<common::ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers = std::min(resolved - 1, available_);
+    if (workers == 0) return ThreadLease(this, 0, nullptr);
+    available_ -= workers;
+    auto it = idle_pools_.find(workers + 1);
+    if (it != idle_pools_.end() && !it->second.empty()) {
+      pool = std::move(it->second.back());
+      it->second.pop_back();
+    }
+  }
+  // Pool construction (OS thread spawn) happens outside the lock.
+  if (pool == nullptr) {
+    pool = std::make_unique<common::ThreadPool>(workers + 1);
+  }
+  return ThreadLease(this, workers, std::move(pool));
+}
+
+size_t RequestScheduler::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+void RequestScheduler::Release(size_t workers,
+                               std::unique_ptr<common::ThreadPool> pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ += workers;
+  if (pool != nullptr) {
+    idle_pools_[workers + 1].push_back(std::move(pool));
+  }
+}
+
+}  // namespace semandaq::server

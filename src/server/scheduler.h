@@ -1,0 +1,102 @@
+#ifndef SEMANDAQ_SERVER_SCHEDULER_H_
+#define SEMANDAQ_SERVER_SCHEDULER_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace semandaq::server {
+
+class RequestScheduler;
+
+/// A request's granted slice of the server's worker-lane budget: how many
+/// lanes it may run (>= 1; the session's own thread is always one) and,
+/// when more than one, a private ThreadPool sized to exactly that many
+/// lanes. Engines take it as (options.num_threads = lanes(), options.pool
+/// = pool()) — because every engine's output is byte-identical across
+/// thread counts, a degraded grant changes only latency, never results.
+///
+/// Move-only; destruction returns the lanes (and the pool, for reuse) to
+/// the scheduler.
+class ThreadLease {
+ public:
+  ThreadLease(ThreadLease&& other) noexcept;
+  ThreadLease& operator=(ThreadLease&& other) noexcept;
+  ThreadLease(const ThreadLease&) = delete;
+  ThreadLease& operator=(const ThreadLease&) = delete;
+  ~ThreadLease();
+
+  /// Total lanes this request may run, including the calling thread (1 =
+  /// run serial).
+  size_t lanes() const { return workers_ + 1; }
+
+  /// The pool backing the extra lanes; nullptr when lanes() == 1 (engines
+  /// treat that as "run serial", matching num_threads == 1).
+  common::ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  friend class RequestScheduler;
+  ThreadLease(RequestScheduler* scheduler, size_t workers,
+              std::unique_ptr<common::ThreadPool> pool)
+      : scheduler_(scheduler), workers_(workers), pool_(std::move(pool)) {}
+
+  RequestScheduler* scheduler_ = nullptr;  // null after move-out / serial
+  size_t workers_ = 0;                     // lanes beyond the caller
+  std::unique_ptr<common::ThreadPool> pool_;
+};
+
+/// Multiplexes a fixed budget of worker lanes (hardware width by default)
+/// across concurrent sessions, so 100 clients asking for `threads=0` share
+/// the machine instead of oversubscribing it 100-fold.
+///
+/// Policy: admission control by degradation, never by blocking. Acquire
+/// resolves the request (0 = all hardware threads) and grants
+/// min(resolved - 1, lanes still free) extra workers — under load that
+/// rounds down to a serial grant, which is always legal because every
+/// engine's output is thread-count invariant. Each session's own thread is
+/// its first lane and is never budgeted: total CPU demand is bounded by
+/// (connections + lane budget), and a request never waits on another
+/// request's lease to make progress.
+///
+/// Pools are cached by size and reused across leases (a ThreadPool spawns
+/// OS threads in its constructor; churning them per request would dominate
+/// small detects). The cache only ever holds pools whose lanes were part
+/// of the budget, so its memory is bounded by the budget too.
+class RequestScheduler {
+ public:
+  /// `total_lanes` = 0 sizes the budget to the hardware thread count.
+  explicit RequestScheduler(size_t total_lanes = 0);
+
+  /// Grants a lease for a request asking for `requested_threads` (the
+  /// threads=N grammar: 0 = all hardware threads, 1 = serial, N = N
+  /// lanes). Never blocks; under contention the grant degrades toward
+  /// serial. Thread-safe.
+  ThreadLease Acquire(size_t requested_threads);
+
+  size_t total_lanes() const { return total_lanes_; }
+
+  /// Lanes currently free (for tests and the stats surface).
+  size_t available() const;
+
+ private:
+  friend class ThreadLease;
+
+  /// Returns `workers` lanes (and optionally the pool that ran them) to
+  /// the budget. Called by ~ThreadLease.
+  void Release(size_t workers, std::unique_ptr<common::ThreadPool> pool);
+
+  const size_t total_lanes_;
+  mutable std::mutex mu_;
+  size_t available_;
+  /// Idle pools keyed by lane count, ready for the next same-width lease.
+  std::unordered_map<size_t, std::vector<std::unique_ptr<common::ThreadPool>>>
+      idle_pools_;
+};
+
+}  // namespace semandaq::server
+
+#endif  // SEMANDAQ_SERVER_SCHEDULER_H_

@@ -1,0 +1,549 @@
+#include "server/service.h"
+
+#include <sstream>
+#include <utility>
+
+#include "audit/render.h"
+#include "audit/report.h"
+#include "common/string_util.h"
+#include "core/command_words.h"
+#include "core/session.h"
+#include "detect/native_detector.h"
+#include "discovery/cfd_miner.h"
+#include "relational/csv_io.h"
+#include "repair/cost_model.h"
+#include "sql/engine.h"
+#include "workload/customer_gen.h"
+#include "workload/hospital_gen.h"
+
+namespace semandaq::server {
+
+using common::Result;
+using common::Status;
+
+SemandaqService::SemandaqService(ServiceOptions options)
+    : scheduler_(options.scheduler_lanes) {}
+
+std::string SemandaqService::Help() {
+  return core::Session::Help() +
+         "  epoch REL                 latest published snapshot epoch of REL\n";
+}
+
+std::shared_ptr<SemandaqService::Slot> SemandaqService::SlotFor(
+    const std::string& relation, bool create) {
+  const std::string key = common::ToLower(relation);
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  auto it = slots_.find(key);
+  if (it != slots_.end()) return it->second;
+  if (!create) return nullptr;
+  auto slot = std::make_shared<Slot>();
+  slots_[key] = slot;
+  return slot;
+}
+
+common::Status SemandaqService::RepublishLocked(const std::string& relation) {
+  std::shared_ptr<Slot> slot = SlotFor(relation, true);
+  relational::Relation* rel = sys_.database().FindMutableRelation(relation);
+  if (rel == nullptr) {
+    std::atomic_store(&slot->snap, SnapshotPtr());
+    return Status::OK();
+  }
+  relational::EncodedRelation* warm = sys_.WarmOrEncode(relation);
+  SnapshotPtr snap = BuildRelationSnapshot(*rel, *warm, slot->next_epoch++);
+  std::atomic_store(&slot->snap, std::move(snap));
+  return Status::OK();
+}
+
+SnapshotPtr SemandaqService::Pin(const std::string& relation) {
+  if (std::shared_ptr<Slot> slot = SlotFor(relation, false)) {
+    if (SnapshotPtr snap = std::atomic_load(&slot->snap)) return snap;
+  }
+  // Nothing published yet: publish the first epoch under the writer lock
+  // (a relation connected through the facade directly, or a lost race
+  // with a concurrent drop — in which case stay empty).
+  std::lock_guard<std::mutex> lock(sys_mu_);
+  if (sys_.database().FindRelation(relation) == nullptr) return nullptr;
+  if (!RepublishLocked(relation).ok()) return nullptr;
+  return std::atomic_load(&SlotFor(relation, false)->snap);
+}
+
+std::vector<cfd::Cfd> SemandaqService::CfdsFor(const std::string& relation) {
+  std::lock_guard<std::mutex> lock(sys_mu_);
+  return sys_.constraints().CfdsFor(relation);
+}
+
+common::Result<size_t> SemandaqService::AppendBatch(
+    const std::string& relation, std::vector<relational::Row> rows) {
+  std::lock_guard<std::mutex> lock(sys_mu_);
+  relational::Relation* rel = sys_.database().FindMutableRelation(relation);
+  if (rel == nullptr) return Status::NotFound("no relation named " + relation);
+  for (relational::Row& row : rows) {
+    SEMANDAQ_RETURN_IF_ERROR(rel->Insert(std::move(row)).status());
+  }
+  SEMANDAQ_RETURN_IF_ERROR(sys_.CompactIfDue(relation).status());
+  SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(relation));
+  return rows.size();
+}
+
+common::Result<std::string> SemandaqService::Execute(
+    SessionState* session, std::string_view command_line) {
+  const std::string_view line = common::Trim(command_line);
+  if (line.empty() || line.front() == '#') return std::string();
+  const std::vector<std::string> words = core::Words(line);
+  const std::string verb = common::ToLower(words[0]);
+  const std::vector<std::string> args(words.begin() + 1, words.end());
+
+  if (verb == "help") return Help();
+
+  // Read commands: pin an epoch and compute on it lock-free.
+  if (verb == "show") return CmdShow(args);
+  if (verb == "epoch") return CmdEpoch(args);
+  if (verb == "detect") return CmdDetect(args);
+  if (verb == "mine") return CmdMine(args);
+  if (verb == "clean") return CmdClean(session, args);
+  if (verb == "map") return CmdMap(args);
+  if (verb == "report") return CmdReport(args);
+  if (verb == "sql") return CmdSql(line.substr(verb.size()));
+  if (verb == "diff") return CmdDiff(session);
+  if (verb == "apply") return CmdApply(session);
+
+  // Everything else mutates the master or walks the shared catalog:
+  // serialized behind the writer lock, republishing what it touched.
+  std::lock_guard<std::mutex> lock(sys_mu_);
+
+  if (verb == "ls") {
+    std::string out;
+    for (const auto& name : sys_.database().RelationNames()) {
+      const auto* rel = sys_.database().FindRelation(name);
+      out += name + " (" + std::to_string(rel->size()) + " tuples: " +
+             rel->schema().ToString() + ")\n";
+    }
+    return out.empty() ? std::string("(no relations)\n") : out;
+  }
+
+  if (verb == "load") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("usage: load NAME PATH");
+    }
+    SEMANDAQ_ASSIGN_OR_RETURN(relational::Relation rel,
+                              relational::LoadRelationCsv(args[0], args[1]));
+    SEMANDAQ_RETURN_IF_ERROR(sys_.Connect(std::move(rel)));
+    SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(args[0]));
+    return "loaded " + args[0] + "\n";
+  }
+
+  if (verb == "save") {
+    if (args.size() < 2 || args.size() > 3) {
+      return Status::InvalidArgument("usage: save REL PATH [compact=N]");
+    }
+    size_t compact_after = 0;
+    if (args.size() == 3) {
+      const std::string lower = common::ToLower(args[2]);
+      if (!common::StartsWith(lower, "compact=")) {
+        return Status::InvalidArgument("usage: save REL PATH [compact=N]");
+      }
+      SEMANDAQ_ASSIGN_OR_RETURN(
+          compact_after,
+          core::ParseCount(args[2].substr(std::string("compact=").size())));
+    }
+    SEMANDAQ_ASSIGN_OR_RETURN(
+        auto stats, sys_.SaveRelation(args[0], args[1], compact_after));
+    std::string out = "saved " + args[0] + " to " + args[1] + " (" +
+                      std::to_string(stats.live_rows) + " tuples, " +
+                      std::to_string(stats.num_columns) + " columns, " +
+                      std::to_string(stats.file_bytes) + " bytes)";
+    if (compact_after > 0) {
+      out += "; compaction armed at " + std::to_string(compact_after) +
+             " WAL record(s)";
+    }
+    return out + "\n";
+  }
+
+  if (verb == "open") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("usage: open NAME PATH");
+    }
+    SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.OpenRelation(args[0], args[1]));
+    SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(args[0]));
+    return "opened " + args[0] + " from " + args[1] + " (" +
+           std::to_string(stats.live_rows) + " tuples, " +
+           std::to_string(stats.num_columns) + " columns, +" +
+           std::to_string(stats.wal_records) + " wal record(s))\n";
+  }
+
+  if (verb == "savedb") {
+    if (args.size() != 1) return Status::InvalidArgument("usage: savedb DIR");
+    SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.SaveDatabase(args[0]));
+    return "saved " + std::to_string(stats.relations) + " relation(s) to " +
+           args[0] + " (manifest " + stats.manifest_path + ")\n";
+  }
+
+  if (verb == "opendb") {
+    if (args.size() != 1) return Status::InvalidArgument("usage: opendb DIR");
+    SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.OpenDatabase(args[0]));
+    for (const auto& name : sys_.database().RelationNames()) {
+      SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(name));
+    }
+    return "opened " + std::to_string(stats.relations) + " relation(s) from " +
+           args[0] + " (" + std::to_string(stats.live_rows) + " tuples, +" +
+           std::to_string(stats.wal_records) + " wal record(s))\n";
+  }
+
+  if (verb == "gen") {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("usage: gen customer|hospital N NOISE%");
+    }
+    SEMANDAQ_ASSIGN_OR_RETURN(size_t n, core::ParseCount(args[1]));
+    SEMANDAQ_ASSIGN_OR_RETURN(size_t noise_pct, core::ParseCount(args[2]));
+    const double noise = static_cast<double>(noise_pct) / 100.0;
+    if (common::EqualsIgnoreCase(args[0], "customer")) {
+      workload::CustomerWorkloadOptions opts;
+      opts.num_tuples = n;
+      opts.noise_rate = noise;
+      auto wl = workload::CustomerGenerator::Generate(opts);
+      const std::string dirty = wl.dirty.name();
+      const std::string clean = wl.clean.name();
+      SEMANDAQ_RETURN_IF_ERROR(sys_.Connect(std::move(wl.dirty)));
+      SEMANDAQ_RETURN_IF_ERROR(sys_.Connect(std::move(wl.clean)));
+      SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(dirty));
+      SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(clean));
+      return "generated customer (+ customer_gold), " + std::to_string(n) +
+             " tuples at " + args[2] + "% noise\n";
+    }
+    if (common::EqualsIgnoreCase(args[0], "hospital")) {
+      workload::HospitalWorkloadOptions opts;
+      opts.num_tuples = n;
+      opts.noise_rate = noise;
+      auto wl = workload::HospitalGenerator::Generate(opts);
+      const std::string dirty = wl.dirty.name();
+      const std::string clean = wl.clean.name();
+      SEMANDAQ_RETURN_IF_ERROR(sys_.Connect(std::move(wl.dirty)));
+      SEMANDAQ_RETURN_IF_ERROR(sys_.Connect(std::move(wl.clean)));
+      SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(dirty));
+      SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(clean));
+      return "generated hospital (+ hospital_gold), " + std::to_string(n) +
+             " tuples at " + args[2] + "% noise\n";
+    }
+    return Status::InvalidArgument("unknown workload: " + args[0]);
+  }
+
+  if (verb == "cfd") {
+    SEMANDAQ_RETURN_IF_ERROR(
+        sys_.constraints().AddCfdsFromText(common::Trim(line.substr(verb.size()))));
+    return "added; Sigma now has " + std::to_string(sys_.constraints().size()) +
+           " CFD(s)\n";
+  }
+
+  if (verb == "cfds") {
+    std::string out;
+    for (const auto& c : sys_.constraints().cfds()) out += c.ToString() + "\n";
+    return out.empty() ? std::string("(no CFDs)\n") : out;
+  }
+
+  if (verb == "validate") {
+    if (args.size() != 1) return Status::InvalidArgument("usage: validate REL");
+    SEMANDAQ_ASSIGN_OR_RETURN(auto report, sys_.constraints().Validate(args[0]));
+    std::string out = report.satisfiable ? "SATISFIABLE" : "UNSATISFIABLE";
+    out += ": " + report.explanation + "\n";
+    if (report.satisfiable && !report.witness.empty()) {
+      out += "witness:";
+      for (size_t i = 0; i < report.witness.size(); ++i) {
+        out += " " + report.witness_attrs[i] + "=" +
+               report.witness[i].ToDisplayString();
+      }
+      out += "\n";
+    }
+    return out;
+  }
+
+  if (verb == "explore") {
+    if (args.size() < 3) {
+      return Status::InvalidArgument("usage: explore REL CFD# PAT#");
+    }
+    SEMANDAQ_ASSIGN_OR_RETURN(size_t ci, core::ParseCount(args[1]));
+    SEMANDAQ_ASSIGN_OR_RETURN(size_t pi, core::ParseCount(args[2]));
+    SEMANDAQ_ASSIGN_OR_RETURN(auto explorer, sys_.Explore(args[0]));
+    SEMANDAQ_ASSIGN_OR_RETURN(auto matches,
+                              explorer->LhsMatches(static_cast<int>(ci),
+                                                   static_cast<int>(pi)));
+    if (matches.empty()) return std::string("(no tuples match this pattern)\n");
+    return explorer->RenderDrilldown(static_cast<int>(ci), static_cast<int>(pi),
+                                     matches.front().lhs);
+  }
+
+  return Status::InvalidArgument("unknown command '" + verb + "' (try: help)");
+}
+
+common::Result<std::string> SemandaqService::CmdShow(
+    const std::vector<std::string>& args) {
+  if (args.empty()) return Status::InvalidArgument("usage: show REL [N]");
+  SnapshotPtr snap = Pin(args[0]);
+  if (snap == nullptr) return Status::NotFound("no relation named " + args[0]);
+  size_t n = 10;
+  if (args.size() > 1) {
+    SEMANDAQ_ASSIGN_OR_RETURN(n, core::ParseCount(args[1]));
+  }
+  return snap->relation.ToAsciiTable(n);
+}
+
+common::Result<std::string> SemandaqService::CmdEpoch(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("usage: epoch REL");
+  SnapshotPtr snap = Pin(args[0]);
+  if (snap == nullptr) return Status::NotFound("no relation named " + args[0]);
+  return "epoch " + std::to_string(snap->epoch) + "\n";
+}
+
+common::Result<std::string> SemandaqService::CmdDetect(
+    const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument(
+        "usage: detect REL [sql] [threads=N] [simd=LEVEL]");
+  }
+  bool want_sql = false;
+  detect::DetectorOptions options;
+  bool native_opts_given = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (common::EqualsIgnoreCase(args[i], "sql")) {
+      want_sql = true;
+      continue;
+    }
+    bool matched = false;
+    SEMANDAQ_RETURN_IF_ERROR(core::ParseSweepOption(
+        args[i], &options.num_threads, &options.simd_level, &matched));
+    if (!matched) {
+      return Status::InvalidArgument(
+          "unknown detect option '" + args[i] +
+          "' (usage: detect REL [sql] [threads=N] [simd=LEVEL])");
+    }
+    native_opts_given = true;
+  }
+  if (want_sql && native_opts_given) {
+    return Status::InvalidArgument(
+        "threads=/simd= apply to the native detector only");
+  }
+  if (want_sql) {
+    // The generated-SQL detector reads the shared catalog: writer lock.
+    std::lock_guard<std::mutex> lock(sys_mu_);
+    SEMANDAQ_ASSIGN_OR_RETURN(
+        auto table, sys_.DetectErrors(args[0], core::Semandaq::DetectorKind::kSql));
+    return table.Summary() + "\n";
+  }
+
+  SnapshotPtr snap = Pin(args[0]);
+  if (snap == nullptr) return Status::NotFound("no relation named " + args[0]);
+  std::vector<cfd::Cfd> cfds = CfdsFor(args[0]);
+  ThreadLease lease = scheduler_.Acquire(options.num_threads);
+  options.num_threads = lease.lanes();
+  detect::NativeDetector detector(&snap->relation, std::move(cfds), options);
+  detector.set_thread_pool(lease.pool());
+  detector.set_encoded(&*snap->encoded);
+  SEMANDAQ_ASSIGN_OR_RETURN(auto table, detector.Detect());
+  return table.Summary() + "\n";
+}
+
+common::Result<std::string> SemandaqService::CmdMine(
+    const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument("usage: mine REL [threads=N] [simd=LEVEL]");
+  }
+  discovery::CfdMinerOptions options;
+  for (size_t i = 1; i < args.size(); ++i) {
+    bool matched = false;
+    SEMANDAQ_RETURN_IF_ERROR(core::ParseSweepOption(
+        args[i], &options.num_threads, &options.simd_level, &matched));
+    if (!matched) {
+      return Status::InvalidArgument(
+          "unknown mine option '" + args[i] +
+          "' (usage: mine REL [threads=N] [simd=LEVEL])");
+    }
+  }
+  SnapshotPtr snap = Pin(args[0]);
+  if (snap == nullptr) return Status::NotFound("no relation named " + args[0]);
+  ThreadLease lease = scheduler_.Acquire(options.num_threads);
+  options.num_threads = lease.lanes();
+  options.pool = lease.pool();
+  discovery::CfdMiner miner(&snap->relation, options);
+  SEMANDAQ_ASSIGN_OR_RETURN(std::vector<cfd::Cfd> mined, miner.Mine());
+  // The sweep ran on the pinned epoch; only the Sigma append takes the
+  // writer lock.
+  size_t added = 0;
+  {
+    std::lock_guard<std::mutex> lock(sys_mu_);
+    for (cfd::Cfd& c : mined) {
+      SEMANDAQ_RETURN_IF_ERROR(sys_.constraints().AddCfd(std::move(c)));
+      ++added;
+    }
+    return "mined " + std::to_string(added) + " CFD(s) from " + args[0] +
+           "; Sigma now has " + std::to_string(sys_.constraints().size()) +
+           " CFD(s)\n";
+  }
+}
+
+common::Result<std::string> SemandaqService::CmdClean(
+    SessionState* session, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument("usage: clean REL [threads=N] [simd=LEVEL]");
+  }
+  repair::RepairOptions options;
+  for (size_t i = 1; i < args.size(); ++i) {
+    bool matched = false;
+    SEMANDAQ_RETURN_IF_ERROR(core::ParseSweepOption(
+        args[i], &options.num_threads, &options.simd_level, &matched));
+    if (!matched) {
+      return Status::InvalidArgument(
+          "unknown clean option '" + args[i] +
+          "' (usage: clean REL [threads=N] [simd=LEVEL])");
+    }
+  }
+  SnapshotPtr snap = Pin(args[0]);
+  if (snap == nullptr) return Status::NotFound("no relation named " + args[0]);
+  std::vector<cfd::Cfd> cfds = CfdsFor(args[0]);
+  ThreadLease lease = scheduler_.Acquire(options.num_threads);
+  options.num_threads = lease.lanes();
+  options.pool = lease.pool();
+  repair::CostModel model(snap->relation.schema(), {});
+  repair::BatchRepair cleaner(&snap->relation, std::move(cfds),
+                              std::move(model), std::move(options));
+  SEMANDAQ_ASSIGN_OR_RETURN(auto repair, cleaner.Run());
+  std::ostringstream out;
+  out << "candidate repair: " << repair.changes.size() << " cell(s), cost "
+      << repair.total_cost << ", " << repair.iterations << " round(s), "
+      << repair.null_escapes << " NULL escape(s), remaining "
+      << repair.remaining_violations
+      << "\nuse 'diff' to review, 'apply' to commit\n";
+  session->pending_repair = std::move(repair);
+  session->pending_relation = args[0];
+  session->pending_epoch = snap->epoch;
+  return out.str();
+}
+
+common::Result<std::string> SemandaqService::CmdDiff(SessionState* session) {
+  if (!session->pending_repair.has_value()) {
+    return Status::FailedPrecondition("no pending repair (run 'clean REL' first)");
+  }
+  SnapshotPtr snap = Pin(session->pending_relation);
+  if (snap == nullptr) {
+    return Status::NotFound("no relation named " + session->pending_relation);
+  }
+  std::ostringstream out;
+  out << "pending repair for '" << session->pending_relation << "':\n";
+  for (const auto& ch : session->pending_repair->changes) {
+    out << "  #" << ch.tid << " " << snap->relation.schema().attr(ch.col).name
+        << ": " << ch.original.ToDisplayString() << " -> "
+        << ch.repaired.ToDisplayString();
+    if (!ch.alternatives.empty()) {
+      out << "   (alternatives:";
+      for (const auto& [v, cost] : ch.alternatives) {
+        out << " " << v.ToDisplayString();
+      }
+      out << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+common::Result<std::string> SemandaqService::CmdApply(SessionState* session) {
+  if (!session->pending_repair.has_value()) {
+    return Status::FailedPrecondition("no pending repair (run 'clean REL' first)");
+  }
+  std::lock_guard<std::mutex> lock(sys_mu_);
+  SEMANDAQ_RETURN_IF_ERROR(
+      sys_.ApplyRepair(session->pending_relation, *session->pending_repair));
+  const size_t n = session->pending_repair->changes.size();
+  session->pending_repair.reset();
+  std::string out = "applied " + std::to_string(n) + " change(s) to " +
+                    session->pending_relation;
+  SEMANDAQ_ASSIGN_OR_RETURN(bool compacted,
+                            sys_.CompactIfDue(session->pending_relation));
+  if (compacted) out += " (snapshot compacted)";
+  SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(session->pending_relation));
+  return out + "\n";
+}
+
+common::Result<std::string> SemandaqService::CmdMap(
+    const std::vector<std::string>& args) {
+  if (args.empty()) return Status::InvalidArgument("usage: map REL [N]");
+  size_t n = 20;
+  if (args.size() > 1) {
+    SEMANDAQ_ASSIGN_OR_RETURN(n, core::ParseCount(args[1]));
+  }
+  SnapshotPtr snap = Pin(args[0]);
+  if (snap == nullptr) return Status::NotFound("no relation named " + args[0]);
+  std::vector<cfd::Cfd> cfds = CfdsFor(args[0]);
+  ThreadLease lease = scheduler_.Acquire(0);
+  detect::DetectorOptions options;
+  options.num_threads = lease.lanes();
+  detect::NativeDetector detector(&snap->relation, std::move(cfds), options);
+  detector.set_thread_pool(lease.pool());
+  detector.set_encoded(&*snap->encoded);
+  SEMANDAQ_ASSIGN_OR_RETURN(auto table, detector.Detect());
+  return audit::AsciiRender::QualityMap(snap->relation, table, n);
+}
+
+common::Result<std::string> SemandaqService::CmdReport(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("usage: report REL");
+  SnapshotPtr snap = Pin(args[0]);
+  if (snap == nullptr) return Status::NotFound("no relation named " + args[0]);
+  std::vector<cfd::Cfd> cfds = CfdsFor(args[0]);
+  ThreadLease lease = scheduler_.Acquire(0);
+  detect::DetectorOptions options;
+  options.num_threads = lease.lanes();
+  detect::NativeDetector detector(&snap->relation, cfds, options);
+  detector.set_thread_pool(lease.pool());
+  detector.set_encoded(&*snap->encoded);
+  SEMANDAQ_ASSIGN_OR_RETURN(auto table, detector.Detect());
+  audit::DataAuditor auditor(&snap->relation, std::move(cfds));
+  SEMANDAQ_ASSIGN_OR_RETURN(auto outcome, auditor.Audit(table));
+  const audit::QualityReport report =
+      audit::BuildQualityReport(outcome, snap->relation.schema());
+  return audit::AsciiRender::BarChart(report) + "\n" +
+         audit::AsciiRender::PieChart(report) + "\n" +
+         audit::AsciiRender::Statistics(report);
+}
+
+common::Result<std::string> SemandaqService::CmdSql(std::string_view query) {
+  // Pin one consistent set: the latest epoch of every published relation.
+  // The scratch catalog below is built from those pins alone, so the
+  // query never touches the live master (and holds no lock while it runs).
+  std::vector<SnapshotPtr> pinned;
+  {
+    std::vector<std::shared_ptr<Slot>> slots;
+    {
+      std::lock_guard<std::mutex> lock(slots_mu_);
+      slots.reserve(slots_.size());
+      for (const auto& [key, slot] : slots_) slots.push_back(slot);
+    }
+    for (const auto& slot : slots) {
+      if (SnapshotPtr snap = std::atomic_load(&slot->snap)) {
+        pinned.push_back(std::move(snap));
+      }
+    }
+  }
+  relational::Database scratch;
+  std::vector<std::unique_ptr<relational::EncodedRelation>> frozen;
+  std::unordered_map<const relational::Relation*,
+                     const relational::EncodedRelation*>
+      encoded_of;
+  for (const SnapshotPtr& snap : pinned) {
+    SEMANDAQ_RETURN_IF_ERROR(scratch.AddRelation(snap->relation.Clone()));
+    relational::Relation* rel = scratch.FindMutableRelation(snap->name);
+    frozen.push_back(std::make_unique<relational::EncodedRelation>(
+        snap->encoded->Freeze(rel)));
+    encoded_of[rel] = frozen.back().get();
+  }
+  sql::Engine engine(&scratch);
+  engine.set_encoded_provider(
+      [&encoded_of](const relational::Relation* rel)
+          -> const relational::EncodedRelation* {
+        auto it = encoded_of.find(rel);
+        return it == encoded_of.end() ? nullptr : it->second;
+      });
+  SEMANDAQ_ASSIGN_OR_RETURN(relational::Relation result,
+                            engine.Query(common::Trim(query)));
+  return result.ToAsciiTable(50);
+}
+
+}  // namespace semandaq::server

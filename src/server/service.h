@@ -1,0 +1,147 @@
+#ifndef SEMANDAQ_SERVER_SERVICE_H_
+#define SEMANDAQ_SERVER_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/semandaq.h"
+#include "repair/batch_repair.h"
+#include "server/scheduler.h"
+#include "server/snapshot.h"
+
+namespace semandaq::server {
+
+/// Service construction knobs.
+struct ServiceOptions {
+  /// Worker-lane budget shared by all concurrent requests (0 = hardware
+  /// thread count). See RequestScheduler.
+  size_t scheduler_lanes = 0;
+};
+
+/// The concurrent multi-session service over one Semandaq system: many
+/// sessions execute the core::Session command grammar against a shared
+/// database, with reads running in parallel against pinned immutable
+/// epochs and writes serialized behind one writer lock.
+///
+/// Concurrency model (docs/server.md):
+///
+///   * Every relation has a publication slot holding the latest
+///     RelationSnapshot, swapped with atomic shared_ptr publication.
+///     Read commands (detect / mine / clean / sql / show / map / report /
+///     epoch) pin the snapshot with one atomic load and compute on it
+///     lock-free — they never block on writers, and a writer never waits
+///     for readers (old epochs die by refcount when the last pin drops).
+///   * Write commands (load / open / gen / apply / savedb / opendb / the
+///     programmatic AppendBatch) and constraint/catalog commands take
+///     `sys_mu_`, mutate the master through the facade, and republish the
+///     affected slots before releasing it.
+///   * Mining is read-compute + a brief write tail: the levelwise sweep
+///     runs on the pinned epoch, only the final AddCfd batch takes the
+///     writer lock.
+///   * Worker lanes come from the RequestScheduler: each request leases
+///     min(requested, free) lanes and degrades toward serial under load —
+///     legal because every engine's output is byte-identical across
+///     thread counts (the invariant the whole stack maintains).
+///
+/// A read computed on epoch k is byte-identical to a serial run against a
+/// standalone copy of the relation as of epoch k — the property
+/// tests/server_concurrency_test.cc stresses.
+///
+/// Sessions are represented by SessionState values owned by the transport
+/// (one per connection); the service itself is stateless per request
+/// beyond them, so it is safe to call Execute from any number of threads.
+class SemandaqService {
+ public:
+  explicit SemandaqService(ServiceOptions options = {});
+
+  SemandaqService(const SemandaqService&) = delete;
+  SemandaqService& operator=(const SemandaqService&) = delete;
+
+  /// Per-session command state: the pending candidate repair of the last
+  /// `clean`, and the epoch it was computed against.
+  struct SessionState {
+    std::optional<repair::RepairResult> pending_repair;
+    std::string pending_relation;
+    uint64_t pending_epoch = 0;
+  };
+
+  /// Executes one command line for one session. Thread-safe; any number
+  /// of sessions may execute concurrently. The grammar is core::Session's
+  /// (same commands, same output bytes) plus `epoch REL`.
+  common::Result<std::string> Execute(SessionState* session,
+                                      std::string_view command_line);
+
+  /// The command reference text.
+  static std::string Help();
+
+  /// Pins the latest published epoch of `relation` (publishing one first
+  /// if the relation exists but was never published). nullptr when the
+  /// relation is unknown. The returned snapshot stays valid and immutable
+  /// for as long as the pointer is held.
+  SnapshotPtr Pin(const std::string& relation);
+
+  /// Appends `rows` to `relation` as one write batch and publishes the new
+  /// epoch (the programmatic writer the concurrency stress test and
+  /// ingest-style embeddings use). Runs any due snapshot compaction.
+  /// Returns the number of rows appended.
+  common::Result<size_t> AppendBatch(const std::string& relation,
+                                     std::vector<relational::Row> rows);
+
+  RequestScheduler& scheduler() { return scheduler_; }
+
+  /// The underlying facade, NOT synchronized: callers must guarantee no
+  /// concurrent Execute/Pin/AppendBatch while touching it (bootstrap and
+  /// tests only).
+  core::Semandaq& system_unsynchronized() { return sys_; }
+
+ private:
+  /// One relation's publication slot. `snap` is accessed with the atomic
+  /// shared_ptr free functions; `next_epoch` only under sys_mu_.
+  struct Slot {
+    SnapshotPtr snap;
+    uint64_t next_epoch = 1;
+  };
+
+  /// The slot for `relation` (lowercase key), created on demand.
+  std::shared_ptr<Slot> SlotFor(const std::string& relation, bool create);
+
+  /// Rebuilds and publishes `relation`'s snapshot from the master (or
+  /// clears the slot if the relation vanished). Caller holds sys_mu_.
+  common::Status RepublishLocked(const std::string& relation);
+
+  /// Copy of the CFDs registered for `relation` (brief sys_mu_ hold).
+  std::vector<cfd::Cfd> CfdsFor(const std::string& relation);
+
+  common::Result<std::string> CmdWrite(const std::string& verb,
+                                       const std::vector<std::string>& args);
+  common::Result<std::string> CmdShow(const std::vector<std::string>& args);
+  common::Result<std::string> CmdEpoch(const std::vector<std::string>& args);
+  common::Result<std::string> CmdDetect(const std::vector<std::string>& args);
+  common::Result<std::string> CmdMine(const std::vector<std::string>& args);
+  common::Result<std::string> CmdClean(SessionState* session,
+                                       const std::vector<std::string>& args);
+  common::Result<std::string> CmdDiff(SessionState* session);
+  common::Result<std::string> CmdApply(SessionState* session);
+  common::Result<std::string> CmdMap(const std::vector<std::string>& args);
+  common::Result<std::string> CmdReport(const std::vector<std::string>& args);
+  common::Result<std::string> CmdSql(std::string_view query);
+
+  core::Semandaq sys_;
+  /// The writer lock: serializes every master/catalog/constraint mutation
+  /// and the facade-routed commands. Never held while a read command
+  /// computes (only while it copies CFDs or pins).
+  std::mutex sys_mu_;
+  RequestScheduler scheduler_;
+  std::mutex slots_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+};
+
+}  // namespace semandaq::server
+
+#endif  // SEMANDAQ_SERVER_SERVICE_H_

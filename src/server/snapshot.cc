@@ -1,0 +1,50 @@
+#include "server/snapshot.h"
+
+#include <utility>
+#include <vector>
+
+#include "relational/column_chunk.h"
+#include "relational/dictionary.h"
+
+namespace semandaq::server {
+
+SnapshotPtr BuildRelationSnapshot(const relational::Relation& master,
+                                  const relational::EncodedRelation& warm,
+                                  uint64_t epoch) {
+  auto snap = std::make_shared<RelationSnapshot>();
+  snap->epoch = epoch;
+  snap->name = master.name();
+
+  const size_t bound = static_cast<size_t>(master.IdBound());
+  std::vector<uint8_t> live(master.live_data(), master.live_data() + bound);
+
+  // The deferred row hydrator captures frozen views of the warm encoded
+  // form's chunks and shared references to its dictionaries — the same
+  // zero-copy shape the storage loader uses (storage/snapshot.cc). The
+  // master may relocate chunks or clone dictionaries later; these views
+  // keep the epoch's bytes alive and unchanged by refcount.
+  struct HydrationSource {
+    std::vector<std::shared_ptr<relational::Dictionary>> dicts;
+    std::vector<relational::CodeColumn> columns;
+    std::vector<uint8_t> live;
+  };
+  auto source = std::make_shared<HydrationSource>();
+  const size_t ncols = warm.num_columns();
+  source->dicts.reserve(ncols);
+  source->columns.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    source->dicts.push_back(warm.shared_dictionary(c));
+    source->columns.push_back(warm.column(c).ShareFrozen());
+  }
+  source->live = live;
+
+  snap->relation = relational::Relation::FromStorage(
+      master.name(), master.schema(), std::move(live), [source]() {
+        return relational::DecodeRowsFromColumns(source->dicts, source->columns,
+                                                 source->live);
+      });
+  snap->encoded.emplace(warm.Freeze(&snap->relation));
+  return snap;
+}
+
+}  // namespace semandaq::server

@@ -1,0 +1,50 @@
+#ifndef SEMANDAQ_SERVER_SNAPSHOT_H_
+#define SEMANDAQ_SERVER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "relational/encoded_relation.h"
+#include "relational/relation.h"
+
+namespace semandaq::server {
+
+/// One published epoch of a relation: an immutable, self-contained replica
+/// that concurrent sessions pin and read without ever blocking the writer.
+///
+/// The replica is cheap because nothing in it is a second copy of the data:
+///
+///   * `relation` is built via Relation::FromStorage — a liveness bitmap
+///     plus a deferred row hydrator that decodes from the *same* refcounted
+///     column chunks and dictionaries the encoded form scans (hydration is
+///     thread-safe, so racing readers may hydrate it on first row access);
+///   * `encoded` is an EncodedRelation::Freeze view — O(1) per column,
+///     sharing the master's chunks by refcount; the master's later appends
+///     land past this view's published sizes and its overwrites detach
+///     (copy-on-write), so the bytes a pinned epoch sees never change.
+///
+/// Lifetime: snapshots are handed out as shared_ptr<const RelationSnapshot>
+/// and published via atomic shared_ptr swaps (SemandaqService); a session
+/// that pinned epoch k keeps it alive for as long as it computes, no matter
+/// how many epochs the writer publishes meanwhile.
+struct RelationSnapshot {
+  uint64_t epoch = 0;
+  std::string name;
+  relational::Relation relation;
+  std::optional<relational::EncodedRelation> encoded;
+};
+
+using SnapshotPtr = std::shared_ptr<const RelationSnapshot>;
+
+/// Captures `master` (and its warm, in-sync encoded form) as epoch `epoch`.
+/// The caller must hold the writer lock: the master must not mutate during
+/// the capture, and `warm` must be Sync'd to it (same IdBound).
+SnapshotPtr BuildRelationSnapshot(const relational::Relation& master,
+                                  const relational::EncodedRelation& warm,
+                                  uint64_t epoch);
+
+}  // namespace semandaq::server
+
+#endif  // SEMANDAQ_SERVER_SNAPSHOT_H_

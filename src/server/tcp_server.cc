@@ -1,0 +1,142 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "server/protocol.h"
+
+namespace semandaq::server {
+
+using common::Status;
+
+TcpServer::TcpServer(SemandaqService* service, TcpServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() {
+  Shutdown();
+  Wait();
+}
+
+common::Status TcpServer::Start() {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(lfd);
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status st = Status::IoError("bind " + options_.host + ":" +
+                                      std::to_string(options_.port) + ": " +
+                                      std::strerror(errno));
+    ::close(lfd);
+    return st;
+  }
+  if (::listen(lfd, 128) != 0) {
+    const Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(lfd);
+    return st;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_.store(lfd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (shutdown) or unrecoverable
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  SemandaqService::SessionState session;
+  std::string request;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto got = ReadFrame(fd, &request);
+    if (!got.ok() || !*got) break;  // error or clean close
+    const std::string command = std::string(common::Trim(request));
+    if (common::EqualsIgnoreCase(command, "shutdown")) {
+      (void)WriteFrame(fd, EncodeResponse(true, "shutting down\n"));
+      Shutdown();
+      break;
+    }
+    auto result = service_->Execute(&session, command);
+    const std::string payload =
+        result.ok() ? EncodeResponse(true, *result)
+                    : EncodeResponse(false, result.status().ToString() + "\n");
+    if (!WriteFrame(fd, payload).ok()) break;
+  }
+  // Deregister before closing: Shutdown() only ever pokes fds still in
+  // the set, so it can never touch a recycled descriptor number.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void TcpServer::Shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Closing the listener unblocks accept(); shutting the connection
+  // sockets down unblocks their reads (each handler closes its own fd).
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // After the accept loop exits no new connection threads appear; join
+  // whatever is still draining. A connection thread never calls Wait (the
+  // shutdown command only runs Shutdown), so joining here cannot deadlock.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace semandaq::server

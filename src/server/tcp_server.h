@@ -1,0 +1,76 @@
+#ifndef SEMANDAQ_SERVER_TCP_SERVER_H_
+#define SEMANDAQ_SERVER_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "server/service.h"
+
+namespace semandaq::server {
+
+struct TcpServerOptions {
+  /// Listen address. The server is a trusted-network component (no auth,
+  /// no TLS — docs/server.md, Non-goals); loopback is the safe default.
+  std::string host = "127.0.0.1";
+  /// 0 = pick an ephemeral port (read it back from port() after Start).
+  uint16_t port = 0;
+};
+
+/// The TCP front end over a SemandaqService: accepts connections, runs one
+/// thread per connection, and speaks the length-prefixed frame protocol
+/// (server/protocol.h). Each connection is one service session (its own
+/// pending-repair state); each request frame executes one command and
+/// yields one response frame.
+///
+/// `shutdown` is the only transport-level command: the server responds,
+/// then stops accepting, unblocks every open connection, and Wait()
+/// returns. Shutdown() does the same programmatically and is idempotent.
+class TcpServer {
+ public:
+  /// `service` is borrowed and must outlive the server.
+  explicit TcpServer(SemandaqService* service, TcpServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. After an OK return,
+  /// port() is the bound port.
+  common::Status Start();
+
+  uint16_t port() const { return port_; }
+
+  /// Blocks until the server has shut down (the `shutdown` command or
+  /// Shutdown()), then joins every connection thread.
+  void Wait();
+
+  /// Stops accepting and unblocks all connections. Idempotent; safe to
+  /// call from any thread, including a connection's own handler.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  SemandaqService* service_;
+  TcpServerOptions options_;
+  /// Atomic: the accept thread reads it each iteration while Shutdown()
+  /// (any thread, including a connection handler) swaps it to -1.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::unordered_set<int> conn_fds_;
+};
+
+}  // namespace semandaq::server
+
+#endif  // SEMANDAQ_SERVER_TCP_SERVER_H_

@@ -1,0 +1,123 @@
+#include "storage/catalog.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/csv.h"
+#include "storage/format.h"
+
+namespace semandaq::storage {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string CatalogPath(const std::string& dir) {
+  return dir + "/" + kCatalogFileName;
+}
+
+}  // namespace
+
+common::Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::IoError("cannot create directory " + dir + ": " +
+                         std::strerror(errno));
+}
+
+std::string SanitizeFileStem(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out.push_back(safe ? c : '_');
+  }
+  if (out.empty()) out = "relation";
+  return out;
+}
+
+common::Status WriteCatalog(const std::string& dir,
+                            const std::vector<CatalogEntry>& entries) {
+  std::string bytes;
+  ByteWriter w(&bytes);
+  w.PutBytes(kCatalogMagic, sizeof kCatalogMagic);
+  w.PutU32(kEndianCanary);
+  w.PutU32(kFormatVersion);
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const CatalogEntry& e : entries) {
+    w.PutString(e.name);
+    w.PutString(e.file);
+    w.PutU64(e.snapshot_checksum);
+  }
+  w.PutU64(Checksum64(bytes.data(), bytes.size()));
+
+  // Write-temp-rename, mirroring the snapshot writer's publish discipline:
+  // a crash mid-write leaves the previous manifest (or none) in place,
+  // never a torn one.
+  const std::string path = CatalogPath(dir);
+  const std::string tmp = path + ".tmp";
+  SEMANDAQ_RETURN_IF_ERROR(common::WriteStringToFile(tmp, bytes));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot publish catalog at " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+common::Result<std::vector<CatalogEntry>> ReadCatalog(const std::string& dir) {
+  const std::string path = CatalogPath(dir);
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe.good()) {
+      return Status::NotFound("no catalog manifest at " + path);
+    }
+  }
+  SEMANDAQ_ASSIGN_OR_RETURN(std::string bytes, common::ReadFileToString(path));
+  if (bytes.size() < sizeof kCatalogMagic + sizeof(uint64_t)) {
+    return Status::IoError("truncated catalog at " + path);
+  }
+  const size_t body_size = bytes.size() - sizeof(uint64_t);
+  ByteReader footer(bytes.data() + body_size, sizeof(uint64_t), "catalog");
+  SEMANDAQ_ASSIGN_OR_RETURN(uint64_t stored, footer.GetU64());
+  if (stored != Checksum64(bytes.data(), body_size)) {
+    return Status::IoError("catalog checksum mismatch at " + path);
+  }
+
+  ByteReader r(bytes.data(), body_size, "catalog");
+  SEMANDAQ_ASSIGN_OR_RETURN(const uint8_t* magic,
+                            r.GetBytes(sizeof kCatalogMagic));
+  if (std::memcmp(magic, kCatalogMagic, sizeof kCatalogMagic) != 0) {
+    return Status::IoError("not a catalog manifest: " + path);
+  }
+  SEMANDAQ_ASSIGN_OR_RETURN(uint32_t canary, r.GetU32());
+  if (canary != kEndianCanary) {
+    return Status::IoError("catalog byte order mismatch at " + path);
+  }
+  SEMANDAQ_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kFormatVersion) {
+    return Status::IoError("unsupported catalog version " +
+                           std::to_string(version) + " at " + path);
+  }
+  SEMANDAQ_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  std::vector<CatalogEntry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CatalogEntry e;
+    SEMANDAQ_ASSIGN_OR_RETURN(e.name, r.GetString());
+    SEMANDAQ_ASSIGN_OR_RETURN(e.file, r.GetString());
+    SEMANDAQ_ASSIGN_OR_RETURN(e.snapshot_checksum, r.GetU64());
+    entries.push_back(std::move(e));
+  }
+  if (!r.exhausted()) {
+    return Status::IoError("trailing bytes after catalog entries at " + path);
+  }
+  return entries;
+}
+
+}  // namespace semandaq::storage

@@ -1,0 +1,56 @@
+#ifndef SEMANDAQ_STORAGE_CATALOG_H_
+#define SEMANDAQ_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace semandaq::storage {
+
+/// Whole-database persistence: a directory holding one snapshot file (plus
+/// WAL sidecar) per relation and a checksummed catalog manifest that names
+/// them. The manifest is the unit a server restart opens to come back warm
+/// — every relation listed is reopened through the ordinary snapshot + WAL
+/// replay path, so the reopened database is byte-equivalent to the live one
+/// at its last save (plus journaled mutations). Byte-level layout:
+/// docs/server.md (Catalog manifest).
+
+/// Catalog file magic ("SDQCATL1"), first 8 bytes of the manifest.
+inline constexpr char kCatalogMagic[8] = {'S', 'D', 'Q', 'C',
+                                          'A', 'T', 'L', '1'};
+
+/// Conventional manifest filename inside a database directory.
+inline constexpr const char* kCatalogFileName = "catalog.sdqc";
+
+/// One relation the catalog names: its display name, the snapshot file
+/// holding it (relative to the catalog's directory), and the snapshot's
+/// manifest checksum at save time (advisory identity for ops/debugging;
+/// the snapshot and WAL verify themselves on open).
+struct CatalogEntry {
+  std::string name;
+  std::string file;
+  uint64_t snapshot_checksum = 0;
+};
+
+/// Creates `dir` if it does not exist yet (one level; parents must exist).
+common::Status EnsureDirectory(const std::string& dir);
+
+/// Maps a relation name to a filesystem-safe snapshot filename stem:
+/// alphanumerics, '_' and '-' pass through, everything else becomes '_'.
+/// Collisions are the caller's problem (CatalogEntry::file is what opens).
+std::string SanitizeFileStem(const std::string& name);
+
+/// Writes the catalog manifest for `dir` (write-temp-rename, so a crash
+/// never leaves a torn manifest behind).
+common::Status WriteCatalog(const std::string& dir,
+                            const std::vector<CatalogEntry>& entries);
+
+/// Reads and checksum-verifies the catalog manifest in `dir`. Corruption
+/// and truncation come back as IoError; a missing manifest is NotFound.
+common::Result<std::vector<CatalogEntry>> ReadCatalog(const std::string& dir);
+
+}  // namespace semandaq::storage
+
+#endif  // SEMANDAQ_STORAGE_CATALOG_H_

@@ -47,60 +47,17 @@ void PatchU64(std::string* buf, size_t at, uint64_t v) {
   std::memcpy(&(*buf)[at], &v, sizeof v);
 }
 
-/// Everything the deferred row materializer needs, shared (with the file
-/// buffer) by the hydrator closure — and by its copies when an unhydrated
-/// relation is cloned. All of it was checksum-verified by Read before the
-/// hydrator was installed, so hydration itself cannot fail.
+/// Everything the deferred row materializer needs: frozen views of the
+/// same refcounted chunks and dictionaries the adopted EncodedRelation
+/// scans — NOT a second copy of the file. Shared by the hydrator closure
+/// and by its copies when an unhydrated relation is cloned. All of it was
+/// checksum-verified by Read before the hydrator was installed, so
+/// hydration itself cannot fail.
 struct HydrationSource {
-  std::string file;
+  std::vector<std::shared_ptr<Dictionary>> dicts;
+  std::vector<relational::CodeColumn> columns;  // frozen views
   std::vector<uint8_t> live;  // one byte per id, nonzero = live
-  uint64_t id_bound = 0;
-  std::vector<ColumnExtent> extents;  // dict blob + code array per column
 };
-
-/// Parses one column's dictionary blob into its decoded values (index =
-/// code - 1). Infallible by the time it runs (see HydrationSource).
-std::vector<Value> ParseDictValues(const std::string& file,
-                                   const ColumnExtent& ext) {
-  ByteReader r(file.data() + ext.dict_offset,
-               static_cast<size_t>(ext.dict_size), "dictionary blob");
-  std::vector<Value> values;
-  values.reserve(ext.dict_count);
-  for (uint32_t i = 0; i < ext.dict_count; ++i) {
-    auto v = r.GetValue();
-    assert(v.ok());
-    values.push_back(std::move(*v));
-  }
-  return values;
-}
-
-/// The deferred row materialization: decode every live cell of every
-/// column from the retained file buffer. This is exactly the work the
-/// load-then-detect path never does — detection runs on the adopted code
-/// columns — and the first audit/repair/SQL touch pays it instead.
-std::vector<Row> MaterializeRows(const HydrationSource& src, size_t ncols) {
-  std::vector<Row> rows(static_cast<size_t>(src.id_bound));
-  for (uint64_t tid = 0; tid < src.id_bound; ++tid) {
-    if (src.live[static_cast<size_t>(tid)]) {
-      rows[static_cast<size_t>(tid)].resize(ncols);
-    }
-  }
-  std::vector<Code> codes(static_cast<size_t>(src.id_bound));
-  for (size_t c = 0; c < ncols; ++c) {
-    const std::vector<Value> values = ParseDictValues(src.file, src.extents[c]);
-    std::memcpy(codes.data(), src.file.data() + src.extents[c].codes_offset,
-                static_cast<size_t>(src.extents[c].codes_size));
-    for (uint64_t tid = 0; tid < src.id_bound; ++tid) {
-      if (!src.live[static_cast<size_t>(tid)]) continue;
-      const Code code = codes[static_cast<size_t>(tid)];
-      assert(code <= values.size());  // verified against the dict at load
-      if (code != kNullCode) {
-        rows[static_cast<size_t>(tid)][c] = values[code - 1];
-      }
-    }
-  }
-  return rows;
-}
 
 /// Verifies one section's bounds (inside the data area between header and
 /// manifest) and checksum, returning a pointer to its first byte.
@@ -173,7 +130,7 @@ Result<SnapshotStats> SnapshotWriter::Write(const Relation& rel,
     ext.dict_checksum = Checksum64(file.data() + ext.dict_offset,
                                    static_cast<size_t>(ext.dict_size));
 
-    const std::vector<Code>& codes = enc.column(c);
+    const relational::CodeColumn& codes = enc.column(c);
     ext.codes_offset = file.size();
     ext.codes_size = codes.size() * sizeof(Code);
     file.append(reinterpret_cast<const char*>(codes.data()), ext.codes_size);
@@ -330,8 +287,6 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
   SEMANDAQ_ASSIGN_OR_RETURN(uint32_t ncols, m.GetU32());
   std::vector<AttributeDef> attrs;
   attrs.reserve(ncols);
-  std::vector<ColumnExtent> extents;
-  extents.reserve(ncols);
   out.dicts.reserve(ncols);
   out.columns.reserve(ncols);
   for (uint32_t c = 0; c < ncols; ++c) {
@@ -378,9 +333,13 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
     }
     SEMANDAQ_ASSIGN_OR_RETURN(Dictionary dict,
                               Dictionary::FromDecodedValues(std::move(decoded)));
-    out.dicts.push_back(std::move(dict));
+    out.dicts.push_back(std::make_shared<Dictionary>(std::move(dict)));
 
-    // Code array: one memcpy off the file buffer, no per-value decoding.
+    // Code array: one memcpy off the file buffer into a refcounted chunk,
+    // no per-value decoding — and the only copy of the codes this load
+    // retains (the row hydrator shares the chunk; the file buffer dies
+    // with this call). The file offsets are arbitrary, so the memcpy also
+    // realigns the codes for the SIMD-friendly chunk storage.
     if (ext.codes_size != id_bound * sizeof(Code)) {
       return Status::IoError("corrupted snapshot manifest: code array of " +
                              attr.name + " has the wrong size");
@@ -390,10 +349,10 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
         CheckSection(file, ext.codes_offset, ext.codes_size,
                      ext.codes_checksum, manifest_offset,
                      "code array (column " + attr.name + ")"));
-    std::vector<Code> codes(static_cast<size_t>(id_bound));
-    std::memcpy(codes.data(), code_bytes, static_cast<size_t>(ext.codes_size));
+    relational::CodeColumn codes;
+    codes.Assign(reinterpret_cast<const Code*>(code_bytes),
+                 static_cast<size_t>(id_bound));
     out.columns.push_back(std::move(codes));
-    extents.push_back(ext);
   }
   if (!m.exhausted()) {
     return Status::IoError("corrupted snapshot manifest: trailing bytes");
@@ -419,8 +378,8 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
                            "with the recorded live count");
   }
   for (uint32_t c = 0; c < ncols; ++c) {
-    const Dictionary& dict = out.dicts[c];
-    const std::vector<Code>& codes = out.columns[c];
+    const Dictionary& dict = *out.dicts[c];
+    const relational::CodeColumn& codes = out.columns[c];
     for (uint64_t tid = 0; tid < id_bound; ++tid) {
       if (live[static_cast<size_t>(tid)] &&
           !dict.Contains(codes[static_cast<size_t>(tid)])) {
@@ -430,16 +389,21 @@ Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
     }
   }
 
+  // The deferred row hydrator decodes from frozen views of the chunks and
+  // dictionaries just built — by refcount, not by copy. The file buffer is
+  // NOT captured: it dies when this function returns, so a loaded-but-
+  // unhydrated relation holds exactly one copy of the data (the chunks).
   auto source = std::make_shared<HydrationSource>();
-  source->file = std::move(file);
+  source->dicts = out.dicts;
+  source->columns.reserve(ncols);
+  for (const auto& col : out.columns) {
+    source->columns.push_back(col.ShareFrozen());
+  }
   source->live = live;
-  source->id_bound = id_bound;
-  source->extents = std::move(extents);
-  const size_t hydrate_cols = ncols;
   out.relation = Relation::FromStorage(
-      out.saved_name, std::move(schema), std::move(live),
-      [source, hydrate_cols]() {
-        return MaterializeRows(*source, hydrate_cols);
+      out.saved_name, std::move(schema), std::move(live), [source]() {
+        return relational::DecodeRowsFromColumns(source->dicts,
+                                                 source->columns, source->live);
       });
   return out;
 }

@@ -2,10 +2,12 @@
 #define SEMANDAQ_STORAGE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "relational/column_chunk.h"
 #include "relational/dictionary.h"
 #include "relational/encoded_relation.h"
 #include "relational/relation.h"
@@ -48,11 +50,15 @@ class SnapshotWriter {
 
 /// A snapshot pulled back into memory: the reconstructed relation (same
 /// TupleIds, tombstones preserved) plus the encoded columns exactly as
-/// saved, ready for EncodedRelation::FromStorage — no per-value re-encode.
+/// saved — refcounted chunks and dictionaries ready for
+/// EncodedRelation::FromStorage, no per-value re-encode. The relation's
+/// deferred row hydrator decodes from frozen views of these same chunks
+/// and dictionaries, so nothing holds a second copy of the data (the file
+/// buffer is released before Read returns).
 struct LoadedSnapshot {
   relational::Relation relation;
-  std::vector<relational::Dictionary> dicts;
-  std::vector<std::vector<relational::Code>> columns;
+  std::vector<std::shared_ptr<relational::Dictionary>> dicts;
+  std::vector<relational::CodeColumn> columns;
   std::string saved_name;           ///< relation name at save time
   uint64_t manifest_checksum = 0;   ///< identity the WAL sidecar must carry
 };
@@ -61,8 +67,10 @@ class SnapshotReader {
  public:
   /// Loads a snapshot with one bulk read: the file is pulled into memory
   /// with a single read and the code arrays are memcpy'd straight into
-  /// their vectors — no per-value decoding on the code path. Every section
-  /// is checksum-verified before use; corruption and truncation come back
+  /// their column chunks — no per-value decoding on the code path, and no
+  /// second retained copy (the deferred row hydrator shares the chunks by
+  /// refcount; the file buffer dies with this call). Every section is
+  /// checksum-verified before use; corruption and truncation come back
   /// as IoError, never as garbage data. Does NOT replay the WAL sidecar
   /// (storage::ReplayWal; the relation must be registered at its final
   /// address first so the encoded snapshot can sync against it).

@@ -1,0 +1,143 @@
+// The TCP front end (src/server/tcp_server + client + protocol): frames
+// round-trip over loopback, concurrent clients each get their own session
+// (pending repairs don't leak across connections), server-side errors come
+// back as error responses (not dropped connections), and `shutdown`
+// unblocks every client and lets Wait() return.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/service.h"
+#include "server/tcp_server.h"
+#include "test_util.h"
+
+namespace semandaq::server {
+namespace {
+
+/// One command over `client`; asserts transport OK and server-side OK.
+std::string Call(Client* client, const std::string& cmd) {
+  auto r = client->Call(cmd);
+  EXPECT_TRUE(r.ok()) << cmd << " -> " << r.status().ToString();
+  if (!r.ok()) return std::string();
+  EXPECT_TRUE(r->ok) << cmd << " -> " << r->text;
+  return r->text;
+}
+
+TEST(ServerTcpTest, ResponseEncodingRoundTrips) {
+  ASSERT_OK_AND_ASSIGN(WireResponse ok, DecodeResponse(EncodeResponse(true, "x\n")));
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.text, "x\n");
+  ASSERT_OK_AND_ASSIGN(WireResponse err, DecodeResponse(EncodeResponse(false, "bad")));
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.text, "bad");
+  EXPECT_FALSE(DecodeResponse("").ok());          // missing status byte
+  EXPECT_FALSE(DecodeResponse("Zoops").ok());     // unknown status byte
+}
+
+TEST(ServerTcpTest, CommandsAndErrorsOverLoopback) {
+  SemandaqService service;
+  TcpServer server(&service);  // port 0: ephemeral
+  ASSERT_OK(server.Start());
+  ASSERT_NE(server.port(), 0);
+
+  ASSERT_OK_AND_ASSIGN(Client client,
+                       Client::Connect("127.0.0.1", server.port()));
+  EXPECT_NE(Call(&client, "gen customer 60 10").find("generated customer"),
+            std::string::npos);
+  EXPECT_NE(Call(&client, "ls").find("customer_gold"), std::string::npos);
+  EXPECT_EQ(Call(&client, "epoch customer"), "epoch 1\n");
+
+  // A server-side error is an error *response* on a healthy connection.
+  ASSERT_OK_AND_ASSIGN(WireResponse err, client.Call("detect nosuch"));
+  EXPECT_FALSE(err.ok);
+  EXPECT_NE(err.text.find("nosuch"), std::string::npos);
+  EXPECT_NE(Call(&client, "detect customer"), "");  // still usable after
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTcpTest, SessionsAreIsolatedPerConnection) {
+  SemandaqService service;
+  TcpServer server(&service);
+  ASSERT_OK(server.Start());
+
+  ASSERT_OK_AND_ASSIGN(Client a, Client::Connect("127.0.0.1", server.port()));
+  ASSERT_OK_AND_ASSIGN(Client b, Client::Connect("127.0.0.1", server.port()));
+  Call(&a, "gen customer 80 10");
+  Call(&a, "cfd customer: [CC] -> [CNT] { (44 | UK), (31 | NL) }");
+  EXPECT_NE(Call(&a, "clean customer").find("candidate repair"),
+            std::string::npos);
+
+  // The pending repair lives in connection a's session only.
+  ASSERT_OK_AND_ASSIGN(WireResponse no_pending, b.Call("diff"));
+  EXPECT_FALSE(no_pending.ok);
+  EXPECT_NE(Call(&a, "diff").find("pending repair"), std::string::npos);
+  EXPECT_NE(Call(&a, "apply").find("applied"), std::string::npos);
+
+  // b sees the post-apply world through its own reads.
+  EXPECT_EQ(Call(&b, "epoch customer"), "epoch 2\n");
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTcpTest, ConcurrentClientsShareOneDatabase) {
+  SemandaqService service;
+  TcpServer server(&service);
+  ASSERT_OK(server.Start());
+  {
+    ASSERT_OK_AND_ASSIGN(Client boot,
+                         Client::Connect("127.0.0.1", server.port()));
+    Call(&boot, "gen hospital 200 5");
+  }
+
+  constexpr size_t kClients = 8;
+  std::vector<std::string> results(kClients);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto connected = Client::Connect("127.0.0.1", server.port());
+      ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+      Client c = std::move(*connected);
+      for (int round = 0; round < 3; ++round) {
+        results[i] = Call(&c, "detect hospital threads=" +
+                                  std::to_string(i % 3 + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t i = 1; i < kClients; ++i) {
+    EXPECT_EQ(results[i], results[0]);  // thread-count invariant, over TCP
+  }
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTcpTest, ShutdownCommandStopsServerAndUnblocksWait) {
+  SemandaqService service;
+  TcpServer server(&service);
+  ASSERT_OK(server.Start());
+
+  ASSERT_OK_AND_ASSIGN(Client idle, Client::Connect("127.0.0.1", server.port()));
+  ASSERT_OK_AND_ASSIGN(Client killer, Client::Connect("127.0.0.1", server.port()));
+  ASSERT_OK_AND_ASSIGN(WireResponse bye, killer.Call("shutdown"));
+  EXPECT_TRUE(bye.ok);
+  EXPECT_EQ(bye.text, "shutting down\n");
+
+  server.Wait();  // must return: accept loop stopped, idle unblocked
+
+  // Both connections are dead now; further calls fail at the transport.
+  EXPECT_FALSE(idle.Call("ls").ok());
+  // And new connections are refused.
+  EXPECT_FALSE(Client::Connect("127.0.0.1", server.port()).ok());
+}
+
+}  // namespace
+}  // namespace semandaq::server

@@ -121,7 +121,7 @@ void ExpectLosslessRoundTrip(const Relation& rel, const std::string& cfd_text,
   ASSERT_EQ(loaded.columns.size(), rel.schema().size());
   for (size_t c = 0; c < rel.schema().size(); ++c) {
     EXPECT_EQ(loaded.columns[c], enc.column(c)) << "column " << c;
-    EXPECT_EQ(loaded.dicts[c].values(), enc.dictionary(c).values())
+    EXPECT_EQ(loaded.dicts[c]->values(), enc.dictionary(c).values())
         << "dictionary " << c;
   }
 

@@ -1,0 +1,97 @@
+// semandaq_client: command-line client for semandaq_server.
+//
+//   semandaq_client [--host=ADDR] [--port=N] [COMMAND...]
+//
+// With COMMAND arguments, joins them into one command line, executes it,
+// prints the response, and exits (0 on success, 1 on a server error or
+// transport failure). Without arguments, reads commands from stdin one
+// per line over a single connection — a pipe-friendly REPL, so a
+// clean/diff/apply sequence shares one server session.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "server/client.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+/// Executes one command; returns false on a server error or transport
+/// failure (the caller decides whether to keep the REPL going).
+bool RunOne(semandaq::server::Client& client, const std::string& command) {
+  auto response = client.Call(command);
+  if (!response.ok()) {
+    std::fprintf(stderr, "semandaq_client: %s\n",
+                 response.status().ToString().c_str());
+    return false;
+  }
+  std::FILE* out = response->ok ? stdout : stderr;
+  std::fprintf(out, "%s", response->text.c_str());
+  std::fflush(out);
+  return response->ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7744;
+  std::string command;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--host", &value)) {
+      host = value;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || v > 65535) {
+        std::fprintf(stderr,
+                     "usage: semandaq_client [--host=ADDR] [--port=N]"
+                     " [COMMAND...]\n");
+        return 2;
+      }
+      port = static_cast<uint16_t>(v);
+    } else {
+      break;  // first non-flag argument starts the command
+    }
+  }
+  for (; i < argc; ++i) {
+    if (!command.empty()) command += ' ';
+    command += argv[i];
+  }
+
+  auto connected = semandaq::server::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "semandaq_client: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  semandaq::server::Client client = std::move(*connected);
+
+  if (!command.empty()) return RunOne(client, command) ? 0 : 1;
+
+  // REPL mode: one command per stdin line; blank lines are skipped.
+  // `shutdown` stops the server, which then closes this connection.
+  bool all_ok = true;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string trimmed = std::string(semandaq::common::Trim(line));
+    if (trimmed.empty()) continue;
+    if (!RunOne(client, trimmed)) all_ok = false;
+    if (semandaq::common::EqualsIgnoreCase(trimmed, "shutdown")) break;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// semandaq_server: the TCP front end over one SemandaqService.
+//
+//   semandaq_server [--host=ADDR] [--port=N] [--lanes=N] [--db=DIR]
+//
+//   --host   listen address (default 127.0.0.1; trusted networks only)
+//   --port   listen port (default 7744; 0 picks an ephemeral port)
+//   --lanes  worker-lane budget shared by all requests (0 = hardware)
+//   --db     database directory: opened at boot when a catalog manifest
+//            exists, saved back on clean shutdown (warm restart)
+//
+// Prints "semandaq_server listening on HOST:PORT" once ready, then blocks
+// until a client sends `shutdown`. See docs/server.md.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+#include "server/service.h"
+#include "server/tcp_server.h"
+#include "storage/catalog.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+bool ParseSize(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: semandaq_server [--host=ADDR] [--port=N] [--lanes=N]"
+               " [--db=DIR]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  semandaq::server::TcpServerOptions tcp_options;
+  tcp_options.port = 7744;
+  semandaq::server::ServiceOptions service_options;
+  std::string db_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    uint64_t n = 0;
+    if (ParseFlag(argv[i], "--host", &value)) {
+      tcp_options.host = value;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      if (!ParseSize(value, &n) || n > 65535) return Usage();
+      tcp_options.port = static_cast<uint16_t>(n);
+    } else if (ParseFlag(argv[i], "--lanes", &value)) {
+      if (!ParseSize(value, &n)) return Usage();
+      service_options.scheduler_lanes = static_cast<size_t>(n);
+    } else if (ParseFlag(argv[i], "--db", &value)) {
+      db_dir = value;
+    } else {
+      return Usage();
+    }
+  }
+
+  semandaq::server::SemandaqService service(service_options);
+  semandaq::server::SemandaqService::SessionState boot;
+  if (!db_dir.empty()) {
+    // Warm restart: reload the catalog when one exists; a missing manifest
+    // just means a first run against an empty directory.
+    auto opened = service.Execute(&boot, "opendb " + db_dir);
+    if (opened.ok()) {
+      std::fprintf(stderr, "%s", opened->c_str());
+    } else if (opened.status().code() !=
+               semandaq::common::StatusCode::kNotFound) {
+      std::fprintf(stderr, "semandaq_server: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  semandaq::server::TcpServer server(&service, tcp_options);
+  const semandaq::common::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "semandaq_server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("semandaq_server listening on %s:%u\n", tcp_options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  server.Wait();
+
+  if (!db_dir.empty()) {
+    auto saved = service.Execute(&boot, "savedb " + db_dir);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "semandaq_server: save on shutdown failed: %s\n",
+                   saved.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%s", saved->c_str());
+  }
+  return 0;
+}
