@@ -1,0 +1,101 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+
+namespace semandaq::common {
+
+namespace {
+
+/// Message prefix identifying a crash-injected status (IsInjectedCrash).
+constexpr const char kCrashPrefix[] = "crash injected at ";
+
+}  // namespace
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+void Failpoints::Arm(const std::string& name, FailpointConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[name] = Armed{std::move(config), 0};
+  active_.store(true, std::memory_order_release);
+}
+
+void Failpoints::ArmCrash(const std::string& name, size_t keep_bytes) {
+  FailpointConfig config;
+  config.action = FailpointConfig::Action::kCrash;
+  config.status = Status::IoError(kCrashPrefix + name);
+  config.keep_bytes = keep_bytes;
+  Arm(name, std::move(config));
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(name);
+  if (armed_.empty() && !capturing_) {
+    active_.store(false, std::memory_order_release);
+  }
+}
+
+void Failpoints::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  capturing_ = false;
+  captured_.clear();
+  active_.store(false, std::memory_order_release);
+}
+
+void Failpoints::StartCapture() {
+  std::lock_guard<std::mutex> lock(mu_);
+  capturing_ = true;
+  captured_.clear();
+  active_.store(true, std::memory_order_release);
+}
+
+std::vector<std::string> Failpoints::StopCapture() {
+  std::lock_guard<std::mutex> lock(mu_);
+  capturing_ = false;
+  if (armed_.empty()) active_.store(false, std::memory_order_release);
+  std::vector<std::string> out;
+  out.swap(captured_);
+  return out;
+}
+
+bool Failpoints::IsInjectedCrash(const Status& status) {
+  return !status.ok() &&
+         status.message().compare(0, sizeof(kCrashPrefix) - 1, kCrashPrefix) ==
+             0;
+}
+
+Status Failpoints::Hit(const char* name) {
+  if (!active_.load(std::memory_order_acquire)) return Status::OK();
+  size_t keep = 0;
+  return Evaluate(name, 0, &keep);
+}
+
+Status Failpoints::HitWrite(const char* name, size_t size, size_t* keep) {
+  *keep = size;
+  if (!active_.load(std::memory_order_acquire)) return Status::OK();
+  return Evaluate(name, size, keep);
+}
+
+Status Failpoints::Evaluate(const char* name, size_t size, size_t* keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capturing_) {
+    if (std::find(captured_.begin(), captured_.end(), name) ==
+        captured_.end()) {
+      captured_.emplace_back(name);
+    }
+  }
+  auto it = armed_.find(name);
+  if (it == armed_.end()) return Status::OK();
+  Armed& armed = it->second;
+  if (armed.hits++ < armed.config.skip_hits) return Status::OK();
+  if (armed.config.action == FailpointConfig::Action::kCrash) {
+    *keep = std::min(armed.config.keep_bytes, size);
+  }
+  return armed.config.status;
+}
+
+}  // namespace semandaq::common

@@ -1,0 +1,138 @@
+#ifndef SEMANDAQ_COMMON_FAILPOINT_H_
+#define SEMANDAQ_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace semandaq::common {
+
+/// Deterministic fault injection for the storage and server stacks
+/// (docs/robustness.md). Production code marks the interesting points of
+/// its write paths with named failpoints:
+///
+///   SEMANDAQ_FAILPOINT("wal.append.pre_sync");            // plain site
+///   SEMANDAQ_FAILPOINT_WRITE("wal.append.write", f, buf); // pending write
+///
+/// Unarmed, a site is one relaxed atomic load — nothing else. Tests arm a
+/// site by name to either return an error from the enclosing function or
+/// to simulate a crash: the write path stops at the site (a pending write
+/// lands only partially, as a torn write would), the enclosing function
+/// returns immediately with an injected status, and no cleanup that a real
+/// power cut would have skipped gets to run. Combined with
+/// storage::FaultInjectionEnv (which drops unsynced bytes on a simulated
+/// power cut), this reproduces on-disk states byte-for-byte equal to what
+/// a crash at that instruction would leave.
+///
+/// Capture mode records the name of every site hit, so a recovery sweep
+/// can discover the crash points along a path by running it clean once and
+/// then crashing at each recorded site in turn (tests/crash_recovery_test).
+
+/// What an armed failpoint does when its site is hit.
+struct FailpointConfig {
+  enum class Action {
+    kError,  ///< the site returns `status`; the write path is intact
+    kCrash,  ///< the write path stops here: a pending write lands only
+             ///< `keep_bytes` of its payload, then `status` unwinds the
+             ///< enclosing call without cleanup
+  };
+  Action action = Action::kError;
+  /// Status injected at the site. Defaults identify the site by name.
+  Status status = Status::IoError("fault injected");
+  /// kCrash at a SEMANDAQ_FAILPOINT_WRITE site: how many bytes of the
+  /// pending write still reach the file (0 = nothing, SIZE_MAX/2 ≈ torn
+  /// anywhere; clamped to the pending size).
+  size_t keep_bytes = 0;
+  /// The site passes through unarmed this many times before triggering
+  /// (0 = trigger on the first hit). Once triggered it stays triggered.
+  size_t skip_hits = 0;
+};
+
+class Failpoints {
+ public:
+  /// The process-wide registry. Thread-safe; sites are hit from storage
+  /// and server threads while tests arm/disarm.
+  static Failpoints& Instance();
+
+  /// Arms `name`. Replaces any previous config for the site.
+  void Arm(const std::string& name, FailpointConfig config);
+
+  /// Convenience: arm `name` to crash, keeping `keep_bytes` of a pending
+  /// write (see FailpointConfig::keep_bytes).
+  void ArmCrash(const std::string& name, size_t keep_bytes = 0);
+
+  void Disarm(const std::string& name);
+
+  /// Disarms everything, stops capture, and drops captured names.
+  void Clear();
+
+  /// Begins recording the name of every site hit (deduplicated, in first-
+  /// hit order) until StopCapture.
+  void StartCapture();
+  std::vector<std::string> StopCapture();
+
+  /// True if `status` was injected by a crash-armed failpoint.
+  static bool IsInjectedCrash(const Status& status);
+
+  // --- site API; use the macros below, not these directly ---
+
+  /// Plain site: returns the injected status, or OK when unarmed.
+  Status Hit(const char* name);
+
+  /// Site with a pending write of `size` bytes: sets *keep to how many of
+  /// them should reach the file (== size when unarmed) and returns the
+  /// status the enclosing function must return after writing them (OK when
+  /// unarmed).
+  Status HitWrite(const char* name, size_t size, size_t* keep);
+
+ private:
+  Failpoints() = default;
+
+  Status Evaluate(const char* name, size_t size, size_t* keep);
+
+  /// Fast-path gate: true while any site is armed or capture is on.
+  std::atomic<bool> active_{false};
+
+  std::mutex mu_;
+  struct Armed {
+    FailpointConfig config;
+    size_t hits = 0;
+  };
+  std::unordered_map<std::string, Armed> armed_;
+  bool capturing_ = false;
+  std::vector<std::string> captured_;
+};
+
+}  // namespace semandaq::common
+
+/// Marks a plain failpoint site: when armed, returns the injected status
+/// from the enclosing function (which must return Status or Result<T>).
+#define SEMANDAQ_FAILPOINT(name)                                            \
+  do {                                                                      \
+    ::semandaq::common::Status _fp_status =                                 \
+        ::semandaq::common::Failpoints::Instance().Hit(name);               \
+    if (!_fp_status.ok()) return _fp_status;                                \
+  } while (0)
+
+/// Marks a failpoint site guarding a pending write of `data` (a
+/// std::string_view) to `file` (a storage::WritableFile*): unarmed, appends
+/// all of it; armed to crash, appends only the configured prefix (a torn
+/// write) and returns the injected status from the enclosing function.
+/// Append failures propagate either way.
+#define SEMANDAQ_FAILPOINT_WRITE(name, file, data)                          \
+  do {                                                                      \
+    const std::string_view _fp_data = (data);                               \
+    size_t _fp_keep = _fp_data.size();                                      \
+    ::semandaq::common::Status _fp_status =                                 \
+        ::semandaq::common::Failpoints::Instance().HitWrite(                \
+            name, _fp_data.size(), &_fp_keep);                              \
+    SEMANDAQ_RETURN_IF_ERROR((file)->Append(_fp_data.substr(0, _fp_keep))); \
+    if (!_fp_status.ok()) return _fp_status;                                \
+  } while (0)
+
+#endif  // SEMANDAQ_COMMON_FAILPOINT_H_

@@ -22,6 +22,8 @@ enum class StatusCode {
   kUnsatisfiable,     ///< A CFD set has no non-empty satisfying instance.
   kIoError,           ///< File/CSV read or write failure.
   kInternal,          ///< A bug: an invariant the library maintains was broken.
+  kDeadlineExceeded,  ///< An operation ran past its caller-imposed deadline.
+  kUnavailable,       ///< Transient overload (server shedding load); retryable.
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -72,6 +74,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

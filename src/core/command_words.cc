@@ -53,4 +53,29 @@ common::Status ParseSweepOption(const std::string& arg, size_t* num_threads,
   return Status::OK();
 }
 
+common::Status ParseSaveOptions(const std::vector<std::string>& args,
+                                size_t from, size_t* compact_after,
+                                std::optional<storage::SyncPolicy>* sync) {
+  for (size_t i = from; i < args.size(); ++i) {
+    const std::string lower = common::ToLower(args[i]);
+    if (common::StartsWith(lower, "compact=")) {
+      SEMANDAQ_ASSIGN_OR_RETURN(
+          *compact_after,
+          ParseCount(args[i].substr(std::string("compact=").size())));
+      continue;
+    }
+    if (common::StartsWith(lower, "sync=")) {
+      SEMANDAQ_ASSIGN_OR_RETURN(
+          storage::SyncPolicy policy,
+          storage::SyncPolicy::Parse(
+              lower.substr(std::string("sync=").size())));
+      *sync = policy;
+      continue;
+    }
+    return Status::InvalidArgument(
+        "usage: save REL PATH [compact=N] [sync=always|batch(N)|none]");
+  }
+  return Status::OK();
+}
+
 }  // namespace semandaq::core

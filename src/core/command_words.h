@@ -1,12 +1,14 @@
 #ifndef SEMANDAQ_CORE_COMMAND_WORDS_H_
 #define SEMANDAQ_CORE_COMMAND_WORDS_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/simd/simd.h"
 #include "common/status.h"
+#include "storage/wal.h"
 
 namespace semandaq::core {
 
@@ -28,6 +30,14 @@ common::Result<size_t> ParseCount(const std::string& text);
 /// whether the word was one of the two forms; malformed values are errors.
 common::Status ParseSweepOption(const std::string& arg, size_t* num_threads,
                                 common::simd::Level* simd_level, bool* matched);
+
+/// Parses the trailing option words of `save REL PATH [compact=N]
+/// [sync=MODE]` (in either order) starting at args[from]. `sync` is left
+/// untouched when no sync= word appears, so callers can tell "inherit the
+/// facade default" apart from an explicit policy.
+common::Status ParseSaveOptions(const std::vector<std::string>& args,
+                                size_t from, size_t* compact_after,
+                                std::optional<storage::SyncPolicy>* sync);
 
 }  // namespace semandaq::core
 

@@ -74,9 +74,10 @@ storage::WalAttachment* Semandaq::AttachedWal(const std::string& relation) {
 common::Status Semandaq::AttachWal(const std::string& relation,
                                    relational::Relation* rel,
                                    const std::string& path,
-                                   uint64_t snapshot_checksum) {
+                                   uint64_t snapshot_checksum,
+                                   storage::SyncPolicy sync) {
   auto att = storage::WalAttachment::Open(storage::WalPathFor(path),
-                                          snapshot_checksum);
+                                          snapshot_checksum, sync);
   if (!att.ok()) {
     // Disarm any previous attachment rather than leaving it in place: the
     // snapshot write just replaced the sidecar it was appending to, so
@@ -129,10 +130,11 @@ common::Result<detect::ViolationTable> Semandaq::DetectErrors(
 }
 
 common::Result<storage::SnapshotStats> Semandaq::SaveRelation(
-    const std::string& relation, const std::string& path,
-    size_t compact_after) {
+    const std::string& relation, const std::string& path, size_t compact_after,
+    std::optional<storage::SyncPolicy> sync) {
   relational::Relation* rel = db_.FindMutableRelation(relation);
   if (rel == nullptr) return Status::NotFound("no relation named " + relation);
+  const storage::SyncPolicy policy = sync.value_or(wal_sync_policy_);
   relational::EncodedRelation* warm = WarmOrEncode(relation);
   SEMANDAQ_ASSIGN_OR_RETURN(storage::SnapshotStats stats,
                             storage::SnapshotWriter::Write(*rel, *warm, path));
@@ -140,8 +142,9 @@ common::Result<storage::SnapshotStats> Semandaq::SaveRelation(
   // with this snapshot; from here on every committed mutation appends to
   // it, keeping the on-disk state one replay away from the live one.
   SEMANDAQ_RETURN_IF_ERROR(
-      AttachWal(relation, rel, path, stats.manifest_checksum));
-  save_policies_[common::ToLower(relation)] = SavePolicy{path, compact_after};
+      AttachWal(relation, rel, path, stats.manifest_checksum, policy));
+  save_policies_[common::ToLower(relation)] =
+      SavePolicy{path, compact_after, policy};
   return stats;
 }
 
@@ -160,7 +163,8 @@ common::Result<bool> Semandaq::CompactIfDue(const std::string& relation) {
   // `compact_after` further mutations.
   const SavePolicy policy = it->second;
   SEMANDAQ_RETURN_IF_ERROR(
-      SaveRelation(relation, policy.path, policy.compact_after).status());
+      SaveRelation(relation, policy.path, policy.compact_after, policy.sync)
+          .status());
   return true;
 }
 
@@ -173,14 +177,18 @@ common::Result<Semandaq::SaveDbStats> Semandaq::SaveDatabase(
     storage::CatalogEntry entry;
     entry.name = rel->name();
     entry.file = storage::SanitizeFileStem(rel->name()) + ".sdq";
-    // Keep a previously armed compaction threshold; the policy's path
-    // moves with the database directory.
+    // Keep a previously armed compaction threshold and sync policy; the
+    // policy's path moves with the database directory.
     size_t compact_after = 0;
+    std::optional<storage::SyncPolicy> sync;
     auto pit = save_policies_.find(common::ToLower(entry.name));
-    if (pit != save_policies_.end()) compact_after = pit->second.compact_after;
+    if (pit != save_policies_.end()) {
+      compact_after = pit->second.compact_after;
+      sync = pit->second.sync;
+    }
     SEMANDAQ_ASSIGN_OR_RETURN(
         storage::SnapshotStats stats,
-        SaveRelation(entry.name, dir + "/" + entry.file, compact_after));
+        SaveRelation(entry.name, dir + "/" + entry.file, compact_after, sync));
     entry.snapshot_checksum = stats.manifest_checksum;
     entries.push_back(std::move(entry));
   }
@@ -244,7 +252,7 @@ common::Result<Semandaq::OpenStats> Semandaq::OpenRelation(
   // Arm the live journal AFTER the replay above — the replayed records are
   // already in the sidecar; the attachment appends only new mutations.
   const common::Status attached =
-      AttachWal(name, rel, path, snap.manifest_checksum);
+      AttachWal(name, rel, path, snap.manifest_checksum, wal_sync_policy_);
   if (!attached.ok()) {
     (void)db_.DropRelation(name);
     return attached;

@@ -80,9 +80,16 @@ class Semandaq {
   /// CompactIfDue() folds them into a fresh snapshot at the same path
   /// (0 = disarmed, the default). The policy sticks to the relation name
   /// until the next save of it overwrites it.
+  ///
+  /// `sync` selects when WAL appends reach stable storage for this
+  /// relation's sidecar (storage::SyncPolicy; docs/robustness.md);
+  /// std::nullopt inherits the facade-wide default (wal_sync_policy()).
+  /// Like the compaction threshold, it sticks to the relation name:
+  /// CompactIfDue re-saves keep it.
   common::Result<storage::SnapshotStats> SaveRelation(
       const std::string& relation, const std::string& path,
-      size_t compact_after = 0);
+      size_t compact_after = 0,
+      std::optional<storage::SyncPolicy> sync = std::nullopt);
 
   /// Rewrites `relation`'s snapshot in place (same path, same policy) when
   /// its armed compaction policy is due — the WAL sidecar holds at least
@@ -155,6 +162,16 @@ class Semandaq {
   /// OpenRelation of the same path replays the relation to its exact
   /// current state. Check status() on it for append failures (sticky).
   storage::WalAttachment* AttachedWal(const std::string& relation);
+
+  /// Facade-wide default WAL durability, used when SaveRelation (and hence
+  /// SaveDatabase/OpenRelation/OpenDatabase) gets no explicit policy. The
+  /// server and CLI set this once from their --sync flag.
+  void set_wal_sync_policy(storage::SyncPolicy policy) {
+    wal_sync_policy_ = policy;
+  }
+  const storage::SyncPolicy& wal_sync_policy() const {
+    return wal_sync_policy_;
+  }
 
   /// Discovers CFDs from `relation` (reference data) into the constraint
   /// set, returning how many were added. CfdMinerOptions::num_threads
@@ -247,7 +264,8 @@ class Semandaq {
   /// mutation observer, replacing any previous attachment for the name.
   common::Status AttachWal(const std::string& relation,
                            relational::Relation* rel, const std::string& path,
-                           uint64_t snapshot_checksum);
+                           uint64_t snapshot_checksum,
+                           storage::SyncPolicy sync);
 
   relational::Database db_;
   ConstraintEngine engine_;
@@ -259,13 +277,18 @@ class Semandaq {
   std::unordered_map<std::string, std::unique_ptr<relational::EncodedRelation>>
       warm_;
 
-  /// Snapshot path + compaction threshold armed by the last SaveRelation
-  /// of each (lowercase) relation name; consulted by CompactIfDue.
+  /// Snapshot path + compaction threshold + WAL durability armed by the
+  /// last SaveRelation of each (lowercase) relation name; consulted by
+  /// CompactIfDue (which re-saves under the same policy) and SaveDatabase.
   struct SavePolicy {
     std::string path;
     size_t compact_after = 0;  ///< 0 = never compact automatically
+    storage::SyncPolicy sync;
   };
   std::unordered_map<std::string, SavePolicy> save_policies_;
+
+  /// Default for SaveRelation calls without an explicit sync policy.
+  storage::SyncPolicy wal_sync_policy_;
 
   /// Live WAL attachments by lowercase relation name (see AttachedWal).
   /// Declared after db_ so teardown destroys attachments while their

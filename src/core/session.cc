@@ -20,10 +20,13 @@ std::string Session::Help() {
       "commands:\n"
       "  help | ls\n"
       "  load NAME PATH            import CSV as relation NAME\n"
-      "  save REL PATH [compact=N] persist REL as a binary columnar snapshot\n"
+      "  save REL PATH [compact=N] [sync=MODE]\n"
+      "                            persist REL as a binary columnar snapshot\n"
       "                            (WAL sidecar at PATH.wal); compact=N folds\n"
       "                            the sidecar back into the snapshot once it\n"
-      "                            holds N mutation records\n"
+      "                            holds N mutation records; sync=MODE picks\n"
+      "                            WAL durability: always (fdatasync every\n"
+      "                            record), batch(N), or none\n"
       "  open NAME PATH            load a snapshot (+ WAL tail) as NAME;\n"
       "                            detect/mine need no re-encode afterwards\n"
       "  savedb DIR                persist every relation into DIR plus a\n"
@@ -111,21 +114,15 @@ common::Result<std::string> Session::CmdLoad(const std::vector<std::string>& arg
 }
 
 common::Result<std::string> Session::CmdSave(const std::vector<std::string>& args) {
-  if (args.size() < 2 || args.size() > 3) {
-    return Status::InvalidArgument("usage: save REL PATH [compact=N]");
+  if (args.size() < 2) {
+    return Status::InvalidArgument(
+        "usage: save REL PATH [compact=N] [sync=always|batch(N)|none]");
   }
   size_t compact_after = 0;
-  if (args.size() == 3) {
-    const std::string lower = common::ToLower(args[2]);
-    if (!common::StartsWith(lower, "compact=")) {
-      return Status::InvalidArgument("usage: save REL PATH [compact=N]");
-    }
-    SEMANDAQ_ASSIGN_OR_RETURN(
-        compact_after,
-        ParseCount(args[2].substr(std::string("compact=").size())));
-  }
-  SEMANDAQ_ASSIGN_OR_RETURN(auto stats,
-                            sys_.SaveRelation(args[0], args[1], compact_after));
+  std::optional<storage::SyncPolicy> sync;
+  SEMANDAQ_RETURN_IF_ERROR(ParseSaveOptions(args, 2, &compact_after, &sync));
+  SEMANDAQ_ASSIGN_OR_RETURN(
+      auto stats, sys_.SaveRelation(args[0], args[1], compact_after, sync));
   std::string out = "saved " + args[0] + " to " + args[1] + " (" +
                     std::to_string(stats.live_rows) + " tuples, " +
                     std::to_string(stats.num_columns) + " columns, " +
@@ -134,6 +131,7 @@ common::Result<std::string> Session::CmdSave(const std::vector<std::string>& arg
     out += "; compaction armed at " + std::to_string(compact_after) +
            " WAL record(s)";
   }
+  if (sync.has_value()) out += "; wal sync=" + sync->ToString();
   return out + "\n";
 }
 

@@ -23,9 +23,12 @@ namespace semandaq::core {
 ///   help                          this text
 ///   ls                            list relations
 ///   load NAME PATH                import a CSV file as relation NAME
-///   save REL PATH [compact=N]     persist REL as a binary columnar snapshot
+///   save REL PATH [compact=N] [sync=MODE]
+///                                 persist REL as a binary columnar snapshot
 ///                                 (+ WAL sidecar at PATH.wal); compact=N
-///                                 arms auto-compaction of the sidecar
+///                                 arms auto-compaction of the sidecar and
+///                                 sync=MODE its durability (always |
+///                                 batch(N) | none, docs/robustness.md)
 ///   open NAME PATH                load a snapshot (+ WAL tail) as NAME;
 ///                                 detection runs on the loaded columns
 ///                                 with no re-encode

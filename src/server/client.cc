@@ -7,15 +7,20 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "common/string_util.h"
 
 namespace semandaq::server {
 
 using common::Status;
 
-common::Result<Client> Client::Connect(const std::string& host,
-                                       uint16_t port) {
+namespace {
+
+common::Result<int> OpenSocket(const std::string& host, uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
@@ -37,15 +42,55 @@ common::Result<Client> Client::Connect(const std::string& host,
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return Client(fd);
+  return fd;
 }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+/// The server's busy-shed refusal (tcp_server.cc) — the one ok=false
+/// response worth retrying, because it promises nothing ran.
+bool IsBusyRefusal(const WireResponse& resp) {
+  return !resp.ok && common::StartsWith(resp.text, "Unavailable:");
+}
+
+}  // namespace
+
+common::Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                                       ClientOptions options) {
+  SEMANDAQ_ASSIGN_OR_RETURN(int fd, OpenSocket(host, port));
+  return Client(fd, host, port, options);
+}
+
+Client::Client(int fd, std::string host, uint16_t port, ClientOptions options)
+    : fd_(fd),
+      host_(std::move(host)),
+      port_(port),
+      options_(options),
+      rng_(options.backoff_seed != 0
+               ? options.backoff_seed
+               : static_cast<uint64_t>(fd) * 0x9E3779B97F4A7C15ULL +
+                     static_cast<uint64_t>(
+                         std::chrono::steady_clock::now()
+                             .time_since_epoch()
+                             .count())) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      options_(other.options_),
+      rng_(other.rng_),
+      reconnects_(other.reconnects_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    options_ = other.options_;
+    rng_ = other.rng_;
+    reconnects_ = other.reconnects_;
     other.fd_ = -1;
   }
   return *this;
@@ -60,13 +105,53 @@ void Client::Close() {
   }
 }
 
+common::Status Client::Reconnect() {
+  Close();
+  SEMANDAQ_ASSIGN_OR_RETURN(int fd, OpenSocket(host_, port_));
+  fd_ = fd;
+  return Status::OK();
+}
+
 common::Result<WireResponse> Client::Call(std::string_view command) {
   if (fd_ < 0) return Status::FailedPrecondition("client is closed");
-  SEMANDAQ_RETURN_IF_ERROR(WriteFrame(fd_, command));
+  SEMANDAQ_RETURN_IF_ERROR(WriteFrame(fd_, command, options_.call_deadline_ms));
   std::string payload;
-  SEMANDAQ_ASSIGN_OR_RETURN(bool got, ReadFrame(fd_, &payload));
+  SEMANDAQ_ASSIGN_OR_RETURN(
+      bool got, ReadFrame(fd_, &payload, options_.call_deadline_ms));
   if (!got) return Status::IoError("server closed the connection");
   return DecodeResponse(payload);
+}
+
+common::Result<WireResponse> Client::CallIdempotent(std::string_view command) {
+  common::Result<WireResponse> last = Call(command);
+  for (int attempt = 0;
+       attempt < options_.max_retries &&
+       (!last.ok() || IsBusyRefusal(*last));
+       ++attempt) {
+    // Exponential backoff with jitter: nominal = initial * 2^attempt
+    // (capped), slept for a uniform fraction in [0.5, 1.0) of nominal so
+    // concurrent retriers spread out instead of re-colliding.
+    int64_t nominal = options_.backoff_initial_ms;
+    for (int i = 0; i < attempt && nominal < options_.backoff_max_ms; ++i) {
+      nominal *= 2;
+    }
+    if (nominal > options_.backoff_max_ms) nominal = options_.backoff_max_ms;
+    if (nominal > 0) {
+      const int64_t jittered = nominal / 2 + rng_.NextInRange(0, nominal / 2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+    }
+    // Reconnect before every retry: after a transport failure the old
+    // connection's framing state is unknown, and after a busy refusal the
+    // server already closed it.
+    const Status rc = Reconnect();
+    if (!rc.ok()) {
+      last = rc;
+      continue;
+    }
+    ++reconnects_;
+    last = Call(command);
+  }
+  return last;
 }
 
 }  // namespace semandaq::server

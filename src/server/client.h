@@ -5,18 +5,47 @@
 #include <string>
 #include <string_view>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "server/protocol.h"
 
 namespace semandaq::server {
 
+struct ClientOptions {
+  /// Per-operation deadline in ms covering one request frame out and its
+  /// response frame back. 0 = block indefinitely (the legacy behavior).
+  /// An expired deadline fails the Call with DeadlineExceeded and leaves
+  /// the connection unusable (a response may still be in flight), so
+  /// retry paths reconnect first.
+  int call_deadline_ms = 0;
+  /// Reconnect attempts CallIdempotent makes after a transport failure or
+  /// a busy-shed refusal. 0 disables retrying (CallIdempotent == Call).
+  int max_retries = 0;
+  /// Exponential backoff between retries: initial delay, doubled per
+  /// attempt, capped, with uniform jitter in [0.5, 1.0) of the nominal
+  /// delay so a fleet of retrying clients does not stampede in lockstep.
+  int backoff_initial_ms = 100;
+  int backoff_max_ms = 2000;
+  /// Jitter seed (deterministic for tests); 0 = seed from the fd + clock.
+  uint64_t backoff_seed = 0;
+};
+
 /// A blocking client for the semandaq server: one TCP connection, one
 /// in-flight command at a time (Call = one request frame, one response
 /// frame). Sessions are per-connection on the server, so a clean/diff/
 /// apply sequence must run over one Client.
+///
+/// Resilience (docs/robustness.md): Call enforces the per-op deadline and
+/// nothing else — any failure surfaces to the caller. CallIdempotent
+/// additionally reconnects with exponential backoff + jitter on transport
+/// failures and busy-shed refusals. Only use it for commands that are safe
+/// to re-run (reads like detect/report/ls; `save` re-runs are idempotent
+/// too); session-stateful sequences (clean → diff → apply) must not retry
+/// through a reconnect, which silently discards the session.
 class Client {
  public:
-  static common::Result<Client> Connect(const std::string& host, uint16_t port);
+  static common::Result<Client> Connect(const std::string& host, uint16_t port,
+                                        ClientOptions options = {});
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -26,15 +55,33 @@ class Client {
 
   /// Executes one command line on the server. A returned WireResponse with
   /// ok = false carries the server-side error text; a non-OK Result is a
-  /// transport failure.
+  /// transport failure (IoError) or an expired deadline (DeadlineExceeded).
   common::Result<WireResponse> Call(std::string_view command);
+
+  /// Call, plus reconnect-and-retry (up to max_retries, exponential
+  /// backoff + jitter) on transport failures and on the server's busy
+  /// frame. The command runs at-least-once across attempts — only use for
+  /// idempotent commands. Returns the last failure when retries run out.
+  common::Result<WireResponse> CallIdempotent(std::string_view command);
 
   void Close();
 
+  /// Reconnects to the original host:port (closing any current
+  /// connection). The server-side session state starts fresh.
+  common::Status Reconnect();
+
+  /// Transport failures CallIdempotent recovered from (for tests/ops).
+  uint64_t reconnects() const { return reconnects_; }
+
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, std::string host, uint16_t port, ClientOptions options);
 
   int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
+  ClientOptions options_;
+  common::Rng rng_;
+  uint64_t reconnects_ = 0;
 };
 
 }  // namespace semandaq::server

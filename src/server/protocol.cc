@@ -1,9 +1,11 @@
 #include "server/protocol.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace semandaq::server {
@@ -13,15 +15,73 @@ using common::Status;
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/// A caller-imposed I/O deadline: an absolute steady_clock instant, or
+/// "none" (deadline_ms <= 0), in which case every wait is indefinite.
+struct Deadline {
+  explicit Deadline(int deadline_ms)
+      : armed(deadline_ms > 0),
+        at(Clock::now() + std::chrono::milliseconds(
+                              deadline_ms > 0 ? deadline_ms : 0)) {}
+
+  /// Remaining budget for poll(): -1 = wait forever, 0 = already expired.
+  int RemainingMs() const {
+    if (!armed) return -1;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(at - Clock::now())
+            .count();
+    if (left <= 0) return 0;
+    if (left > 1000 * 3600) return 1000 * 3600;  // clamp for poll's int arg
+    return static_cast<int>(left);
+  }
+
+  bool armed;
+  Clock::time_point at;
+};
+
+/// Waits until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
+/// passes. POLLHUP/POLLERR count as ready — the following read/write then
+/// reports the real error or EOF.
+Status PollFor(int fd, short events, const Deadline& deadline,
+               const char* what) {
+  for (;;) {
+    const int remaining = deadline.RemainingMs();
+    if (deadline.armed && remaining == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out");
+    }
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out");
+    }
+    return Status::OK();
+  }
+}
+
 /// Writes exactly `n` bytes (EINTR-safe); sockets may take the buffer in
 /// pieces. MSG_NOSIGNAL turns a peer-closed socket into EPIPE instead of
-/// a process-killing SIGPIPE.
-Status WriteAll(int fd, const void* data, size_t n) {
+/// a process-killing SIGPIPE; MSG_DONTWAIT keeps a full socket buffer from
+/// blocking past the deadline (poll resumes the wait with the remaining
+/// budget instead).
+Status WriteAll(int fd, const void* data, size_t n, const Deadline& deadline) {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
-    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        SEMANDAQ_RETURN_IF_ERROR(
+            PollFor(fd, POLLOUT, deadline, "socket write"));
+        continue;
+      }
       return Status::IoError(std::string("socket write failed: ") +
                              std::strerror(errno));
     }
@@ -31,15 +91,19 @@ Status WriteAll(int fd, const void* data, size_t n) {
   return Status::OK();
 }
 
-/// Reads exactly `n` bytes. *eof is set only when EOF arrives before the
+/// Reads exactly `n` bytes. Returns false only when EOF arrives before the
 /// first byte (a clean close); EOF mid-buffer is a torn frame.
-Result<bool> ReadAll(int fd, void* data, size_t n) {
+Result<bool> ReadAll(int fd, void* data, size_t n, const Deadline& deadline) {
   char* p = static_cast<char*>(data);
   size_t got = 0;
   while (got < n) {
-    const ssize_t r = ::read(fd, p + got, n - got);
+    const ssize_t r = ::recv(fd, p + got, n - got, MSG_DONTWAIT);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        SEMANDAQ_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline, "socket read"));
+        continue;
+      }
       return Status::IoError(std::string("socket read failed: ") +
                              std::strerror(errno));
     }
@@ -54,22 +118,25 @@ Result<bool> ReadAll(int fd, void* data, size_t n) {
 
 }  // namespace
 
-common::Status WriteFrame(int fd, std::string_view payload) {
+common::Status WriteFrame(int fd, std::string_view payload, int deadline_ms) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame too large: " +
                                    std::to_string(payload.size()) + " bytes");
   }
+  const Deadline deadline(deadline_ms);
   const uint32_t len = static_cast<uint32_t>(payload.size());
   char prefix[4];
   std::memcpy(prefix, &len, sizeof len);  // little-endian hosts only,
                                           // matching the storage format
-  SEMANDAQ_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof prefix));
-  return WriteAll(fd, payload.data(), payload.size());
+  SEMANDAQ_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof prefix, deadline));
+  return WriteAll(fd, payload.data(), payload.size(), deadline);
 }
 
-common::Result<bool> ReadFrame(int fd, std::string* payload) {
+common::Result<bool> ReadFrame(int fd, std::string* payload, int deadline_ms) {
+  const Deadline deadline(deadline_ms);
   char prefix[4];
-  SEMANDAQ_ASSIGN_OR_RETURN(bool got_prefix, ReadAll(fd, prefix, sizeof prefix));
+  SEMANDAQ_ASSIGN_OR_RETURN(bool got_prefix,
+                            ReadAll(fd, prefix, sizeof prefix, deadline));
   if (!got_prefix) return false;
   uint32_t len = 0;
   std::memcpy(&len, prefix, sizeof len);
@@ -80,7 +147,8 @@ common::Result<bool> ReadFrame(int fd, std::string* payload) {
   }
   payload->resize(len);
   if (len > 0) {
-    SEMANDAQ_ASSIGN_OR_RETURN(bool got_body, ReadAll(fd, &(*payload)[0], len));
+    SEMANDAQ_ASSIGN_OR_RETURN(bool got_body,
+                              ReadAll(fd, &(*payload)[0], len, deadline));
     if (!got_body) return Status::IoError("connection closed mid-frame");
   }
   return true;

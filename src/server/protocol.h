@@ -27,13 +27,23 @@ namespace semandaq::server {
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 
 /// Writes one frame (length prefix + payload) to `fd`, handling partial
-/// writes and EINTR.
-common::Status WriteFrame(int fd, std::string_view payload);
+/// writes and EINTR. `deadline_ms <= 0` blocks indefinitely (the legacy
+/// behavior); with a positive deadline the whole frame must go out within
+/// that many milliseconds or the call fails with DeadlineExceeded — a
+/// stalled peer costs a bounded wait, never a wedged thread.
+common::Status WriteFrame(int fd, std::string_view payload,
+                          int deadline_ms = 0);
 
 /// Reads one frame from `fd` into `*payload`. Returns false (and OK
 /// status semantics) on clean EOF at a frame boundary; IoError on a torn
-/// frame, oversized length, or socket error.
-common::Result<bool> ReadFrame(int fd, std::string* payload);
+/// frame, oversized length, or socket error. `deadline_ms <= 0` blocks
+/// indefinitely; with a positive deadline the whole frame (prefix and
+/// body) must arrive within that many milliseconds or the call fails with
+/// DeadlineExceeded. The deadline covers idle time too — a connection
+/// that sends nothing for deadline_ms times out the same as one that
+/// stalls mid-frame.
+common::Result<bool> ReadFrame(int fd, std::string* payload,
+                               int deadline_ms = 0);
 
 /// A decoded response frame.
 struct WireResponse {

@@ -22,7 +22,9 @@ using common::Result;
 using common::Status;
 
 SemandaqService::SemandaqService(ServiceOptions options)
-    : scheduler_(options.scheduler_lanes) {}
+    : scheduler_(options.scheduler_lanes) {
+  sys_.set_wal_sync_policy(options.wal_sync);
+}
 
 std::string SemandaqService::Help() {
   return core::Session::Help() +
@@ -133,21 +135,16 @@ common::Result<std::string> SemandaqService::Execute(
   }
 
   if (verb == "save") {
-    if (args.size() < 2 || args.size() > 3) {
-      return Status::InvalidArgument("usage: save REL PATH [compact=N]");
+    if (args.size() < 2) {
+      return Status::InvalidArgument(
+          "usage: save REL PATH [compact=N] [sync=always|batch(N)|none]");
     }
     size_t compact_after = 0;
-    if (args.size() == 3) {
-      const std::string lower = common::ToLower(args[2]);
-      if (!common::StartsWith(lower, "compact=")) {
-        return Status::InvalidArgument("usage: save REL PATH [compact=N]");
-      }
-      SEMANDAQ_ASSIGN_OR_RETURN(
-          compact_after,
-          core::ParseCount(args[2].substr(std::string("compact=").size())));
-    }
+    std::optional<storage::SyncPolicy> sync;
+    SEMANDAQ_RETURN_IF_ERROR(
+        core::ParseSaveOptions(args, 2, &compact_after, &sync));
     SEMANDAQ_ASSIGN_OR_RETURN(
-        auto stats, sys_.SaveRelation(args[0], args[1], compact_after));
+        auto stats, sys_.SaveRelation(args[0], args[1], compact_after, sync));
     std::string out = "saved " + args[0] + " to " + args[1] + " (" +
                       std::to_string(stats.live_rows) + " tuples, " +
                       std::to_string(stats.num_columns) + " columns, " +
@@ -156,6 +153,7 @@ common::Result<std::string> SemandaqService::Execute(
       out += "; compaction armed at " + std::to_string(compact_after) +
              " WAL record(s)";
     }
+    if (sync.has_value()) out += "; wal sync=" + sync->ToString();
     return out + "\n";
   }
 

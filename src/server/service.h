@@ -22,6 +22,9 @@ struct ServiceOptions {
   /// Worker-lane budget shared by all concurrent requests (0 = hardware
   /// thread count). See RequestScheduler.
   size_t scheduler_lanes = 0;
+  /// Default WAL durability for save/savedb (overridable per save command
+  /// with sync=MODE). See storage::SyncPolicy and docs/robustness.md.
+  storage::SyncPolicy wal_sync;
 };
 
 /// The concurrent multi-session service over one Semandaq system: many

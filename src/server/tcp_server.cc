@@ -7,7 +7,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <utility>
 
 #include "common/string_util.h"
 #include "server/protocol.h"
@@ -15,6 +17,15 @@
 namespace semandaq::server {
 
 using common::Status;
+
+namespace {
+
+/// Deadline for courtesy frames the server sends on its own initiative
+/// (busy-shed, timeout notice): long enough for any live loopback/LAN
+/// client, short enough that a dead one cannot hold the sender hostage.
+constexpr int kCourtesyWriteMs = 1000;
+
+}  // namespace
 
 TcpServer::TcpServer(SemandaqService* service, TcpServerOptions options)
     : service_(service), options_(std::move(options)) {}
@@ -62,6 +73,28 @@ common::Status TcpServer::Start() {
   return Status::OK();
 }
 
+void TcpServer::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    done.reserve(finished_.size());
+    for (uint64_t id : finished_) {
+      auto it = conn_threads_.find(id);
+      if (it != conn_threads_.end()) {
+        done.push_back(std::move(it->second));
+        conn_threads_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+  // Joins happen outside the lock; these threads are past their last
+  // conn_mu_ acquisition (marking finished is the handler's final locked
+  // step), so each join returns almost immediately.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
 void TcpServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     const int lfd = listen_fd_.load(std::memory_order_acquire);
@@ -71,27 +104,65 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener closed (shutdown) or unrecoverable
     }
+    // Reap finished handlers on every accept so the thread map tracks the
+    // live connection count instead of growing for the server's lifetime.
+    ReapFinished();
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      break;
+
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (stopping_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        break;
+      }
+      if (options_.max_connections > 0 &&
+          conn_fds_.size() >= options_.max_connections) {
+        shed = true;
+      } else {
+        const uint64_t id = next_conn_id_++;
+        conn_fds_.insert(fd);
+        conn_threads_.emplace(
+            id, std::thread([this, id, fd] { ServeConnection(id, fd); }));
+      }
     }
-    conn_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    if (shed) {
+      // Clean refusal, not a silent close: the client sees one error frame
+      // naming the condition and can back off and retry. Bounded write —
+      // a shedding server must never block on the client it is shedding.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      (void)WriteFrame(
+          fd, EncodeResponse(false, "Unavailable: server busy (connection "
+                                    "limit reached), retry later\n"),
+          kCourtesyWriteMs);
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
   }
 }
 
-void TcpServer::ServeConnection(int fd) {
+void TcpServer::ServeConnection(uint64_t id, int fd) {
   SemandaqService::SessionState session;
   std::string request;
   while (!stopping_.load(std::memory_order_acquire)) {
-    auto got = ReadFrame(fd, &request);
-    if (!got.ok() || !*got) break;  // error or clean close
+    auto got = ReadFrame(fd, &request, options_.read_deadline_ms);
+    if (!got.ok()) {
+      if (got.status().code() == common::StatusCode::kDeadlineExceeded) {
+        // Idle or stalled past the deadline: tell the client why it is
+        // being dropped (best effort) and reclaim the thread.
+        (void)WriteFrame(
+            fd, EncodeResponse(false, "DeadlineExceeded: idle connection "
+                                      "timed out\n"),
+            kCourtesyWriteMs);
+      }
+      break;
+    }
+    if (!*got) break;  // clean close
     const std::string command = std::string(common::Trim(request));
     if (common::EqualsIgnoreCase(command, "shutdown")) {
-      (void)WriteFrame(fd, EncodeResponse(true, "shutting down\n"));
+      (void)WriteFrame(fd, EncodeResponse(true, "shutting down\n"),
+                       kCourtesyWriteMs);
       Shutdown();
       break;
     }
@@ -99,7 +170,7 @@ void TcpServer::ServeConnection(int fd) {
     const std::string payload =
         result.ok() ? EncodeResponse(true, *result)
                     : EncodeResponse(false, result.status().ToString() + "\n");
-    if (!WriteFrame(fd, payload).ok()) break;
+    if (!WriteFrame(fd, payload, options_.write_deadline_ms).ok()) break;
   }
   // Deregister before closing: Shutdown() only ever pokes fds still in
   // the set, so it can never touch a recycled descriptor number.
@@ -109,6 +180,14 @@ void TcpServer::ServeConnection(int fd) {
   }
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
+  // Mark finished LAST (and under the lock): after this the accept loop
+  // may reap and join this thread, and the drain in Wait() may count the
+  // connection as gone.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    finished_.push_back(id);
+  }
+  drain_cv_.notify_all();
 }
 
 void TcpServer::Shutdown() {
@@ -126,17 +205,39 @@ void TcpServer::Shutdown() {
 
 void TcpServer::Wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Bounded drain: in-flight commands get drain_deadline_ms to finish and
+  // respond; connections still open after that are force-disconnected so
+  // Wait() returns in bounded time even with a wedged client.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    if (options_.drain_deadline_ms > 0) {
+      drain_cv_.wait_for(lock,
+                         std::chrono::milliseconds(options_.drain_deadline_ms),
+                         [this] { return conn_fds_.empty(); });
+    }
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
   // After the accept loop exits no new connection threads appear; join
   // whatever is still draining. A connection thread never calls Wait (the
   // shutdown command only runs Shutdown), so joining here cannot deadlock.
-  std::vector<std::thread> threads;
+  std::unordered_map<uint64_t, std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     threads.swap(conn_threads_);
+    finished_.clear();
   }
-  for (std::thread& t : threads) {
+  for (auto& [id, t] : threads) {
     if (t.joinable()) t.join();
   }
+}
+
+size_t TcpServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return conn_fds_.size();
+}
+
+uint64_t TcpServer::connections_shed() const {
+  return shed_.load(std::memory_order_relaxed);
 }
 
 }  // namespace semandaq::server

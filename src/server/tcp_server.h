@@ -2,10 +2,12 @@
 #define SEMANDAQ_SERVER_TCP_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -20,6 +22,21 @@ struct TcpServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = pick an ephemeral port (read it back from port() after Start).
   uint16_t port = 0;
+  /// Connection cap: past it, new connections are shed with a clean
+  /// `busy` error frame instead of queueing a handler thread each.
+  /// 0 = uncapped (the legacy behavior).
+  size_t max_connections = 0;
+  /// Per-frame read deadline in ms, covering idle time between requests: a
+  /// client that sends nothing (or stalls mid-frame) this long is
+  /// disconnected, not leaked a blocked thread. 0 = wait forever.
+  int read_deadline_ms = 0;
+  /// Per-frame write deadline in ms: a client that stops draining its
+  /// responses this long is disconnected. 0 = wait forever.
+  int write_deadline_ms = 0;
+  /// Graceful-shutdown drain budget in ms: Wait() gives in-flight
+  /// connections this long to finish their current command before
+  /// force-disconnecting the stragglers. 0 = no grace, disconnect at once.
+  int drain_deadline_ms = 2000;
 };
 
 /// The TCP front end over a SemandaqService: accepts connections, runs one
@@ -27,6 +44,12 @@ struct TcpServerOptions {
 /// (server/protocol.h). Each connection is one service session (its own
 /// pending-repair state); each request frame executes one command and
 /// yields one response frame.
+///
+/// Overload discipline (docs/robustness.md): finished handler threads are
+/// reaped as the server runs (not accumulated until shutdown), the
+/// connection count is capped with clean busy-shedding, and both
+/// directions of socket I/O run under deadlines, so one stalled or
+/// malicious client costs a bounded wait instead of a wedged thread.
 ///
 /// `shutdown` is the only transport-level command: the server responds,
 /// then stops accepting, unblocks every open connection, and Wait()
@@ -47,16 +70,30 @@ class TcpServer {
   uint16_t port() const { return port_; }
 
   /// Blocks until the server has shut down (the `shutdown` command or
-  /// Shutdown()), then joins every connection thread.
+  /// Shutdown()), drains in-flight connections for up to
+  /// drain_deadline_ms, force-disconnects the rest, and joins every
+  /// handler thread.
   void Wait();
 
   /// Stops accepting and unblocks all connections. Idempotent; safe to
   /// call from any thread, including a connection's own handler.
   void Shutdown();
 
+  /// Currently open connections (for tests and ops introspection).
+  size_t active_connections() const;
+
+  /// Connections shed with a busy frame because max_connections was
+  /// reached (monotonic).
+  uint64_t connections_shed() const;
+
  private:
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(uint64_t id, int fd);
+
+  /// Joins handler threads whose connections already finished. Called
+  /// from the accept loop (so the map stays small while running) and from
+  /// Wait(). Must be called WITHOUT conn_mu_ held.
+  void ReapFinished();
 
   SemandaqService* service_;
   TcpServerOptions options_;
@@ -65,9 +102,16 @@ class TcpServer {
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> shed_{0};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
+
+  mutable std::mutex conn_mu_;
+  std::condition_variable drain_cv_;  ///< signaled as connections finish
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<uint64_t, std::thread> conn_threads_;
+  /// Ids whose handlers have finished (thread about to exit); their
+  /// std::threads are joinable immediately and get reaped by ReapFinished.
+  std::vector<uint64_t> finished_;
   std::unordered_set<int> conn_fds_;
 };
 

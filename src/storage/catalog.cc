@@ -3,11 +3,12 @@
 #include <sys/stat.h>
 
 #include <cerrno>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <memory>
 
 #include "common/csv.h"
+#include "common/failpoint.h"
+#include "storage/env.h"
 #include "storage/format.h"
 
 namespace semandaq::storage {
@@ -56,29 +57,42 @@ common::Status WriteCatalog(const std::string& dir,
   }
   w.PutU64(Checksum64(bytes.data(), bytes.size()));
 
-  // Write-temp-rename, mirroring the snapshot writer's publish discipline:
-  // a crash mid-write leaves the previous manifest (or none) in place,
-  // never a torn one.
+  // Write-temp-sync-rename-syncdir, mirroring the snapshot writer's
+  // publish discipline: a crash mid-write leaves the previous manifest (or
+  // none) in place, never a torn one, and the directory fsync makes the
+  // rename itself survive a power cut.
   const std::string path = CatalogPath(dir);
   const std::string tmp = path + ".tmp";
-  SEMANDAQ_RETURN_IF_ERROR(common::WriteStringToFile(tmp, bytes));
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("cannot publish catalog at " + path + ": " +
-                           std::strerror(errno));
+  Env* env = Env::Get();
+  {
+    SEMANDAQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<WritableFile> out,
+        env->NewWritableFile(tmp, Env::OpenMode::kTruncate));
+    SEMANDAQ_FAILPOINT_WRITE("catalog.save.write", out.get(), bytes);
+    SEMANDAQ_FAILPOINT("catalog.save.pre_sync");
+    SEMANDAQ_RETURN_IF_ERROR(out->Sync());
+    SEMANDAQ_RETURN_IF_ERROR(out->Close());
   }
+  SEMANDAQ_FAILPOINT("catalog.save.pre_rename");
+  {
+    const Status renamed = env->RenameFile(tmp, path);
+    if (!renamed.ok()) {
+      (void)env->RemoveFile(tmp);
+      return renamed;
+    }
+  }
+  SEMANDAQ_FAILPOINT("catalog.save.pre_dir_sync");
+  SEMANDAQ_RETURN_IF_ERROR(env->SyncDirOf(path));
   return Status::OK();
 }
 
 common::Result<std::vector<CatalogEntry>> ReadCatalog(const std::string& dir) {
   const std::string path = CatalogPath(dir);
-  {
-    std::ifstream probe(path, std::ios::binary);
-    if (!probe.good()) {
-      return Status::NotFound("no catalog manifest at " + path);
-    }
+  Env* env = Env::Get();
+  if (!env->FileExists(path)) {
+    return Status::NotFound("no catalog manifest at " + path);
   }
-  SEMANDAQ_ASSIGN_OR_RETURN(std::string bytes, common::ReadFileToString(path));
+  SEMANDAQ_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
   if (bytes.size() < sizeof kCatalogMagic + sizeof(uint64_t)) {
     return Status::IoError("truncated catalog at " + path);
   }

@@ -1,0 +1,154 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace semandaq::storage {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::FailedPrecondition("file is closed: " + path_);
+    const char* p = data.data();
+    size_t n = data.size();
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Errno("cannot write", path_);
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::FailedPrecondition("file is closed: " + path_);
+    if (::fdatasync(fd_) != 0) return Errno("cannot fdatasync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("cannot close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, OpenMode mode) override {
+    const int flags = O_WRONLY | O_CREAT | O_CLOEXEC |
+                      (mode == OpenMode::kTruncate ? O_TRUNC : O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("cannot open for writing", path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("cannot open for reading", path);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof buf);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        const Status st = Errno("cannot read", path);
+        ::close(fd);
+        return st;
+      }
+      if (r == 0) break;
+      out.append(buf, static_cast<size_t>(r));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("cannot rename " + from + " to", to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("cannot remove", path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("cannot truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDirOf(const std::string& path) override {
+    const size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash == 0 ? 1 : slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return Errno("cannot open directory", dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return Errno("cannot fsync directory", dir);
+    return Status::OK();
+  }
+};
+
+std::atomic<Env*> g_env{nullptr};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* posix = new PosixEnv();
+  return posix;
+}
+
+Env* Env::Get() {
+  Env* env = g_env.load(std::memory_order_acquire);
+  return env != nullptr ? env : Default();
+}
+
+void Env::Set(Env* env) { g_env.store(env, std::memory_order_release); }
+
+}  // namespace semandaq::storage

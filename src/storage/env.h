@@ -1,0 +1,78 @@
+#ifndef SEMANDAQ_STORAGE_ENV_H_
+#define SEMANDAQ_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace semandaq::storage {
+
+/// The injectable I/O seam every storage artifact flows through: WAL
+/// segments, snapshot files, and catalog manifests are written via Env
+/// (never raw std::ofstream), so tests can swap in a FaultInjectionEnv
+/// (storage/fault_env.h) that models power cuts — unsynced bytes vanish —
+/// while production uses the POSIX env with real fsync/fdatasync behind
+/// it. See docs/robustness.md.
+
+/// An append-only file handle. Append buffers nothing the caller needs to
+/// know about: after an OK Sync(), every previously appended byte is on
+/// stable storage (fdatasync), which is what the WAL's SyncPolicy promises
+/// are built on.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual common::Status Append(std::string_view data) = 0;
+
+  /// Flushes and forces the data to stable storage (fdatasync).
+  virtual common::Status Sync() = 0;
+
+  /// Flushes and closes (no implicit Sync). Idempotent; the destructor
+  /// closes too, discarding errors.
+  virtual common::Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-default POSIX environment.
+  static Env* Default();
+
+  /// The env storage I/O currently goes through (Default() unless a test
+  /// swapped one in with Set).
+  static Env* Get();
+
+  /// Swaps the process-wide env; nullptr restores Default(). The caller
+  /// owns `env` and must keep it alive until swapped back (tests only).
+  static void Set(Env* env);
+
+  enum class OpenMode { kTruncate, kAppend };
+  virtual common::Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, OpenMode mode) = 0;
+
+  virtual common::Result<std::string> ReadFileToString(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  virtual common::Status RenameFile(const std::string& from,
+                                    const std::string& to) = 0;
+
+  virtual common::Status RemoveFile(const std::string& path) = 0;
+
+  virtual common::Status TruncateFile(const std::string& path,
+                                      uint64_t size) = 0;
+
+  /// fsyncs the directory containing `path`, making a preceding rename or
+  /// create of `path` itself durable — renaming a fully-synced file into
+  /// place is not a durable publish until its directory entry is too.
+  virtual common::Status SyncDirOf(const std::string& path) = 0;
+};
+
+}  // namespace semandaq::storage
+
+#endif  // SEMANDAQ_STORAGE_ENV_H_

@@ -1,0 +1,162 @@
+#include "storage/fault_env.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace semandaq::storage {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+uint64_t SizeOnDisk(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+/// Pass-through writable file that reports appends and syncs back to the
+/// env so it can keep the durable-prefix bookkeeping current.
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env, std::string path,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    SEMANDAQ_RETURN_IF_ERROR(base_->Append(data));
+    env_->OnAppend(path_, data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    SEMANDAQ_RETURN_IF_ERROR(base_->Sync());
+    env_->OnSync(path_);
+    return Status::OK();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+Status FaultInjectionEnv::SimulatePowerCut() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, state] : files_) {
+    if (state.synced < state.written && base_->FileExists(path)) {
+      SEMANDAQ_RETURN_IF_ERROR(base_->TruncateFile(path, state.synced));
+    }
+  }
+  files_.clear();
+  return Status::OK();
+}
+
+void FaultInjectionEnv::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+  sync_calls_ = 0;
+}
+
+uint64_t FaultInjectionEnv::sync_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_calls_;
+}
+
+void FaultInjectionEnv::OnOpen(const std::string& path, OpenMode mode,
+                               uint64_t existing_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode == OpenMode::kTruncate) {
+    // Overwriting discards the old durable content too: after a power cut
+    // mid-rewrite the safest model is "empty until synced again".
+    files_[path] = FileState{0, 0};
+    return;
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    // History this env never saw is durable history.
+    files_[path] = FileState{existing_size, existing_size};
+    return;
+  }
+  it->second.written = existing_size;
+  it->second.synced = std::min(it->second.synced, existing_size);
+}
+
+void FaultInjectionEnv::OnAppend(const std::string& path, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path].written += bytes;
+}
+
+void FaultInjectionEnv::OnSync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[path];
+  state.synced = state.written;
+  ++sync_calls_;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, OpenMode mode) {
+  const uint64_t existing =
+      mode == OpenMode::kAppend ? SizeOnDisk(path) : uint64_t{0};
+  SEMANDAQ_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                            base_->NewWritableFile(path, mode));
+  OnOpen(path, mode, existing);
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectionWritableFile(this, path, std::move(base)));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  SEMANDAQ_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  SEMANDAQ_RETURN_IF_ERROR(base_->RemoveFile(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  SEMANDAQ_RETURN_IF_ERROR(base_->TruncateFile(path, size));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.written = std::min(it->second.written, size);
+    it->second.synced = std::min(it->second.synced, size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDirOf(const std::string& path) {
+  return base_->SyncDirOf(path);
+}
+
+}  // namespace semandaq::storage

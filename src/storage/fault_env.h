@@ -1,0 +1,76 @@
+#ifndef SEMANDAQ_STORAGE_FAULT_ENV_H_
+#define SEMANDAQ_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "storage/env.h"
+
+namespace semandaq::storage {
+
+/// A test Env modeling what stable storage keeps across a power cut: every
+/// write goes through to the base env (so readers see the live state), but
+/// the env tracks, per file, how much of it has been Sync()'d. A simulated
+/// power cut truncates every tracked file back to its synced prefix —
+/// written-but-unsynced bytes vanish, exactly the data a kernel page cache
+/// would have lost. Renames follow the tracked state to the new name (the
+/// rename itself is treated as durable; the snapshot/catalog writers fsync
+/// the parent directory for real, and crash *ordering* between the two
+/// publish renames is covered by failpoints instead).
+///
+/// Combined with common::Failpoints (which decides *where* a write path
+/// stops), this is the machinery behind the crash-at-every-failpoint
+/// recovery sweep in tests/crash_recovery_test.cc. Test-only; production
+/// code never constructs one.
+class FaultInjectionEnv : public Env {
+ public:
+  /// Wraps `base` (Env::Default() when nullptr).
+  explicit FaultInjectionEnv(Env* base = nullptr);
+
+  /// Drops the unsynced tail of every tracked file (truncating the real
+  /// file through the base env) and resets tracking. Call after a crash
+  /// failpoint fired, before "rebooting" (reopening the database).
+  common::Status SimulatePowerCut();
+
+  /// Forgets tracking without dropping anything (a clean shutdown).
+  void Reset();
+
+  /// Total Sync() calls on writable files since construction/Reset — how
+  /// tests assert SyncPolicy batching behavior.
+  uint64_t sync_calls() const;
+
+  // Env:
+  common::Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, OpenMode mode) override;
+  common::Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  common::Status RenameFile(const std::string& from,
+                            const std::string& to) override;
+  common::Status RemoveFile(const std::string& path) override;
+  common::Status TruncateFile(const std::string& path, uint64_t size) override;
+  common::Status SyncDirOf(const std::string& path) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  struct FileState {
+    uint64_t written = 0;  ///< bytes in the real file
+    uint64_t synced = 0;   ///< durable prefix (survives a power cut)
+  };
+
+  void OnOpen(const std::string& path, OpenMode mode, uint64_t existing_size);
+  void OnAppend(const std::string& path, uint64_t bytes);
+  void OnSync(const std::string& path);
+
+  Env* base_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, FileState> files_;
+  uint64_t sync_calls_ = 0;
+};
+
+}  // namespace semandaq::storage
+
+#endif  // SEMANDAQ_STORAGE_FAULT_ENV_H_

@@ -1,11 +1,12 @@
 #include "storage/snapshot.h"
 
 #include <cassert>
-#include <cstdio>
 #include <cstring>
 #include <memory>
 
 #include "common/csv.h"
+#include "common/failpoint.h"
+#include "storage/env.h"
 #include "storage/format.h"
 #include "storage/wal.h"
 
@@ -191,24 +192,48 @@ Result<SnapshotStats> SnapshotWriter::Write(const Relation& rel,
   // sidecar with a foreign stamp as the empty tail it is, so that state
   // stays openable too (a foreign sidecar *with* records still fails the
   // load, conservatively).
+  // Both staged files are synced before either rename, and the parent
+  // directory is fsynced after the renames — without the directory sync a
+  // power cut can forget the rename itself and resurrect the old snapshot
+  // (or nothing) even though the new file's bytes were durable.
   const std::string tmp = path + ".tmp";
   const std::string wal_tmp = WalPathFor(path) + ".tmp";
+  Env* env = Env::Get();
   {
     SEMANDAQ_ASSIGN_OR_RETURN(WalWriter wal,
                               WalWriter::Create(wal_tmp, manifest_checksum));
-    (void)wal;  // header written and flushed; close before the rename
+    (void)wal;  // header written and synced; close before the rename
   }
-  SEMANDAQ_RETURN_IF_ERROR(common::WriteStringToFile(tmp, file));
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    std::remove(wal_tmp.c_str());
-    return Status::IoError("cannot move snapshot into place: " + path);
+  {
+    SEMANDAQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<WritableFile> out,
+        env->NewWritableFile(tmp, Env::OpenMode::kTruncate));
+    SEMANDAQ_FAILPOINT_WRITE("snapshot.save.write", out.get(), file);
+    SEMANDAQ_FAILPOINT("snapshot.save.pre_sync");
+    SEMANDAQ_RETURN_IF_ERROR(out->Sync());
+    SEMANDAQ_RETURN_IF_ERROR(out->Close());
   }
-  if (std::rename(wal_tmp.c_str(), WalPathFor(path).c_str()) != 0) {
-    std::remove(wal_tmp.c_str());
-    return Status::IoError("cannot move WAL sidecar into place: " +
-                           WalPathFor(path));
+  SEMANDAQ_FAILPOINT("snapshot.save.pre_publish");
+  {
+    const Status renamed = env->RenameFile(tmp, path);
+    if (!renamed.ok()) {
+      (void)env->RemoveFile(tmp);
+      (void)env->RemoveFile(wal_tmp);
+      return renamed;
+    }
   }
+  SEMANDAQ_FAILPOINT("snapshot.save.between_renames");
+  {
+    const Status renamed = env->RenameFile(wal_tmp, WalPathFor(path));
+    if (!renamed.ok()) {
+      (void)env->RemoveFile(wal_tmp);
+      return renamed;
+    }
+  }
+  SEMANDAQ_FAILPOINT("snapshot.save.pre_dir_sync");
+  // One directory fsync covers both renames: the sidecar lives beside the
+  // snapshot, so they share a parent directory entry table.
+  SEMANDAQ_RETURN_IF_ERROR(env->SyncDirOf(path));
 
   SnapshotStats stats;
   stats.id_bound = id_bound;
@@ -221,7 +246,8 @@ Result<SnapshotStats> SnapshotWriter::Write(const Relation& rel,
 
 Result<LoadedSnapshot> SnapshotReader::Read(const std::string& path) {
   // The single bulk read: everything below parses out of this one buffer.
-  SEMANDAQ_ASSIGN_OR_RETURN(std::string file, common::ReadFileToString(path));
+  SEMANDAQ_ASSIGN_OR_RETURN(std::string file,
+                            Env::Get()->ReadFileToString(path));
 
   if (file.size() < kHeaderSize) {
     return Status::IoError("truncated snapshot (shorter than the header): " +

@@ -1,9 +1,8 @@
 #include "storage/wal.h"
 
 #include <cstring>
-#include <filesystem>
 
-#include "common/csv.h"
+#include "common/failpoint.h"
 #include "storage/format.h"
 
 namespace semandaq::storage {
@@ -99,20 +98,80 @@ Result<size_t> WalkRecords(const std::string& file, Fn&& apply) {
 
 }  // namespace
 
+Result<SyncPolicy> SyncPolicy::Parse(std::string_view text) {
+  SyncPolicy p;
+  if (text == "always") {
+    p.mode = Mode::kAlways;
+    return p;
+  }
+  if (text == "none") {
+    p.mode = Mode::kNone;
+    return p;
+  }
+  if (text == "batch") {
+    p.mode = Mode::kBatch;
+    return p;
+  }
+  if (text.size() > 7 && text.substr(0, 6) == "batch(" && text.back() == ')') {
+    const std::string_view digits = text.substr(6, text.size() - 7);
+    size_t n = 0;
+    for (char c : digits) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad sync policy: " +
+                                       std::string(text));
+      }
+      n = n * 10 + static_cast<size_t>(c - '0');
+      if (n > (size_t{1} << 30)) {
+        return Status::InvalidArgument("sync batch size too large: " +
+                                       std::string(text));
+      }
+    }
+    if (n == 0) {
+      return Status::InvalidArgument("sync batch size must be >= 1: " +
+                                     std::string(text));
+    }
+    p.mode = Mode::kBatch;
+    p.batch_records = n;
+    return p;
+  }
+  return Status::InvalidArgument(
+      "bad sync policy (want always|batch|batch(N)|none): " +
+      std::string(text));
+}
+
+std::string SyncPolicy::ToString() const {
+  switch (mode) {
+    case Mode::kAlways:
+      return "always";
+    case Mode::kNone:
+      return "none";
+    case Mode::kBatch:
+      return "batch(" + std::to_string(batch_records) + ")";
+  }
+  return "always";
+}
+
 Result<WalWriter> WalWriter::Create(const std::string& path,
-                                    uint64_t snapshot_checksum) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open WAL for writing: " + path);
+                                    uint64_t snapshot_checksum,
+                                    SyncPolicy policy) {
+  SEMANDAQ_FAILPOINT("wal.create.pre_open");
+  SEMANDAQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> out,
+      Env::Get()->NewWritableFile(path, Env::OpenMode::kTruncate));
   const std::string header = BuildWalHeader(snapshot_checksum);
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
-  out.flush();
-  if (!out) return Status::IoError("cannot write WAL header: " + path);
-  return WalWriter(path, std::move(out));
+  SEMANDAQ_FAILPOINT_WRITE("wal.create.write_header", out.get(), header);
+  // The header is the segment's identity; a WAL whose header may evaporate
+  // in a crash is not a WAL, so it syncs regardless of the record policy.
+  SEMANDAQ_FAILPOINT("wal.create.pre_sync");
+  SEMANDAQ_RETURN_IF_ERROR(out->Sync());
+  return WalWriter(path, std::move(out), policy);
 }
 
 Result<WalWriter> WalWriter::OpenExisting(const std::string& path,
-                                          uint64_t snapshot_checksum) {
-  SEMANDAQ_ASSIGN_OR_RETURN(std::string file, common::ReadFileToString(path));
+                                          uint64_t snapshot_checksum,
+                                          SyncPolicy policy) {
+  Env* env = Env::Get();
+  SEMANDAQ_ASSIGN_OR_RETURN(std::string file, env->ReadFileToString(path));
   SEMANDAQ_ASSIGN_OR_RETURN(uint64_t stamp, ReadWalHeader(file, path));
   if (stamp != snapshot_checksum) {
     // Appending under a foreign stamp would fabricate history for a
@@ -126,24 +185,44 @@ Result<WalWriter> WalWriter::OpenExisting(const std::string& path,
       WalkRecords(file, [](const char*, size_t) { return Status::OK(); }));
   if (valid_end != file.size()) {
     // Drop the torn tail so new appends start on a record boundary.
-    std::error_code ec;
-    std::filesystem::resize_file(path, valid_end, ec);
-    if (ec) return Status::IoError("cannot truncate torn WAL tail: " + path);
+    SEMANDAQ_RETURN_IF_ERROR(env->TruncateFile(path, valid_end));
   }
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) return Status::IoError("cannot open WAL for appending: " + path);
-  return WalWriter(path, std::move(out));
+  SEMANDAQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> out,
+      env->NewWritableFile(path, Env::OpenMode::kAppend));
+  return WalWriter(path, std::move(out), policy);
 }
 
 Status WalWriter::AppendRecord(const std::string& payload) {
-  std::string frame;
-  ByteWriter w(&frame);
+  SEMANDAQ_FAILPOINT("wal.append.pre_write");
+  // Frame and payload go out as one buffer: a crash can tear the record at
+  // any byte, but can never interleave it with a neighbor.
+  std::string buf;
+  ByteWriter w(&buf);
   w.PutU32(static_cast<uint32_t>(payload.size()));
   w.PutU64(Checksum64(payload.data(), payload.size()));
-  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out_.flush();
-  if (!out_) return Status::IoError("WAL append failed: " + path_);
+  buf.append(payload);
+  SEMANDAQ_FAILPOINT_WRITE("wal.append.write", out_.get(), buf);
+  SEMANDAQ_FAILPOINT("wal.append.pre_sync");
+  switch (policy_.mode) {
+    case SyncPolicy::Mode::kAlways:
+      SEMANDAQ_RETURN_IF_ERROR(out_->Sync());
+      break;
+    case SyncPolicy::Mode::kBatch:
+      if (++unsynced_records_ >= policy_.batch_records) {
+        SEMANDAQ_RETURN_IF_ERROR(out_->Sync());
+        unsynced_records_ = 0;
+      }
+      break;
+    case SyncPolicy::Mode::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+Status WalWriter::SyncNow() {
+  SEMANDAQ_RETURN_IF_ERROR(out_->Sync());
+  unsynced_records_ = 0;
   return Status::OK();
 }
 
@@ -176,11 +255,9 @@ Status WalWriter::AppendSetCell(TupleId tid, size_t col, const Value& value) {
 
 Result<size_t> ReplayWal(const std::string& path, uint64_t snapshot_checksum,
                          relational::Relation* rel) {
-  {
-    std::error_code ec;
-    if (!std::filesystem::exists(path, ec)) return size_t{0};  // no tail
-  }
-  SEMANDAQ_ASSIGN_OR_RETURN(std::string file, common::ReadFileToString(path));
+  Env* env = Env::Get();
+  if (!env->FileExists(path)) return size_t{0};  // no tail
+  SEMANDAQ_ASSIGN_OR_RETURN(std::string file, env->ReadFileToString(path));
   SEMANDAQ_ASSIGN_OR_RETURN(uint64_t stamp, ReadWalHeader(file, path));
   if (stamp != snapshot_checksum) {
     // A sidecar stamped for a different snapshot carries nothing this
@@ -247,9 +324,11 @@ Result<size_t> ReplayWal(const std::string& path, uint64_t snapshot_checksum,
 }
 
 Result<std::unique_ptr<WalAttachment>> WalAttachment::Open(
-    const std::string& wal_path, uint64_t snapshot_checksum) {
+    const std::string& wal_path, uint64_t snapshot_checksum,
+    SyncPolicy policy) {
   SEMANDAQ_ASSIGN_OR_RETURN(
-      WalWriter writer, WalWriter::OpenExisting(wal_path, snapshot_checksum));
+      WalWriter writer,
+      WalWriter::OpenExisting(wal_path, snapshot_checksum, policy));
   return std::unique_ptr<WalAttachment>(new WalAttachment(std::move(writer)));
 }
 

@@ -2,14 +2,34 @@
 #define SEMANDAQ_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "relational/relation.h"
+#include "storage/env.h"
 
 namespace semandaq::storage {
+
+/// When WAL appends reach stable storage (docs/robustness.md):
+///
+///   always    fdatasync after every record — an append that returned OK
+///             survives any crash (zero acknowledged records lost)
+///   batch(N)  fdatasync once per N records — a crash loses at most the
+///             unsynced tail (< N records), never corrupts the segment
+///   none      OS-buffered only — a crash may lose everything since the
+///             last snapshot; torn tails are still recognized and dropped
+struct SyncPolicy {
+  enum class Mode { kAlways, kBatch, kNone };
+  Mode mode = Mode::kAlways;
+  /// Records per fdatasync under kBatch (>= 1).
+  size_t batch_records = 64;
+
+  /// Parses "always" | "none" | "batch" | "batch(N)".
+  static common::Result<SyncPolicy> Parse(std::string_view text);
+  std::string ToString() const;
+};
 
 /// Append-only write-ahead segment extending a snapshot: every mutation
 /// applied to a relation after its last snapshot appends one checksummed
@@ -29,33 +49,46 @@ class WalWriter {
   WalWriter& operator=(WalWriter&&) = default;
 
   /// Creates (or truncates) the segment at `path`, stamped with
-  /// `snapshot_checksum` (SnapshotStats::manifest_checksum).
+  /// `snapshot_checksum` (SnapshotStats::manifest_checksum). The header is
+  /// synced to stable storage regardless of `policy` (it is written once;
+  /// the policy governs record appends).
   static common::Result<WalWriter> Create(const std::string& path,
-                                          uint64_t snapshot_checksum);
+                                          uint64_t snapshot_checksum,
+                                          SyncPolicy policy = {});
 
   /// Reopens an existing segment for appending: verifies the stamp against
   /// `snapshot_checksum`, truncates a torn final record if the last append
   /// was interrupted, and positions at the end.
   static common::Result<WalWriter> OpenExisting(const std::string& path,
-                                                uint64_t snapshot_checksum);
+                                                uint64_t snapshot_checksum,
+                                                SyncPolicy policy = {});
 
-  /// Appends one mutation record (flushed before returning, so a record
-  /// either reaches the file intact or is recognizably torn).
+  /// Appends one mutation record and makes it durable per the SyncPolicy:
+  /// under `always` an OK return means the record is on stable storage;
+  /// under `batch(N)`/`none` it means the record reached the OS (a torn or
+  /// lost tail stays recognizable either way).
   common::Status AppendInsert(const relational::Row& row);
   common::Status AppendDelete(relational::TupleId tid);
   common::Status AppendSetCell(relational::TupleId tid, size_t col,
                                const relational::Value& value);
 
+  /// Forces any unsynced batch tail to stable storage now.
+  common::Status SyncNow();
+
   const std::string& path() const { return path_; }
+  const SyncPolicy& sync_policy() const { return policy_; }
 
  private:
-  WalWriter(std::string path, std::ofstream out)
-      : path_(std::move(path)), out_(std::move(out)) {}
+  WalWriter(std::string path, std::unique_ptr<WritableFile> out,
+            SyncPolicy policy)
+      : path_(std::move(path)), out_(std::move(out)), policy_(policy) {}
 
   common::Status AppendRecord(const std::string& payload);
 
   std::string path_;
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> out_;
+  SyncPolicy policy_;
+  size_t unsynced_records_ = 0;
 };
 
 /// Live journaling of a relation's mutations into its snapshot's WAL
@@ -74,11 +107,13 @@ class WalWriter {
 class WalAttachment : public relational::MutationObserver {
  public:
   /// Opens the sidecar at `wal_path` for appending (WalWriter::OpenExisting
-  /// semantics: stamp verified, torn tail truncated). The caller wires the
-  /// result to the relation with set_observer and must detach (or destroy
-  /// the relation) before destroying the attachment.
+  /// semantics: stamp verified, torn tail truncated), journaling under
+  /// `policy` (docs/robustness.md). The caller wires the result to the
+  /// relation with set_observer and must detach (or destroy the relation)
+  /// before destroying the attachment.
   static common::Result<std::unique_ptr<WalAttachment>> Open(
-      const std::string& wal_path, uint64_t snapshot_checksum);
+      const std::string& wal_path, uint64_t snapshot_checksum,
+      SyncPolicy policy = {});
 
   void OnInsert(relational::TupleId tid, const relational::Row& row) override;
   void OnDelete(relational::TupleId tid) override;
@@ -91,7 +126,11 @@ class WalAttachment : public relational::MutationObserver {
   /// Mutation records appended through this attachment (for tests/ops).
   size_t records_appended() const { return records_appended_; }
 
+  /// Forces any unsynced batch tail to stable storage (clean shutdown).
+  common::Status SyncNow() { return writer_.SyncNow(); }
+
   const std::string& path() const { return writer_.path(); }
+  const SyncPolicy& sync_policy() const { return writer_.sync_policy(); }
 
  private:
   explicit WalAttachment(WalWriter writer) : writer_(std::move(writer)) {}

@@ -1,0 +1,249 @@
+// The fault-injection machinery itself (common/failpoint + storage/env +
+// storage/fault_env): unarmed sites are no-ops, armed sites inject errors
+// or torn-write crashes, capture mode records the sites a path hits, and
+// FaultInjectionEnv models a power cut as truncate-to-synced-prefix. The
+// WAL SyncPolicy grammar and its fdatasync batching ride on top.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/fault_env.h"
+#include "storage/wal.h"
+#include "test_util.h"
+
+namespace semandaq {
+namespace {
+
+using common::FailpointConfig;
+using common::Failpoints;
+using common::Status;
+using storage::Env;
+using storage::FaultInjectionEnv;
+using storage::SyncPolicy;
+using storage::WritableFile;
+
+std::string TempPath(const std::string& name) {
+  const std::string path = std::string(::testing::TempDir()) + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// A function body with a plain failpoint site, the way production write
+/// paths mark theirs.
+Status GuardedStep() {
+  SEMANDAQ_FAILPOINT("test.step");
+  return Status::OK();
+}
+
+/// A function body with a pending-write site: unarmed it appends all of
+/// `data`; crash-armed it appends a torn prefix and unwinds.
+Status GuardedWrite(WritableFile* file, std::string_view data) {
+  SEMANDAQ_FAILPOINT_WRITE("test.write", file, data);
+  return Status::OK();
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Failpoints::Instance().Clear();
+    Env::Set(nullptr);
+  }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsANoop) {
+  EXPECT_OK(GuardedStep());
+  EXPECT_OK(GuardedStep());
+}
+
+TEST_F(FailpointTest, ArmedSiteInjectsItsStatusUntilDisarmed) {
+  FailpointConfig config;
+  config.status = Status::IoError("boom at test.step");
+  Failpoints::Instance().Arm("test.step", config);
+
+  const Status st = GuardedStep();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
+  EXPECT_FALSE(GuardedStep().ok());  // stays triggered
+
+  Failpoints::Instance().Disarm("test.step");
+  EXPECT_OK(GuardedStep());
+}
+
+TEST_F(FailpointTest, SkipHitsPassesThroughThenStaysTriggered) {
+  FailpointConfig config;
+  config.skip_hits = 2;
+  Failpoints::Instance().Arm("test.step", config);
+
+  EXPECT_OK(GuardedStep());        // hit 1: skipped
+  EXPECT_OK(GuardedStep());        // hit 2: skipped
+  EXPECT_FALSE(GuardedStep().ok());  // hit 3: fires
+  EXPECT_FALSE(GuardedStep().ok());  // and stays fired
+}
+
+TEST_F(FailpointTest, CaptureRecordsFirstHitOrderDeduplicated) {
+  Failpoints::Instance().StartCapture();
+  EXPECT_OK(GuardedStep());
+  EXPECT_OK(GuardedStep());  // duplicate: recorded once
+  const std::string path = TempPath("failpoint_capture.bin");
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, Env::Default()->NewWritableFile(
+                                        path, Env::OpenMode::kTruncate));
+    EXPECT_OK(GuardedWrite(file.get(), "abc"));
+  }
+  const auto sites = Failpoints::Instance().StopCapture();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], "test.step");
+  EXPECT_EQ(sites[1], "test.write");
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, CrashArmTearsThePendingWrite) {
+  const std::string path = TempPath("failpoint_torn.bin");
+  Failpoints::Instance().ArmCrash("test.write", /*keep_bytes=*/4);
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, Env::Default()->NewWritableFile(
+                                        path, Env::OpenMode::kTruncate));
+    const Status st = GuardedWrite(file.get(), "0123456789");
+    EXPECT_FALSE(st.ok());
+    EXPECT_TRUE(Failpoints::IsInjectedCrash(st)) << st.ToString();
+    EXPECT_OK(file->Close());
+  }
+  // Only the torn prefix reached the file.
+  ASSERT_OK_AND_ASSIGN(std::string contents,
+                       Env::Default()->ReadFileToString(path));
+  EXPECT_EQ(contents, "0123");
+  EXPECT_FALSE(Failpoints::IsInjectedCrash(Status::IoError("ordinary")));
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, FaultEnvPowerCutDropsUnsyncedBytes) {
+  FaultInjectionEnv fenv;
+  const std::string path = TempPath("fault_env_cut.bin");
+  {
+    ASSERT_OK_AND_ASSIGN(auto file,
+                         fenv.NewWritableFile(path, Env::OpenMode::kTruncate));
+    ASSERT_OK(file->Append("durable"));
+    ASSERT_OK(file->Sync());
+    ASSERT_OK(file->Append("-volatile-tail"));
+    ASSERT_OK(file->Close());  // Close is not a sync
+  }
+  // Before the cut, readers see the live state (the page cache).
+  ASSERT_OK_AND_ASSIGN(std::string live, fenv.ReadFileToString(path));
+  EXPECT_EQ(live, "durable-volatile-tail");
+  EXPECT_EQ(fenv.sync_calls(), 1u);
+
+  ASSERT_OK(fenv.SimulatePowerCut());
+  ASSERT_OK_AND_ASSIGN(std::string recovered, fenv.ReadFileToString(path));
+  EXPECT_EQ(recovered, "durable");
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, FaultEnvRenameCarriesTrackedStateToTheNewName) {
+  FaultInjectionEnv fenv;
+  const std::string tmp = TempPath("fault_env_rename.tmp");
+  const std::string dst = TempPath("fault_env_rename.bin");
+  {
+    ASSERT_OK_AND_ASSIGN(auto file,
+                         fenv.NewWritableFile(tmp, Env::OpenMode::kTruncate));
+    ASSERT_OK(file->Append("synced"));
+    ASSERT_OK(file->Sync());
+    ASSERT_OK(file->Append("+lost"));
+    ASSERT_OK(file->Close());
+  }
+  ASSERT_OK(fenv.RenameFile(tmp, dst));
+  ASSERT_OK(fenv.SimulatePowerCut());
+  EXPECT_FALSE(fenv.FileExists(tmp));
+  ASSERT_OK_AND_ASSIGN(std::string recovered, fenv.ReadFileToString(dst));
+  EXPECT_EQ(recovered, "synced");
+  std::remove(dst.c_str());
+}
+
+TEST_F(FailpointTest, SyncPolicyGrammarRoundTrips) {
+  ASSERT_OK_AND_ASSIGN(SyncPolicy always, SyncPolicy::Parse("always"));
+  EXPECT_EQ(always.mode, SyncPolicy::Mode::kAlways);
+  EXPECT_EQ(always.ToString(), "always");
+
+  ASSERT_OK_AND_ASSIGN(SyncPolicy none, SyncPolicy::Parse("none"));
+  EXPECT_EQ(none.mode, SyncPolicy::Mode::kNone);
+  EXPECT_EQ(none.ToString(), "none");
+
+  ASSERT_OK_AND_ASSIGN(SyncPolicy batch, SyncPolicy::Parse("batch"));
+  EXPECT_EQ(batch.mode, SyncPolicy::Mode::kBatch);
+  EXPECT_EQ(batch.batch_records, 64u);  // the default batch width
+
+  ASSERT_OK_AND_ASSIGN(SyncPolicy batch8, SyncPolicy::Parse("batch(8)"));
+  EXPECT_EQ(batch8.mode, SyncPolicy::Mode::kBatch);
+  EXPECT_EQ(batch8.batch_records, 8u);
+  EXPECT_EQ(batch8.ToString(), "batch(8)");
+
+  EXPECT_FALSE(SyncPolicy::Parse("").ok());
+  EXPECT_FALSE(SyncPolicy::Parse("sometimes").ok());
+  EXPECT_FALSE(SyncPolicy::Parse("batch()").ok());
+  EXPECT_FALSE(SyncPolicy::Parse("batch(0)").ok());
+  EXPECT_FALSE(SyncPolicy::Parse("batch(x)").ok());
+  EXPECT_FALSE(SyncPolicy::Parse("batch(8").ok());
+}
+
+/// Counts the fdatasyncs a WAL performs for `records` appends under
+/// `policy` (the header sync is always the first one).
+uint64_t SyncCallsFor(SyncPolicy policy, size_t records) {
+  FaultInjectionEnv fenv;
+  Env::Set(&fenv);
+  const std::string path =
+      TempPath("failpoint_syncpolicy_" + policy.ToString() + ".wal");
+  {
+    auto writer = storage::WalWriter::Create(path, /*snapshot_checksum=*/7,
+                                             policy);
+    EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+    for (size_t i = 0; i < records; ++i) {
+      EXPECT_OK(writer->AppendDelete(static_cast<relational::TupleId>(i)));
+    }
+  }
+  Env::Set(nullptr);
+  std::remove(path.c_str());
+  return fenv.sync_calls();
+}
+
+TEST_F(FailpointTest, SyncPolicyGovernsWalFdatasyncCadence) {
+  SyncPolicy always;
+  EXPECT_EQ(SyncCallsFor(always, 6), 1u + 6u);  // header + one per record
+
+  SyncPolicy batch3;
+  batch3.mode = SyncPolicy::Mode::kBatch;
+  batch3.batch_records = 3;
+  EXPECT_EQ(SyncCallsFor(batch3, 6), 1u + 2u);  // header + one per 3 records
+  EXPECT_EQ(SyncCallsFor(batch3, 7), 1u + 2u);  // tail of 1 stays unsynced
+
+  SyncPolicy none;
+  none.mode = SyncPolicy::Mode::kNone;
+  EXPECT_EQ(SyncCallsFor(none, 6), 1u);  // header only
+}
+
+TEST_F(FailpointTest, SyncNowFlushesTheBatchTail) {
+  FaultInjectionEnv fenv;
+  Env::Set(&fenv);
+  const std::string path = TempPath("failpoint_syncnow.wal");
+  SyncPolicy batch;
+  batch.mode = SyncPolicy::Mode::kBatch;
+  batch.batch_records = 100;
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer,
+                         storage::WalWriter::Create(path, 7, batch));
+    ASSERT_OK(writer.AppendDelete(1));
+    ASSERT_OK(writer.AppendDelete(2));
+    EXPECT_EQ(fenv.sync_calls(), 1u);  // header only so far
+    ASSERT_OK(writer.SyncNow());
+    EXPECT_EQ(fenv.sync_calls(), 2u);
+  }
+  Env::Set(nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace semandaq

@@ -1,0 +1,225 @@
+// Protocol robustness (server/protocol): the framing layer against every
+// malformed input a hostile or broken peer can produce — truncated length
+// prefixes, oversized lengths, mid-frame EOFs, zero-length frames, garbage
+// status bytes — plus the deadline behavior that keeps a stalled peer from
+// wedging a thread. Everything runs over socketpairs: real fds, no network.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "server/protocol.h"
+#include "test_util.h"
+
+namespace semandaq::server {
+namespace {
+
+using common::StatusCode;
+
+/// A connected fd pair; closes whatever is still open on destruction.
+struct SocketPair {
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    CloseA();
+    CloseB();
+  }
+  void CloseA() {
+    if (a >= 0) ::close(a);
+    a = -1;
+  }
+  void CloseB() {
+    if (b >= 0) ::close(b);
+    b = -1;
+  }
+  int a = -1;
+  int b = -1;
+};
+
+void SendRaw(int fd, const void* data, size_t n) {
+  ASSERT_EQ(::send(fd, data, n, MSG_NOSIGNAL), static_cast<ssize_t>(n));
+}
+
+TEST(ProtocolRobustnessTest, WellFormedFramesRoundTrip) {
+  SocketPair pair;
+  ASSERT_OK(WriteFrame(pair.a, "detect customer"));
+  std::string payload;
+  ASSERT_OK_AND_ASSIGN(bool got, ReadFrame(pair.b, &payload));
+  EXPECT_TRUE(got);
+  EXPECT_EQ(payload, "detect customer");
+}
+
+TEST(ProtocolRobustnessTest, ZeroLengthFrameIsLegal) {
+  SocketPair pair;
+  ASSERT_OK(WriteFrame(pair.a, ""));
+  std::string payload = "stale";
+  ASSERT_OK_AND_ASSIGN(bool got, ReadFrame(pair.b, &payload));
+  EXPECT_TRUE(got);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(ProtocolRobustnessTest, CleanEofAtFrameBoundaryIsNotAnError) {
+  SocketPair pair;
+  pair.CloseA();
+  std::string payload;
+  ASSERT_OK_AND_ASSIGN(bool got, ReadFrame(pair.b, &payload));
+  EXPECT_FALSE(got);
+}
+
+TEST(ProtocolRobustnessTest, TruncatedLengthPrefixIsATornFrame) {
+  SocketPair pair;
+  const char partial[2] = {0x10, 0x00};  // 2 of the 4 prefix bytes
+  SendRaw(pair.a, partial, sizeof partial);
+  pair.CloseA();
+  std::string payload;
+  auto got = ReadFrame(pair.b, &payload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+  EXPECT_NE(got.status().message().find("mid-frame"), std::string::npos);
+}
+
+TEST(ProtocolRobustnessTest, OversizedLengthPrefixIsRejectedNotAllocated) {
+  SocketPair pair;
+  // A hostile length just past the cap must be refused before any body
+  // read — and long before a 4 GiB allocation.
+  const uint32_t huge = kMaxFrameBytes + 1;
+  SendRaw(pair.a, &huge, sizeof huge);
+  std::string payload;
+  auto got = ReadFrame(pair.b, &payload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+  EXPECT_NE(got.status().message().find("oversized"), std::string::npos);
+
+  const uint32_t worst = 0xFFFFFFFFu;
+  SendRaw(pair.a, &worst, sizeof worst);
+  EXPECT_FALSE(ReadFrame(pair.b, &payload).ok());
+}
+
+TEST(ProtocolRobustnessTest, EofMidBodyIsATornFrame) {
+  SocketPair pair;
+  const uint32_t len = 10;
+  SendRaw(pair.a, &len, sizeof len);
+  SendRaw(pair.a, "1234", 4);  // 4 of the promised 10 bytes
+  pair.CloseA();
+  std::string payload;
+  auto got = ReadFrame(pair.b, &payload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+  EXPECT_NE(got.status().message().find("mid-frame"), std::string::npos);
+}
+
+TEST(ProtocolRobustnessTest, GarbageStatusByteSweep) {
+  // Status byte 0 and 1 are the whole alphabet; everything else is a
+  // protocol error, not a crash or a silently-wrong response.
+  ASSERT_OK_AND_ASSIGN(WireResponse ok, DecodeResponse(std::string("\0", 1)));
+  EXPECT_TRUE(ok.ok);
+  ASSERT_OK_AND_ASSIGN(WireResponse err, DecodeResponse(std::string("\1x", 2)));
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.text, "x");
+
+  EXPECT_FALSE(DecodeResponse("").ok());  // no status byte at all
+  for (int byte = 2; byte < 256; byte += 61) {
+    std::string payload(1, static_cast<char>(byte));
+    payload += "body";
+    EXPECT_FALSE(DecodeResponse(payload).ok()) << "status byte " << byte;
+  }
+  EXPECT_FALSE(DecodeResponse(std::string(1, '\xff')).ok());
+}
+
+TEST(ProtocolRobustnessTest, SilentPeerTripsTheReadDeadline) {
+  SocketPair pair;
+  std::string payload;
+  auto got = ReadFrame(pair.b, &payload, /*deadline_ms=*/50);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ProtocolRobustnessTest, MidFrameStallTripsTheReadDeadline) {
+  SocketPair pair;
+  const uint32_t len = 100;
+  SendRaw(pair.a, &len, sizeof len);
+  SendRaw(pair.a, "partial", 7);  // then stall, fd still open
+  std::string payload;
+  auto got = ReadFrame(pair.b, &payload, /*deadline_ms=*/50);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ProtocolRobustnessTest, UnreadPeerTripsTheWriteDeadline) {
+  SocketPair pair;
+  // Shrink both buffers so a modest frame overfills them; the peer never
+  // reads, so the writer must give up at its deadline instead of blocking
+  // forever.
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(pair.a, SOL_SOCKET, SO_SNDBUF, &small, sizeof small),
+            0);
+  ASSERT_EQ(::setsockopt(pair.b, SOL_SOCKET, SO_RCVBUF, &small, sizeof small),
+            0);
+  const std::string big(1 << 20, 'x');
+  const auto wrote = WriteFrame(pair.a, big, /*deadline_ms=*/50);
+  ASSERT_FALSE(wrote.ok());
+  EXPECT_EQ(wrote.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ProtocolRobustnessTest, DeadlineCoversTheWholeFrameNotEachByte) {
+  // A peer dribbling bytes slower than the total budget still times out:
+  // the deadline is absolute, so progress does not reset it.
+  SocketPair pair;
+  std::thread dribbler([&] {
+    const uint32_t len = 1000;
+    ::send(pair.a, &len, sizeof len, MSG_NOSIGNAL);
+    for (int i = 0; i < 50; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (::send(pair.a, "x", 1, MSG_NOSIGNAL | MSG_DONTWAIT) <= 0) break;
+    }
+  });
+  std::string payload;
+  const auto start = std::chrono::steady_clock::now();
+  auto got = ReadFrame(pair.b, &payload, /*deadline_ms=*/100);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 5000);  // gave up near the budget, not after the dribble
+  pair.CloseB();
+  dribbler.join();
+}
+
+TEST(ProtocolRobustnessTest, PeerClosedWriteIsAnIoErrorNotASignal) {
+  SocketPair pair;
+  pair.CloseB();
+  // MSG_NOSIGNAL discipline: writing into a closed peer must surface as a
+  // status, not kill the process with SIGPIPE.
+  const auto wrote = WriteFrame(pair.a, "hello");
+  EXPECT_FALSE(wrote.ok());
+  EXPECT_EQ(wrote.code(), StatusCode::kIoError);
+}
+
+TEST(ProtocolRobustnessTest, UnarmedDeadlineStillBlocksUntilData) {
+  SocketPair pair;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_OK(WriteFrame(pair.a, "late"));
+  });
+  std::string payload;
+  ASSERT_OK_AND_ASSIGN(bool got, ReadFrame(pair.b, &payload, /*deadline_ms=*/0));
+  EXPECT_TRUE(got);
+  EXPECT_EQ(payload, "late");
+  sender.join();
+}
+
+}  // namespace
+}  // namespace semandaq::server

@@ -1,0 +1,327 @@
+// Loopback chaos for the hardened TCP front end (src/server/tcp_server):
+// stalled clients are disconnected at the read deadline instead of pinning
+// a thread forever, connections past the cap are shed with a clean busy
+// frame, handler threads and fds are reclaimed as churn runs (counted via
+// /proc/self), and the retrying client rides through busy-shedding to an
+// eventual answer.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/service.h"
+#include "server/tcp_server.h"
+#include "test_util.h"
+
+namespace semandaq::server {
+namespace {
+
+using common::StatusCode;
+
+/// A raw loopback connection (no Client conveniences): the tool for
+/// playing a stalled, half-framed, or vanishing peer.
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+size_t CountDirEntries(const char* dir) {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+size_t OpenFdCount() { return CountDirEntries("/proc/self/fd"); }
+size_t ThreadCount() { return CountDirEntries("/proc/self/task"); }
+
+/// Polls until the server has no open connections (handlers observed the
+/// disconnects) or the timeout passes.
+void AwaitQuiesce(TcpServer& server, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (server.active_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.active_connections(), 0u);
+}
+
+TEST(ServerChaosTest, StalledClientIsDisconnectedAtTheReadDeadline) {
+  SemandaqService service;
+  TcpServerOptions options;
+  options.read_deadline_ms = 150;
+  TcpServer server(&service, options);
+  ASSERT_OK(server.Start());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  // Send nothing. The server owes us a courtesy frame naming the timeout,
+  // then the close that reclaims its handler thread.
+  std::string payload;
+  ASSERT_OK_AND_ASSIGN(bool got, ReadFrame(fd, &payload, /*deadline_ms=*/5000));
+  ASSERT_TRUE(got);
+  ASSERT_OK_AND_ASSIGN(WireResponse resp, DecodeResponse(payload));
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.text.find("idle connection timed out"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(bool eof, ReadFrame(fd, &payload, /*deadline_ms=*/5000));
+  EXPECT_FALSE(eof);
+  ::close(fd);
+
+  AwaitQuiesce(server);
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerChaosTest, MidFrameStallIsDisconnectedTheSameWay) {
+  SemandaqService service;
+  TcpServerOptions options;
+  options.read_deadline_ms = 150;
+  TcpServer server(&service, options);
+  ASSERT_OK(server.Start());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  const uint32_t len = 64;  // promise 64 bytes...
+  ASSERT_EQ(::send(fd, &len, sizeof len, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof len));
+  ASSERT_EQ(::send(fd, "det", 3, MSG_NOSIGNAL), 3);  // ...deliver 3, stall
+  std::string payload;
+  ASSERT_OK_AND_ASSIGN(bool got, ReadFrame(fd, &payload, /*deadline_ms=*/5000));
+  ASSERT_TRUE(got);
+  ASSERT_OK_AND_ASSIGN(WireResponse resp, DecodeResponse(payload));
+  EXPECT_FALSE(resp.ok);
+  ::close(fd);
+
+  AwaitQuiesce(server);
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerChaosTest, ConnectionsPastTheCapAreShedWithABusyFrame) {
+  SemandaqService service;
+  TcpServerOptions options;
+  options.max_connections = 2;
+  TcpServer server(&service, options);
+  ASSERT_OK(server.Start());
+
+  ASSERT_OK_AND_ASSIGN(Client a, Client::Connect("127.0.0.1", server.port()));
+  ASSERT_OK_AND_ASSIGN(auto ra, a.Call("ls"));  // a is accepted + registered
+  EXPECT_TRUE(ra.ok);
+  ASSERT_OK_AND_ASSIGN(Client b, Client::Connect("127.0.0.1", server.port()));
+  ASSERT_OK_AND_ASSIGN(auto rb, b.Call("ls"));
+  EXPECT_TRUE(rb.ok);
+
+  // The third connection completes at TCP level (listen backlog) but gets
+  // one clean busy frame and a close — not a hang, not a silent RST. The
+  // frame is sent proactively at accept, so read it without writing first:
+  // a request racing the server's close can draw an RST that discards the
+  // buffered frame (CallIdempotent retries that case either way).
+  const int shed_fd = RawConnect(server.port());
+  ASSERT_GE(shed_fd, 0);
+  std::string shed_payload;
+  ASSERT_OK_AND_ASSIGN(bool shed_got,
+                       ReadFrame(shed_fd, &shed_payload, /*deadline_ms=*/5000));
+  ASSERT_TRUE(shed_got);
+  ASSERT_OK_AND_ASSIGN(WireResponse rc, DecodeResponse(shed_payload));
+  EXPECT_FALSE(rc.ok);
+  EXPECT_EQ(rc.text.rfind("Unavailable:", 0), 0u) << rc.text;
+  ::close(shed_fd);
+  EXPECT_GE(server.connections_shed(), 1u);
+
+  // Capacity comes back as soon as a slot frees.
+  { Client drop = std::move(a); }  // destructor closes a's connection
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool recovered = false;
+  while (!recovered && std::chrono::steady_clock::now() < deadline) {
+    auto d = Client::Connect("127.0.0.1", server.port());
+    if (d.ok()) {
+      auto rd = d->Call("ls");
+      recovered = rd.ok() && rd->ok;
+    }
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(recovered);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerChaosTest, ConnectionChurnLeaksNoFdsOrThreads) {
+  SemandaqService service;
+  TcpServerOptions options;
+  options.read_deadline_ms = 250;
+  TcpServer server(&service, options);
+  ASSERT_OK(server.Start());
+  {
+    ASSERT_OK_AND_ASSIGN(Client boot,
+                         Client::Connect("127.0.0.1", server.port()));
+    ASSERT_OK_AND_ASSIGN(auto r, boot.Call("gen customer 40 10"));
+    EXPECT_TRUE(r.ok);
+  }
+  AwaitQuiesce(server);
+  const size_t fd_baseline = OpenFdCount();
+  const size_t thread_baseline = ThreadCount();
+
+  for (int i = 0; i < 45; ++i) {
+    switch (i % 3) {
+      case 0: {
+        // A well-behaved client: one command, clean close.
+        auto c = Client::Connect("127.0.0.1", server.port());
+        ASSERT_TRUE(c.ok()) << c.status().ToString();
+        auto r = c->Call("detect customer");
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+        break;
+      }
+      case 1: {
+        // A mid-frame vanisher: promises a body, disconnects instead.
+        const int fd = RawConnect(server.port());
+        ASSERT_GE(fd, 0);
+        const uint32_t len = 100;
+        (void)::send(fd, &len, sizeof len, MSG_NOSIGNAL);
+        ::close(fd);
+        break;
+      }
+      default: {
+        // Connect-and-run: never sends a byte.
+        const int fd = RawConnect(server.port());
+        ASSERT_GE(fd, 0);
+        ::close(fd);
+        break;
+      }
+    }
+  }
+
+  AwaitQuiesce(server);
+  // One more clean call makes the accept loop run and reap the finished
+  // handler threads from the churn above.
+  {
+    auto c = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(c.ok());
+    (void)c->Call("ls");
+  }
+  AwaitQuiesce(server);
+
+  // Slack covers transient races (a handler between close and reap, proc
+  // enumeration itself) — what must NOT appear is growth proportional to
+  // the 45 churned connections.
+  EXPECT_LE(OpenFdCount(), fd_baseline + 4)
+      << "fd leak across connection churn";
+  EXPECT_LE(ThreadCount(), thread_baseline + 4)
+      << "thread leak across connection churn";
+
+  server.Shutdown();
+  server.Wait();
+  EXPECT_EQ(server.active_connections(), 0u);
+}
+
+TEST(ServerChaosTest, StalledClientsDoNotStarveHealthyOnes) {
+  SemandaqService service;
+  TcpServerOptions options;
+  options.read_deadline_ms = 300;
+  TcpServer server(&service, options);
+  ASSERT_OK(server.Start());
+  {
+    ASSERT_OK_AND_ASSIGN(Client boot,
+                         Client::Connect("127.0.0.1", server.port()));
+    ASSERT_OK_AND_ASSIGN(auto r, boot.Call("gen hospital 120 5"));
+    EXPECT_TRUE(r.ok);
+  }
+
+  // Four stalled connections camp on their handler threads...
+  std::vector<int> stalled;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    stalled.push_back(fd);
+  }
+  // ...while healthy clients keep getting identical answers.
+  std::string first;
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_OK_AND_ASSIGN(Client c, Client::Connect("127.0.0.1", server.port()));
+    ASSERT_OK_AND_ASSIGN(auto r, c.Call("detect hospital"));
+    ASSERT_TRUE(r.ok) << r.text;
+    if (round == 0) {
+      first = r.text;
+    } else {
+      EXPECT_EQ(r.text, first);
+    }
+  }
+  for (int fd : stalled) ::close(fd);
+
+  AwaitQuiesce(server);
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerChaosTest, RetryingClientRidesThroughBusyShedding) {
+  SemandaqService service;
+  TcpServerOptions options;
+  options.max_connections = 1;
+  TcpServer server(&service, options);
+  ASSERT_OK(server.Start());
+
+  // `holder` owns the single slot and seeds the relation the retrier asks
+  // about.
+  std::optional<Client> holder;
+  {
+    auto connected = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(connected.ok());
+    holder.emplace(std::move(*connected));
+  }
+  ASSERT_OK_AND_ASSIGN(auto seeded, holder->Call("gen customer 40 10"));
+  EXPECT_TRUE(seeded.ok);
+
+  ClientOptions retrying;
+  retrying.max_retries = 12;
+  retrying.backoff_initial_ms = 25;
+  retrying.backoff_max_ms = 100;
+  retrying.backoff_seed = 7;
+  ASSERT_OK_AND_ASSIGN(
+      Client b, Client::Connect("127.0.0.1", server.port(), retrying));
+
+  // Free the slot while b is mid-backoff: its busy refusals turn into a
+  // reconnect and a real answer.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    holder.reset();
+  });
+  ASSERT_OK_AND_ASSIGN(WireResponse resp, b.CallIdempotent("epoch customer"));
+  releaser.join();
+  EXPECT_TRUE(resp.ok) << resp.text;
+  EXPECT_EQ(resp.text, "epoch 1\n");
+  EXPECT_GE(b.reconnects(), 1u);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+}  // namespace
+}  // namespace semandaq::server

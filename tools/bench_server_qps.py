@@ -2,7 +2,8 @@
 """Sustained-QPS benchmark for the semandaq server over loopback TCP.
 
 Usage: bench_server_qps.py --server=PATH [--rows=N] [--clients=N]
-           [--seconds=S] [--lanes=N] [--out=BENCH_server.json]
+           [--seconds=S] [--lanes=N] [--fault-rate=F]
+           [--out=BENCH_server.json]
 
 Launches the server on an ephemeral port, generates a hospital relation of
 --rows tuples (plus mined CFDs so detect does real work), then opens
@@ -12,6 +13,14 @@ frame protocol (docs/server.md) with Python's stdlib socket — no external
 dependencies. Reports sustained queries/second and per-request latency
 percentiles into the JSON artifact.
 
+With --fault-rate=F > 0, a second measurement window runs in which each
+client, with probability F before every request, tears its connection down
+mid-frame (a truncated length prefix, then an abrupt close) and
+reconnects — the overload/robustness number (docs/robustness.md). The
+artifact records the clean and faulty windows side by side; every response
+in both windows is still checked against the serial reference, so the
+faulty window doubles as a correctness gate under connection churn.
+
 Exits nonzero only on a malfunction (server died, a request failed, or a
 response mismatched the reference); shared CI runners are too noisy for a
 hard perf gate, so throughput is judged from the recorded artifact.
@@ -19,6 +28,7 @@ hard perf gate, so throughput is judged from the recorded artifact.
 
 import argparse
 import json
+import random
 import socket
 import struct
 import subprocess
@@ -58,14 +68,19 @@ def connect(port: int) -> socket.socket:
 
 
 class ClientWorker(threading.Thread):
-    """Issues `detect hospital` back to back until the deadline."""
+    """Issues `detect hospital` back to back until the deadline, optionally
+    injecting mid-frame disconnects at `fault_rate` per request."""
 
-    def __init__(self, port: int, deadline: float, reference: str):
+    def __init__(self, port: int, deadline: float, reference: str,
+                 fault_rate: float = 0.0, seed: int = 0):
         super().__init__()
         self.port = port
         self.deadline = deadline
         self.reference = reference
+        self.fault_rate = fault_rate
+        self.rng = random.Random(seed)
         self.latencies_ms = []
+        self.disconnects = 0
         self.error = None
 
     def run(self):
@@ -73,6 +88,16 @@ class ClientWorker(threading.Thread):
             sock = connect(self.port)
             try:
                 while time.monotonic() < self.deadline:
+                    if self.fault_rate > 0 and self.rng.random() < self.fault_rate:
+                        # Torn frame, then vanish: the server must reclaim
+                        # the handler and keep serving everyone else.
+                        try:
+                            sock.sendall(struct.pack("<I", 100)[:2])
+                        except OSError:
+                            pass
+                        sock.close()
+                        self.disconnects += 1
+                        sock = connect(self.port)
                     t0 = time.monotonic()
                     out = call(sock, "detect hospital")
                     self.latencies_ms.append((time.monotonic() - t0) * 1e3)
@@ -91,6 +116,39 @@ def percentile(sorted_vals, p):
     return round(sorted_vals[i], 3)
 
 
+def run_window(port, clients, seconds, reference, fault_rate):
+    """One measurement window; returns its artifact fragment."""
+    deadline = time.monotonic() + seconds
+    workers = [ClientWorker(port, deadline, reference, fault_rate, seed=i + 1)
+               for i in range(clients)]
+    t_start = time.monotonic()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    elapsed = time.monotonic() - t_start
+
+    for w in workers:
+        if w.error is not None:
+            raise w.error
+
+    lat = sorted(x for w in workers for x in w.latencies_ms)
+    total = len(lat)
+    return {
+        "fault_rate": fault_rate,
+        "window_seconds": round(elapsed, 3),
+        "requests": total,
+        "injected_disconnects": sum(w.disconnects for w in workers),
+        "qps": round(total / elapsed, 1) if elapsed > 0 else None,
+        "latency_ms": {
+            "p50": percentile(lat, 50),
+            "p90": percentile(lat, 90),
+            "p99": percentile(lat, 99),
+            "max": round(lat[-1], 3) if lat else None,
+        },
+    }
+
+
 def main(argv):
     ap = argparse.ArgumentParser()
     ap.add_argument("--server", required=True, help="path to semandaq_server")
@@ -98,6 +156,9 @@ def main(argv):
     ap.add_argument("--clients", type=int, default=100)
     ap.add_argument("--seconds", type=float, default=10.0)
     ap.add_argument("--lanes", type=int, default=0)
+    ap.add_argument("--fault-rate", type=float, default=0.0,
+                    help="per-request mid-frame disconnect probability for "
+                         "the faulty window (0 = skip the faulty window)")
     ap.add_argument("--out", default="BENCH_server.json")
     args = ap.parse_args(argv[1:])
 
@@ -117,50 +178,37 @@ def main(argv):
         call(boot, "cfd hospital: [ZIP] -> [STATE]")
         call(boot, "cfd hospital: [MCODE] -> [MNAME]")
         reference = call(boot, "detect hospital")
-        setup = {"reference": reference.strip()}
 
-        deadline = time.monotonic() + args.seconds
-        workers = [ClientWorker(port, deadline, reference)
-                   for _ in range(args.clients)]
-        t_start = time.monotonic()
-        for w in workers:
-            w.start()
-        for w in workers:
-            w.join()
-        elapsed = time.monotonic() - t_start
-
-        for w in workers:
-            if w.error is not None:
-                raise w.error
+        clean = run_window(port, args.clients, args.seconds, reference, 0.0)
+        faulty = None
+        if args.fault_rate > 0:
+            faulty = run_window(port, args.clients, args.seconds, reference,
+                                args.fault_rate)
 
         call(boot, "shutdown")
         boot.close()
         proc.wait(timeout=30)
 
-        lat = sorted(x for w in workers for x in w.latencies_ms)
-        total = len(lat)
         artifact = {
             "benchmark": "server_sustained_qps",
             "rows": args.rows,
             "clients": args.clients,
             "lanes": args.lanes,
-            "window_seconds": round(elapsed, 3),
-            "requests": total,
-            "qps": round(total / elapsed, 1) if elapsed > 0 else None,
-            "latency_ms": {
-                "p50": percentile(lat, 50),
-                "p90": percentile(lat, 90),
-                "p99": percentile(lat, 99),
-                "max": round(lat[-1], 3) if lat else None,
-            },
-            "setup": setup,
+            "clean": clean,
+            "faulty": faulty,
+            "setup": {"reference": reference.strip()},
         }
         with open(args.out, "w") as f:
             json.dump(artifact, f, indent=2)
             f.write("\n")
-        print(f"{total} requests in {elapsed:.1f}s = "
-              f"{artifact['qps']} qps ({args.clients} clients, "
-              f"{args.rows} rows) -> {args.out}")
+        print(f"clean: {clean['requests']} requests in "
+              f"{clean['window_seconds']}s = {clean['qps']} qps "
+              f"({args.clients} clients, {args.rows} rows)")
+        if faulty is not None:
+            print(f"faulty({args.fault_rate}): {faulty['requests']} requests "
+                  f"in {faulty['window_seconds']}s = {faulty['qps']} qps, "
+                  f"{faulty['injected_disconnects']} injected disconnects")
+        print(f"-> {args.out}")
         return 0
     finally:
         if proc.poll() is None:

@@ -1,24 +1,44 @@
 // semandaq_client: command-line client for semandaq_server.
 //
-//   semandaq_client [--host=ADDR] [--port=N] [COMMAND...]
+//   semandaq_client [--host=ADDR] [--port=N] [--retries=N] [--timeout-ms=N]
+//                   [COMMAND...]
 //
 // With COMMAND arguments, joins them into one command line, executes it,
-// prints the response, and exits (0 on success, 1 on a server error or
-// transport failure). Without arguments, reads commands from stdin one
-// per line over a single connection — a pipe-friendly REPL, so a
+// prints the response, and exits. Without arguments, reads commands from
+// stdin one per line over a single connection — a pipe-friendly REPL, so a
 // clean/diff/apply sequence shares one server session.
+//
+//   --retries     reconnect-and-retry attempts (exponential backoff +
+//                 jitter) when the server is unreachable, drops the
+//                 connection, or sheds load with a busy frame. Only
+//                 one-shot COMMAND mode retries the command itself (it
+//                 must be idempotent — rerunning `detect` or `save` is
+//                 safe; a REPL session's clean/diff/apply is not).
+//   --timeout-ms  per-command deadline (0 = wait as long as it takes)
+//
+// Exit codes: 0 success, 1 server-side command error, 2 usage error,
+// 3 transport failure (server unreachable/dead after all retries),
+// 4 command timed out.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/string_util.h"
 #include "server/client.h"
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitCommandError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitTransport = 3;
+constexpr int kExitTimeout = 4;
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
   const size_t len = std::strlen(name);
@@ -27,19 +47,49 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   return true;
 }
 
-/// Executes one command; returns false on a server error or transport
-/// failure (the caller decides whether to keep the REPL going).
-bool RunOne(semandaq::server::Client& client, const std::string& command) {
-  auto response = client.Call(command);
+int Usage() {
+  std::fprintf(stderr,
+               "usage: semandaq_client [--host=ADDR] [--port=N] [--retries=N]"
+               " [--timeout-ms=N] [COMMAND...]\n");
+  return kExitUsage;
+}
+
+/// Maps a transport-level failure to a clear message + exit code: the
+/// operator learns whether the server is gone or just slow, not a raw
+/// status dump.
+int ReportTransportFailure(const semandaq::common::Status& status,
+                           const std::string& host, uint16_t port,
+                           int retries) {
+  if (status.code() == semandaq::common::StatusCode::kDeadlineExceeded) {
+    std::fprintf(stderr,
+                 "semandaq_client: command timed out (%s)\n", status.message().c_str());
+    return kExitTimeout;
+  }
+  std::fprintf(stderr,
+               "semandaq_client: cannot reach semandaq_server at %s:%u%s\n"
+               "  (%s)\n"
+               "  Is the server running? Start one with: semandaq_server"
+               " --port=%u\n",
+               host.c_str(), static_cast<unsigned>(port),
+               retries > 0 ? " after retries with backoff" : "",
+               status.ToString().c_str(), static_cast<unsigned>(port));
+  return kExitTransport;
+}
+
+/// Executes one command; prints the response. Returns the exit code the
+/// command would produce (the REPL keeps going either way).
+int RunOne(semandaq::server::Client& client, const std::string& command,
+           const std::string& host, uint16_t port, int retries,
+           bool idempotent) {
+  auto response = idempotent ? client.CallIdempotent(command)
+                             : client.Call(command);
   if (!response.ok()) {
-    std::fprintf(stderr, "semandaq_client: %s\n",
-                 response.status().ToString().c_str());
-    return false;
+    return ReportTransportFailure(response.status(), host, port, retries);
   }
   std::FILE* out = response->ok ? stdout : stderr;
   std::fprintf(out, "%s", response->text.c_str());
   std::fflush(out);
-  return response->ok;
+  return response->ok ? kExitOk : kExitCommandError;
 }
 
 }  // namespace
@@ -47,6 +97,7 @@ bool RunOne(semandaq::server::Client& client, const std::string& command) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 7744;
+  semandaq::server::ClientOptions options;
   std::string command;
 
   int i = 1;
@@ -58,12 +109,23 @@ int main(int argc, char** argv) {
       char* end = nullptr;
       const unsigned long v = std::strtoul(value.c_str(), &end, 10);
       if (value.empty() || end == nullptr || *end != '\0' || v > 65535) {
-        std::fprintf(stderr,
-                     "usage: semandaq_client [--host=ADDR] [--port=N]"
-                     " [COMMAND...]\n");
-        return 2;
+        return Usage();
       }
       port = static_cast<uint16_t>(v);
+    } else if (ParseFlag(argv[i], "--retries", &value)) {
+      char* end = nullptr;
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || v < 0) {
+        return Usage();
+      }
+      options.max_retries = static_cast<int>(v);
+    } else if (ParseFlag(argv[i], "--timeout-ms", &value)) {
+      char* end = nullptr;
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || v < 0) {
+        return Usage();
+      }
+      options.call_deadline_ms = static_cast<int>(v);
     } else {
       break;  // first non-flag argument starts the command
     }
@@ -73,25 +135,52 @@ int main(int argc, char** argv) {
     command += argv[i];
   }
 
-  auto connected = semandaq::server::Client::Connect(host, port);
+  auto connected = semandaq::server::Client::Connect(host, port, options);
   if (!connected.ok()) {
-    std::fprintf(stderr, "semandaq_client: %s\n",
-                 connected.status().ToString().c_str());
-    return 1;
+    // Connect-time retries: same backoff discipline as CallIdempotent,
+    // useful when racing a server that is still booting.
+    semandaq::common::Rng rng(0xC1EA4u);
+    int64_t delay = options.backoff_initial_ms;
+    for (int attempt = 0; attempt < options.max_retries && !connected.ok();
+         ++attempt) {
+      std::fprintf(stderr,
+                   "semandaq_client: connect failed, retrying in ~%lld ms"
+                   " (%d/%d)\n",
+                   static_cast<long long>(delay), attempt + 1,
+                   options.max_retries);
+      const int64_t jittered = delay / 2 + rng.NextInRange(0, delay / 2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+      if (delay < options.backoff_max_ms) delay *= 2;
+      connected = semandaq::server::Client::Connect(host, port, options);
+    }
+  }
+  if (!connected.ok()) {
+    return ReportTransportFailure(connected.status(), host, port,
+                                  options.max_retries);
   }
   semandaq::server::Client client = std::move(*connected);
 
-  if (!command.empty()) return RunOne(client, command) ? 0 : 1;
+  if (!command.empty()) {
+    // One-shot commands are safe to retry end-to-end (the caller chose the
+    // command; --retries=0, the default, disables it anyway).
+    return RunOne(client, command, host, port, options.max_retries,
+                  /*idempotent=*/options.max_retries > 0);
+  }
 
   // REPL mode: one command per stdin line; blank lines are skipped.
   // `shutdown` stops the server, which then closes this connection.
-  bool all_ok = true;
+  // Commands are never auto-retried here — a reconnect would silently
+  // discard the server-side session (pending clean/diff/apply state).
+  int exit_code = kExitOk;
   std::string line;
   while (std::getline(std::cin, line)) {
     const std::string trimmed = std::string(semandaq::common::Trim(line));
     if (trimmed.empty()) continue;
-    if (!RunOne(client, trimmed)) all_ok = false;
+    const int rc = RunOne(client, trimmed, host, port, 0,
+                          /*idempotent=*/false);
+    if (rc != kExitOk) exit_code = rc;
+    if (rc == kExitTransport || rc == kExitTimeout) break;  // connection dead
     if (semandaq::common::EqualsIgnoreCase(trimmed, "shutdown")) break;
   }
-  return all_ok ? 0 : 1;
+  return exit_code;
 }

@@ -1,12 +1,25 @@
 // semandaq_server: the TCP front end over one SemandaqService.
 //
 //   semandaq_server [--host=ADDR] [--port=N] [--lanes=N] [--db=DIR]
+//                   [--sync=MODE] [--max-conns=N] [--read-deadline-ms=N]
+//                   [--write-deadline-ms=N] [--drain-deadline-ms=N]
 //
 //   --host   listen address (default 127.0.0.1; trusted networks only)
 //   --port   listen port (default 7744; 0 picks an ephemeral port)
 //   --lanes  worker-lane budget shared by all requests (0 = hardware)
 //   --db     database directory: opened at boot when a catalog manifest
 //            exists, saved back on clean shutdown (warm restart)
+//   --sync   default WAL durability for save/savedb: always (default;
+//            fdatasync every record), batch(N), or none — see
+//            docs/robustness.md
+//   --max-conns          connection cap; extra connections are shed with
+//                        a clean busy frame (0 = uncapped, the default)
+//   --read-deadline-ms   per-frame read/idle deadline; a client silent
+//                        this long is disconnected (0 = wait forever)
+//   --write-deadline-ms  per-frame write deadline; a client not draining
+//                        responses this long is disconnected (0 = forever)
+//   --drain-deadline-ms  graceful-shutdown budget for in-flight commands
+//                        (default 2000)
 //
 // Prints "semandaq_server listening on HOST:PORT" once ready, then blocks
 // until a client sends `shutdown`. See docs/server.md.
@@ -21,6 +34,7 @@
 #include "server/service.h"
 #include "server/tcp_server.h"
 #include "storage/catalog.h"
+#include "storage/wal.h"
 
 namespace {
 
@@ -44,7 +58,9 @@ bool ParseSize(const std::string& text, uint64_t* out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: semandaq_server [--host=ADDR] [--port=N] [--lanes=N]"
-               " [--db=DIR]\n");
+               " [--db=DIR] [--sync=always|batch(N)|none] [--max-conns=N]"
+               " [--read-deadline-ms=N] [--write-deadline-ms=N]"
+               " [--drain-deadline-ms=N]\n");
   return 2;
 }
 
@@ -69,6 +85,26 @@ int main(int argc, char** argv) {
       service_options.scheduler_lanes = static_cast<size_t>(n);
     } else if (ParseFlag(argv[i], "--db", &value)) {
       db_dir = value;
+    } else if (ParseFlag(argv[i], "--sync", &value)) {
+      auto policy = semandaq::storage::SyncPolicy::Parse(value);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "semandaq_server: %s\n",
+                     policy.status().ToString().c_str());
+        return Usage();
+      }
+      service_options.wal_sync = *policy;
+    } else if (ParseFlag(argv[i], "--max-conns", &value)) {
+      if (!ParseSize(value, &n)) return Usage();
+      tcp_options.max_connections = static_cast<size_t>(n);
+    } else if (ParseFlag(argv[i], "--read-deadline-ms", &value)) {
+      if (!ParseSize(value, &n) || n > INT32_MAX) return Usage();
+      tcp_options.read_deadline_ms = static_cast<int>(n);
+    } else if (ParseFlag(argv[i], "--write-deadline-ms", &value)) {
+      if (!ParseSize(value, &n) || n > INT32_MAX) return Usage();
+      tcp_options.write_deadline_ms = static_cast<int>(n);
+    } else if (ParseFlag(argv[i], "--drain-deadline-ms", &value)) {
+      if (!ParseSize(value, &n) || n > INT32_MAX) return Usage();
+      tcp_options.drain_deadline_ms = static_cast<int>(n);
     } else {
       return Usage();
     }
