@@ -1,0 +1,28 @@
+#include "common/cancel.h"
+
+namespace semandaq::common {
+
+Status CancelToken::CheckSlow() {
+  const uint64_t seen = checks_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const uint64_t trip = cancel_at_check_.load(std::memory_order_acquire);
+  if (trip != 0 && seen >= trip) {
+    cancelled_.store(true, std::memory_order_release);
+  }
+  if (cancelled_.load(std::memory_order_acquire)) {
+    if (deadline_hit_.load(std::memory_order_acquire)) {
+      return Status::DeadlineExceeded("operation ran past its deadline");
+    }
+    return Status::Cancelled("operation cancelled");
+  }
+  const int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+  if (ns != 0 &&
+      Clock::now().time_since_epoch().count() >= ns) {
+    // Latch: every subsequent check (any thread) tears down the same way.
+    deadline_hit_.store(true, std::memory_order_release);
+    cancelled_.store(true, std::memory_order_release);
+    return Status::DeadlineExceeded("operation ran past its deadline");
+  }
+  return Status::OK();
+}
+
+}  // namespace semandaq::common

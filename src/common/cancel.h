@@ -1,0 +1,115 @@
+#ifndef SEMANDAQ_COMMON_CANCEL_H_
+#define SEMANDAQ_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace semandaq::common {
+
+/// Cooperative cancellation with deadline propagation (docs/robustness.md).
+///
+/// Long-running engine loops (detector kernel blocks, miner candidate
+/// batches, repair rounds, SQL executor batches, WAL replay) check a
+/// CancelToken at natural checkpoint boundaries:
+///
+///   SEMANDAQ_RETURN_IF_CANCELLED(options_.cancel);
+///
+/// An unarmed check — no cancel requested, no deadline set — is one
+/// relaxed atomic load, the same discipline as common/failpoint. A token
+/// that has been Cancel()ed, or whose absolute deadline has passed, turns
+/// the checkpoint into Status::Cancelled / Status::DeadlineExceeded.
+///
+/// The contract a checked-out token buys (enforced by the cancellation
+/// determinism sweep, tests/cancel_sweep_test.cc): read paths just stop;
+/// mutating paths stage their results and publish only on success, so a
+/// cancelled operation leaves observable state byte-identical to one that
+/// never ran.
+///
+/// Tokens are owned by the request scope (server handler, test) and passed
+/// down by const pointer; nullptr means "not cancellable" and costs only a
+/// branch. Cancel() may be called from any thread (the server watchdog,
+/// a CANCEL control frame reader) while engine threads are checking.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms the token with an absolute deadline. Checks past this instant
+  /// return Status::DeadlineExceeded. Call before sharing the token.
+  void set_deadline(Clock::time_point at) {
+    deadline_ns_.store(at.time_since_epoch().count(), std::memory_order_release);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// Convenience: deadline `ms` milliseconds from now. ms <= 0 leaves the
+  /// token without a deadline.
+  void set_deadline_after_ms(int64_t ms) {
+    if (ms > 0) set_deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  /// Requests cancellation. Safe from any thread, any number of times.
+  void Cancel() {
+    cancelled_.store(true, std::memory_order_release);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// Test hook: the token auto-cancels on its Nth Check() from now
+  /// (1 = the very next check). The cancellation sweep counts a clean
+  /// run's checkpoints with CheckCount(), then replays arming every k.
+  void CancelAfterChecks(uint64_t n) {
+    cancel_at_check_.store(n == 0 ? 1 : n, std::memory_order_release);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// Total Check() calls observed — the sweep's checkpoint census.
+  uint64_t CheckCount() const {
+    return checks_.load(std::memory_order_relaxed);
+  }
+
+  /// The checkpoint probe. OK while the token is unarmed (one relaxed
+  /// load); Cancelled once Cancel() was called; DeadlineExceeded once the
+  /// deadline passed (which also latches cancelled_ so later checks are
+  /// cheap and the whole operation tears down consistently).
+  Status Check() {
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    return CheckSlow();
+  }
+
+ private:
+  Status CheckSlow();
+
+  /// Fast gate: false until a deadline, cancel, or countdown arms it.
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> deadline_hit_{false};
+  /// steady_clock ns-since-epoch of the deadline; 0 = none.
+  std::atomic<int64_t> deadline_ns_{0};
+  /// Checks observed while armed (countdown/census bookkeeping).
+  std::atomic<uint64_t> checks_{0};
+  /// Cancel when checks_ reaches this value; 0 = disabled.
+  std::atomic<uint64_t> cancel_at_check_{0};
+};
+
+}  // namespace semandaq::common
+
+/// Checkpoint macro: propagates Cancelled/DeadlineExceeded out of the
+/// enclosing function (which must return Status or Result<T>). `token` is
+/// a CancelToken* and may be null.
+#define SEMANDAQ_RETURN_IF_CANCELLED(token)                    \
+  do {                                                         \
+    ::semandaq::common::CancelToken* _ct = (token);            \
+    if (_ct != nullptr) {                                      \
+      ::semandaq::common::Status _ct_status = _ct->Check();    \
+      if (!_ct_status.ok()) return _ct_status;                 \
+    }                                                          \
+  } while (0)
+
+#endif  // SEMANDAQ_COMMON_CANCEL_H_

@@ -24,6 +24,7 @@ enum class StatusCode {
   kInternal,          ///< A bug: an invariant the library maintains was broken.
   kDeadlineExceeded,  ///< An operation ran past its caller-imposed deadline.
   kUnavailable,       ///< Transient overload (server shedding load); retryable.
+  kCancelled,         ///< The caller cancelled the operation (common/cancel.h).
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -80,6 +81,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -200,7 +200,7 @@ common::Result<Semandaq::SaveDbStats> Semandaq::SaveDatabase(
 }
 
 common::Result<Semandaq::OpenDbStats> Semandaq::OpenDatabase(
-    const std::string& dir) {
+    const std::string& dir, common::CancelToken* cancel) {
   SEMANDAQ_ASSIGN_OR_RETURN(std::vector<storage::CatalogEntry> entries,
                             storage::ReadCatalog(dir));
   for (const storage::CatalogEntry& e : entries) {
@@ -211,7 +211,7 @@ common::Result<Semandaq::OpenDbStats> Semandaq::OpenDatabase(
   OpenDbStats stats;
   std::vector<std::string> opened;
   for (const storage::CatalogEntry& e : entries) {
-    auto one = OpenRelation(e.name, dir + "/" + e.file);
+    auto one = OpenRelation(e.name, dir + "/" + e.file, cancel);
     if (!one.ok()) {
       for (const std::string& name : opened) (void)db_.DropRelation(name);
       return one.status();
@@ -225,7 +225,8 @@ common::Result<Semandaq::OpenDbStats> Semandaq::OpenDatabase(
 }
 
 common::Result<Semandaq::OpenStats> Semandaq::OpenRelation(
-    const std::string& name, const std::string& path) {
+    const std::string& name, const std::string& path,
+    common::CancelToken* cancel) {
   if (db_.HasRelation(name)) {
     return Status::AlreadyExists("relation already connected: " + name);
   }
@@ -241,13 +242,19 @@ common::Result<Semandaq::OpenStats> Semandaq::OpenRelation(
   // then absorbs it along the encoded append path (or a rebuild after an
   // in-place overwrite record). A bad WAL unwinds the registration.
   auto wal = storage::ReplayWal(storage::WalPathFor(path),
-                                snap.manifest_checksum, rel);
+                                snap.manifest_checksum, rel, cancel);
   if (!wal.ok()) {
     (void)db_.DropRelation(name);
     return wal.status();
   }
   enc->set_thread_pool(PoolFor(detector_options_.num_threads));
+  enc->set_cancel(cancel);
   enc->Sync();
+  enc->set_cancel(nullptr);  // the token's life ends with this request
+  if (cancel != nullptr && !cancel->Check().ok()) {
+    (void)db_.DropRelation(name);
+    return cancel->Check();
+  }
 
   // Arm the live journal AFTER the replay above — the replayed records are
   // already in the sidecar; the attachment appends only new mutations.

@@ -9,6 +9,7 @@
 
 #include "audit/metrics.h"
 #include "audit/report.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/constraint_engine.h"
@@ -126,7 +127,10 @@ class Semandaq {
   /// encoded snapshots adopted — the server restart path). Fails without
   /// side effects when any listed name is already connected or any file is
   /// corrupt: relations opened earlier in the same call are dropped again.
-  common::Result<OpenDbStats> OpenDatabase(const std::string& dir);
+  /// A tripped `cancel` token (common/cancel.h, checked per replayed WAL
+  /// record) unwinds the same way — no relation stays half-open.
+  common::Result<OpenDbStats> OpenDatabase(
+      const std::string& dir, common::CancelToken* cancel = nullptr);
 
   /// What OpenRelation reports back.
   struct OpenStats {
@@ -139,9 +143,12 @@ class Semandaq {
   /// encoded append path) and registers it as `name`. The loaded code
   /// columns are adopted as the relation's warm encoded snapshot — the
   /// first DetectErrors after an open pays no re-encode. Fails without
-  /// side effects if `name` is taken or the files are corrupt.
+  /// side effects if `name` is taken or the files are corrupt — and
+  /// likewise when `cancel` (common/cancel.h) trips mid-replay: the
+  /// half-replayed relation is dropped before the status escapes.
   common::Result<OpenStats> OpenRelation(const std::string& name,
-                                         const std::string& path);
+                                         const std::string& path,
+                                         common::CancelToken* cancel = nullptr);
 
   /// The warm encoded snapshot DetectErrors uses for `relation`; nullptr
   /// when none exists yet (exposed for tests and benches).

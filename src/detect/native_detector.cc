@@ -37,7 +37,7 @@ common::Result<ViolationTable> NativeDetector::Detect() {
       encoded_->InSync()) {
     return DetectEncoded(*encoded_);
   }
-  const EncodedRelation local(rel_, pool_);
+  const EncodedRelation local(rel_, pool_, options_.cancel);
   return DetectEncoded(local);
 }
 
@@ -138,6 +138,11 @@ struct GroupScan {
   uint64_t stride = 0;
   uint64_t dense_slots = 0;
   bool use_dense = false;
+
+  /// Checked once per kernel block; a tripped token stops the scan early
+  /// (the caller converts the latched token into a Status before any
+  /// output escapes). nullptr = not cancellable.
+  common::CancelToken* cancel = nullptr;
 
   uint64_t SlotOf(Code c0, Code c1) const {
     return arity == 1 ? c0 : static_cast<uint64_t>(c0) * stride + c1;
@@ -385,11 +390,15 @@ void ScanBlock(const GroupScan& gs, TupleId lo, TupleId hi, ScanScratch* sc,
   });
 }
 
-/// Runs ScanBlock over [lo, hi) in kScanBlock chunks.
+/// Runs ScanBlock over [lo, hi) in kScanBlock chunks. A tripped cancel
+/// token abandons the remaining blocks; the scan's output is then
+/// incomplete, but it only ever fills thread-local scratch — the caller
+/// checks the token again before anything is published.
 template <typename SingleFn, typename GroupFn>
 void ScanRange(const GroupScan& gs, TupleId lo, TupleId hi, ScanScratch* sc,
                const SingleFn& on_single, const GroupFn& on_group) {
   for (TupleId b = lo; b < hi; b += static_cast<TupleId>(kScanBlock)) {
+    if (gs.cancel != nullptr && !gs.cancel->Check().ok()) return;
     const TupleId e = std::min<TupleId>(hi, b + kScanBlock);
     ScanBlock(gs, b, e, sc, on_single, on_group);
   }
@@ -683,15 +692,20 @@ common::Result<ViolationTable> NativeDetector::DetectEncoded(
 
   const std::vector<EmbeddedFdGroup> groups = cfd::GroupByEmbeddedFd(cfds_);
   for (size_t gi = 0; gi < groups.size(); ++gi) {
+    SEMANDAQ_RETURN_IF_CANCELLED(options_.cancel);
     GroupScan gs;
     if (!CompileGroup(enc, cfds_, groups[gi], gi, kn, &gs)) continue;
     gs.want_rhs = options_.materialize_group_rhs;
+    gs.cancel = options_.cancel;
     if (plan.sharded()) {
       ScanGroupSharded(gs, live, plan, pool, &table);
     } else {
       ScanGroupSerial(gs, &table);
     }
   }
+  // A cancel that tripped inside the last group's kernel blocks left the
+  // table truncated; surface it rather than returning partial output.
+  SEMANDAQ_RETURN_IF_CANCELLED(options_.cancel);
   return table;
 }
 
@@ -700,6 +714,7 @@ common::Result<ViolationTable> NativeDetector::DetectRows() {
 
   const std::vector<EmbeddedFdGroup> groups = cfd::GroupByEmbeddedFd(cfds_);
   for (size_t gi = 0; gi < groups.size(); ++gi) {
+    SEMANDAQ_RETURN_IF_CANCELLED(options_.cancel);
     const EmbeddedFdGroup& g = groups[gi];
     // All members share the LHS column layout; take it from the first.
     const Cfd& first = cfds_[g.members.front().first];

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cfd/cfd.h"
+#include "common/cancel.h"
 #include "common/simd/simd.h"
 #include "common/status.h"
 #include "detect/violation.h"
@@ -57,6 +58,13 @@ struct DetectorOptions {
   /// per member per Detect. member_partners is always populated when this
   /// is off, so ViolationTable totals are byte-identical either way.
   bool materialize_group_rhs = true;
+
+  /// Cooperative cancellation (common/cancel.h): checked once per kernel
+  /// block and per CFD group. A tripped token turns Detect into
+  /// Status::Cancelled / Status::DeadlineExceeded with nothing published —
+  /// detection writes only its local ViolationTable, so stopping is free.
+  /// nullptr (the default) = not cancellable.
+  common::CancelToken* cancel = nullptr;
 };
 
 /// In-process CFD violation detector: one scan per embedded-FD group with

@@ -252,7 +252,8 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
   // One columnar encode pass feeds every partition and evidence scan below.
   std::unique_ptr<relational::EncodedRelation> encoded;
   if (options_.use_encoded) {
-    encoded = std::make_unique<relational::EncodedRelation>(rel_);
+    encoded = std::make_unique<relational::EncodedRelation>(rel_, nullptr,
+                                                            options_.cancel);
   }
 
   // Lane resolution is shared with the embedded FdMiner run below.
@@ -304,6 +305,7 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
   // candidates fan out freely.
   auto mine_candidate = [&](const std::vector<size_t>& lhs,
                             std::vector<Cfd>* local) {
+    if (options_.cancel != nullptr && !options_.cancel->Check().ok()) return;
     const Partition& px = cache.Get(lhs);
     EvidenceScratch scratch;
     for (size_t rhs = 0; rhs < ncols; ++rhs) {
@@ -441,12 +443,16 @@ common::Result<std::vector<Cfd>> CfdMiner::Mine() {
   // conditional forms.
   FdMinerOptions fd_opts;
   fd_opts.max_lhs = options_.max_lhs;
+  fd_opts.cancel = options_.cancel;
   FdMiner fd_miner(rel_, fd_opts);
   global_fds = fd_miner.Mine(
       &cache, pool, [&](size_t level, const std::vector<DiscoveredFd>& found) {
         global_fds = found;
         run_level(level);
       });
+  // A tripped token made the interleaved sweep stop early with partial
+  // buffers; discard them and surface the cancellation instead.
+  SEMANDAQ_RETURN_IF_CANCELLED(options_.cancel);
 
   // Assemble in the historical order: all-wildcard global FDs first, then
   // the buffered conditional levels ascending.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cfd/cfd.h"
+#include "common/cancel.h"
 #include "common/simd/simd.h"
 #include "common/status.h"
 #include "relational/relation.h"
@@ -46,6 +47,12 @@ struct CfdMinerOptions {
   /// variable evidence scans (kAuto = the host's best). Every tier mines
   /// the identical output.
   common::simd::Level simd_level = common::simd::Level::kAuto;
+  /// Cooperative cancellation (common/cancel.h), checked at level and
+  /// candidate boundaries (shared with the embedded FdMiner run). A
+  /// tripped token turns Mine() into Status::Cancelled /
+  /// Status::DeadlineExceeded; the miner writes nothing but its local
+  /// output, so nothing is published. nullptr = not cancellable.
+  common::CancelToken* cancel = nullptr;
 };
 
 /// CTANE-style CFD discovery from reference data (paper §2, Constraint

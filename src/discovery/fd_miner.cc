@@ -59,7 +59,8 @@ std::vector<DiscoveredFd> FdMiner::Mine() {
   // array sized directly from the dictionary cardinality.
   std::unique_ptr<relational::EncodedRelation> encoded;
   if (options_.use_encoded) {
-    encoded = std::make_unique<relational::EncodedRelation>(rel_);
+    encoded = std::make_unique<relational::EncodedRelation>(rel_, nullptr,
+                                                           options_.cancel);
   }
   std::unique_ptr<common::ThreadPool> local_pool;
   common::ThreadPool* pool =
@@ -94,7 +95,9 @@ std::vector<DiscoveredFd> FdMiner::Mine(PartitionCache* cache,
     return false;
   };
 
+  common::CancelToken* cancel = options_.cancel;
   for (size_t level = 1; level <= options_.max_lhs && level < ncols; ++level) {
+    if (cancel != nullptr && !cancel->Check().ok()) return found;
     // Materialize this level's candidates up front, in the lexicographic
     // order the serial sweep visits them.
     std::vector<std::vector<size_t>> cands;
@@ -124,6 +127,7 @@ std::vector<DiscoveredFd> FdMiner::Mine(PartitionCache* cache,
     // Refines/error-test outcome is a pure function of the (deterministic)
     // partitions, so the fan-out cannot perturb the mined set.
     auto validate = [&](size_t i) {
+      if (cancel != nullptr && !cancel->Check().ok()) return;
       const std::vector<size_t>& lhs = cands[i];
       Slot& slot = slots[i];
       if (slot.rhs.empty()) return;
@@ -143,6 +147,9 @@ std::vector<DiscoveredFd> FdMiner::Mine(PartitionCache* cache,
     } else {
       for (size_t i = 0; i < cands.size(); ++i) validate(i);
     }
+    // A cancel mid-level left slots unvalidated; stop before emitting them
+    // (the caller re-checks the token and discards the partial result).
+    if (cancel != nullptr && !cancel->Check().ok()) return found;
 
     // Emit in the serial sweep's exact order: candidates lexicographic,
     // RHS ascending within each.

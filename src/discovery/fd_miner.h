@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.h"
 #include "discovery/partition.h"
 #include "relational/relation.h"
 
@@ -46,6 +47,12 @@ struct FdMinerOptions {
   /// (see RefinesForFd). Output is identical either way; the knob exists
   /// for the A/B bench.
   bool use_error_exit = true;
+  /// Cooperative cancellation (common/cancel.h), checked at level and
+  /// candidate boundaries. Mine() returns a vector, so a tripped token
+  /// makes the sweep stop early with a *partial* result — callers that
+  /// pass a token must re-check it after Mine() and discard the output
+  /// (CfdMiner turns it into Status::Cancelled). nullptr = not cancellable.
+  common::CancelToken* cancel = nullptr;
 };
 
 /// TANE-style levelwise FD discovery on stripped partitions: candidate

@@ -14,10 +14,14 @@ namespace {
 /// pay for itself; encode serially even when a pool is attached.
 constexpr uint64_t kParallelEncodeMinCells = uint64_t{1} << 14;
 
+/// Rows between cancel checkpoints in the encode loops.
+constexpr TupleId kEncodeCancelBatch = 4096;
+
 }  // namespace
 
-EncodedRelation::EncodedRelation(const Relation* rel, common::ThreadPool* pool)
-    : rel_(rel), pool_(pool) {
+EncodedRelation::EncodedRelation(const Relation* rel, common::ThreadPool* pool,
+                                 common::CancelToken* cancel)
+    : rel_(rel), pool_(pool), cancel_(cancel) {
   Rebuild();
 }
 
@@ -73,7 +77,9 @@ void EncodedRelation::Rebuild() {
   // AssignFill detaches any chunk shared with a frozen view, so a rebuild
   // under pinned readers writes into fresh storage.
   for (auto& col : columns_) col.AssignFill(bound, kNullCode);
-  EncodeRows(0, static_cast<TupleId>(bound));
+  // A cancelled encode leaves the sync marks behind the relation's: the
+  // snapshot reports !InSync() and is rebuilt before anything trusts it.
+  if (!EncodeRows(0, static_cast<TupleId>(bound))) return;
   synced_version_ = rel_->version();
   synced_overwrite_version_ = rel_->overwrite_version();
 }
@@ -94,13 +100,13 @@ void EncodedRelation::Sync() {
   for (auto& col : columns_) {
     col.ExtendFill(static_cast<size_t>(to), kNullCode);
   }
-  EncodeRows(from, to);
+  if (!EncodeRows(from, to)) return;  // cancelled: stay stale, never lie
   synced_version_ = rel_->version();
 }
 
-void EncodedRelation::EncodeRows(TupleId from, TupleId to) {
+bool EncodedRelation::EncodeRows(TupleId from, TupleId to) {
   const size_t ncols = columns_.size();
-  if (to <= from || ncols == 0) return;
+  if (to <= from || ncols == 0) return true;
   // Detach dictionaries shared with frozen views up front, on this thread:
   // the per-column workers below must never swap a shared_ptr another
   // reader could be copying.
@@ -112,22 +118,33 @@ void EncodedRelation::EncodeRows(TupleId from, TupleId to) {
     // encode is byte-identical to the serial one. Hydrate lazily loaded
     // rows on this thread first; workers must never race the materializer.
     rel_->EnsureHydrated();
+    // Workers check the token themselves (per kEncodeCancelBatch rows) and
+    // stop early; the re-check below decides whether the fan-out finished.
     pool_->Run(ncols, [&](size_t c) { EncodeColumn(c, from, to); });
-    return;
+    return cancel_ == nullptr || cancel_->Check().ok();
   }
   for (TupleId tid = from; tid < to; ++tid) {
+    if (cancel_ != nullptr && (tid - from) % kEncodeCancelBatch == 0 &&
+        !cancel_->Check().ok()) {
+      return false;
+    }
     if (!rel_->IsLive(tid)) continue;
     const Row& row = rel_->row(tid);
     for (size_t c = 0; c < ncols; ++c) {
       columns_[c].Set(static_cast<size_t>(tid), dicts_[c]->Encode(row[c]));
     }
   }
+  return cancel_ == nullptr || cancel_->Check().ok();
 }
 
 void EncodedRelation::EncodeColumn(size_t col, TupleId from, TupleId to) {
   Dictionary& dict = *dicts_[col];  // detached by EncodeRows already
   CodeColumn& codes = columns_[col];
   for (TupleId tid = from; tid < to; ++tid) {
+    if (cancel_ != nullptr && (tid - from) % kEncodeCancelBatch == 0 &&
+        !cancel_->Check().ok()) {
+      return;  // EncodeRows re-checks and withholds the sync marks
+    }
     if (!rel_->IsLive(tid)) continue;
     codes.Set(static_cast<size_t>(tid), dict.Encode(rel_->row(tid)[col]));
   }
@@ -138,7 +155,7 @@ void EncodedRelation::ApplyInsert(TupleId tid) {
   for (auto& col : columns_) {
     col.ExtendFill(static_cast<size_t>(tid) + 1, kNullCode);
   }
-  EncodeRows(tid, tid + 1);
+  if (!EncodeRows(tid, tid + 1)) return;  // cancelled: stay stale
   synced_version_ = rel_->version();
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/hash.h"
 #include "relational/column_chunk.h"
 #include "relational/dictionary.h"
@@ -59,9 +60,15 @@ namespace semandaq::relational {
 class EncodedRelation {
  public:
   /// Builds the snapshot with one pass over the live tuples. With a pool,
-  /// the encode fans out per column (see set_thread_pool).
+  /// the encode fans out per column (see set_thread_pool). With a cancel
+  /// token (common/cancel.h, checked every few thousand rows per column), a
+  /// tripped token abandons the encode and leaves the snapshot *out of
+  /// sync* — InSync() stays false, so nothing ever reads the half-encoded
+  /// codes as current; callers surface the latched token as
+  /// Status::Cancelled before using the snapshot.
   explicit EncodedRelation(const Relation* rel,
-                           common::ThreadPool* pool = nullptr);
+                           common::ThreadPool* pool = nullptr,
+                           common::CancelToken* cancel = nullptr);
 
   /// Adopts already-encoded state instead of re-encoding — the storage
   /// layer's load path (storage::SnapshotReader): `dicts` and `columns`
@@ -95,6 +102,13 @@ class EncodedRelation {
   /// encode. Must not be a pool that is currently inside a Run call (the
   /// pool is not reentrant).
   void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+
+  /// Attaches a cooperative cancellation token checked by the encode
+  /// passes (constructor, Sync, Rebuild). A tripped token makes them stop
+  /// without updating the sync marks: the snapshot reports !InSync() and a
+  /// later Sync()/Rebuild() with a clean token redoes the work. nullptr =
+  /// not cancellable.
+  void set_cancel(common::CancelToken* cancel) { cancel_ = cancel; }
 
   const Relation& relation() const { return *rel_; }
   size_t num_columns() const { return columns_.size(); }
@@ -168,7 +182,9 @@ class EncodedRelation {
  private:
   EncodedRelation() = default;  // for FromStorage/Freeze
 
-  void EncodeRows(TupleId from, TupleId to);
+  /// False when a cancel token tripped mid-encode; the caller must then
+  /// leave the sync marks untouched (the snapshot stays stale).
+  bool EncodeRows(TupleId from, TupleId to);
   void EncodeColumn(size_t col, TupleId from, TupleId to);
 
   /// Detaches dicts_[col] if it is shared with a frozen view (COW), then
@@ -179,6 +195,7 @@ class EncodedRelation {
   std::vector<std::shared_ptr<Dictionary>> dicts_;  // one per column, COW
   std::vector<CodeColumn> columns_;                 // [col][tid], chunked COW
   common::ThreadPool* pool_ = nullptr;  // borrowed; nullptr = serial encode
+  common::CancelToken* cancel_ = nullptr;  // borrowed; nullptr = not cancellable
   uint64_t synced_version_ = 0;
   uint64_t synced_overwrite_version_ = 0;
 };

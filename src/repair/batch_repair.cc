@@ -89,7 +89,7 @@ class RepairEngine {
     work_.EnsureHydrated();  // Phase A reads rows from worker lanes
     pool_ = common::ResolvePool(options_.pool, options_.num_threads, &owned_pool_);
     if (options_.use_encoded) {
-      enc_ = std::make_unique<EncodedRelation>(&work_, pool_);
+      enc_ = std::make_unique<EncodedRelation>(&work_, pool_, options_.cancel);
     }
     kernels_ = &common::simd::KernelsFor(options_.simd_level);
     ComputeFrequentValues();
@@ -106,6 +106,9 @@ class RepairEngine {
     // per group member per round would dominate re-detection on the mega
     // groups low-cardinality LHS keys produce.
     dopts.materialize_group_rhs = false;
+    // The re-detection scans inherit the token (kernel-block granularity);
+    // the round loop below adds the round-boundary checkpoint.
+    dopts.cancel = options_.cancel;
     detect::NativeDetector detector(&work_, cfds_, dopts);
     detector.set_thread_pool(pool_);
     if (enc_) detector.set_encoded(enc_.get());
@@ -113,6 +116,7 @@ class RepairEngine {
     RepairResult result;
     int it = 0;
     for (; it < options_.max_iterations; ++it) {
+      SEMANDAQ_RETURN_IF_CANCELLED(options_.cancel);
       SEMANDAQ_ASSIGN_OR_RETURN(ViolationTable table, detector.Detect());
       if (table.TotalVio() == 0) break;
       const size_t edits = ResolveRound(table, &result);

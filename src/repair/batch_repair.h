@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cfd/cfd.h"
+#include "common/cancel.h"
 #include "common/simd/simd.h"
 #include "common/status.h"
 #include "detect/violation.h"
@@ -62,6 +63,15 @@ struct RepairOptions {
   /// = the engine resolves `num_threads` itself, spinning up a private pool
   /// for N >= 2.
   common::ThreadPool* pool = nullptr;
+
+  /// Cooperative cancellation (common/cancel.h), checked at round
+  /// boundaries and inherited by the per-round re-detection scans (kernel
+  /// blocks). The engine repairs a private clone of the relation and the
+  /// master copy is untouched until the caller publishes the RepairResult,
+  /// so a tripped token turns Run() into Status::Cancelled /
+  /// Status::DeadlineExceeded with no observable state change. nullptr =
+  /// not cancellable.
+  common::CancelToken* cancel = nullptr;
 };
 
 /// One cell edit made by the cleanser, with its ranked alternatives.

@@ -45,9 +45,12 @@ common::Result<int> OpenSocket(const std::string& host, uint16_t port) {
   return fd;
 }
 
-/// The server's busy-shed refusal (tcp_server.cc) — the one ok=false
-/// response worth retrying, because it promises nothing ran.
+/// The server's busy-shed refusal (admission control or the connection
+/// cap) — the one non-ok response worth retrying, because it promises
+/// nothing ran. The status byte is authoritative; the text prefix keeps
+/// compatibility with servers predating WireStatus::kBusy.
 bool IsBusyRefusal(const WireResponse& resp) {
+  if (resp.status == WireStatus::kBusy) return true;
   return !resp.ok && common::StartsWith(resp.text, "Unavailable:");
 }
 
@@ -122,16 +125,55 @@ common::Result<WireResponse> Client::Call(std::string_view command) {
   return DecodeResponse(payload);
 }
 
+common::Result<WireResponse> Client::CallWithDeadline(std::string_view command,
+                                                      uint32_t deadline_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  SEMANDAQ_RETURN_IF_ERROR(WriteFrame(
+      fd_, EncodeDeadlineRequest(deadline_ms, command),
+      options_.call_deadline_ms));
+  std::string payload;
+  SEMANDAQ_ASSIGN_OR_RETURN(
+      bool got, ReadFrame(fd_, &payload, options_.call_deadline_ms));
+  if (!got) return Status::IoError("server closed the connection");
+  return DecodeResponse(payload);
+}
+
+common::Status Client::SendCancel() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  // Short write deadline: a cancel that cannot go out promptly is moot.
+  return WriteFrame(fd_, EncodeCancelRequest(), 1000);
+}
+
 common::Result<WireResponse> Client::CallIdempotent(std::string_view command) {
   common::Result<WireResponse> last = Call(command);
   for (int attempt = 0;
        attempt < options_.max_retries &&
        (!last.ok() || IsBusyRefusal(*last));
        ++attempt) {
+    // A busy response with a retry hint is the server telling us when
+    // capacity frees up: honor it (with jitter in [1.0, 1.5) so a shed
+    // herd does not return in lockstep) instead of guessing with
+    // exponential backoff.
+    const uint32_t hinted =
+        last.ok() && IsBusyRefusal(*last) ? last->retry_after_ms : 0;
+    int64_t nominal;
+    if (hinted > 0) {
+      nominal = static_cast<int64_t>(hinted);
+      const int64_t jittered = nominal + rng_.NextInRange(0, nominal / 2 + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+      const Status rc = Reconnect();
+      if (!rc.ok()) {
+        last = rc;
+        continue;
+      }
+      ++reconnects_;
+      last = Call(command);
+      continue;
+    }
     // Exponential backoff with jitter: nominal = initial * 2^attempt
     // (capped), slept for a uniform fraction in [0.5, 1.0) of nominal so
     // concurrent retriers spread out instead of re-colliding.
-    int64_t nominal = options_.backoff_initial_ms;
+    nominal = options_.backoff_initial_ms;
     for (int i = 0; i < attempt && nominal < options_.backoff_max_ms; ++i) {
       nominal *= 2;
     }

@@ -54,14 +54,33 @@ class Client {
   ~Client();
 
   /// Executes one command line on the server. A returned WireResponse with
-  /// ok = false carries the server-side error text; a non-OK Result is a
-  /// transport failure (IoError) or an expired deadline (DeadlineExceeded).
+  /// ok = false carries the server-side error text — check `status` to
+  /// distinguish a plain error (kError) from the server cancelling the
+  /// request (kCancelled), its deadline expiring server-side
+  /// (kDeadlineExceeded), or an admission shed (kBusy, with
+  /// retry_after_ms). A non-OK Result is a transport failure (IoError) or
+  /// a locally-expired call deadline (DeadlineExceeded).
   common::Result<WireResponse> Call(std::string_view command);
 
-  /// Call, plus reconnect-and-retry (up to max_retries, exponential
-  /// backoff + jitter) on transport failures and on the server's busy
-  /// frame. The command runs at-least-once across attempts — only use for
-  /// idempotent commands. Returns the last failure when retries run out.
+  /// Call with a server-side deadline: the request frame carries
+  /// `deadline_ms` and the server cancels the command once it expires
+  /// (response status kDeadlineExceeded). Independent of the transport's
+  /// call_deadline_ms, which should be longer.
+  common::Result<WireResponse> CallWithDeadline(std::string_view command,
+                                                uint32_t deadline_ms);
+
+  /// Sends a CANCEL control frame for the in-flight request on this
+  /// connection (use from another thread while Call blocks, or after
+  /// firing a request you no longer want). No response of its own — the
+  /// cancelled request's response comes back with status kCancelled.
+  common::Status SendCancel();
+
+  /// Call, plus reconnect-and-retry (up to max_retries) on transport
+  /// failures and on the server's busy frame. A busy response carrying a
+  /// retry_after_ms hint is honored (slept, with jitter) instead of the
+  /// blind exponential backoff used for transport failures. The command
+  /// runs at-least-once across attempts — only use for idempotent
+  /// commands. Returns the last failure when retries run out.
   common::Result<WireResponse> CallIdempotent(std::string_view command);
 
   void Close();

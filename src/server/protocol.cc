@@ -155,9 +155,25 @@ common::Result<bool> ReadFrame(int fd, std::string* payload, int deadline_ms) {
 }
 
 std::string EncodeResponse(bool ok, std::string_view text) {
+  return EncodeStatusResponse(ok ? WireStatus::kOk : WireStatus::kError, text);
+}
+
+std::string EncodeStatusResponse(WireStatus status, std::string_view text) {
   std::string payload;
   payload.reserve(text.size() + 1);
-  payload.push_back(ok ? '\0' : '\1');
+  payload.push_back(static_cast<char>(status));
+  payload.append(text.data(), text.size());
+  return payload;
+}
+
+std::string EncodeBusyResponse(uint32_t retry_after_ms, std::string_view text) {
+  std::string payload;
+  payload.reserve(text.size() + 5);
+  payload.push_back(static_cast<char>(WireStatus::kBusy));
+  char hint[4];
+  std::memcpy(hint, &retry_after_ms, sizeof hint);  // little-endian hosts,
+                                                    // matching the framing
+  payload.append(hint, sizeof hint);
   payload.append(text.data(), text.size());
   return payload;
 }
@@ -166,13 +182,69 @@ common::Result<WireResponse> DecodeResponse(std::string_view payload) {
   if (payload.empty()) {
     return Status::IoError("empty response frame (missing status byte)");
   }
-  if (payload[0] != '\0' && payload[0] != '\1') {
+  const uint8_t raw = static_cast<uint8_t>(payload[0]);
+  if (raw > static_cast<uint8_t>(WireStatus::kBusy)) {
     return Status::IoError("unknown response status byte");
   }
   WireResponse resp;
-  resp.ok = payload[0] == '\0';
-  resp.text.assign(payload.data() + 1, payload.size() - 1);
+  resp.status = static_cast<WireStatus>(raw);
+  resp.ok = resp.status == WireStatus::kOk;
+  size_t body = 1;
+  if (resp.status == WireStatus::kBusy) {
+    if (payload.size() < 5) {
+      return Status::IoError("truncated busy response (missing retry hint)");
+    }
+    std::memcpy(&resp.retry_after_ms, payload.data() + 1,
+                sizeof resp.retry_after_ms);
+    body = 5;
+  }
+  resp.text.assign(payload.data() + body, payload.size() - body);
   return resp;
+}
+
+std::string EncodeDeadlineRequest(uint32_t deadline_ms,
+                                  std::string_view command) {
+  std::string payload;
+  payload.reserve(command.size() + 6);
+  payload.push_back('\0');
+  payload.push_back('\1');  // kind 1: deadline-bearing request
+  char ms[4];
+  std::memcpy(ms, &deadline_ms, sizeof ms);
+  payload.append(ms, sizeof ms);
+  payload.append(command.data(), command.size());
+  return payload;
+}
+
+std::string EncodeCancelRequest() {
+  std::string payload;
+  payload.push_back('\0');
+  payload.push_back('\2');  // kind 2: CANCEL
+  return payload;
+}
+
+common::Result<WireRequest> DecodeRequest(std::string_view payload) {
+  WireRequest req;
+  if (payload.empty() || payload[0] != '\0') {
+    req.command.assign(payload.data(), payload.size());
+    return req;
+  }
+  if (payload.size() < 2) {
+    return Status::IoError("truncated control frame (missing kind byte)");
+  }
+  const uint8_t kind = static_cast<uint8_t>(payload[1]);
+  if (kind == 1) {
+    if (payload.size() < 6) {
+      return Status::IoError("truncated deadline request (missing deadline)");
+    }
+    std::memcpy(&req.deadline_ms, payload.data() + 2, sizeof req.deadline_ms);
+    req.command.assign(payload.data() + 6, payload.size() - 6);
+    return req;
+  }
+  if (kind == 2) {
+    req.cancel = true;
+    return req;
+  }
+  return Status::IoError("unknown control frame kind " + std::to_string(kind));
 }
 
 }  // namespace semandaq::server

@@ -1,9 +1,100 @@
 #include "server/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "common/string_util.h"
+
 namespace semandaq::server {
+
+RequestClass ClassifyVerb(std::string_view verb) {
+  // Expensive: engine scans/sweeps (detect/mine/clean/sql/map/report/
+  // explore), bulk ingest (load/gen), and storage passes (open/save/
+  // opendb/savedb/apply — apply re-detects via compaction republish).
+  // Everything else answers from materialized state: cheap.
+  static constexpr std::string_view kExpensive[] = {
+      "detect", "mine",   "clean",  "sql",    "map",  "report", "explore",
+      "load",   "gen",    "open",   "save",   "opendb", "savedb", "apply",
+  };
+  for (std::string_view v : kExpensive) {
+    if (common::EqualsIgnoreCase(verb, v)) return RequestClass::kExpensive;
+  }
+  return RequestClass::kCheap;
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         size_t total_lanes)
+    : options_(options) {
+  const size_t lanes = std::max<size_t>(1, total_lanes);
+  if (options_.max_expensive == 0) {
+    options_.max_expensive = std::max<size_t>(1, lanes / 2);
+  }
+  if (options_.max_cheap == 0) options_.max_cheap = lanes * 4;
+  if (options_.retry_after_ms == 0) options_.retry_after_ms = 100;
+}
+
+AdmissionController::Decision AdmissionController::Admit(
+    RequestClass cls, common::CancelToken* cancel) {
+  Decision d;
+  if (!options_.enabled) {
+    d.admitted = true;
+    return d;
+  }
+  const size_t i = static_cast<size_t>(cls);
+  const size_t max_active = cls == RequestClass::kExpensive
+                                ? options_.max_expensive
+                                : options_.max_cheap;
+  const size_t queue_limit = cls == RequestClass::kExpensive
+                                 ? options_.queue_limit_expensive
+                                 : options_.queue_limit_cheap;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (active_[i] < max_active && queued_[i] == 0) {
+    ++active_[i];
+    d.admitted = true;
+    return d;
+  }
+  if (queued_[i] >= queue_limit) {
+    // Shed: the hint scales with how much work is already waiting ahead.
+    d.retry_after_ms =
+        options_.retry_after_ms * static_cast<uint32_t>(queued_[i] + 1);
+    return d;
+  }
+  ++queued_[i];
+  // Bounded waits so a queued request notices its own cancellation (the
+  // watchdog cancels deadline-expired tokens; nobody re-notifies for that).
+  while (active_[i] >= max_active) {
+    slot_free_.wait_for(lock, std::chrono::milliseconds(10));
+    if (cancel != nullptr && !cancel->Check().ok()) {
+      --queued_[i];
+      d.cancelled = true;
+      return d;
+    }
+  }
+  --queued_[i];
+  ++active_[i];
+  d.admitted = true;
+  return d;
+}
+
+void AdmissionController::Release(RequestClass cls) {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_[static_cast<size_t>(cls)];
+  }
+  slot_free_.notify_all();
+}
+
+size_t AdmissionController::active(RequestClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_[static_cast<size_t>(cls)];
+}
+
+size_t AdmissionController::queued(RequestClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_[static_cast<size_t>(cls)];
+}
 
 ThreadLease::ThreadLease(ThreadLease&& other) noexcept
     : scheduler_(other.scheduler_),

@@ -1,17 +1,96 @@
 #ifndef SEMANDAQ_SERVER_SCHEDULER_H_
 #define SEMANDAQ_SERVER_SCHEDULER_H_
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 
 namespace semandaq::server {
 
 class RequestScheduler;
+
+/// Admission cost class of one request (docs/robustness.md, Admission
+/// control). Cheap verbs answer from already-materialized state in
+/// microseconds; expensive verbs run engine scans/sweeps that hold worker
+/// lanes for milliseconds to minutes. Classing them separately keeps a
+/// storm of expensive requests from starving the cheap ones behind it
+/// (the head-of-line metric tools/bench_server_qps.py records).
+enum class RequestClass : uint8_t { kCheap = 0, kExpensive = 1 };
+
+/// The admission class of one Session-grammar verb. Unknown verbs come
+/// back cheap: they fail fast in Execute's dispatch anyway.
+RequestClass ClassifyVerb(std::string_view verb);
+
+/// Cost-aware admission knobs (ServiceOptions::admission). Zeros pick
+/// lane-derived defaults at construction.
+struct AdmissionOptions {
+  /// Master switch; disabled means every request is admitted at once (the
+  /// pre-admission behavior).
+  bool enabled = false;
+  /// Concurrent expensive requests allowed in flight. 0 = half the worker
+  /// lane budget, min 1 — expensive work can never saturate every lane.
+  size_t max_expensive = 0;
+  /// Concurrent cheap requests allowed in flight. 0 = 4x the lane budget
+  /// (cheap verbs barely touch the lanes; the cap only bounds pathology).
+  size_t max_cheap = 0;
+  /// Queued (waiting) requests tolerated per class before new arrivals
+  /// are shed with a busy response.
+  size_t queue_limit_expensive = 8;
+  size_t queue_limit_cheap = 64;
+  /// Base of the busy response's retry hint; the hint scales with the
+  /// shedding class's queue depth.
+  uint32_t retry_after_ms = 100;
+};
+
+/// Per-class bounded admission: at most max_* requests of a class run at
+/// once, at most queue_limit_* wait behind them, and everything past that
+/// is shed immediately with a machine-readable retry hint. Waiting
+/// requests leave the queue early when their cancel token trips (a queued
+/// request past its deadline must not consume the slot it was waiting
+/// for). Construction derives zero knobs from the lane budget.
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionOptions options, size_t total_lanes);
+
+  /// One admission verdict. `admitted` means the caller MUST call
+  /// Release(cls) when its request finishes. `cancelled` means the
+  /// caller's token tripped while queued (report Check()'s status).
+  /// Otherwise the request was shed: respond busy with `retry_after_ms`.
+  struct Decision {
+    bool admitted = false;
+    bool cancelled = false;
+    uint32_t retry_after_ms = 0;
+  };
+
+  /// Admits, queues (until a slot frees or `cancel` trips), or sheds.
+  /// Thread-safe. New arrivals never jump a non-empty queue.
+  Decision Admit(RequestClass cls, common::CancelToken* cancel);
+
+  /// Returns an admitted request's slot. Wakes one queued waiter.
+  void Release(RequestClass cls);
+
+  bool enabled() const { return options_.enabled; }
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Gauges for the stats surface.
+  size_t active(RequestClass cls) const;
+  size_t queued(RequestClass cls) const;
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  size_t active_[2] = {0, 0};
+  size_t queued_[2] = {0, 0};
+};
 
 /// A request's granted slice of the server's worker-lane budget: how many
 /// lanes it may run (>= 1; the session's own thread is always one) and,

@@ -22,13 +22,35 @@ using common::Result;
 using common::Status;
 
 SemandaqService::SemandaqService(ServiceOptions options)
-    : scheduler_(options.scheduler_lanes) {
+    : scheduler_(options.scheduler_lanes),
+      admission_(options.admission, scheduler_.total_lanes()) {
   sys_.set_wal_sync_policy(options.wal_sync);
 }
 
 std::string SemandaqService::Help() {
   return core::Session::Help() +
-         "  epoch REL                 latest published snapshot epoch of REL\n";
+         "  epoch REL                 latest published snapshot epoch of REL\n"
+         "  stats                     server counters (lanes, queues, sheds, "
+         "timeouts, cancels)\n";
+}
+
+std::string SemandaqService::RenderStats() const {
+  std::ostringstream out;
+  out << "lanes.total=" << scheduler_.total_lanes() << "\n"
+      << "lanes.free=" << scheduler_.available() << "\n"
+      << "admission.enabled=" << (admission_.enabled() ? 1 : 0) << "\n"
+      << "cheap.active=" << admission_.active(RequestClass::kCheap) << "\n"
+      << "cheap.queued=" << admission_.queued(RequestClass::kCheap) << "\n"
+      << "expensive.active=" << admission_.active(RequestClass::kExpensive)
+      << "\n"
+      << "expensive.queued=" << admission_.queued(RequestClass::kExpensive)
+      << "\n"
+      << "sheds=" << stats_.sheds.load(std::memory_order_relaxed) << "\n"
+      << "timeouts=" << stats_.timeouts.load(std::memory_order_relaxed) << "\n"
+      << "cancels=" << stats_.cancels.load(std::memory_order_relaxed) << "\n"
+      << "epochs_served="
+      << stats_.epochs_served.load(std::memory_order_relaxed) << "\n";
+  return out.str();
 }
 
 std::shared_ptr<SemandaqService::Slot> SemandaqService::SlotFor(
@@ -58,7 +80,10 @@ common::Status SemandaqService::RepublishLocked(const std::string& relation) {
 
 SnapshotPtr SemandaqService::Pin(const std::string& relation) {
   if (std::shared_ptr<Slot> slot = SlotFor(relation, false)) {
-    if (SnapshotPtr snap = std::atomic_load(&slot->snap)) return snap;
+    if (SnapshotPtr snap = std::atomic_load(&slot->snap)) {
+      stats_.epochs_served.fetch_add(1, std::memory_order_relaxed);
+      return snap;
+    }
   }
   // Nothing published yet: publish the first epoch under the writer lock
   // (a relation connected through the facade directly, or a lost race
@@ -66,7 +91,11 @@ SnapshotPtr SemandaqService::Pin(const std::string& relation) {
   std::lock_guard<std::mutex> lock(sys_mu_);
   if (sys_.database().FindRelation(relation) == nullptr) return nullptr;
   if (!RepublishLocked(relation).ok()) return nullptr;
-  return std::atomic_load(&SlotFor(relation, false)->snap);
+  SnapshotPtr snap = std::atomic_load(&SlotFor(relation, false)->snap);
+  if (snap != nullptr) {
+    stats_.epochs_served.fetch_add(1, std::memory_order_relaxed);
+  }
+  return snap;
 }
 
 std::vector<cfd::Cfd> SemandaqService::CfdsFor(const std::string& relation) {
@@ -88,24 +117,52 @@ common::Result<size_t> SemandaqService::AppendBatch(
 }
 
 common::Result<std::string> SemandaqService::Execute(
-    SessionState* session, std::string_view command_line) {
+    SessionState* session, std::string_view command_line, RequestContext* ctx) {
   const std::string_view line = common::Trim(command_line);
   if (line.empty() || line.front() == '#') return std::string();
   const std::vector<std::string> words = core::Words(line);
   const std::string verb = common::ToLower(words[0]);
   const std::vector<std::string> args(words.begin() + 1, words.end());
 
+  // Cost-aware admission: classify, then run under a per-class slot (or
+  // shed with a retry hint when the class's queue is full). Cancellation
+  // covers the queue wait too — a deadline-expired request must not
+  // consume the slot it queued for.
+  const RequestClass cls = ClassifyVerb(verb);
+  const AdmissionController::Decision d =
+      admission_.Admit(cls, ctx->cancel);
+  if (d.cancelled) return ctx->cancel->Check();
+  if (!d.admitted) {
+    stats_.sheds.fetch_add(1, std::memory_order_relaxed);
+    ctx->retry_after_ms = d.retry_after_ms;
+    return Status::Unavailable(
+        "server busy (" +
+        std::string(cls == RequestClass::kExpensive ? "expensive" : "cheap") +
+        " queue full), retry in " + std::to_string(d.retry_after_ms) + "ms");
+  }
+  struct SlotGuard {
+    AdmissionController* admission;
+    RequestClass cls;
+    ~SlotGuard() { admission->Release(cls); }
+  } guard{&admission_, cls};
+  return ExecuteAdmitted(session, line, verb, args, ctx->cancel);
+}
+
+common::Result<std::string> SemandaqService::ExecuteAdmitted(
+    SessionState* session, std::string_view line, const std::string& verb,
+    const std::vector<std::string>& args, common::CancelToken* cancel) {
   if (verb == "help") return Help();
+  if (verb == "stats") return RenderStats();
 
   // Read commands: pin an epoch and compute on it lock-free.
   if (verb == "show") return CmdShow(args);
   if (verb == "epoch") return CmdEpoch(args);
-  if (verb == "detect") return CmdDetect(args);
-  if (verb == "mine") return CmdMine(args);
-  if (verb == "clean") return CmdClean(session, args);
-  if (verb == "map") return CmdMap(args);
-  if (verb == "report") return CmdReport(args);
-  if (verb == "sql") return CmdSql(line.substr(verb.size()));
+  if (verb == "detect") return CmdDetect(args, cancel);
+  if (verb == "mine") return CmdMine(args, cancel);
+  if (verb == "clean") return CmdClean(session, args, cancel);
+  if (verb == "map") return CmdMap(args, cancel);
+  if (verb == "report") return CmdReport(args, cancel);
+  if (verb == "sql") return CmdSql(line.substr(verb.size()), cancel);
   if (verb == "diff") return CmdDiff(session);
   if (verb == "apply") return CmdApply(session);
 
@@ -161,7 +218,8 @@ common::Result<std::string> SemandaqService::Execute(
     if (args.size() != 2) {
       return Status::InvalidArgument("usage: open NAME PATH");
     }
-    SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.OpenRelation(args[0], args[1]));
+    SEMANDAQ_ASSIGN_OR_RETURN(auto stats,
+                              sys_.OpenRelation(args[0], args[1], cancel));
     SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(args[0]));
     return "opened " + args[0] + " from " + args[1] + " (" +
            std::to_string(stats.live_rows) + " tuples, " +
@@ -178,7 +236,7 @@ common::Result<std::string> SemandaqService::Execute(
 
   if (verb == "opendb") {
     if (args.size() != 1) return Status::InvalidArgument("usage: opendb DIR");
-    SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.OpenDatabase(args[0]));
+    SEMANDAQ_ASSIGN_OR_RETURN(auto stats, sys_.OpenDatabase(args[0], cancel));
     for (const auto& name : sys_.database().RelationNames()) {
       SEMANDAQ_RETURN_IF_ERROR(RepublishLocked(name));
     }
@@ -293,7 +351,7 @@ common::Result<std::string> SemandaqService::CmdEpoch(
 }
 
 common::Result<std::string> SemandaqService::CmdDetect(
-    const std::vector<std::string>& args) {
+    const std::vector<std::string>& args, common::CancelToken* cancel) {
   if (args.empty()) {
     return Status::InvalidArgument(
         "usage: detect REL [sql] [threads=N] [simd=LEVEL]");
@@ -333,6 +391,7 @@ common::Result<std::string> SemandaqService::CmdDetect(
   std::vector<cfd::Cfd> cfds = CfdsFor(args[0]);
   ThreadLease lease = scheduler_.Acquire(options.num_threads);
   options.num_threads = lease.lanes();
+  options.cancel = cancel;
   detect::NativeDetector detector(&snap->relation, std::move(cfds), options);
   detector.set_thread_pool(lease.pool());
   detector.set_encoded(&*snap->encoded);
@@ -341,7 +400,7 @@ common::Result<std::string> SemandaqService::CmdDetect(
 }
 
 common::Result<std::string> SemandaqService::CmdMine(
-    const std::vector<std::string>& args) {
+    const std::vector<std::string>& args, common::CancelToken* cancel) {
   if (args.empty()) {
     return Status::InvalidArgument("usage: mine REL [threads=N] [simd=LEVEL]");
   }
@@ -361,6 +420,7 @@ common::Result<std::string> SemandaqService::CmdMine(
   ThreadLease lease = scheduler_.Acquire(options.num_threads);
   options.num_threads = lease.lanes();
   options.pool = lease.pool();
+  options.cancel = cancel;
   discovery::CfdMiner miner(&snap->relation, options);
   SEMANDAQ_ASSIGN_OR_RETURN(std::vector<cfd::Cfd> mined, miner.Mine());
   // The sweep ran on the pinned epoch; only the Sigma append takes the
@@ -379,7 +439,8 @@ common::Result<std::string> SemandaqService::CmdMine(
 }
 
 common::Result<std::string> SemandaqService::CmdClean(
-    SessionState* session, const std::vector<std::string>& args) {
+    SessionState* session, const std::vector<std::string>& args,
+    common::CancelToken* cancel) {
   if (args.empty()) {
     return Status::InvalidArgument("usage: clean REL [threads=N] [simd=LEVEL]");
   }
@@ -400,6 +461,7 @@ common::Result<std::string> SemandaqService::CmdClean(
   ThreadLease lease = scheduler_.Acquire(options.num_threads);
   options.num_threads = lease.lanes();
   options.pool = lease.pool();
+  options.cancel = cancel;
   repair::CostModel model(snap->relation.schema(), {});
   repair::BatchRepair cleaner(&snap->relation, std::move(cfds),
                               std::move(model), std::move(options));
@@ -461,7 +523,7 @@ common::Result<std::string> SemandaqService::CmdApply(SessionState* session) {
 }
 
 common::Result<std::string> SemandaqService::CmdMap(
-    const std::vector<std::string>& args) {
+    const std::vector<std::string>& args, common::CancelToken* cancel) {
   if (args.empty()) return Status::InvalidArgument("usage: map REL [N]");
   size_t n = 20;
   if (args.size() > 1) {
@@ -473,6 +535,7 @@ common::Result<std::string> SemandaqService::CmdMap(
   ThreadLease lease = scheduler_.Acquire(0);
   detect::DetectorOptions options;
   options.num_threads = lease.lanes();
+  options.cancel = cancel;
   detect::NativeDetector detector(&snap->relation, std::move(cfds), options);
   detector.set_thread_pool(lease.pool());
   detector.set_encoded(&*snap->encoded);
@@ -481,7 +544,7 @@ common::Result<std::string> SemandaqService::CmdMap(
 }
 
 common::Result<std::string> SemandaqService::CmdReport(
-    const std::vector<std::string>& args) {
+    const std::vector<std::string>& args, common::CancelToken* cancel) {
   if (args.size() != 1) return Status::InvalidArgument("usage: report REL");
   SnapshotPtr snap = Pin(args[0]);
   if (snap == nullptr) return Status::NotFound("no relation named " + args[0]);
@@ -489,6 +552,7 @@ common::Result<std::string> SemandaqService::CmdReport(
   ThreadLease lease = scheduler_.Acquire(0);
   detect::DetectorOptions options;
   options.num_threads = lease.lanes();
+  options.cancel = cancel;
   detect::NativeDetector detector(&snap->relation, cfds, options);
   detector.set_thread_pool(lease.pool());
   detector.set_encoded(&*snap->encoded);
@@ -502,7 +566,8 @@ common::Result<std::string> SemandaqService::CmdReport(
          audit::AsciiRender::Statistics(report);
 }
 
-common::Result<std::string> SemandaqService::CmdSql(std::string_view query) {
+common::Result<std::string> SemandaqService::CmdSql(
+    std::string_view query, common::CancelToken* cancel) {
   // Pin one consistent set: the latest epoch of every published relation.
   // The scratch catalog below is built from those pins alone, so the
   // query never touches the live master (and holds no lock while it runs).
@@ -533,6 +598,7 @@ common::Result<std::string> SemandaqService::CmdSql(std::string_view query) {
     encoded_of[rel] = frozen.back().get();
   }
   sql::Engine engine(&scratch);
+  engine.set_cancel(cancel);
   engine.set_encoded_provider(
       [&encoded_of](const relational::Relation* rel)
           -> const relational::EncodedRelation* {

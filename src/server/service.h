@@ -1,6 +1,8 @@
 #ifndef SEMANDAQ_SERVER_SERVICE_H_
 #define SEMANDAQ_SERVER_SERVICE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -9,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/semandaq.h"
 #include "repair/batch_repair.h"
@@ -25,6 +28,24 @@ struct ServiceOptions {
   /// Default WAL durability for save/savedb (overridable per save command
   /// with sync=MODE). See storage::SyncPolicy and docs/robustness.md.
   storage::SyncPolicy wal_sync;
+  /// Cost-aware admission control (docs/robustness.md): per-class
+  /// concurrency caps and bounded queues, shedding with busy + retry
+  /// hint past them. Disabled by default.
+  AdmissionOptions admission;
+};
+
+/// Monotonic service counters, exposed by the `stats` command and bumped
+/// by the service and its transport (the TcpServer watchdog owns the
+/// timeout/cancel events). All relaxed atomics: ops data, not barriers.
+struct ServiceStats {
+  /// Requests shed by admission control with a busy response.
+  std::atomic<uint64_t> sheds{0};
+  /// Requests cancelled by the watchdog for running past their deadline.
+  std::atomic<uint64_t> timeouts{0};
+  /// Requests cancelled by a client CANCEL frame or a dead connection.
+  std::atomic<uint64_t> cancels{0};
+  /// Epoch pins handed to read requests (Pin calls that found a snapshot).
+  std::atomic<uint64_t> epochs_served{0};
 };
 
 /// The concurrent multi-session service over one Semandaq system: many
@@ -74,11 +95,30 @@ class SemandaqService {
     uint64_t pending_epoch = 0;
   };
 
+  /// Per-request execution context, owned by the transport. `cancel` is
+  /// threaded into every engine loop the command runs (nullptr = not
+  /// cancellable). On an Unavailable (admission-shed) result,
+  /// `retry_after_ms` carries the busy response's machine-readable hint.
+  struct RequestContext {
+    common::CancelToken* cancel = nullptr;
+    uint32_t retry_after_ms = 0;
+  };
+
   /// Executes one command line for one session. Thread-safe; any number
   /// of sessions may execute concurrently. The grammar is core::Session's
-  /// (same commands, same output bytes) plus `epoch REL`.
+  /// (same commands, same output bytes) plus `epoch REL` and `stats`.
   common::Result<std::string> Execute(SessionState* session,
-                                      std::string_view command_line);
+                                      std::string_view command_line) {
+    RequestContext ctx;
+    return Execute(session, command_line, &ctx);
+  }
+
+  /// Execute with a request context: cancellation/deadline checkpoints in
+  /// every engine loop, and cost-aware admission (when enabled) that can
+  /// shed the request with Unavailable + ctx->retry_after_ms.
+  common::Result<std::string> Execute(SessionState* session,
+                                      std::string_view command_line,
+                                      RequestContext* ctx);
 
   /// The command reference text.
   static std::string Help();
@@ -97,6 +137,13 @@ class SemandaqService {
                                      std::vector<relational::Row> rows);
 
   RequestScheduler& scheduler() { return scheduler_; }
+  AdmissionController& admission() { return admission_; }
+  ServiceStats& stats() { return stats_; }
+
+  /// The `stats` command's body: one `key=value` per line (lane budget and
+  /// free lanes, per-class active/queued gauges, shed/timeout/cancel and
+  /// epochs-served counters) — machine-parseable by design.
+  std::string RenderStats() const;
 
   /// The underlying facade, NOT synchronized: callers must guarantee no
   /// concurrent Execute/Pin/AppendBatch while touching it (bootstrap and
@@ -121,19 +168,32 @@ class SemandaqService {
   /// Copy of the CFDs registered for `relation` (brief sys_mu_ hold).
   std::vector<cfd::Cfd> CfdsFor(const std::string& relation);
 
+  /// The dispatch body Execute wraps with admission control.
+  common::Result<std::string> ExecuteAdmitted(SessionState* session,
+                                              std::string_view line,
+                                              const std::string& verb,
+                                              const std::vector<std::string>& args,
+                                              common::CancelToken* cancel);
+
   common::Result<std::string> CmdWrite(const std::string& verb,
                                        const std::vector<std::string>& args);
   common::Result<std::string> CmdShow(const std::vector<std::string>& args);
   common::Result<std::string> CmdEpoch(const std::vector<std::string>& args);
-  common::Result<std::string> CmdDetect(const std::vector<std::string>& args);
-  common::Result<std::string> CmdMine(const std::vector<std::string>& args);
+  common::Result<std::string> CmdDetect(const std::vector<std::string>& args,
+                                        common::CancelToken* cancel);
+  common::Result<std::string> CmdMine(const std::vector<std::string>& args,
+                                      common::CancelToken* cancel);
   common::Result<std::string> CmdClean(SessionState* session,
-                                       const std::vector<std::string>& args);
+                                       const std::vector<std::string>& args,
+                                       common::CancelToken* cancel);
   common::Result<std::string> CmdDiff(SessionState* session);
   common::Result<std::string> CmdApply(SessionState* session);
-  common::Result<std::string> CmdMap(const std::vector<std::string>& args);
-  common::Result<std::string> CmdReport(const std::vector<std::string>& args);
-  common::Result<std::string> CmdSql(std::string_view query);
+  common::Result<std::string> CmdMap(const std::vector<std::string>& args,
+                                     common::CancelToken* cancel);
+  common::Result<std::string> CmdReport(const std::vector<std::string>& args,
+                                        common::CancelToken* cancel);
+  common::Result<std::string> CmdSql(std::string_view query,
+                                     common::CancelToken* cancel);
 
   core::Semandaq sys_;
   /// The writer lock: serializes every master/catalog/constraint mutation
@@ -141,6 +201,8 @@ class SemandaqService {
   /// computes (only while it copies CFDs or pins).
   std::mutex sys_mu_;
   RequestScheduler scheduler_;
+  AdmissionController admission_;
+  ServiceStats stats_;
   std::mutex slots_mu_;
   std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
 };

@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -70,7 +72,84 @@ common::Status TcpServer::Start() {
   }
   listen_fd_.store(lfd, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
   return Status::OK();
+}
+
+void TcpServer::WatchdogLoop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(1, options_.watchdog_interval_ms));
+  std::unique_lock<std::mutex> wd_lock(watchdog_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    watchdog_cv_.wait_for(wd_lock, interval);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (auto& [id, rq] : inflight_) CheckInFlightLocked(&rq);
+  }
+}
+
+void TcpServer::CheckInFlightLocked(InFlight* rq) {
+  // Expired deadline: the token trips on its own at the next engine
+  // checkpoint (CheckSlow latches DeadlineExceeded); the watchdog only
+  // counts the event, once.
+  if (rq->has_deadline && !rq->timeout_counted &&
+      std::chrono::steady_clock::now() >= rq->deadline) {
+    rq->timeout_counted = true;
+    service_->stats().timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  pollfd pfd;
+  pfd.fd = rq->fd;
+  pfd.events = POLLIN | POLLRDHUP;
+  pfd.revents = 0;
+  if (::poll(&pfd, 1, 0) <= 0) return;
+
+  if (pfd.revents & (POLLRDHUP | POLLERR | POLLHUP)) {
+    // The client died mid-request: nobody is left to read the answer, so
+    // stop computing it. The handler thread notices when its response
+    // write fails.
+    if (!rq->cancel_counted) {
+      rq->cancel_counted = true;
+      service_->stats().cancels.fetch_add(1, std::memory_order_relaxed);
+    }
+    rq->token->Cancel();
+    return;
+  }
+
+  if ((pfd.revents & POLLIN) == 0) return;
+  // Bytes arrived while a request is in flight. The protocol is strictly
+  // request-response, so this is either a CANCEL control frame or a dead
+  // peer's FIN racing the poll above. Only consume a complete frame (peek
+  // first): a partial one stays buffered for the next tick.
+  char peek[6 + 4];
+  const ssize_t avail =
+      ::recv(rq->fd, peek, sizeof peek, MSG_PEEK | MSG_DONTWAIT);
+  if (avail == 0) {  // EOF: dead socket
+    if (!rq->cancel_counted) {
+      rq->cancel_counted = true;
+      service_->stats().cancels.fetch_add(1, std::memory_order_relaxed);
+    }
+    rq->token->Cancel();
+    return;
+  }
+  if (avail < 4) return;  // length prefix not complete yet
+  uint32_t len = 0;
+  std::memcpy(&len, peek, sizeof len);
+  if (len > 6) return;  // not a control frame; leave it for the handler
+  if (static_cast<size_t>(avail) < 4 + len) return;  // frame incomplete
+  char frame[4 + 6];
+  const ssize_t taken = ::recv(rq->fd, frame, 4 + len, MSG_DONTWAIT);
+  if (taken != static_cast<ssize_t>(4 + len)) return;
+  auto req = DecodeRequest(std::string_view(frame + 4, len));
+  if (req.ok() && req->cancel) {
+    if (!rq->cancel_counted) {
+      rq->cancel_counted = true;
+      service_->stats().cancels.fetch_add(1, std::memory_order_relaxed);
+    }
+    rq->token->Cancel();
+  }
+  // Anything else was protocol misuse (a pipelined request mid-request);
+  // consuming it keeps the framing aligned for the response that follows.
 }
 
 void TcpServer::ReapFinished() {
@@ -132,9 +211,12 @@ void TcpServer::AcceptLoop() {
       // naming the condition and can back off and retry. Bounded write —
       // a shedding server must never block on the client it is shedding.
       shed_.fetch_add(1, std::memory_order_relaxed);
+      service_->stats().sheds.fetch_add(1, std::memory_order_relaxed);
       (void)WriteFrame(
-          fd, EncodeResponse(false, "Unavailable: server busy (connection "
-                                    "limit reached), retry later\n"),
+          fd,
+          EncodeBusyResponse(options_.shed_retry_after_ms,
+                             "Unavailable: server busy (connection "
+                             "limit reached), retry later\n"),
           kCourtesyWriteMs);
       ::shutdown(fd, SHUT_RDWR);
       ::close(fd);
@@ -159,18 +241,86 @@ void TcpServer::ServeConnection(uint64_t id, int fd) {
       break;
     }
     if (!*got) break;  // clean close
-    const std::string command = std::string(common::Trim(request));
+    auto req = DecodeRequest(request);
+    if (!req.ok()) {
+      if (!WriteFrame(fd,
+                      EncodeResponse(false, req.status().ToString() + "\n"),
+                      options_.write_deadline_ms)
+               .ok()) {
+        break;
+      }
+      continue;
+    }
+    // A CANCEL with nothing in flight: the request it aimed at already
+    // answered. Control frames get no response of their own — swallow it
+    // so the next real request's response lines up with its frame.
+    if (req->cancel) continue;
+    const std::string command = std::string(common::Trim(req->command));
     if (common::EqualsIgnoreCase(command, "shutdown")) {
       (void)WriteFrame(fd, EncodeResponse(true, "shutting down\n"),
                        kCourtesyWriteMs);
       Shutdown();
       break;
     }
-    auto result = service_->Execute(&session, command);
-    const std::string payload =
-        result.ok() ? EncodeResponse(true, *result)
-                    : EncodeResponse(false, result.status().ToString() + "\n");
+
+    // Derive the request's cancel token: client deadline wins, then the
+    // server default. The watchdog sees the request while registered and
+    // trips the token on CANCEL frames / dead sockets.
+    common::CancelToken token;
+    const int64_t deadline_ms = req->deadline_ms > 0
+                                    ? static_cast<int64_t>(req->deadline_ms)
+                                    : options_.default_deadline_ms;
+    token.set_deadline_after_ms(deadline_ms);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      InFlight rq;
+      rq.fd = fd;
+      rq.token = &token;
+      rq.has_deadline = deadline_ms > 0;
+      if (rq.has_deadline) {
+        rq.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(deadline_ms);
+      }
+      inflight_[id] = rq;
+    }
+    SemandaqService::RequestContext ctx;
+    ctx.cancel = &token;
+    auto result = service_->Execute(&session, command, &ctx);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(id);
+    }
+
+    std::string payload;
+    if (result.ok()) {
+      payload = EncodeResponse(true, *result);
+    } else {
+      const std::string text = result.status().ToString() + "\n";
+      switch (result.status().code()) {
+        case common::StatusCode::kCancelled:
+          payload = EncodeStatusResponse(WireStatus::kCancelled, text);
+          break;
+        case common::StatusCode::kDeadlineExceeded:
+          payload = EncodeStatusResponse(WireStatus::kDeadlineExceeded, text);
+          break;
+        case common::StatusCode::kUnavailable:
+          // Admission shed: busy frame with the service's retry hint.
+          payload = EncodeBusyResponse(
+              ctx.retry_after_ms > 0 ? ctx.retry_after_ms : 100, text);
+          break;
+        default:
+          payload = EncodeResponse(false, text);
+      }
+    }
     if (!WriteFrame(fd, payload, options_.write_deadline_ms).ok()) break;
+  }
+  // If this connection dies with a request registered (we broke out of
+  // the loop above between register and deregister — impossible today,
+  // but cheap to guard), drop the entry so the watchdog never touches a
+  // dangling token.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(id);
   }
   // Deregister before closing: Shutdown() only ever pokes fds still in
   // the set, so it can never touch a recycled descriptor number.
@@ -192,6 +342,7 @@ void TcpServer::ServeConnection(uint64_t id, int fd) {
 
 void TcpServer::Shutdown() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  watchdog_cv_.notify_all();
   // Closing the listener unblocks accept(); shutting the connection
   // sockets down unblocks their reads (each handler closes its own fd).
   const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
@@ -205,6 +356,7 @@ void TcpServer::Shutdown() {
 
 void TcpServer::Wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   // Bounded drain: in-flight commands get drain_deadline_ms to finish and
   // respond; connections still open after that are force-disconnected so
   // Wait() returns in bounded time even with a wedged client.

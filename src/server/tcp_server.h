@@ -2,6 +2,7 @@
 #define SEMANDAQ_SERVER_TCP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "server/service.h"
 
@@ -37,6 +39,16 @@ struct TcpServerOptions {
   /// connections this long to finish their current command before
   /// force-disconnecting the stragglers. 0 = no grace, disconnect at once.
   int drain_deadline_ms = 2000;
+  /// Default per-request deadline in ms, applied when the client's request
+  /// frame carries none. The request's cancel token trips once the
+  /// deadline passes and the engines unwind at their next checkpoint
+  /// (status byte 3 on the wire). 0 = no default deadline.
+  int default_deadline_ms = 0;
+  /// Watchdog poll cadence in ms: how often in-flight requests are checked
+  /// for client CANCEL frames, dead sockets, and expired deadlines.
+  int watchdog_interval_ms = 10;
+  /// Retry hint attached to connection-limit busy sheds.
+  uint32_t shed_retry_after_ms = 1000;
 };
 
 /// The TCP front end over a SemandaqService: accepts connections, runs one
@@ -50,6 +62,16 @@ struct TcpServerOptions {
 /// connection count is capped with clean busy-shedding, and both
 /// directions of socket I/O run under deadlines, so one stalled or
 /// malicious client costs a bounded wait instead of a wedged thread.
+///
+/// Cancellation (docs/robustness.md): every request executes under a
+/// CancelToken derived from the client-supplied deadline (or
+/// default_deadline_ms). A watchdog thread polls in-flight connections
+/// and trips the token when a CANCEL control frame arrives, when the
+/// connection dies mid-request (POLLRDHUP/EOF — the engine stops even
+/// though nobody is left to read the answer), or counts a timeout once
+/// the deadline expires (the token notices the deadline itself at the
+/// next engine checkpoint). Cancelled requests answer with wire status
+/// 2/3 instead of a torn connection.
 ///
 /// `shutdown` is the only transport-level command: the server responds,
 /// then stops accepting, unblocks every open connection, and Wait()
@@ -87,8 +109,26 @@ class TcpServer {
   uint64_t connections_shed() const;
 
  private:
+  /// One request currently executing on a connection handler thread,
+  /// visible to the watchdog. The token outlives the entry (it lives on
+  /// the handler's stack past deregistration), and the watchdog only
+  /// touches fd/token while the entry is registered (under inflight_mu_).
+  struct InFlight {
+    int fd = -1;
+    common::CancelToken* token = nullptr;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    bool timeout_counted = false;
+    bool cancel_counted = false;
+  };
+
   void AcceptLoop();
   void ServeConnection(uint64_t id, int fd);
+  void WatchdogLoop();
+
+  /// Polls one in-flight request: consumes CANCEL frames, detects dead
+  /// sockets, counts expired deadlines. Caller holds inflight_mu_.
+  void CheckInFlightLocked(InFlight* rq);
 
   /// Joins handler threads whose connections already finished. Called
   /// from the accept loop (so the map stays small while running) and from
@@ -104,6 +144,12 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> shed_{0};
   std::thread accept_thread_;
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mu_;                ///< pairs with watchdog_cv_ only
+  std::condition_variable watchdog_cv_;   ///< wakes the watchdog to exit
+
+  std::mutex inflight_mu_;
+  std::unordered_map<uint64_t, InFlight> inflight_;  ///< by connection id
 
   mutable std::mutex conn_mu_;
   std::condition_variable drain_cv_;  ///< signaled as connections finish

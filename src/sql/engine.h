@@ -28,6 +28,10 @@ class Engine {
     provider_ = std::move(provider);
   }
 
+  /// Attaches a cooperative cancellation token (common/cancel.h) checked
+  /// at the executor's batch boundaries. nullptr = not cancellable.
+  void set_cancel(common::CancelToken* cancel) { cancel_ = cancel; }
+
   /// Runs one SELECT and materializes the result relation.
   common::Result<relational::Relation> Query(
       std::string_view sql, std::string_view result_name = "result") const;
@@ -35,6 +39,7 @@ class Engine {
  private:
   const relational::Database* db_;
   EncodedProvider provider_;
+  common::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace semandaq::sql

@@ -75,10 +75,16 @@ struct EvalContext {
   const std::vector<Value>* agg_values = nullptr;  ///< set in group context
 };
 
+/// Executor batch size between cancel checkpoints: big enough that an
+/// unarmed token costs one branch per ~4k rows, small enough that a cancel
+/// lands within tens of milliseconds of work.
+constexpr size_t kCancelBatch = 4096;
+
 class ExecutorImpl {
  public:
-  ExecutorImpl(const BoundQuery& q, const EncodedProvider& encoded)
-      : q_(q), provider_(encoded) {}
+  ExecutorImpl(const BoundQuery& q, const EncodedProvider& encoded,
+               common::CancelToken* cancel)
+      : q_(q), provider_(encoded), cancel_(cancel) {}
 
   Result<Relation> Run(std::string_view result_name) {
     SEMANDAQ_ASSIGN_OR_RETURN(std::vector<JoinedRow> rows, BuildJoin());
@@ -99,6 +105,15 @@ class ExecutorImpl {
   }
 
  private:
+  /// One cancel checkpoint per kCancelBatch calls; the hot loops below
+  /// thread every processed row through here.
+  Status MaybeCheckCancel() {
+    if (cancel_ == nullptr) return Status::OK();
+    if (++rows_since_check_ < kCancelBatch) return Status::OK();
+    rows_since_check_ = 0;
+    return cancel_->Check();
+  }
+
   // -- Expression evaluation -----------------------------------------------
 
   Result<Value> Eval(const Expr& e, const EvalContext& ctx) {
@@ -390,6 +405,8 @@ class ExecutorImpl {
     Status scan_status;
     auto probe_row = [&](TupleId tid, const Row& row) {
       if (!scan_status.ok()) return;
+      scan_status = MaybeCheckCancel();
+      if (!scan_status.ok()) return;
       JoinedRow probe;
       probe.rows.assign(n, nullptr);
       probe.tids.assign(n, -1);
@@ -437,6 +454,7 @@ class ExecutorImpl {
     uint64_t joined_mask = 0;
 
     for (size_t t = 0; t < n; ++t) {
+      SEMANDAQ_RETURN_IF_CANCELLED(cancel_);
       const uint64_t t_bit = uint64_t{1} << t;
 
       // Scan table t, applying single-table conjuncts on the fly.
@@ -526,6 +544,7 @@ class ExecutorImpl {
             }
           }
           for (JoinedRow& jr : acc) {
+            SEMANDAQ_RETURN_IF_ERROR(MaybeCheckCancel());
             auto key = code_key(jr.tids, /*probe_side=*/false);
             if (!key) continue;
             auto it = ht.find(*key);
@@ -562,6 +581,7 @@ class ExecutorImpl {
             ht[std::move(key)].push_back(si);
           }
           for (JoinedRow& jr : acc) {
+            SEMANDAQ_RETURN_IF_ERROR(MaybeCheckCancel());
             EvalContext ctx{.row = &jr, .agg_values = nullptr};
             Row key;
             key.reserve(keys.size());
@@ -587,6 +607,7 @@ class ExecutorImpl {
         } else {
           next.reserve(acc.size() * std::max<size_t>(1, scan.size()));
           for (const JoinedRow& jr : acc) {
+            SEMANDAQ_RETURN_IF_ERROR(MaybeCheckCancel());
             for (auto& [tid, row] : scan) {
               JoinedRow ext = jr;
               ext.rows[t] = row;
@@ -718,6 +739,7 @@ class ExecutorImpl {
     std::unordered_map<Key, Group, Hash, Eq> groups;
 
     for (const JoinedRow& jr : rows) {
+      SEMANDAQ_RETURN_IF_ERROR(MaybeCheckCancel());
       EvalContext ctx{.row = &jr, .agg_values = nullptr};
       Key key;
       SEMANDAQ_RETURN_IF_ERROR(make_key(jr, &key));
@@ -757,6 +779,7 @@ class ExecutorImpl {
   Status RunProjection(const std::vector<JoinedRow>& rows, std::vector<Row>* produced,
                        std::vector<Row>* sort_keys) {
     for (const JoinedRow& jr : rows) {
+      SEMANDAQ_RETURN_IF_ERROR(MaybeCheckCancel());
       EvalContext ctx{.row = &jr, .agg_values = nullptr};
       SEMANDAQ_RETURN_IF_ERROR(EmitRow(ctx, produced, sort_keys));
     }
@@ -839,6 +862,8 @@ class ExecutorImpl {
 
   const BoundQuery& q_;
   const EncodedProvider& provider_;
+  common::CancelToken* cancel_ = nullptr;
+  size_t rows_since_check_ = 0;
   /// Per-FROM-table resolved encoded snapshots (see EncodedFor); lazily
   /// filled, nullptr = fall back to the value paths for that table.
   std::vector<const EncodedRelation*> enc_;
@@ -849,8 +874,9 @@ class ExecutorImpl {
 
 common::Result<relational::Relation> Execute(const BoundQuery& query,
                                              std::string_view result_name,
-                                             const EncodedProvider& encoded) {
-  ExecutorImpl impl(query, encoded);
+                                             const EncodedProvider& encoded,
+                                             common::CancelToken* cancel) {
+  ExecutorImpl impl(query, encoded, cancel);
   return impl.Run(result_name);
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "relational/encoded_relation.h"
 #include "relational/relation.h"
@@ -41,9 +42,16 @@ using EncodedProvider = std::function<const relational::EncodedRelation*(
 ///    same relation (the self-join shape of detection queries) key on
 ///    uint32 codes instead of hashed Values;
 ///  * GROUP BY over plain column refs of encoded tables keys on codes too.
+///
+/// `cancel` (common/cancel.h) is checked every few thousand rows in the
+/// scan, join, aggregation, and projection loops; a tripped token turns
+/// the query into Status::Cancelled / Status::DeadlineExceeded. Queries
+/// only read the database and materialize a private result, so stopping
+/// publishes nothing.
 common::Result<relational::Relation> Execute(const BoundQuery& query,
                                              std::string_view result_name = "result",
-                                             const EncodedProvider& encoded = {});
+                                             const EncodedProvider& encoded = {},
+                                             common::CancelToken* cancel = nullptr);
 
 }  // namespace semandaq::sql
 

@@ -254,7 +254,8 @@ Status WalWriter::AppendSetCell(TupleId tid, size_t col, const Value& value) {
 }
 
 Result<size_t> ReplayWal(const std::string& path, uint64_t snapshot_checksum,
-                         relational::Relation* rel) {
+                         relational::Relation* rel,
+                         common::CancelToken* cancel) {
   Env* env = Env::Get();
   if (!env->FileExists(path)) return size_t{0};  // no tail
   SEMANDAQ_ASSIGN_OR_RETURN(std::string file, env->ReadFileToString(path));
@@ -281,6 +282,7 @@ Result<size_t> ReplayWal(const std::string& path, uint64_t snapshot_checksum,
 
   size_t applied = 0;
   auto apply = [&](const char* payload, size_t size) -> Status {
+    SEMANDAQ_RETURN_IF_CANCELLED(cancel);
     ByteReader r(payload, size, "WAL record");
     SEMANDAQ_ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
     switch (op) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "relational/relation.h"
 #include "storage/env.h"
@@ -150,9 +151,17 @@ class WalAttachment : public relational::MutationObserver {
 /// IoError. Returns the number of records applied — after it,
 /// EncodedRelation::Sync() brings a snapshot loaded via FromStorage up to
 /// date.
+///
+/// `cancel` (common/cancel.h) is checked once per record: a tripped token
+/// stops the replay with Status::Cancelled / Status::DeadlineExceeded,
+/// leaving `rel` partially replayed — callers that opened the relation for
+/// this replay unwind it (OpenRelation drops the half-built relation on
+/// any replay failure, cancellation included), so nothing partial is ever
+/// published.
 common::Result<size_t> ReplayWal(const std::string& path,
                                  uint64_t snapshot_checksum,
-                                 relational::Relation* rel);
+                                 relational::Relation* rel,
+                                 common::CancelToken* cancel = nullptr);
 
 }  // namespace semandaq::storage
 

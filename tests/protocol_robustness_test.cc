@@ -121,21 +121,59 @@ TEST(ProtocolRobustnessTest, EofMidBodyIsATornFrame) {
 }
 
 TEST(ProtocolRobustnessTest, GarbageStatusByteSweep) {
-  // Status byte 0 and 1 are the whole alphabet; everything else is a
-  // protocol error, not a crash or a silently-wrong response.
+  // Status bytes 0..4 (ok/error/cancelled/deadline/busy) are the whole
+  // alphabet; everything else is a protocol error, not a crash or a
+  // silently-wrong response.
   ASSERT_OK_AND_ASSIGN(WireResponse ok, DecodeResponse(std::string("\0", 1)));
   EXPECT_TRUE(ok.ok);
   ASSERT_OK_AND_ASSIGN(WireResponse err, DecodeResponse(std::string("\1x", 2)));
   EXPECT_FALSE(err.ok);
   EXPECT_EQ(err.text, "x");
+  ASSERT_OK_AND_ASSIGN(WireResponse cancelled,
+                       DecodeResponse(std::string("\2c", 2)));
+  EXPECT_FALSE(cancelled.ok);
+  EXPECT_EQ(cancelled.status, WireStatus::kCancelled);
+  ASSERT_OK_AND_ASSIGN(WireResponse late, DecodeResponse(std::string("\3d", 2)));
+  EXPECT_FALSE(late.ok);
+  EXPECT_EQ(late.status, WireStatus::kDeadlineExceeded);
+  // Busy carries a u32-LE retry hint between the status byte and the text.
+  ASSERT_OK_AND_ASSIGN(WireResponse busy,
+                       DecodeResponse(EncodeBusyResponse(250, "b")));
+  EXPECT_FALSE(busy.ok);
+  EXPECT_EQ(busy.status, WireStatus::kBusy);
+  EXPECT_EQ(busy.retry_after_ms, 250u);
+  EXPECT_EQ(busy.text, "b");
+  EXPECT_FALSE(DecodeResponse(std::string("\4xy", 3)).ok());  // truncated hint
 
   EXPECT_FALSE(DecodeResponse("").ok());  // no status byte at all
-  for (int byte = 2; byte < 256; byte += 61) {
+  for (int byte = 5; byte < 256; byte += 61) {
     std::string payload(1, static_cast<char>(byte));
     payload += "body";
     EXPECT_FALSE(DecodeResponse(payload).ok()) << "status byte " << byte;
   }
   EXPECT_FALSE(DecodeResponse(std::string(1, '\xff')).ok());
+}
+
+TEST(ProtocolRobustnessTest, RequestControlFramesRoundTrip) {
+  // Plain text stays a bare command (commands never start with NUL).
+  ASSERT_OK_AND_ASSIGN(WireRequest plain, DecodeRequest("detect customer"));
+  EXPECT_FALSE(plain.cancel);
+  EXPECT_EQ(plain.deadline_ms, 0u);
+  EXPECT_EQ(plain.command, "detect customer");
+
+  ASSERT_OK_AND_ASSIGN(WireRequest dl,
+                       DecodeRequest(EncodeDeadlineRequest(1500, "mine r")));
+  EXPECT_FALSE(dl.cancel);
+  EXPECT_EQ(dl.deadline_ms, 1500u);
+  EXPECT_EQ(dl.command, "mine r");
+
+  ASSERT_OK_AND_ASSIGN(WireRequest cancel, DecodeRequest(EncodeCancelRequest()));
+  EXPECT_TRUE(cancel.cancel);
+
+  // Torn/unknown control frames are protocol errors, not misread commands.
+  EXPECT_FALSE(DecodeRequest(std::string("\0", 1)).ok());
+  EXPECT_FALSE(DecodeRequest(std::string("\0\1ab", 4)).ok());   // short deadline
+  EXPECT_FALSE(DecodeRequest(std::string("\0\77", 2)).ok());    // unknown kind
 }
 
 TEST(ProtocolRobustnessTest, SilentPeerTripsTheReadDeadline) {

@@ -323,5 +323,125 @@ TEST(ServerChaosTest, RetryingClientRidesThroughBusyShedding) {
   server.Wait();
 }
 
+TEST(ServerChaosTest, SlowQueryStormKeepsCheapTrafficAndTheServerAlive) {
+  // The overload scenario admission control exists for: a storm of
+  // expensive mines — some with tight server-side deadlines, some
+  // cancelled mid-flight, some left to finish — while cheap traffic keeps
+  // arriving. Every response must be a well-formed member of the status
+  // alphabet, cheap requests must keep succeeding throughout, and the
+  // server must come out healthy (this test doubles as the TSan
+  // interleaving workload for the watchdog + admission + token paths).
+  ServiceOptions service_options;
+  service_options.scheduler_lanes = 4;
+  service_options.admission.enabled = true;
+  service_options.admission.max_expensive = 1;
+  service_options.admission.queue_limit_expensive = 1;
+  service_options.admission.retry_after_ms = 20;
+  SemandaqService service(service_options);
+  TcpServer server(&service);
+  ASSERT_OK(server.Start());
+
+  {
+    auto seeder = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(seeder.ok());
+    ASSERT_OK_AND_ASSIGN(auto seeded, seeder->Call("gen customer 30000 10"));
+    EXPECT_TRUE(seeded.ok) << seeded.text;
+  }
+
+  constexpr int kMiners = 6;
+  constexpr int kCheapWorkers = 3;
+  std::atomic<int> malformed{0};
+  std::atomic<int> cheap_failures{0};
+  std::atomic<int> cheap_successes{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int m = 0; m < kMiners; ++m) {
+    threads.emplace_back([&, m] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++malformed;
+        return;
+      }
+      common::Result<WireResponse> resp = common::Status::Internal("unset");
+      if (m % 3 == 0) {
+        // Tight server-side deadline: expires mid-sweep.
+        resp = client->CallWithDeadline("mine customer", 40);
+      } else if (m % 3 == 1) {
+        // Client-initiated cancel mid-flight.
+        std::thread canceller([&client] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          (void)client->SendCancel();
+        });
+        resp = client->Call("mine customer");
+        canceller.join();
+      } else {
+        resp = client->Call("mine customer");
+      }
+      if (!resp.ok()) {
+        ++malformed;  // transport failures are not part of this storm
+        return;
+      }
+      switch (resp->status) {
+        case WireStatus::kOk:
+        case WireStatus::kCancelled:
+        case WireStatus::kDeadlineExceeded:
+          break;
+        case WireStatus::kBusy:
+          if (resp->retry_after_ms == 0) ++malformed;  // hint is mandatory
+          break;
+        default:
+          ++malformed;
+      }
+    });
+  }
+  for (int c = 0; c < kCheapWorkers; ++c) {
+    threads.emplace_back([&] {
+      ClientOptions retrying;
+      retrying.max_retries = 20;
+      retrying.backoff_initial_ms = 10;
+      retrying.backoff_max_ms = 50;
+      auto client = Client::Connect("127.0.0.1", server.port(), retrying);
+      if (!client.ok()) {
+        ++cheap_failures;
+        return;
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto resp = client->CallIdempotent("epoch customer");
+        if (resp.ok() && resp->ok) {
+          ++cheap_successes;
+        } else {
+          ++cheap_failures;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
+  // Let the storm rage for a fixed window, then stop the cheap loops once
+  // the miners are done.
+  for (int m = 0; m < kMiners; ++m) threads[m].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t i = kMiners; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(malformed.load(), 0);
+  EXPECT_EQ(cheap_failures.load(), 0);
+  EXPECT_GT(cheap_successes.load(), 0);
+
+  // The server is intact: a fresh connection gets real answers and the
+  // stats surface still renders.
+  {
+    auto after = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(after.ok());
+    ASSERT_OK_AND_ASSIGN(WireResponse stats, after->Call("stats"));
+    EXPECT_TRUE(stats.ok);
+    EXPECT_NE(stats.text.find("admission.enabled=1"), std::string::npos);
+  }
+  AwaitQuiesce(server, 5000);
+
+  server.Shutdown();
+  server.Wait();
+}
+
 }  // namespace
 }  // namespace semandaq::server

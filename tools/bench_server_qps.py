@@ -21,6 +21,12 @@ artifact records the clean and faulty windows side by side; every response
 in both windows is still checked against the serial reference, so the
 faulty window doubles as a correctness gate under connection churn.
 
+With --hol-seconds=S > 0 (the default), two more server runs measure the
+head-of-line metric: cheap-op (`epoch`) latency percentiles while
+--hol-miners connections storm `mine hospital`, once with --admission=off
+and once with --admission=on (docs/robustness.md, Admission control). The
+artifact records both and the cheap-p99 improvement ratio.
+
 Exits nonzero only on a malfunction (server died, a request failed, or a
 response mismatched the reference); shared CI runners are too noisy for a
 hard perf gate, so throughput is judged from the recorded artifact.
@@ -51,14 +57,33 @@ def recv_exact(sock, n: int) -> bytes:
     return buf
 
 
-def call(sock, command: str) -> str:
-    """One request/response exchange; raises on a server-side error."""
+# Response status bytes (src/server/protocol.h): 0 ok, 1 error,
+# 2 cancelled, 3 deadline exceeded, 4 busy (u32-LE retry hint follows).
+STATUS_OK, STATUS_ERROR, STATUS_CANCELLED, STATUS_DEADLINE, STATUS_BUSY = range(5)
+
+
+def call_raw(sock, command: str):
+    """One request/response exchange; returns (status, retry_after_ms, text)."""
     send_frame(sock, command.encode())
     (length,) = struct.unpack("<I", recv_exact(sock, 4))
     payload = recv_exact(sock, length)
-    if not payload or payload[0:1] != b"\x00":
-        raise RuntimeError(f"{command!r} failed: {payload[1:].decode(errors='replace')}")
-    return payload[1:].decode()
+    if not payload:
+        raise RuntimeError(f"{command!r}: empty response frame")
+    status = payload[0]
+    if status == STATUS_BUSY:
+        if len(payload) < 5:
+            raise RuntimeError(f"{command!r}: truncated busy response")
+        (retry_ms,) = struct.unpack("<I", payload[1:5])
+        return status, retry_ms, payload[5:].decode(errors="replace")
+    return status, 0, payload[1:].decode(errors="replace")
+
+
+def call(sock, command: str) -> str:
+    """call_raw that raises on anything but a plain success."""
+    status, _, text = call_raw(sock, command)
+    if status != STATUS_OK:
+        raise RuntimeError(f"{command!r} failed (status {status}): {text}")
+    return text
 
 
 def connect(port: int) -> socket.socket:
@@ -149,6 +174,142 @@ def run_window(port, clients, seconds, reference, fault_rate):
     }
 
 
+class CheapProbe(threading.Thread):
+    """Issues one cheap command in a paced loop, recording latency. Busy
+    sheds honor the server's retry hint; they are counted, not failed."""
+
+    def __init__(self, port: int, deadline: float, command: str):
+        super().__init__()
+        self.port = port
+        self.deadline = deadline
+        self.command = command
+        self.latencies_ms = []
+        self.sheds = 0
+        self.error = None
+
+    def run(self):
+        try:
+            sock = connect(self.port)
+            try:
+                while time.monotonic() < self.deadline:
+                    t0 = time.monotonic()
+                    status, retry_ms, text = call_raw(sock, self.command)
+                    if status == STATUS_OK:
+                        self.latencies_ms.append((time.monotonic() - t0) * 1e3)
+                    elif status == STATUS_BUSY:
+                        self.sheds += 1
+                        time.sleep(min(retry_ms, 200) / 1e3)
+                    else:
+                        raise RuntimeError(
+                            f"{self.command!r} failed (status {status}): {text}")
+                    time.sleep(0.002)
+            finally:
+                sock.close()
+        except Exception as e:
+            self.error = e
+
+
+class MineStorm(threading.Thread):
+    """Fires `mine hospital` back to back — the expensive traffic that
+    causes head-of-line blocking for the cheap probes."""
+
+    def __init__(self, port: int, deadline: float):
+        super().__init__()
+        self.port = port
+        self.deadline = deadline
+        self.completed = 0
+        self.sheds = 0
+        self.error = None
+
+    def run(self):
+        try:
+            sock = connect(self.port)
+            try:
+                while time.monotonic() < self.deadline:
+                    status, retry_ms, text = call_raw(sock, "mine hospital")
+                    if status == STATUS_OK:
+                        self.completed += 1
+                    elif status == STATUS_BUSY:
+                        self.sheds += 1
+                        time.sleep(min(retry_ms, 200) / 1e3)
+                    else:
+                        raise RuntimeError(
+                            f"mine failed (status {status}): {text}")
+            finally:
+                sock.close()
+        except Exception as e:
+            self.error = e
+
+
+def boot_server(args, extra_flags):
+    """Starts a server, seeds the hospital workload, returns (proc, port)."""
+    proc = subprocess.Popen(
+        [args.server, "--port=0", f"--lanes={args.lanes}"] + extra_flags,
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        proc.wait()
+        raise RuntimeError(f"server did not start: {line!r}")
+    port = int(line.rsplit(":", 1)[1])
+    return proc, port
+
+
+def run_head_of_line(args, admission: bool):
+    """Cheap-op latency under an expensive-mine storm, one server run.
+
+    The head-of-line metric (docs/robustness.md): with admission off, a
+    storm of concurrent mines saturates every worker lane and core, and
+    the cheap requests stuck behind them wear the tail latency. With
+    admission on, the expensive class is capped and the cheap class keeps
+    its own lane, so the cheap tail should drop. Recorded, not gated.
+    """
+    flags = ["--admission=on" if admission else "--admission=off"]
+    proc, port = boot_server(args, flags)
+    try:
+        boot = connect(port)
+        call(boot, f"gen hospital {args.rows} 5")
+        call(boot, "cfd hospital: [ZIP] -> [STATE]")
+        call(boot, "cfd hospital: [MCODE] -> [MNAME]")
+
+        deadline = time.monotonic() + args.hol_seconds
+        miners = [MineStorm(port, deadline) for _ in range(args.hol_miners)]
+        probes = [CheapProbe(port, deadline, "epoch hospital")
+                  for _ in range(4)]
+        for t in miners + probes:
+            t.start()
+        for t in miners + probes:
+            t.join()
+        for t in miners + probes:
+            if t.error is not None:
+                raise t.error
+
+        stats = call(boot, "stats")
+        call(boot, "shutdown")
+        boot.close()
+        proc.wait(timeout=30)
+
+        lat = sorted(x for p in probes for x in p.latencies_ms)
+        return {
+            "admission": admission,
+            "cheap_requests": len(lat),
+            "cheap_sheds": sum(p.sheds for p in probes),
+            "mine_completions": sum(m.completed for m in miners),
+            "mine_sheds": sum(m.sheds for m in miners),
+            "cheap_latency_ms": {
+                "p50": percentile(lat, 50),
+                "p99": percentile(lat, 99),
+                "max": round(lat[-1], 3) if lat else None,
+            },
+            "server_stats": dict(
+                kv.split("=", 1) for kv in stats.split() if "=" in kv),
+        }
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
 def main(argv):
     ap = argparse.ArgumentParser()
     ap.add_argument("--server", required=True, help="path to semandaq_server")
@@ -159,6 +320,13 @@ def main(argv):
     ap.add_argument("--fault-rate", type=float, default=0.0,
                     help="per-request mid-frame disconnect probability for "
                          "the faulty window (0 = skip the faulty window)")
+    ap.add_argument("--hol-seconds", type=float, default=6.0,
+                    help="head-of-line window length: cheap-op tail latency "
+                         "under an expensive-mine storm, admission off vs on "
+                         "(0 = skip)")
+    ap.add_argument("--hol-miners", type=int, default=6,
+                    help="concurrent mine connections in the head-of-line "
+                         "window")
     ap.add_argument("--out", default="BENCH_server.json")
     args = ap.parse_args(argv[1:])
 
@@ -189,6 +357,22 @@ def main(argv):
         boot.close()
         proc.wait(timeout=30)
 
+        head_of_line = None
+        if args.hol_seconds > 0:
+            hol_off = run_head_of_line(args, admission=False)
+            hol_on = run_head_of_line(args, admission=True)
+            p99_off = hol_off["cheap_latency_ms"]["p99"]
+            p99_on = hol_on["cheap_latency_ms"]["p99"]
+            head_of_line = {
+                "miners": args.hol_miners,
+                "window_seconds": args.hol_seconds,
+                "admission_off": hol_off,
+                "admission_on": hol_on,
+                "cheap_p99_improvement": (
+                    round(p99_off / p99_on, 2)
+                    if p99_off and p99_on and p99_on > 0 else None),
+            }
+
         artifact = {
             "benchmark": "server_sustained_qps",
             "rows": args.rows,
@@ -196,6 +380,7 @@ def main(argv):
             "lanes": args.lanes,
             "clean": clean,
             "faulty": faulty,
+            "head_of_line": head_of_line,
             "setup": {"reference": reference.strip()},
         }
         with open(args.out, "w") as f:
@@ -208,6 +393,12 @@ def main(argv):
             print(f"faulty({args.fault_rate}): {faulty['requests']} requests "
                   f"in {faulty['window_seconds']}s = {faulty['qps']} qps, "
                   f"{faulty['injected_disconnects']} injected disconnects")
+        if head_of_line is not None:
+            off = head_of_line["admission_off"]["cheap_latency_ms"]
+            on = head_of_line["admission_on"]["cheap_latency_ms"]
+            print(f"head-of-line cheap p99: admission off {off['p99']} ms, "
+                  f"on {on['p99']} ms "
+                  f"(x{head_of_line['cheap_p99_improvement']})")
         print(f"-> {args.out}")
         return 0
     finally:

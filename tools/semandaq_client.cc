@@ -1,7 +1,7 @@
 // semandaq_client: command-line client for semandaq_server.
 //
 //   semandaq_client [--host=ADDR] [--port=N] [--retries=N] [--timeout-ms=N]
-//                   [COMMAND...]
+//                   [--deadline-ms=N] [COMMAND...]
 //
 // With COMMAND arguments, joins them into one command line, executes it,
 // prints the response, and exits. Without arguments, reads commands from
@@ -14,11 +14,17 @@
 //                 one-shot COMMAND mode retries the command itself (it
 //                 must be idempotent — rerunning `detect` or `save` is
 //                 safe; a REPL session's clean/diff/apply is not).
-//   --timeout-ms  per-command deadline (0 = wait as long as it takes)
+//   --timeout-ms  per-command transport deadline, enforced client-side
+//                 (0 = wait as long as it takes)
+//   --deadline-ms server-side deadline carried in the request frame: the
+//                 server cancels the command once it expires and answers
+//                 with a deadline-exceeded status, leaving state untouched
+//                 (0 = none; see docs/robustness.md)
 //
 // Exit codes: 0 success, 1 server-side command error, 2 usage error,
 // 3 transport failure (server unreachable/dead after all retries),
-// 4 command timed out.
+// 4 command timed out (client-side transport deadline, or the server
+// reported the request cancelled / past its deadline).
 
 #include <chrono>
 #include <cstdint>
@@ -50,7 +56,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 int Usage() {
   std::fprintf(stderr,
                "usage: semandaq_client [--host=ADDR] [--port=N] [--retries=N]"
-               " [--timeout-ms=N] [COMMAND...]\n");
+               " [--timeout-ms=N] [--deadline-ms=N] [COMMAND...]\n");
   return kExitUsage;
 }
 
@@ -80,16 +86,28 @@ int ReportTransportFailure(const semandaq::common::Status& status,
 /// command would produce (the REPL keeps going either way).
 int RunOne(semandaq::server::Client& client, const std::string& command,
            const std::string& host, uint16_t port, int retries,
-           bool idempotent) {
-  auto response = idempotent ? client.CallIdempotent(command)
-                             : client.Call(command);
+           bool idempotent, uint32_t deadline_ms) {
+  auto response = deadline_ms > 0
+                      ? client.CallWithDeadline(command, deadline_ms)
+                      : (idempotent ? client.CallIdempotent(command)
+                                    : client.Call(command));
   if (!response.ok()) {
     return ReportTransportFailure(response.status(), host, port, retries);
   }
   std::FILE* out = response->ok ? stdout : stderr;
   std::fprintf(out, "%s", response->text.c_str());
   std::fflush(out);
-  return response->ok ? kExitOk : kExitCommandError;
+  if (response->ok) return kExitOk;
+  // The status byte says WHY the command failed: server-side cancellation
+  // and expired deadlines are timeouts, not command errors — the command
+  // itself may be perfectly valid under a longer budget.
+  switch (response->status) {
+    case semandaq::server::WireStatus::kCancelled:
+    case semandaq::server::WireStatus::kDeadlineExceeded:
+      return kExitTimeout;
+    default:
+      return kExitCommandError;
+  }
 }
 
 }  // namespace
@@ -98,6 +116,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 7744;
   semandaq::server::ClientOptions options;
+  uint32_t deadline_ms = 0;
   std::string command;
 
   int i = 1;
@@ -126,6 +145,13 @@ int main(int argc, char** argv) {
         return Usage();
       }
       options.call_deadline_ms = static_cast<int>(v);
+    } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
+      char* end = nullptr;
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || v < 0) {
+        return Usage();
+      }
+      deadline_ms = static_cast<uint32_t>(v);
     } else {
       break;  // first non-flag argument starts the command
     }
@@ -164,7 +190,7 @@ int main(int argc, char** argv) {
     // One-shot commands are safe to retry end-to-end (the caller chose the
     // command; --retries=0, the default, disables it anyway).
     return RunOne(client, command, host, port, options.max_retries,
-                  /*idempotent=*/options.max_retries > 0);
+                  /*idempotent=*/options.max_retries > 0, deadline_ms);
   }
 
   // REPL mode: one command per stdin line; blank lines are skipped.
@@ -177,7 +203,7 @@ int main(int argc, char** argv) {
     const std::string trimmed = std::string(semandaq::common::Trim(line));
     if (trimmed.empty()) continue;
     const int rc = RunOne(client, trimmed, host, port, 0,
-                          /*idempotent=*/false);
+                          /*idempotent=*/false, deadline_ms);
     if (rc != kExitOk) exit_code = rc;
     if (rc == kExitTransport || rc == kExitTimeout) break;  // connection dead
     if (semandaq::common::EqualsIgnoreCase(trimmed, "shutdown")) break;

@@ -3,6 +3,8 @@
 //   semandaq_server [--host=ADDR] [--port=N] [--lanes=N] [--db=DIR]
 //                   [--sync=MODE] [--max-conns=N] [--read-deadline-ms=N]
 //                   [--write-deadline-ms=N] [--drain-deadline-ms=N]
+//                   [--default-deadline-ms=N] [--admission=on|off]
+//                   [--max-expensive=N]
 //
 //   --host   listen address (default 127.0.0.1; trusted networks only)
 //   --port   listen port (default 7744; 0 picks an ephemeral port)
@@ -20,6 +22,15 @@
 //                        responses this long is disconnected (0 = forever)
 //   --drain-deadline-ms  graceful-shutdown budget for in-flight commands
 //                        (default 2000)
+//   --default-deadline-ms  per-request deadline applied when the client
+//                        sends none; an expired request is cancelled at
+//                        its next engine checkpoint (0 = none)
+//   --admission          cost-aware admission control (docs/robustness.md):
+//                        cheap and expensive verbs get separate concurrency
+//                        caps and bounded queues; overflow is shed with a
+//                        busy frame carrying a retry hint (default off)
+//   --max-expensive      concurrent expensive requests when admission is
+//                        on (0 = half the lane budget)
 //
 // Prints "semandaq_server listening on HOST:PORT" once ready, then blocks
 // until a client sends `shutdown`. See docs/server.md.
@@ -60,7 +71,8 @@ int Usage() {
                "usage: semandaq_server [--host=ADDR] [--port=N] [--lanes=N]"
                " [--db=DIR] [--sync=always|batch(N)|none] [--max-conns=N]"
                " [--read-deadline-ms=N] [--write-deadline-ms=N]"
-               " [--drain-deadline-ms=N]\n");
+               " [--drain-deadline-ms=N] [--default-deadline-ms=N]"
+               " [--admission=on|off] [--max-expensive=N]\n");
   return 2;
 }
 
@@ -105,6 +117,20 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--drain-deadline-ms", &value)) {
       if (!ParseSize(value, &n) || n > INT32_MAX) return Usage();
       tcp_options.drain_deadline_ms = static_cast<int>(n);
+    } else if (ParseFlag(argv[i], "--default-deadline-ms", &value)) {
+      if (!ParseSize(value, &n) || n > INT32_MAX) return Usage();
+      tcp_options.default_deadline_ms = static_cast<int>(n);
+    } else if (ParseFlag(argv[i], "--admission", &value)) {
+      if (value == "on") {
+        service_options.admission.enabled = true;
+      } else if (value == "off") {
+        service_options.admission.enabled = false;
+      } else {
+        return Usage();
+      }
+    } else if (ParseFlag(argv[i], "--max-expensive", &value)) {
+      if (!ParseSize(value, &n)) return Usage();
+      service_options.admission.max_expensive = static_cast<size_t>(n);
     } else {
       return Usage();
     }
